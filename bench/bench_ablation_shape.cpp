@@ -1,0 +1,62 @@
+// Ablation A4 (Section 4.3): cube-like sub-domains minimize the boundary
+// surface / volume ratio and therefore the transferred bytes. The effect
+// shows on the *bytes* and on any bandwidth-dominated path; on the
+// paper's AGP + GbE, fixed setup costs partially mask it — which the
+// table also shows (and is why the paper's other optimizations attack
+// the setup costs).
+#include <cstdio>
+
+#include "core/cluster_sim.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace gc;
+  core::ClusterSimulator sim;
+
+  const Int3 lattice{320, 320, 320};
+  struct Shape {
+    Int3 grid;
+    const char* label;
+  };
+  const Shape shapes[] = {
+      {{2, 2, 2}, "2x2x2 (cubes)"},
+      {{4, 2, 1}, "4x2x1"},
+      {{8, 1, 1}, "8x1x1 (slabs)"},
+  };
+
+  Table t("Ablation: sub-domain shape, 320^3 lattice on 8 nodes");
+  t.set_header({"arrangement", "sub-domain", "max border cells/node",
+                "net GbE (ms)", "net Myrinet (ms)"});
+  for (const Shape& s : shapes) {
+    core::ClusterScenario sc;
+    sc.lattice = lattice;
+    sc.grid = netsim::NodeGrid{s.grid};
+    const core::StepBreakdown gbe = sim.simulate_step(sc);
+    sc.net = netsim::NetSpec::myrinet2000();
+    const core::StepBreakdown myri = sim.simulate_step(sc);
+
+    const core::Decomposition3 d(lattice, sc.grid);
+    i64 border = 0;
+    for (int node = 0; node < d.num_nodes(); ++node) {
+      i64 b = 0;
+      for (int face = 0; face < 6; ++face) b += d.face_area(node, face);
+      border = std::max(border, b);
+    }
+    const Int3 sub = d.block(0).size();
+    char subs[32];
+    std::snprintf(subs, sizeof(subs), "%dx%dx%d", sub.x, sub.y, sub.z);
+    t.row()
+        .cell(s.label)
+        .cell(subs)
+        .cell(long(border))
+        .cell(gbe.net_total_ms, 1)
+        .cell(myri.net_total_ms, 1);
+  }
+  t.print();
+  std::printf(
+      "\nCubes carry the least border area per node (column 3), the\n"
+      "paper's stated reason for cube-like decomposition. On a\n"
+      "bandwidth-dominated fabric (Myrinet column) that directly wins;\n"
+      "on GbE the per-step setup costs dilute it.\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Reproduces Figure 10: GPU-cluster efficiency vs node count (93.5% at
+// 2 nodes declining to 66.8% at 32).
+#include <cstdio>
+
+#include "core/scaling_study.hpp"
+#include "io/csv.hpp"
+#include "util/table.hpp"
+
+namespace {
+const double kPaperEff[] = {100.0, 93.5, 79.3, 78.3, 75.8, 74.4,
+                            73.9,  73.8, 71.3, 68.1, 66.8};
+}
+
+int main() {
+  using namespace gc;
+  const auto series =
+      core::weak_scaling(Int3{80, 80, 80}, core::paper_node_counts());
+  const auto rows = core::throughput_rows(series, i64(80) * 80 * 80);
+
+  Table t("Figure 10 — GPU cluster efficiency [model vs paper]");
+  t.set_header({"nodes", "efficiency%", "paper%"});
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    t.row()
+        .cell(long(rows[k].nodes))
+        .cell(100.0 * rows[k].efficiency, 1)
+        .cell(kPaperEff[k], 1);
+  }
+  t.print();
+
+  std::printf("\n");
+  for (const auto& r : rows) {
+    std::printf("%4d |", r.nodes);
+    for (int j = 0; j < static_cast<int>(r.efficiency * 60); ++j) {
+      std::printf("#");
+    }
+    std::printf(" %.1f%%\n", 100.0 * r.efficiency);
+  }
+  gc::io::write_csv("bench_fig10.csv", t);
+  return 0;
+}

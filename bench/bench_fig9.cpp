@@ -1,0 +1,41 @@
+// Reproduces Figure 9: GPU cluster / CPU cluster speedup factor vs node
+// count (6.64 at one node, plateau near 5, drop beyond 28 nodes).
+#include <cstdio>
+
+#include "core/scaling_study.hpp"
+#include "io/csv.hpp"
+#include "util/table.hpp"
+
+namespace {
+const double kPaperSpeedup[] = {6.64, 6.22, 5.38, 5.25, 5.11, 5.03,
+                                5.00, 4.99, 4.83, 4.62, 4.54};
+}
+
+int main() {
+  using namespace gc;
+  const auto series =
+      core::weak_scaling(Int3{80, 80, 80}, core::paper_node_counts());
+
+  Table t("Figure 9 — GPU/CPU cluster speedup factor [model vs paper]");
+  t.set_header({"nodes", "speedup", "paper", "err%"});
+  for (std::size_t k = 0; k < series.size(); ++k) {
+    const double s = series[k].speedup();
+    t.row()
+        .cell(long(series[k].nodes))
+        .cell(s, 2)
+        .cell(kPaperSpeedup[k], 2)
+        .cell(100.0 * (s - kPaperSpeedup[k]) / kPaperSpeedup[k], 1);
+  }
+  t.print();
+
+  // ASCII rendition of the curve.
+  std::printf("\n");
+  for (std::size_t k = 0; k < series.size(); ++k) {
+    const double s = series[k].speedup();
+    std::printf("%4d |", series[k].nodes);
+    for (int j = 0; j < static_cast<int>(s * 10); ++j) std::printf("#");
+    std::printf(" %.2f\n", s);
+  }
+  gc::io::write_csv("bench_fig9.csv", t);
+  return 0;
+}

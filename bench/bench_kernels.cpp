@@ -1,0 +1,132 @@
+// Kernel microbenchmarks (google-benchmark): host LBM collision,
+// streaming, fused step, MRT, thermal update, GPU-simulated step, tracer
+// hop, and the pack/unpack paths of the border exchange.
+#include <benchmark/benchmark.h>
+
+#include "core/border_exchange.hpp"
+#include "gpulbm/gpu_solver.hpp"
+#include "lbm/collision.hpp"
+#include "lbm/macroscopic.hpp"
+#include "lbm/mrt.hpp"
+#include "lbm/stream.hpp"
+#include "lbm/thermal.hpp"
+#include "tracer/tracer.hpp"
+
+namespace {
+
+using namespace gc;
+
+lbm::Lattice make_lattice(int n) {
+  lbm::Lattice lat(Int3{n, n, n});
+  lat.init_equilibrium(Real(1), Vec3{0.05f, 0.02f, 0.01f});
+  return lat;
+}
+
+void BM_CollideBgk(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  lbm::Lattice lat = make_lattice(n);
+  for (auto _ : state) {
+    lbm::collide_bgk(lat, lbm::BgkParams{Real(0.8), Vec3{}});
+  }
+  state.SetItemsProcessed(state.iterations() * lat.num_cells());
+}
+BENCHMARK(BM_CollideBgk)->Arg(32)->Arg(64);
+
+void BM_Stream(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  lbm::Lattice lat = make_lattice(n);
+  for (auto _ : state) {
+    lbm::stream(lat);
+  }
+  state.SetItemsProcessed(state.iterations() * lat.num_cells());
+}
+BENCHMARK(BM_Stream)->Arg(32)->Arg(64);
+
+void BM_FusedStreamCollide(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  lbm::Lattice lat = make_lattice(n);
+  for (auto _ : state) {
+    lbm::fused_stream_collide(lat, lbm::BgkParams{Real(0.8), Vec3{}});
+  }
+  state.SetItemsProcessed(state.iterations() * lat.num_cells());
+}
+BENCHMARK(BM_FusedStreamCollide)->Arg(32)->Arg(64);
+
+void BM_CollideMrt(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  lbm::Lattice lat = make_lattice(n);
+  const lbm::MrtParams p = lbm::MrtParams::standard(Real(0.8));
+  for (auto _ : state) {
+    lbm::collide_mrt(lat, p);
+  }
+  state.SetItemsProcessed(state.iterations() * lat.num_cells());
+}
+BENCHMARK(BM_CollideMrt)->Arg(32);
+
+void BM_ThermalStep(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  lbm::Lattice lat = make_lattice(n);
+  lbm::ThermalParams tp;
+  tp.kappa = Real(0.1);
+  lbm::ThermalField T(lat.dim(), tp);
+  std::vector<Vec3> u(static_cast<std::size_t>(lat.num_cells()),
+                      Vec3{0.05f, 0, 0});
+  for (auto _ : state) {
+    T.step(lat, u);
+  }
+  state.SetItemsProcessed(state.iterations() * lat.num_cells());
+}
+BENCHMARK(BM_ThermalStep)->Arg(32);
+
+void BM_GpuSimStep(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  lbm::Lattice lat = make_lattice(n);
+  gpusim::GpuDevice dev(gpusim::GpuSpec::geforce_fx5800_ultra(),
+                        gpusim::BusSpec::agp8x());
+  gpulbm::GpuLbmSolver gpu(dev, lat, Real(0.8));
+  for (auto _ : state) {
+    gpu.step();
+  }
+  state.SetItemsProcessed(state.iterations() * lat.num_cells());
+}
+BENCHMARK(BM_GpuSimStep)->Arg(16);
+
+void BM_BorderPackFace(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const core::Decomposition3 d(Int3{2 * n, n, n},
+                               netsim::NodeGrid{Int3{2, 1, 1}});
+  const core::LocalDomain ld = core::LocalDomain::make(d, 0);
+  lbm::Lattice lat(ld.local_dim());
+  lat.init_equilibrium(Real(1), Vec3{0.05f, 0, 0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::pack_face(lat, ld, 1));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * 5);
+}
+BENCHMARK(BM_BorderPackFace)->Arg(80);
+
+void BM_TracerStep(benchmark::State& state) {
+  lbm::Lattice lat = make_lattice(32);
+  tracer::TracerCloud cloud;
+  cloud.release(Int3{16, 16, 16}, 10000);
+  for (auto _ : state) {
+    cloud.step(lat);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_TracerStep);
+
+void BM_Moments(benchmark::State& state) {
+  lbm::Lattice lat = make_lattice(48);
+  std::vector<Vec3> u;
+  for (auto _ : state) {
+    lbm::compute_velocity_field(lat, u);
+    benchmark::DoNotOptimize(u.data());
+  }
+  state.SetItemsProcessed(state.iterations() * lat.num_cells());
+}
+BENCHMARK(BM_Moments);
+
+}  // namespace
+
+BENCHMARK_MAIN();

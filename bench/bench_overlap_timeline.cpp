@@ -1,0 +1,24 @@
+// Event-level view of the Section 4.3 overlap pipeline: prints the task
+// Gantt for representative node counts of the Table-1 sweep, showing the
+// network hiding under the inner-cell collision window until ~28 nodes.
+#include <cstdio>
+
+#include "core/overlap.hpp"
+
+int main() {
+  using namespace gc;
+  for (int nodes : {8, 16, 30, 32}) {
+    core::ClusterScenario sc;
+    sc.grid = netsim::NodeGrid::arrange_2d(nodes);
+    sc.lattice = Int3{80 * sc.grid.dims.x, 80 * sc.grid.dims.y, 80};
+    const core::OverlapTimeline tl = core::simulate_overlapped_step(sc);
+    std::printf("--- %d nodes: step makespan %.0f ms, network hidden %.0f ms\n",
+                nodes, tl.makespan_ms, tl.network_hidden_ms);
+    std::printf("%s\n", tl.gantt().c_str());
+  }
+  std::printf(
+      "Below ~28 nodes the 'network exchange' bar fits inside the\n"
+      "'inner-cell collision' window (Figure 8's overlapped region);\n"
+      "beyond that the spill delays the rest of the step.\n");
+  return 0;
+}

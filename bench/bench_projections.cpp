@@ -1,0 +1,63 @@
+// Experiment A5: the three enhancements the paper projects in Section 4.4
+// — (1) a faster network (Myrinet), (2) PCI-Express instead of AGP,
+// (3) larger texture memory allowing bigger sub-domains — plus the
+// GeForce 6800 Ultra upgrade and the SSE-optimized CPU counterpoint.
+#include <cstdio>
+
+#include "core/scaling_study.hpp"
+#include "gpulbm/packing.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace gc;
+
+  const std::vector<int> nodes{32};
+  const Int3 per_node{80, 80, 80};
+
+  struct Variant {
+    const char* label;
+    core::NodePerfProfile node;
+    netsim::NetSpec net;
+    Int3 per_node;
+  };
+  const Variant variants[] = {
+      {"baseline (paper cluster)", core::NodePerfProfile::paper_node(),
+       netsim::NetSpec::gigabit_ethernet(), per_node},
+      {"(1) Myrinet network", core::NodePerfProfile::paper_node(),
+       netsim::NetSpec::myrinet2000(), per_node},
+      {"(2) PCI-Express bus", core::NodePerfProfile::pcie_node(),
+       netsim::NetSpec::gigabit_ethernet(), per_node},
+      {"(3) 256MB GPUs, 112^3/node", core::NodePerfProfile::paper_node(),
+       netsim::NetSpec::gigabit_ethernet(), Int3{112, 112, 80}},
+      {"GeForce 6800 Ultra + PCIe", core::NodePerfProfile::gf6800_node(),
+       netsim::NetSpec::gigabit_ethernet(), per_node},
+      {"CPU with SSE (counterpoint)", core::NodePerfProfile::sse_cpu_node(),
+       netsim::NetSpec::gigabit_ethernet(), per_node},
+  };
+
+  Table t("Section 4.4 projections at 32 nodes (per-step ms and speedup)");
+  t.set_header({"variant", "gpu_total", "net", "nonovl", "gpu/cpu comm",
+                "speedup"});
+  for (const Variant& v : variants) {
+    const auto series = core::weak_scaling(v.per_node, nodes, v.node, v.net);
+    const core::StepBreakdown& b = series[0];
+    t.row()
+        .cell(v.label)
+        .cell(b.gpu_total_ms, 0)
+        .cell(b.net_total_ms, 0)
+        .cell(b.net_nonoverlap_ms, 0)
+        .cell(b.gpu_cpu_comm_ms, 0)
+        .cell(b.speedup(), 2);
+  }
+  t.print();
+
+  // Memory sizing behind projection (3).
+  const i64 usable_128 = static_cast<i64>(128.0 * 1024 * 1024 * 86 / 128);
+  const i64 usable_256 = static_cast<i64>(256.0 * 1024 * 1024 * 86 / 128);
+  std::printf(
+      "\nTexture memory sizing: 128MB card -> max cubic sub-domain %d^3 "
+      "(paper: 92^3); 256MB card -> %d^3.\n",
+      gpulbm::max_cubic_subdomain(usable_128),
+      gpulbm::max_cubic_subdomain(usable_256));
+  return 0;
+}

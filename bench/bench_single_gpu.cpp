@@ -1,0 +1,84 @@
+// Reproduces the single-node comparisons of Section 4.2/4.4: the
+// simulated FX 5800 Ultra LBM step vs the single-CPU step (paper: 214 ms
+// vs 1420 ms at 80^3 -> 6.64x), and the FX 5900 vs Pentium IV 2.53 GHz
+// "about 8x" claim. Also runs the *functional* simulated-GPU solver on a
+// small lattice and reports its modeled step time per cell, checking the
+// device-level model against the calibrated per-cell figure.
+#include <cstdio>
+
+#include "core/cost_model.hpp"
+#include "gpulbm/gpu_solver.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace gc;
+
+  // Calibrated per-cell model at the paper's 80^3 size.
+  const auto node = core::NodePerfProfile::paper_node();
+  const double cells = 80.0 * 80.0 * 80.0;
+  const double gpu_ms = node.gpu_ns_per_cell * cells * 1e-6;
+  const double cpu_ms = node.cpu_ns_per_cell * cells * 1e-6;
+
+  Table t("Section 4.2 — single node GPU vs CPU per-step time");
+  t.set_header({"configuration", "ms/step", "paper", "speedup"});
+  t.row().cell("Xeon 2.4GHz (1 thread)").cell(cpu_ms, 0).cell(1420.0, 0).cell("1.0");
+  t.row()
+      .cell("GeForce FX 5800 Ultra")
+      .cell(gpu_ms, 0)
+      .cell(214.0, 0)
+      .cell(cpu_ms / gpu_ms, 2);
+  t.print();
+  std::printf("Paper single-node speedup: 6.64x; model: %.2fx\n\n",
+              cpu_ms / gpu_ms);
+
+  // Device-level estimate: run the functional simulated GPU on a small
+  // lattice and scale its per-cell pass timing up to 80^3.
+  const Int3 dim{32, 32, 32};
+  lbm::Lattice lat(dim);
+  lat.init_equilibrium(Real(1), Vec3{0.05f, 0, 0});
+  gpusim::GpuDevice dev(gpusim::GpuSpec::geforce_fx5800_ultra(),
+                        gpusim::BusSpec::agp8x());
+  gpulbm::GpuLbmSolver gpu(dev, lat, Real(0.8));
+  dev.reset_ledger();
+  gpu.step();
+  // Per-fragment fetch rate measured from the functional run, then the
+  // pass model prices the 80^3 configuration (10 passes per slice of
+  // 80x80 fragments each) — pass overhead amortizes differently at the
+  // larger slice size, so naive per-cell scaling would be wrong.
+  const double fetches_per_fragment =
+      double(dev.ledger().tex_fetches) / double(dev.ledger().fragments);
+  const gpusim::GpuPerfModel perf(dev.spec());
+  const i64 frags80 = 80 * 80;
+  const double pass80_s = perf.pass_seconds(
+      frags80, 20, static_cast<i64>(fetches_per_fragment * frags80),
+      frags80 * 16);
+  const double dev_80_ms = pass80_s * 10 * 80 * 1e3;
+
+  Table d("Device-level pass model (FX 5800), priced at 80^3");
+  d.set_header({"quantity", "value"});
+  d.row().cell("passes per step (80^3)").cell(long(10 * 80));
+  d.row().cell("tex fetches per fragment").cell(fetches_per_fragment, 1);
+  d.row().cell("modeled 80^3 step (ms)").cell(dev_80_ms, 0);
+  d.row().cell("paper 80^3 step (ms)").cell(214.0, 0);
+  d.row().cell("calibrated ns/cell (Table 1)").cell(node.gpu_ns_per_cell, 0);
+  d.row()
+      .cell("device-model ns/cell")
+      .cell(dev_80_ms * 1e6 / cells, 0);
+  d.print();
+
+  // The Section 4.2 predecessor claim: FX 5900 vs P4 2.53 GHz ~ 8x (the
+  // earlier Li et al. port, a less optimized code on both sides; the P4
+  // without SSE runs this kernel ~1.35x slower than the Xeon figure).
+  const auto spec5900 = gpusim::GpuSpec::geforce_fx5900_ultra();
+  const auto spec5800 = gpusim::GpuSpec::geforce_fx5800_ultra();
+  const double ratio5900 =
+      (spec5900.tex_bandwidth_Bps * spec5900.efficiency) /
+      (spec5800.tex_bandwidth_Bps * spec5800.efficiency);
+  const double gpu5900_ms = gpu_ms / ratio5900;
+  const double p4_ms = cpu_ms * 1.35;
+  std::printf(
+      "\nSection 4.2 predecessor: FX 5900 Ultra %.0f ms vs P4 2.53GHz "
+      "%.0f ms -> %.1fx (paper: ~8x)\n",
+      gpu5900_ms, p4_ms, p4_ms / gpu5900_ms);
+  return 0;
+}

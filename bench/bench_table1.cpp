@@ -1,0 +1,68 @@
+// Reproduces Table 1: per-step execution time (ms) for the CPU cluster
+// and the GPU cluster, 1-32 nodes, each node computing an 80^3 sub-domain
+// arranged in 2D. Prints the model's columns next to the paper's
+// published totals with relative errors.
+#include <cstdio>
+
+#include "core/scaling_study.hpp"
+#include "io/csv.hpp"
+#include "util/table.hpp"
+
+namespace {
+struct PaperRow {
+  int nodes;
+  double cpu_ms, gpu_compute_ms, gpu_cpu_comm_ms, net_nonoverlap_ms,
+      net_total_ms, gpu_total_ms, speedup;
+};
+// Table 1 of the paper, verbatim. '-' entries are 0 here.
+const PaperRow kPaper[] = {
+    {1, 1420, 214, 0, 0, 0, 214, 6.64},
+    {2, 1424, 216, 13, 0, 38, 229, 6.22},
+    {4, 1430, 224, 42, 0, 47, 266, 5.38},
+    {8, 1429, 222, 50, 0, 68, 272, 5.25},
+    {12, 1431, 230, 50, 0, 80, 280, 5.11},
+    {16, 1433, 235, 50, 0, 85, 285, 5.03},
+    {20, 1436, 237, 50, 0, 87, 287, 5.00},
+    {24, 1437, 238, 50, 0, 90, 288, 4.99},
+    {28, 1439, 237, 50, 11, 131, 298, 4.83},
+    {30, 1440, 237, 50, 25, 145, 312, 4.62},
+    {32, 1440, 237, 49, 31, 151, 317, 4.54},
+};
+}  // namespace
+
+int main() {
+  using namespace gc;
+  const auto series =
+      core::weak_scaling(Int3{80, 80, 80}, core::paper_node_counts());
+
+  Table t(
+      "Table 1 — per-step time (ms), 80^3 per node, 2D arrangement "
+      "[model vs paper]");
+  t.set_header({"nodes", "cpu", "cpu(paper)", "gpu_comp", "gpu/cpu_comm",
+                "net(total)", "net(paper)", "nonovl", "gpu_total",
+                "gpu(paper)", "err%", "speedup", "spd(paper)"});
+  for (std::size_t k = 0; k < series.size(); ++k) {
+    const core::StepBreakdown& b = series[k];
+    const PaperRow& p = kPaper[k];
+    const double err =
+        100.0 * (b.gpu_total_ms - p.gpu_total_ms) / p.gpu_total_ms;
+    t.row()
+        .cell(long(b.nodes))
+        .cell(b.cpu_total_ms, 0)
+        .cell(p.cpu_ms, 0)
+        .cell(b.gpu_compute_ms, 0)
+        .cell(b.gpu_cpu_comm_ms, 0)
+        .cell(b.net_total_ms, 0)
+        .cell(p.net_total_ms, 0)
+        .cell(b.net_nonoverlap_ms, 0)
+        .cell(b.gpu_total_ms, 0)
+        .cell(p.gpu_total_ms, 0)
+        .cell(err, 1)
+        .cell(b.speedup(), 2)
+        .cell(p.speedup, 2);
+  }
+  t.print();
+  gc::io::write_csv("bench_table1.csv", t);
+  std::printf("\n(written to bench_table1.csv)\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+#include "city/city_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gc::city {
+
+CityModel::CityModel(CityParams params) : params_(params) {
+  GC_CHECK(params.avenues >= 2 && params.streets >= 2);
+  Rng rng(params.seed);
+
+  const int cols = params.avenues - 1;
+  const int rows = params.streets - 1;
+  num_blocks_ = cols * rows;
+
+  // Corridor center positions, evenly spaced.
+  auto corridor = [](Real extent, int count, int k) {
+    return extent * Real(k) / Real(count - 1);
+  };
+
+  const Real cx = params.extent_x_m / 2;
+  const Real cy = params.extent_y_m / 2;
+  const Real diag = std::sqrt(cx * cx + cy * cy);
+
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      // Block interior between corridors c..c+1 and r..r+1.
+      const Real bx0 = corridor(params.extent_x_m, params.avenues, c) +
+                       params.avenue_width_m / 2;
+      const Real bx1 = corridor(params.extent_x_m, params.avenues, c + 1) -
+                       params.avenue_width_m / 2;
+      const Real by0 = corridor(params.extent_y_m, params.streets, r) +
+                       params.street_width_m / 2;
+      const Real by1 = corridor(params.extent_y_m, params.streets, r + 1) -
+                       params.street_width_m / 2;
+      if (bx1 <= bx0 || by1 <= by0) continue;
+
+      // Subdivide the block into lots (2-4 x 2-3), most of them built.
+      const int nx = static_cast<int>(rng.uniform_int(2, 4));
+      const int ny = static_cast<int>(rng.uniform_int(2, 3));
+      for (int ly = 0; ly < ny; ++ly) {
+        for (int lx = 0; lx < nx; ++lx) {
+          if (rng.chance(0.08)) continue;  // vacant lot / plaza
+          const Real lx0 = bx0 + (bx1 - bx0) * Real(lx) / Real(nx);
+          const Real lx1 = bx0 + (bx1 - bx0) * Real(lx + 1) / Real(nx);
+          const Real ly0 = by0 + (by1 - by0) * Real(ly) / Real(ny);
+          const Real ly1 = by0 + (by1 - by0) * Real(ly + 1) / Real(ny);
+          const Real inset_x = (lx1 - lx0) * (1 - params.lot_coverage) / 2;
+          const Real inset_y = (ly1 - ly0) * (1 - params.lot_coverage) / 2;
+
+          Building b;
+          b.x0 = lx0 + inset_x;
+          b.x1 = lx1 - inset_x;
+          b.y0 = ly0 + inset_y;
+          b.y1 = ly1 - inset_y;
+
+          // Heights: log-normal-ish base, with landmark towers biased
+          // toward the center of the district.
+          const Real mx = (b.x0 + b.x1) / 2 - cx;
+          const Real my = (b.y0 + b.y1) / 2 - cy;
+          const Real center_bias =
+              Real(1) - std::sqrt(mx * mx + my * my) / diag;
+          Real h = params.mean_height_m *
+                   Real(std::exp(0.5 * rng.normal()));
+          if (rng.chance(params.tall_fraction * (0.5 + center_bias))) {
+            h = params.tall_height_m * Real(rng.uniform(0.7, 1.3));
+          }
+          b.height = std::clamp(h, Real(8), Real(300));
+          buildings_.push_back(b);
+        }
+      }
+    }
+  }
+}
+
+Real CityModel::max_height() const {
+  Real m = 0;
+  for (const Building& b : buildings_) m = std::max(m, b.height);
+  return m;
+}
+
+bool CityModel::inside(Real x, Real y, Real z) const {
+  if (z < 0) return false;
+  for (const Building& b : buildings_) {
+    if (x >= b.x0 && x <= b.x1 && y >= b.y0 && y <= b.y1 && z <= b.height) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace gc::city

@@ -1,0 +1,54 @@
+// Procedural Manhattan-style urban model standing in for the paper's
+// Times Square polygonal mesh (Section 5): a street/avenue grid forming
+// ~91 blocks with ~850 buildings, extents ~1.66 km x 1.13 km. The
+// generator is fully seeded, so every run (and test) sees the same city.
+#pragma once
+
+#include <vector>
+
+#include "util/common.hpp"
+#include "util/rng.hpp"
+#include "util/vec3.hpp"
+
+namespace gc::city {
+
+/// An axis-aligned building footprint (meters) with a flat roof.
+struct Building {
+  Real x0, y0, x1, y1;  ///< footprint, x east, y north
+  Real height;          ///< meters
+};
+
+struct CityParams {
+  Real extent_x_m = Real(1660);  ///< ~1.66 km (Section 5)
+  Real extent_y_m = Real(1130);  ///< ~1.13 km
+  int avenues = 8;               ///< N-S corridors -> 7 block columns
+  int streets = 14;              ///< E-W corridors -> 13 block rows
+  Real avenue_width_m = Real(30);
+  Real street_width_m = Real(18);
+  Real lot_coverage = Real(0.85);    ///< built fraction of each lot
+  Real mean_height_m = Real(40);
+  Real tall_height_m = Real(180);    ///< landmark towers near the center
+  Real tall_fraction = Real(0.06);
+  u64 seed = 2004;
+};
+
+class CityModel {
+ public:
+  explicit CityModel(CityParams params = CityParams{});
+
+  const CityParams& params() const { return params_; }
+  const std::vector<Building>& buildings() const { return buildings_; }
+  int num_blocks() const { return num_blocks_; }
+
+  Real max_height() const;
+
+  /// True if the point (x, y, z) in meters lies inside any building.
+  bool inside(Real x, Real y, Real z) const;
+
+ private:
+  CityParams params_;
+  std::vector<Building> buildings_;
+  int num_blocks_ = 0;
+};
+
+}  // namespace gc::city

@@ -1,0 +1,42 @@
+#include "city/voxelize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gc::city {
+
+i64 voxelize(const CityModel& model, lbm::Lattice& lat,
+             const VoxelizeParams& params) {
+  GC_CHECK(params.meters_per_cell > Real(0));
+  const Int3 d = lat.dim();
+  i64 marked = 0;
+  const Real m = params.meters_per_cell;
+
+  for (const Building& b : model.buildings()) {
+    const int x0 = std::max(0, params.origin_cells.x +
+                                   static_cast<int>(std::floor(b.x0 / m)));
+    const int x1 = std::min(d.x - 1, params.origin_cells.x +
+                                         static_cast<int>(std::ceil(b.x1 / m)));
+    const int y0 = std::max(0, params.origin_cells.y +
+                                   static_cast<int>(std::floor(b.y0 / m)));
+    const int y1 = std::min(d.y - 1, params.origin_cells.y +
+                                         static_cast<int>(std::ceil(b.y1 / m)));
+    const int z1 = std::min(
+        d.z - 1, params.origin_cells.z +
+                     static_cast<int>(std::ceil(b.height / m)));
+    for (int z = params.origin_cells.z; z <= z1; ++z) {
+      for (int y = y0; y <= y1; ++y) {
+        for (int x = x0; x <= x1; ++x) {
+          const i64 cell = lat.idx(x, y, z);
+          if (lat.flag(cell) != lbm::CellType::Solid) {
+            lat.set_flag(cell, lbm::CellType::Solid);
+            ++marked;
+          }
+        }
+      }
+    }
+  }
+  return marked;
+}
+
+}  // namespace gc::city

@@ -1,0 +1,24 @@
+// Rasterization of the city model onto the LBM lattice (Section 5: the
+// urban model occupies a 440x300 ground area of the 480x400x80 lattice at
+// 3.8 m spacing). Buildings become Solid cells; the remaining boundary
+// setup (wind in/outflow, slip top, ground) comes from city/wind.
+#pragma once
+
+#include "city/city_model.hpp"
+#include "lbm/lattice.hpp"
+
+namespace gc::city {
+
+struct VoxelizeParams {
+  Real meters_per_cell = Real(3.8);  ///< the paper's resolution
+  /// Offset of the city's (0,0) corner on the lattice, in cells — the
+  /// paper leaves free-flow margins around the rotated urban model.
+  Int3 origin_cells{20, 50, 0};
+};
+
+/// Marks Solid cells for every building; returns the number of cells
+/// marked. Cells outside the lattice are ignored (clipped).
+i64 voxelize(const CityModel& model, lbm::Lattice& lat,
+             const VoxelizeParams& params = VoxelizeParams{});
+
+}  // namespace gc::city

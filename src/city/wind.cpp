@@ -1,0 +1,57 @@
+#include "city/wind.hpp"
+
+#include <cmath>
+
+namespace gc::city {
+
+using lbm::Face;
+using lbm::FaceBc;
+
+WindScenario WindScenario::northeasterly(Real speed_lattice) {
+  WindScenario w;
+  const Real c = Real(0.7071067811865476);  // 45 degrees
+  w.velocity = Vec3{-c * speed_lattice, -c * speed_lattice, 0};
+  return w;
+}
+
+Real WindScenario::height_factor(int z, int height) const {
+  if (profile_exponent <= Real(0)) return Real(1);
+  const Real h = (Real(z) + Real(0.5)) / Real(height);
+  return std::pow(h, profile_exponent);
+}
+
+void apply_wind_boundaries(lbm::Lattice& lat, const WindScenario& wind) {
+  GC_CHECK_MSG(wind.velocity.norm() < Real(0.3),
+               "wind speed too close to the lattice advection limit: "
+                   << wind.velocity.norm());
+
+  auto set_axis = [&lat](int axis, Real u) {
+    const auto lo = static_cast<Face>(2 * axis);
+    const auto hi = static_cast<Face>(2 * axis + 1);
+    if (u > 0) {
+      lat.set_face_bc(lo, FaceBc::Inlet);
+      lat.set_face_bc(hi, FaceBc::Outflow);
+    } else if (u < 0) {
+      lat.set_face_bc(hi, FaceBc::Inlet);
+      lat.set_face_bc(lo, FaceBc::Outflow);
+    } else {
+      lat.set_face_bc(lo, FaceBc::FreeSlip);
+      lat.set_face_bc(hi, FaceBc::FreeSlip);
+    }
+  };
+  set_axis(0, wind.velocity.x);
+  set_axis(1, wind.velocity.y);
+
+  lat.set_face_bc(lbm::FACE_ZMIN, FaceBc::Wall);      // ground
+  lat.set_face_bc(lbm::FACE_ZMAX, FaceBc::FreeSlip);  // open sky
+
+  lat.set_inlet(Real(1), wind.velocity);
+  if (wind.profile_exponent > Real(0)) {
+    const int height = lat.dim().z;
+    lat.set_inlet_profile([wind, height](Int3 cell) {
+      return wind.velocity * wind.height_factor(cell.z, height);
+    });
+  }
+}
+
+}  // namespace gc::city

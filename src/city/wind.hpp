@@ -1,0 +1,31 @@
+// Wind boundary conditions for the urban dispersion scenario (Section 5):
+// a velocity (equilibrium) inflow on the upwind faces, outflow downwind,
+// free-slip at the domain top, no-slip ground.
+#pragma once
+
+#include "lbm/lattice.hpp"
+
+namespace gc::city {
+
+struct WindScenario {
+  Vec3 velocity{};  ///< lattice units; |u| should stay << 0.577
+
+  /// Power-law atmospheric boundary layer: the inflow speed scales as
+  /// ((z + 1/2) / H)^alpha with domain height H. 0 disables the profile
+  /// (uniform inflow). ~0.25 is typical over dense urban terrain.
+  Real profile_exponent = Real(0);
+
+  /// Section 5's northeasterly wind: blowing from the north-east, i.e.
+  /// toward -x and -y in our east/north coordinates.
+  static WindScenario northeasterly(Real speed_lattice);
+
+  /// Wind speed factor at height z (cells) in a domain of height H.
+  Real height_factor(int z, int height) const;
+};
+
+/// Configures the lattice faces for the wind: faces the wind enters
+/// through become Inlet, their opposites Outflow, the top FreeSlip, the
+/// ground Wall; crosswind faces (zero velocity component) become FreeSlip.
+void apply_wind_boundaries(lbm::Lattice& lat, const WindScenario& wind);
+
+}  // namespace gc::city

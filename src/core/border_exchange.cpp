@@ -1,0 +1,204 @@
+#include "core/border_exchange.hpp"
+
+#include "gpulbm/programs.hpp"
+
+namespace gc::core {
+
+using gpulbm::outgoing_directions;
+using lbm::C;
+using lbm::Face;
+
+LocalDomain LocalDomain::make(const Decomposition3& decomp, int node) {
+  LocalDomain ld;
+  ld.global = decomp.block(node);
+  for (int a = 0; a < 3; ++a) {
+    Int3 lo_off{0, 0, 0}, hi_off{0, 0, 0};
+    lo_off[a] = -1;
+    hi_off[a] = +1;
+    ld.ghost_lo[a] = decomp.neighbor(node, lo_off) >= 0 ? 1 : 0;
+    ld.ghost_hi[a] = decomp.neighbor(node, hi_off) >= 0 ? 1 : 0;
+  }
+  return ld;
+}
+
+namespace {
+
+/// Tangent axes of a face's axis, in ascending order.
+void tangent_axes(int axis, int* t1, int* t2) {
+  *t1 = axis == 0 ? 1 : 0;
+  *t2 = axis == 2 ? 1 : 2;
+}
+
+/// Local coordinate of the owned border layer at `face`.
+int own_border_coord(const LocalDomain& ld, int face) {
+  const int axis = face / 2;
+  return (face % 2 == 0) ? ld.own_lo()[axis] : ld.own_hi()[axis] - 1;
+}
+
+/// Local coordinate of the ghost layer beyond `face`.
+int ghost_coord(const LocalDomain& ld, int face) {
+  const int axis = face / 2;
+  return (face % 2 == 0) ? ld.own_lo()[axis] - 1 : ld.own_hi()[axis];
+}
+
+}  // namespace
+
+i64 face_payload_size(const LocalDomain& ld, int face) {
+  const int axis = face / 2;
+  int t1, t2;
+  tangent_axes(axis, &t1, &t2);
+  const Int3 s = ld.global.size();
+  return i64(s[t1]) * s[t2] * 5;
+}
+
+i64 edge_payload_size(const LocalDomain& ld, Int3 off) {
+  int free_axis = -1;
+  for (int a = 0; a < 3; ++a) {
+    if (off[a] == 0) free_axis = a;
+  }
+  GC_CHECK(free_axis >= 0);
+  return ld.global.size()[free_axis];
+}
+
+netsim::Payload pack_face(const lbm::Lattice& local, const LocalDomain& ld,
+                          int face) {
+  const int axis = face / 2;
+  int t1, t2;
+  tangent_axes(axis, &t1, &t2);
+  const auto dirs = outgoing_directions(static_cast<Face>(face));
+  const int bc = own_border_coord(ld, face);
+
+  netsim::Payload out;
+  out.reserve(static_cast<std::size_t>(face_payload_size(ld, face)));
+  Int3 p;
+  p[axis] = bc;
+  for (int c2 = ld.own_lo()[t2]; c2 < ld.own_hi()[t2]; ++c2) {
+    p[t2] = c2;
+    for (int c1 = ld.own_lo()[t1]; c1 < ld.own_hi()[t1]; ++c1) {
+      p[t1] = c1;
+      const i64 cell = local.idx(p);
+      for (int i : dirs) out.push_back(local.f(i, cell));
+    }
+  }
+  return out;
+}
+
+void unpack_face(lbm::Lattice& local, const LocalDomain& ld, int face,
+                 const netsim::Payload& data) {
+  GC_CHECK(static_cast<i64>(data.size()) == face_payload_size(ld, face));
+  const int axis = face / 2;
+  int t1, t2;
+  tangent_axes(axis, &t1, &t2);
+  // The neighbor across `face` sent the distributions *entering* through
+  // it — its outgoing directions across the opposite face.
+  const int opposite = (face % 2 == 0) ? face + 1 : face - 1;
+  const auto dirs = outgoing_directions(static_cast<Face>(opposite));
+  const int gc_coord = ghost_coord(ld, face);
+
+  std::size_t k = 0;
+  Int3 p;
+  p[axis] = gc_coord;
+  for (int c2 = ld.own_lo()[t2]; c2 < ld.own_hi()[t2]; ++c2) {
+    p[t2] = c2;
+    for (int c1 = ld.own_lo()[t1]; c1 < ld.own_hi()[t1]; ++c1) {
+      p[t1] = c1;
+      const i64 cell = local.idx(p);
+      for (int i : dirs) local.set_f(i, cell, data[k++]);
+    }
+  }
+}
+
+netsim::Payload pack_face_scalar(const lbm::ThermalField& field,
+                                 const lbm::Lattice& local,
+                                 const LocalDomain& ld, int face) {
+  const int axis = face / 2;
+  int t1, t2;
+  tangent_axes(axis, &t1, &t2);
+  const int bc = own_border_coord(ld, face);
+
+  netsim::Payload out;
+  out.reserve(static_cast<std::size_t>(face_payload_size(ld, face) / 5));
+  Int3 p;
+  p[axis] = bc;
+  for (int c2 = ld.own_lo()[t2]; c2 < ld.own_hi()[t2]; ++c2) {
+    p[t2] = c2;
+    for (int c1 = ld.own_lo()[t1]; c1 < ld.own_hi()[t1]; ++c1) {
+      p[t1] = c1;
+      out.push_back(field.t(local.idx(p)));
+    }
+  }
+  return out;
+}
+
+void unpack_face_scalar(lbm::ThermalField& field, const lbm::Lattice& local,
+                        const LocalDomain& ld, int face,
+                        const netsim::Payload& data) {
+  const int axis = face / 2;
+  int t1, t2;
+  tangent_axes(axis, &t1, &t2);
+  GC_CHECK(static_cast<i64>(data.size()) == face_payload_size(ld, face) / 5);
+  const int gc_coord = ghost_coord(ld, face);
+
+  std::size_t k = 0;
+  Int3 p;
+  p[axis] = gc_coord;
+  for (int c2 = ld.own_lo()[t2]; c2 < ld.own_hi()[t2]; ++c2) {
+    p[t2] = c2;
+    for (int c1 = ld.own_lo()[t1]; c1 < ld.own_hi()[t1]; ++c1) {
+      p[t1] = c1;
+      field.set_t(local.idx(p), data[k++]);
+    }
+  }
+}
+
+netsim::Payload pack_edge(const lbm::Lattice& local, const LocalDomain& ld,
+                          Int3 off) {
+  const int dir = lbm::direction_index(off);
+  GC_CHECK_MSG(dir >= 0, "edge offset " << off << " is not a lattice link");
+  int free_axis = -1;
+  for (int a = 0; a < 3; ++a) {
+    if (off[a] == 0) free_axis = a;
+  }
+  GC_CHECK(free_axis >= 0);
+
+  Int3 p;
+  for (int a = 0; a < 3; ++a) {
+    if (a == free_axis) continue;
+    p[a] = off[a] > 0 ? ld.own_hi()[a] - 1 : ld.own_lo()[a];
+  }
+  netsim::Payload out;
+  out.reserve(static_cast<std::size_t>(edge_payload_size(ld, off)));
+  for (int c = ld.own_lo()[free_axis]; c < ld.own_hi()[free_axis]; ++c) {
+    p[free_axis] = c;
+    out.push_back(local.f(dir, local.idx(p)));
+  }
+  return out;
+}
+
+void unpack_edge(lbm::Lattice& local, const LocalDomain& ld, Int3 off,
+                 const netsim::Payload& data) {
+  GC_CHECK(static_cast<i64>(data.size()) == edge_payload_size(ld, off));
+  // The sender sits at grid offset `off`; it sent its f_d with d = -off
+  // (the direction pointing from it toward us). We store d at the ghost
+  // corner line toward the sender.
+  const int dir = lbm::direction_index(Int3{-off.x, -off.y, -off.z});
+  GC_CHECK(dir >= 0);
+  int free_axis = -1;
+  for (int a = 0; a < 3; ++a) {
+    if (off[a] == 0) free_axis = a;
+  }
+  GC_CHECK(free_axis >= 0);
+
+  Int3 p;
+  for (int a = 0; a < 3; ++a) {
+    if (a == free_axis) continue;
+    p[a] = off[a] > 0 ? ld.own_hi()[a] : ld.own_lo()[a] - 1;
+  }
+  std::size_t k = 0;
+  for (int c = ld.own_lo()[free_axis]; c < ld.own_hi()[free_axis]; ++c) {
+    p[free_axis] = c;
+    local.set_f(dir, local.idx(p), data[k++]);
+  }
+}
+
+}  // namespace gc::core

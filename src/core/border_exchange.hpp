@@ -1,0 +1,69 @@
+// Packing/unpacking of the distributions that cross sub-domain borders
+// (Section 4.3): a node sends the 5 outgoing distributions of each border
+// cell to the axial neighbor behind that face (5N^2 values for an N^3
+// block), and a single distribution per cell of each border edge line to
+// the diagonal (second-nearest) neighbor (N values) — the latter routed
+// indirectly in two axial hops.
+#pragma once
+
+#include "core/decomposition.hpp"
+#include "lbm/lattice.hpp"
+#include "lbm/thermal.hpp"
+#include "netsim/mpilite.hpp"
+
+namespace gc::core {
+
+/// Geometry of one node's local lattice: the owned global block plus a
+/// one-cell ghost ("proxy point", Figure 14) layer on every side that has
+/// a neighbor.
+struct LocalDomain {
+  SubDomain global;
+  Int3 ghost_lo{};  ///< 1 where a lower neighbor exists, else 0
+  Int3 ghost_hi{};
+
+  Int3 local_dim() const { return global.size() + ghost_lo + ghost_hi; }
+  /// Local coordinates of the owned region (half-open box).
+  Int3 own_lo() const { return ghost_lo; }
+  Int3 own_hi() const { return ghost_lo + global.size(); }
+  /// Global -> local coordinate shift.
+  Int3 to_local(Int3 g) const { return g - global.lo + ghost_lo; }
+
+  static LocalDomain make(const Decomposition3& decomp, int node);
+};
+
+/// Packs the 5 outgoing post-collision distributions of every owned border
+/// cell at `face` (ordering: outer tangent axis, inner tangent axis, then
+/// the 5 directions of outgoing_directions(face)).
+netsim::Payload pack_face(const lbm::Lattice& local, const LocalDomain& ld,
+                          int face);
+
+/// Writes a payload received from the axial neighbor across `face` into
+/// the ghost layer beyond that face.
+void unpack_face(lbm::Lattice& local, const LocalDomain& ld, int face,
+                 const netsim::Payload& data);
+
+/// Packs the single diagonal distribution of the border edge line facing
+/// the neighbor at grid offset `off` (exactly two nonzero components).
+netsim::Payload pack_edge(const lbm::Lattice& local, const LocalDomain& ld,
+                          Int3 off);
+
+/// Writes an edge payload received from the diagonal neighbor at grid
+/// offset `off` into the ghost corner line toward that neighbor.
+void unpack_edge(lbm::Lattice& local, const LocalDomain& ld, Int3 off,
+                 const netsim::Payload& data);
+
+/// Expected payload sizes (cells, not bytes) for validation.
+i64 face_payload_size(const LocalDomain& ld, int face);
+i64 edge_payload_size(const LocalDomain& ld, Int3 off);
+
+/// Scalar-field (temperature) border exchange for the hybrid thermal
+/// model: one value per owned border cell of `face` / per ghost cell
+/// beyond it. The 7-point FD stencil needs axial faces only.
+netsim::Payload pack_face_scalar(const lbm::ThermalField& field,
+                                 const lbm::Lattice& local,
+                                 const LocalDomain& ld, int face);
+void unpack_face_scalar(lbm::ThermalField& field, const lbm::Lattice& local,
+                        const LocalDomain& ld, int face,
+                        const netsim::Payload& data);
+
+}  // namespace gc::core

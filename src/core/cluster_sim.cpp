@@ -1,0 +1,141 @@
+#include "core/cluster_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gpusim/bus.hpp"
+
+namespace gc::core {
+
+std::vector<std::vector<i64>> ClusterSimulator::traffic_bytes(
+    const Decomposition3& decomp, const netsim::CommSchedule& sched,
+    bool indirect_diagonals) {
+  const auto rb = static_cast<i64>(sizeof(Real));
+  std::vector<std::vector<i64>> bytes(sched.steps.size());
+  const netsim::NodeGrid& grid = sched.grid;
+
+  for (std::size_t k = 0; k < sched.steps.size(); ++k) {
+    const auto& step = sched.steps[k];
+    bytes[k].assign(step.size(), 0);
+    for (std::size_t pi = 0; pi < step.size(); ++pi) {
+      const netsim::ExchangePair& p = step[pi];
+      const Int3 off = grid.coords(p.b) - grid.coords(p.a);
+      int face = -1;
+      for (int a = 0; a < 3; ++a) {
+        if (off[a] != 0) face = 2 * a + (off[a] > 0 ? 1 : 0);
+      }
+      bytes[k][pi] += decomp.face_area(p.a, face) * 5 * rb;
+    }
+  }
+
+  if (indirect_diagonals) {
+    for (const netsim::IndirectRoute& r : netsim::plan_indirect_routes(sched)) {
+      const Int3 off = grid.coords(r.dst) - grid.coords(r.src);
+      int free_axis = 0;
+      for (int a = 0; a < 3; ++a) {
+        if (off[a] == 0) free_axis = a;
+      }
+      const i64 sz = decomp.block(r.src).size()[free_axis] * rb;
+      auto add = [&](int step, int na, int nb) {
+        const auto want = std::minmax(na, nb);
+        auto& pairs = sched.steps[static_cast<std::size_t>(step)];
+        for (std::size_t pi = 0; pi < pairs.size(); ++pi) {
+          if (std::minmax(pairs[pi].a, pairs[pi].b) == want) {
+            bytes[static_cast<std::size_t>(step)][pi] += sz;
+            return;
+          }
+        }
+      };
+      add(r.first_step, r.src, r.via);
+      add(r.second_step, r.via, r.dst);
+    }
+  }
+  return bytes;
+}
+
+StepBreakdown ClusterSimulator::simulate_step(const ClusterScenario& sc) const {
+  const Decomposition3 decomp(sc.lattice, sc.grid);
+  const int n = sc.grid.num_nodes();
+
+  // Critical path: the busiest node (largest block, most neighbors).
+  i64 cells = 0;
+  int degree = 0;
+  int busiest = 0;
+  for (int node = 0; node < n; ++node) {
+    const i64 c = decomp.block(node).num_cells();
+    const int d = static_cast<int>(decomp.axial_neighbors(node).size());
+    if (c > cells || (c == cells && d > degree)) {
+      cells = c;
+      degree = d;
+      busiest = node;
+    }
+  }
+
+  StepBreakdown out;
+  out.nodes = n;
+
+  const double log2n = n > 1 ? std::log2(static_cast<double>(n)) : 0.0;
+  out.cpu_total_ms = sc.node.cpu_ns_per_cell * static_cast<double>(cells) *
+                     (1.0 + sc.node.cpu_jitter_coef * log2n) * 1e-6;
+
+  out.gpu_compute_ms =
+      sc.node.gpu_ns_per_cell * static_cast<double>(cells) * 1e-6 +
+      sc.node.gather_pass_s * degree * 1e3;
+  out.overlap_window_ms = sc.node.gpu_ns_per_cell *
+                          static_cast<double>(cells) *
+                          sc.node.overlap_fraction * 1e-6;
+
+  // GPU<->CPU bus traffic: one gathered read-back and one write-back per
+  // neighbor face of the busiest node.
+  gpusim::Bus bus(sc.node.bus);
+  double comm_s = 0.0;
+  for (const auto& [face, nb] : decomp.axial_neighbors(busiest)) {
+    (void)nb;
+    const i64 face_bytes =
+        decomp.face_area(busiest, face) * 5 * static_cast<i64>(sizeof(Real));
+    comm_s += bus.upload_cost(face_bytes) + bus.download_cost(face_bytes);
+  }
+  out.gpu_cpu_comm_ms = comm_s * 1e3;
+
+  // Network exchange.
+  if (n > 1) {
+    const netsim::CommSchedule sched = netsim::CommSchedule::pairwise(sc.grid);
+    const netsim::SwitchModel sw(sc.net);
+    const bool barrier = sc.barrier.value_or(netsim::NetSpec::auto_barrier(n));
+    const auto bytes = traffic_bytes(decomp, sched, sc.indirect_diagonals);
+    out.net_total_ms = sw.scheduled_seconds(sched, bytes, barrier).total_s * 1e3;
+
+    if (!sc.indirect_diagonals) {
+      // Ablation: direct second-nearest-neighbor messages, unscheduled.
+      std::vector<netsim::Message> diag;
+      for (int node = 0; node < n; ++node) {
+        for (int a = 0; a < 3; ++a) {
+          for (int b = a + 1; b < 3; ++b) {
+            for (int sa = -1; sa <= 1; sa += 2) {
+              for (int sb = -1; sb <= 1; sb += 2) {
+                Int3 off{0, 0, 0};
+                off[a] = sa;
+                off[b] = sb;
+                const int nb2 = decomp.neighbor(node, off);
+                if (nb2 < 0) continue;
+                int free_axis = 3 - a - b;
+                const i64 sz = decomp.block(node).size()[free_axis] *
+                               static_cast<i64>(sizeof(Real));
+                diag.push_back(netsim::Message{node, nb2, sz});
+              }
+            }
+          }
+        }
+      }
+      out.net_total_ms += sw.direct_exchange_seconds(diag, n) * 1e3;
+    }
+  }
+
+  out.net_nonoverlap_ms =
+      std::max(0.0, out.net_total_ms - out.overlap_window_ms);
+  out.gpu_total_ms =
+      out.gpu_compute_ms + out.gpu_cpu_comm_ms + out.net_nonoverlap_ms;
+  return out;
+}
+
+}  // namespace gc::core

@@ -1,0 +1,40 @@
+#include "core/cost_model.hpp"
+
+namespace gc::core {
+
+NodePerfProfile NodePerfProfile::paper_node() {
+  NodePerfProfile p;
+  p.name = "Xeon 2.4GHz + GeForce FX 5800 Ultra (AGP 8x)";
+  p.cpu_ns_per_cell = 1420e6 / (80.0 * 80.0 * 80.0);  // 2773 ns
+  p.cpu_jitter_coef = 0.0028;                         // 1420 -> 1440 ms
+  p.gpu_ns_per_cell = 214e6 / (80.0 * 80.0 * 80.0);   // 418 ns
+  p.overlap_fraction = 120.0 / 214.0;
+  p.gather_pass_s = 5.0e-3;
+  p.bus = gpusim::BusSpec::agp8x();
+  return p;
+}
+
+NodePerfProfile NodePerfProfile::pcie_node() {
+  NodePerfProfile p = paper_node();
+  p.name = "Xeon 2.4GHz + GeForce FX 5800 Ultra (PCI-Express x16)";
+  p.bus = gpusim::BusSpec::pcie_x16();
+  return p;
+}
+
+NodePerfProfile NodePerfProfile::gf6800_node() {
+  NodePerfProfile p = paper_node();
+  p.name = "Xeon 2.4GHz + GeForce 6800 Ultra (PCI-Express x16)";
+  p.gpu_ns_per_cell /= 2.5;  // "already at least 2.5 times faster"
+  p.gather_pass_s /= 2.5;
+  p.bus = gpusim::BusSpec::pcie_x16();
+  return p;
+}
+
+NodePerfProfile NodePerfProfile::sse_cpu_node() {
+  NodePerfProfile p = paper_node();
+  p.name = "Xeon 2.4GHz with SSE + GeForce FX 5800 Ultra (AGP 8x)";
+  p.cpu_ns_per_cell /= 2.5;  // "supposed to be about 2 to 3 times faster"
+  return p;
+}
+
+}  // namespace gc::core

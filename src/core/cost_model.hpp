@@ -1,0 +1,37 @@
+// Calibrated per-node performance profiles (Section 3/4.4). The constants
+// derive from the paper's own measurements: a Xeon 2.4 GHz thread steps an
+// 80^3 D3Q19 block in ~1420 ms (2.77 us/cell); the FX 5800 Ultra does it
+// in 214 ms (418 ns/cell), of which ~120 ms is inner-cell collision that
+// can overlap network communication; AGP read-back setup (~10 ms)
+// dominates the per-neighbor GPU->CPU transfer.
+#pragma once
+
+#include <string>
+
+#include "gpusim/bus.hpp"
+
+namespace gc::core {
+
+struct NodePerfProfile {
+  std::string name;
+  double cpu_ns_per_cell;   ///< one CPU thread, full LBM step
+  double cpu_jitter_coef;   ///< cpu time *= 1 + coef * log2(nodes)
+  double gpu_ns_per_cell;   ///< full GPU step (collision+streaming+BC)
+  double overlap_fraction;  ///< fraction of the GPU step (inner-cell
+                            ///< collision) overlappable with network I/O
+  double gather_pass_s;     ///< on-GPU border-gather passes per neighbor
+                            ///< (accounted as GPU compute, Section 4.3)
+  gpusim::BusSpec bus;
+
+  /// The paper's node: dual Xeon 2.4 GHz (one thread used) + GeForce FX
+  /// 5800 Ultra on AGP 8x.
+  static NodePerfProfile paper_node();
+  /// Section 4.4 enhancement (2): PCI-Express bus.
+  static NodePerfProfile pcie_node();
+  /// Section 4.4: GeForce 6800 Ultra (">= 2.5x faster").
+  static NodePerfProfile gf6800_node();
+  /// Section 4.4: CPU with SSE ("about 2 to 3 times faster").
+  static NodePerfProfile sse_cpu_node();
+};
+
+}  // namespace gc::core

@@ -1,0 +1,104 @@
+#include "core/decomposition.hpp"
+
+#include <algorithm>
+
+namespace gc::core {
+
+namespace {
+/// Start of block k when splitting `extent` into `parts` near-equal pieces.
+int split_start(int extent, int parts, int k) {
+  const int base = extent / parts;
+  const int rem = extent % parts;
+  return k * base + std::min(k, rem);
+}
+}  // namespace
+
+Decomposition3::Decomposition3(Int3 lattice_dim, netsim::NodeGrid grid)
+    : dim_(lattice_dim), grid_(grid) {
+  GC_CHECK_MSG(dim_.x >= grid.dims.x && dim_.y >= grid.dims.y &&
+                   dim_.z >= grid.dims.z,
+               "lattice " << dim_ << " too small for node grid " << grid.dims);
+  const int n = grid.num_nodes();
+  blocks_.resize(static_cast<std::size_t>(n));
+  for (int node = 0; node < n; ++node) {
+    const Int3 c = grid.coords(node);
+    SubDomain b;
+    b.node = node;
+    for (int a = 0; a < 3; ++a) {
+      b.lo[a] = split_start(dim_[a], grid.dims[a], c[a]);
+      b.hi[a] = split_start(dim_[a], grid.dims[a], c[a] + 1);
+    }
+    blocks_[static_cast<std::size_t>(node)] = b;
+  }
+}
+
+const SubDomain& Decomposition3::block(int node) const {
+  GC_CHECK(node >= 0 && node < num_nodes());
+  return blocks_[static_cast<std::size_t>(node)];
+}
+
+int Decomposition3::neighbor(int node, Int3 off) const {
+  const Int3 c = grid_.coords(node) + off;
+  if (!grid_.contains(c)) return -1;
+  return grid_.id(c);
+}
+
+std::vector<std::pair<int, int>> Decomposition3::axial_neighbors(
+    int node) const {
+  std::vector<std::pair<int, int>> out;
+  for (int face = 0; face < 6; ++face) {
+    Int3 off{0, 0, 0};
+    off[face / 2] = (face % 2 == 0) ? -1 : +1;
+    const int nb = neighbor(node, off);
+    if (nb >= 0) out.emplace_back(face, nb);
+  }
+  return out;
+}
+
+i64 Decomposition3::face_area(int node, int face) const {
+  Int3 off{0, 0, 0};
+  const int axis = face / 2;
+  off[axis] = (face % 2 == 0) ? -1 : +1;
+  if (neighbor(node, off) < 0) return 0;
+  const Int3 s = block(node).size();
+  switch (axis) {
+    case 0: return i64(s.y) * s.z;
+    case 1: return i64(s.x) * s.z;
+    default: return i64(s.x) * s.y;
+  }
+}
+
+bool Decomposition3::tiles_domain() const {
+  std::vector<u8> hit(static_cast<std::size_t>(dim_.volume()), 0);
+  for (const SubDomain& b : blocks_) {
+    if (b.lo.x < 0 || b.lo.y < 0 || b.lo.z < 0 || b.hi.x > dim_.x ||
+        b.hi.y > dim_.y || b.hi.z > dim_.z) {
+      return false;
+    }
+    if (b.num_cells() <= 0) return false;
+    for (int z = b.lo.z; z < b.hi.z; ++z) {
+      for (int y = b.lo.y; y < b.hi.y; ++y) {
+        for (int x = b.lo.x; x < b.hi.x; ++x) {
+          auto& h = hit[static_cast<std::size_t>(
+              x + i64(dim_.x) * (y + i64(dim_.y) * z))];
+          if (h) return false;
+          h = 1;
+        }
+      }
+    }
+  }
+  return std::all_of(hit.begin(), hit.end(), [](u8 v) { return v == 1; });
+}
+
+i64 Decomposition3::max_face_bytes() const {
+  i64 best = 0;
+  for (const SubDomain& b : blocks_) {
+    for (int face = 0; face < 6; ++face) {
+      best = std::max(best, face_area(b.node, face) * 5 *
+                                static_cast<i64>(sizeof(Real)));
+    }
+  }
+  return best;
+}
+
+}  // namespace gc::core

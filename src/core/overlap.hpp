@@ -1,0 +1,38 @@
+// Event-level model of the overlapped step pipeline (Section 4.3): the
+// GPU gathers and reads back its borders, the network exchange proceeds
+// while the GPU computes the inner-cell collision (the ~120 ms window),
+// ghost data is written back, and the remaining GPU work (border
+// collision, streaming, boundary evaluation) finishes the step. Produces
+// a task timeline (Gantt) and the step makespan; cross-validated against
+// ClusterSimulator's closed-form breakdown.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/cluster_sim.hpp"
+
+namespace gc::core {
+
+struct TimelineTask {
+  std::string name;
+  double start_ms = 0;
+  double end_ms = 0;
+  double duration_ms() const { return end_ms - start_ms; }
+};
+
+struct OverlapTimeline {
+  std::vector<TimelineTask> tasks;
+  double makespan_ms = 0;
+  /// Network time hidden under the inner-collision window.
+  double network_hidden_ms = 0;
+
+  const TimelineTask* find(const std::string& name) const;
+  /// ASCII Gantt rendering for the benches.
+  std::string gantt(int width = 60) const;
+};
+
+/// Simulates one overlapped step for the busiest node of the scenario.
+OverlapTimeline simulate_overlapped_step(const ClusterScenario& sc);
+
+}  // namespace gc::core

@@ -1,0 +1,350 @@
+#include "core/parallel_lbm.hpp"
+
+#include <algorithm>
+
+#include "lbm/mrt.hpp"
+#include "lbm/stream.hpp"
+
+namespace gc::core {
+
+using lbm::CellType;
+using lbm::FaceBc;
+using netsim::Comm;
+using netsim::Payload;
+
+namespace {
+constexpr int TAG_FACE = 1;
+constexpr int TAG_HOP1_BASE = 1000;  // + ultimate destination node
+constexpr int TAG_HOP2_BASE = 2000;  // + origin node
+constexpr int TAG_DIRECT_BASE = 3000;  // + sender node (direct-diag mode)
+constexpr int TAG_TEMP = 4000;        // thermal ghost exchange
+}  // namespace
+
+ParallelLbm::ParallelLbm(const lbm::Lattice& global, ParallelConfig cfg)
+    : cfg_(cfg),
+      decomp_(global.dim(), cfg.grid),
+      sched_(netsim::CommSchedule::pairwise(cfg.grid)),
+      world_(cfg.grid.num_nodes()) {
+  GC_CHECK_MSG(global.curved_links().empty(),
+               "the distributed solver supports flag-based boundaries only");
+  for (int a = 0; a < 3; ++a) {
+    if (cfg.grid.dims[a] > 1) {
+      GC_CHECK_MSG(
+          global.face_bc(static_cast<lbm::Face>(2 * a)) != FaceBc::Periodic &&
+              global.face_bc(static_cast<lbm::Face>(2 * a + 1)) !=
+                  FaceBc::Periodic,
+          "axis " << a << " is decomposed across nodes and cannot be periodic");
+    }
+  }
+  if (cfg_.indirect_diagonals) {
+    routes_ = netsim::plan_indirect_routes(sched_);
+  }
+  if (cfg_.thermal) {
+    GC_CHECK_MSG(cfg_.collision == lbm::CollisionKind::MRT,
+                 "the hybrid thermal model couples to the MRT collision");
+    GC_CHECK_MSG(cfg_.grid.dims.z == 1 || !cfg_.thermal->dirichlet_z,
+                 "Dirichlet plates need an undecomposed z axis");
+  }
+
+  const int n = decomp_.num_nodes();
+  domains_.reserve(static_cast<std::size_t>(n));
+  locals_.reserve(static_cast<std::size_t>(n));
+  forward_store_.resize(static_cast<std::size_t>(n));
+
+  for (int node = 0; node < n; ++node) {
+    const LocalDomain ld = LocalDomain::make(decomp_, node);
+    domains_.push_back(ld);
+    auto lat = std::make_unique<lbm::Lattice>(ld.local_dim());
+
+    // Face boundary conditions: global faces keep the global BC; faces
+    // toward neighbors are covered by the ghost layer and never consulted
+    // by owned-cell pulls (Outflow keeps ghost streaming cheap and local).
+    for (int face = 0; face < 6; ++face) {
+      const int axis = face / 2;
+      const bool has_neighbor =
+          (face % 2 == 0) ? ld.ghost_lo[axis] == 1 : ld.ghost_hi[axis] == 1;
+      lat->set_face_bc(static_cast<lbm::Face>(face),
+                       has_neighbor
+                           ? FaceBc::Outflow
+                           : global.face_bc(static_cast<lbm::Face>(face)));
+    }
+    lat->set_inlet(global.inlet_density(), global.inlet_velocity());
+    if (global.has_inlet_profile()) {
+      // Local coordinates shift by the block origin minus the ghost rim.
+      // The profile is copied by value: the global lattice need not
+      // outlive this solver.
+      const Int3 shift = ld.global.lo - ld.ghost_lo;
+      lat->set_inlet_profile(
+          [profile = global.inlet_profile(), shift](Int3 local) {
+            return profile(local + shift);
+          });
+    }
+
+    // Copy flags and distributions for every local cell (ghosts included:
+    // ghost flags persist; ghost f is refreshed by each step's exchange).
+    const Int3 dl = ld.local_dim();
+    for (int z = 0; z < dl.z; ++z) {
+      for (int y = 0; y < dl.y; ++y) {
+        for (int x = 0; x < dl.x; ++x) {
+          const Int3 g = Int3{x, y, z} + ld.global.lo - ld.ghost_lo;
+          GC_CHECK(global.in_bounds(g));
+          const i64 lc = lat->idx(x, y, z);
+          const i64 gcell = global.idx(g);
+          lat->set_flag(lc, global.flag(gcell));
+          for (int i = 0; i < lbm::Q; ++i) {
+            lat->set_f(i, lc, global.f(i, gcell));
+          }
+        }
+      }
+    }
+    if (cfg_.thermal) {
+      auto field = std::make_unique<lbm::ThermalField>(ld.local_dim(),
+                                                       *cfg_.thermal);
+      if (cfg_.initial_temperature) {
+        GC_CHECK(static_cast<i64>(cfg_.initial_temperature->size()) ==
+                 global.num_cells());
+        for (int z = 0; z < dl.z; ++z) {
+          for (int y = 0; y < dl.y; ++y) {
+            for (int x = 0; x < dl.x; ++x) {
+              const Int3 g = Int3{x, y, z} + ld.global.lo - ld.ghost_lo;
+              field->set_t(lat->idx(x, y, z),
+                           (*cfg_.initial_temperature)[static_cast<
+                               std::size_t>(global.idx(g))]);
+            }
+          }
+        }
+      }
+      thermals_.push_back(std::move(field));
+      scratch_u_.emplace_back(
+          static_cast<std::size_t>(ld.local_dim().volume()));
+      scratch_force_.emplace_back();
+    }
+    locals_.push_back(std::move(lat));
+  }
+}
+
+void ParallelLbm::node_step(Comm& comm, int node) {
+  lbm::Lattice& lat = *locals_[static_cast<std::size_t>(node)];
+  const LocalDomain& ld = domains_[static_cast<std::size_t>(node)];
+  const netsim::NodeGrid& grid = cfg_.grid;
+  const Int3 myc = grid.coords(node);
+
+  if (cfg_.thermal) {
+    // Hybrid thermal step, matching lbm::Solver::step's ordering exactly:
+    // (1) refresh the temperature ghosts with the neighbors' end-of-step
+    // values, (2) FD temperature update using the pre-collision velocity,
+    // (3) MRT collision, (4) Boussinesq force on owned cells.
+    lbm::ThermalField& T = *thermals_[static_cast<std::size_t>(node)];
+    for (int k = 0; k < sched_.num_steps(); ++k) {
+      int partner = -1;
+      for (const netsim::ExchangePair& p :
+           sched_.steps[static_cast<std::size_t>(k)]) {
+        if (p.a == node) partner = p.b;
+        if (p.b == node) partner = p.a;
+      }
+      if (partner < 0) continue;
+      const Int3 off = grid.coords(partner) - myc;
+      int face = -1;
+      for (int a = 0; a < 3; ++a) {
+        if (off[a] != 0) face = 2 * a + (off[a] > 0 ? 1 : 0);
+      }
+      comm.send(partner, TAG_TEMP, pack_face_scalar(T, lat, ld, face));
+      unpack_face_scalar(T, lat, ld, face, comm.recv(partner, TAG_TEMP));
+    }
+    auto& u = scratch_u_[static_cast<std::size_t>(node)];
+    lbm::compute_velocity_region(lat, u, ld.own_lo(), ld.own_hi());
+    T.step(lat, u);
+    lbm::collide_mrt_region(lat, lbm::MrtParams::standard(cfg_.tau),
+                            ld.own_lo(), ld.own_hi());
+    auto& force = scratch_force_[static_cast<std::size_t>(node)];
+    T.buoyancy_force(lat, force);
+    lbm::apply_force_first_order_region(lat, force, ld.own_lo(),
+                                        ld.own_hi());
+  } else if (cfg_.collision == lbm::CollisionKind::MRT) {
+    lbm::collide_mrt_region(lat, lbm::MrtParams::standard(cfg_.tau),
+                            ld.own_lo(), ld.own_hi());
+  } else {
+    lbm::collide_bgk_region(lat, lbm::BgkParams{cfg_.tau, Vec3{}},
+                            ld.own_lo(), ld.own_hi());
+  }
+
+  auto& store = forward_store_[static_cast<std::size_t>(node)];
+
+  for (int k = 0; k < sched_.num_steps(); ++k) {
+    // My partner in this step, if any.
+    int partner = -1;
+    for (const netsim::ExchangePair& p :
+         sched_.steps[static_cast<std::size_t>(k)]) {
+      if (p.a == node) partner = p.b;
+      if (p.b == node) partner = p.a;
+    }
+    int face = -1;
+    if (partner >= 0) {
+      const Int3 off = grid.coords(partner) - myc;
+      for (int a = 0; a < 3; ++a) {
+        if (off[a] != 0) face = 2 * a + (off[a] > 0 ? 1 : 0);
+      }
+      comm.send(partner, TAG_FACE, pack_face(lat, ld, face));
+    }
+
+    if (cfg_.indirect_diagonals) {
+      for (const netsim::IndirectRoute& r : routes_) {
+        if (r.src == node && r.first_step == k) {
+          const Int3 off = grid.coords(r.dst) - myc;
+          comm.send(r.via, TAG_HOP1_BASE + r.dst, pack_edge(lat, ld, off));
+        }
+        if (r.via == node && r.second_step == k) {
+          auto it = store.find({r.src, r.dst});
+          GC_CHECK_MSG(it != store.end(),
+                       "missing forwarded chunk " << r.src << "->" << r.dst);
+          comm.send(r.dst, TAG_HOP2_BASE + r.src, std::move(it->second));
+          store.erase(it);
+        }
+      }
+    }
+
+    if (partner >= 0) {
+      unpack_face(lat, ld, face, comm.recv(partner, TAG_FACE));
+    }
+    if (cfg_.indirect_diagonals) {
+      for (const netsim::IndirectRoute& r : routes_) {
+        if (r.via == node && r.first_step == k) {
+          store[{r.src, r.dst}] = comm.recv(r.src, TAG_HOP1_BASE + r.dst);
+        }
+        if (r.dst == node && r.second_step == k) {
+          const Int3 off = grid.coords(r.src) - myc;
+          unpack_edge(lat, ld, off, comm.recv(r.via, TAG_HOP2_BASE + r.src));
+        }
+      }
+    }
+  }
+
+  if (!cfg_.indirect_diagonals) {
+    // Ablation mode: direct exchange with all diagonal neighbors.
+    for (int a = 0; a < 3; ++a) {
+      for (int b = a + 1; b < 3; ++b) {
+        for (int sa = -1; sa <= 1; sa += 2) {
+          for (int sb = -1; sb <= 1; sb += 2) {
+            Int3 off{0, 0, 0};
+            off[a] = sa;
+            off[b] = sb;
+            const int nb = decomp_.neighbor(node, off);
+            if (nb < 0) continue;
+            comm.send(nb, TAG_DIRECT_BASE + node, pack_edge(lat, ld, off));
+          }
+        }
+      }
+    }
+    for (int a = 0; a < 3; ++a) {
+      for (int b = a + 1; b < 3; ++b) {
+        for (int sa = -1; sa <= 1; sa += 2) {
+          for (int sb = -1; sb <= 1; sb += 2) {
+            Int3 off{0, 0, 0};
+            off[a] = sa;
+            off[b] = sb;
+            const int nb = decomp_.neighbor(node, off);
+            if (nb < 0) continue;
+            unpack_edge(lat, ld, off, comm.recv(nb, TAG_DIRECT_BASE + nb));
+          }
+        }
+      }
+    }
+  }
+
+  lbm::stream(lat);
+}
+
+void ParallelLbm::run(int steps) {
+  world_.run([this, steps](Comm& comm) {
+    for (int s = 0; s < steps; ++s) node_step(comm, comm.rank());
+  });
+}
+
+void ParallelLbm::gather(lbm::Lattice& out) const {
+  GC_CHECK(out.dim() == decomp_.lattice_dim());
+  for (int node = 0; node < decomp_.num_nodes(); ++node) {
+    const LocalDomain& ld = domains_[static_cast<std::size_t>(node)];
+    const lbm::Lattice& lat = *locals_[static_cast<std::size_t>(node)];
+    const SubDomain& b = ld.global;
+    for (int z = b.lo.z; z < b.hi.z; ++z) {
+      for (int y = b.lo.y; y < b.hi.y; ++y) {
+        for (int x = b.lo.x; x < b.hi.x; ++x) {
+          const Int3 l = ld.to_local(Int3{x, y, z});
+          const i64 lc = lat.idx(l);
+          const i64 gcell = out.idx(x, y, z);
+          for (int i = 0; i < lbm::Q; ++i) {
+            out.set_f(i, gcell, lat.f(i, lc));
+          }
+        }
+      }
+    }
+  }
+}
+
+void ParallelLbm::gather_temperature(std::vector<Real>& out) const {
+  GC_CHECK_MSG(!thermals_.empty(), "no thermal field in this run");
+  out.assign(static_cast<std::size_t>(decomp_.lattice_dim().volume()),
+             Real(0));
+  for (int node = 0; node < decomp_.num_nodes(); ++node) {
+    const LocalDomain& ld = domains_[static_cast<std::size_t>(node)];
+    const lbm::Lattice& lat = *locals_[static_cast<std::size_t>(node)];
+    const lbm::ThermalField& T = *thermals_[static_cast<std::size_t>(node)];
+    const SubDomain& b = ld.global;
+    const Int3 d = decomp_.lattice_dim();
+    for (int z = b.lo.z; z < b.hi.z; ++z) {
+      for (int y = b.lo.y; y < b.hi.y; ++y) {
+        for (int x = b.lo.x; x < b.hi.x; ++x) {
+          out[static_cast<std::size_t>(x + i64(d.x) * (y + i64(d.y) * z))] =
+              T.t(lat.idx(ld.to_local(Int3{x, y, z})));
+        }
+      }
+    }
+  }
+}
+
+std::vector<std::vector<i64>> ParallelLbm::traffic_bytes_per_step() const {
+  std::vector<std::vector<i64>> bytes(sched_.steps.size());
+  const auto real_bytes = static_cast<i64>(sizeof(Real));
+
+  for (std::size_t k = 0; k < sched_.steps.size(); ++k) {
+    const auto& step = sched_.steps[k];
+    bytes[k].assign(step.size(), 0);
+    for (std::size_t pi = 0; pi < step.size(); ++pi) {
+      const netsim::ExchangePair& p = step[pi];
+      // Face payload (one direction; the exchange is symmetric).
+      const Int3 off =
+          cfg_.grid.coords(p.b) - cfg_.grid.coords(p.a);
+      int face = -1;
+      for (int a = 0; a < 3; ++a) {
+        if (off[a] != 0) face = 2 * a + (off[a] > 0 ? 1 : 0);
+      }
+      bytes[k][pi] +=
+          face_payload_size(domains_[static_cast<std::size_t>(p.a)], face) *
+          real_bytes;
+    }
+  }
+
+  // Piggybacked diagonal chunks ride the scheduled pair messages.
+  for (const netsim::IndirectRoute& r : routes_) {
+    auto add = [&](int step, int na, int nb, i64 sz) {
+      const auto want = std::minmax(na, nb);
+      const auto& pairs = sched_.steps[static_cast<std::size_t>(step)];
+      for (std::size_t pi = 0; pi < pairs.size(); ++pi) {
+        if (std::minmax(pairs[pi].a, pairs[pi].b) == want) {
+          bytes[static_cast<std::size_t>(step)][pi] += sz;
+          return;
+        }
+      }
+      GC_CHECK_MSG(false, "route hop not found in schedule");
+    };
+    const Int3 off = cfg_.grid.coords(r.dst) - cfg_.grid.coords(r.src);
+    const i64 sz =
+        edge_payload_size(domains_[static_cast<std::size_t>(r.src)], off) *
+        real_bytes;
+    add(r.first_step, r.src, r.via, sz);
+    add(r.second_step, r.via, r.dst, sz);
+  }
+  return bytes;
+}
+
+}  // namespace gc::core

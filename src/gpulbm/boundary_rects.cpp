@@ -1,0 +1,94 @@
+#include "gpulbm/boundary_rects.hpp"
+
+namespace gc::gpulbm {
+
+using lbm::C;
+using lbm::CellType;
+
+bool is_boundary_cell(const lbm::Lattice& lat, Int3 p) {
+  if (lat.flag(p) == CellType::Solid) return true;
+  for (int i = 1; i < lbm::Q; ++i) {
+    const Int3 q = p + C[i];
+    if (lat.in_bounds(q) && lat.flag(q) == CellType::Solid) return true;
+  }
+  return false;
+}
+
+std::vector<gpusim::Rect> boundary_rectangles(const lbm::Lattice& lat,
+                                              int z) {
+  const Int3 d = lat.dim();
+  GC_CHECK(z >= 0 && z < d.z);
+
+  // Row runs of boundary cells, then merge identical spans vertically.
+  struct OpenRect {
+    int x0, x1, y0;
+  };
+  std::vector<gpusim::Rect> done;
+  std::vector<OpenRect> open;
+
+  for (int y = 0; y < d.y; ++y) {
+    // Runs in this row.
+    std::vector<std::pair<int, int>> runs;
+    int x = 0;
+    while (x < d.x) {
+      if (!is_boundary_cell(lat, Int3{x, y, z})) {
+        ++x;
+        continue;
+      }
+      const int start = x;
+      while (x < d.x && is_boundary_cell(lat, Int3{x, y, z})) ++x;
+      runs.emplace_back(start, x);
+    }
+
+    // Merge with open rectangles of identical span; close the others.
+    std::vector<OpenRect> next_open;
+    for (const auto& [x0, x1] : runs) {
+      bool extended = false;
+      for (const OpenRect& o : open) {
+        if (o.x0 == x0 && o.x1 == x1) {
+          next_open.push_back(o);
+          extended = true;
+          break;
+        }
+      }
+      if (!extended) next_open.push_back(OpenRect{x0, x1, y});
+    }
+    for (const OpenRect& o : open) {
+      bool continued = false;
+      for (const auto& [x0, x1] : runs) {
+        if (o.x0 == x0 && o.x1 == x1) {
+          continued = true;
+          break;
+        }
+      }
+      if (!continued) {
+        done.push_back(gpusim::Rect{o.x0, o.y0, o.x1, y});
+      }
+    }
+    open = std::move(next_open);
+  }
+  for (const OpenRect& o : open) {
+    done.push_back(gpusim::Rect{o.x0, o.y0, o.x1, d.y});
+  }
+  return done;
+}
+
+BoundaryCoverage analyze_boundary_coverage(const lbm::Lattice& lat) {
+  BoundaryCoverage cov;
+  const Int3 d = lat.dim();
+  for (int z = 0; z < d.z; ++z) {
+    const auto rects = boundary_rectangles(lat, z);
+    cov.rect_count += static_cast<i64>(rects.size());
+    for (const gpusim::Rect& r : rects) cov.covered_cells += r.num_fragments();
+    for (int y = 0; y < d.y; ++y) {
+      for (int x = 0; x < d.x; ++x) {
+        if (is_boundary_cell(lat, Int3{x, y, z})) ++cov.boundary_cells;
+      }
+    }
+  }
+  cov.rect_bytes = cov.covered_cells * kBoundaryInfoBytesPerCell;
+  cov.full_bytes = lat.num_cells() * kBoundaryInfoBytesPerCell;
+  return cov;
+}
+
+}  // namespace gc::gpulbm

@@ -1,0 +1,47 @@
+// The boundary-rectangle optimization of Section 4.2: "since most links
+// do not intersect the boundary surface, we do not store boundary
+// information for the whole lattice. Instead, we cover the boundary
+// regions of each Z slice using multiple small rectangles" — boundary
+// link data then only occupies texture memory inside those rectangles,
+// and boundary-condition passes render only those rects.
+#pragma once
+
+#include <vector>
+
+#include "gpusim/device.hpp"
+#include "lbm/lattice.hpp"
+
+namespace gc::gpulbm {
+
+/// True for cells that carry boundary information: solid cells and fluid
+/// cells with at least one solid neighbor (their links cross the surface).
+bool is_boundary_cell(const lbm::Lattice& lat, Int3 p);
+
+/// Greedy rectangle cover of slice z's boundary cells: maximal row runs,
+/// merged vertically when consecutive rows repeat the same span. The
+/// rectangles are disjoint and cover exactly the boundary cells... plus
+/// nothing else within each run (runs are exact; vertical merging only
+/// joins identical spans).
+std::vector<gpusim::Rect> boundary_rectangles(const lbm::Lattice& lat, int z);
+
+struct BoundaryCoverage {
+  i64 boundary_cells = 0;  ///< cells needing boundary info
+  i64 covered_cells = 0;   ///< cells inside the rectangles
+  i64 rect_count = 0;
+  i64 rect_bytes = 0;  ///< boundary-info bytes stored with rectangles
+  i64 full_bytes = 0;  ///< bytes if stored for the whole lattice
+  double savings() const {
+    return full_bytes == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(rect_bytes) / full_bytes;
+  }
+};
+
+/// Per-link boundary info (flag + intersection fraction for 18 links),
+/// as Section 4.2 describes: ~2 values per link.
+inline constexpr i64 kBoundaryInfoBytesPerCell = 18 * 2 * 4;
+
+/// Whole-lattice accounting of the rectangle optimization.
+BoundaryCoverage analyze_boundary_coverage(const lbm::Lattice& lat);
+
+}  // namespace gc::gpulbm

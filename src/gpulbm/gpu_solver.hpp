@@ -1,0 +1,103 @@
+// Single-GPU LBM solver (Section 4.2) running on the simulated device:
+// distributions live in 5 RGBA texture stacks (x2 for ping-pong), flags in
+// one stack; collision and streaming execute as fragment-program render
+// passes per slice per stack. Functionally bit-identical to lbm::Solver
+// (same single-cell kernels); the device ledger provides the simulated
+// FX-5800 timing that calibrates the cluster model.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "gpulbm/programs.hpp"
+#include "gpusim/device.hpp"
+#include "lbm/lattice.hpp"
+
+namespace gc::gpulbm {
+
+class GpuLbmSolver {
+ public:
+  /// Uploads the lattice's current state, flags, and boundary setup to the
+  /// device (charged as host->GPU traffic).
+  GpuLbmSolver(gpusim::GpuDevice& dev, const lbm::Lattice& init, Real tau);
+  ~GpuLbmSolver();
+
+  GpuLbmSolver(const GpuLbmSolver&) = delete;
+  GpuLbmSolver& operator=(const GpuLbmSolver&) = delete;
+
+  Int3 dim() const { return params_.dim; }
+  i64 steps() const { return steps_; }
+  gpusim::GpuDevice& device() { return dev_; }
+
+  /// One LBM step: 5 collision passes + 5 streaming passes per slice.
+  void step();
+
+  // --- split-phase stepping (the distributed driver's hooks) ---------
+  /// Collision passes only: post-collision state lands in the back
+  /// buffer, where read_border_plane / write_ghost_* operate.
+  void collide_pass();
+  /// Streaming passes only: pulls from the back (post-collision) buffer
+  /// into the current one. step() == collide_pass(); stream_pass().
+  void stream_pass();
+
+  /// Gathers the 5 outgoing post-collision distributions of `face` on the
+  /// in-slice plane coordinate `coord` (own border layer, possibly inset
+  /// past a ghost layer), tangent range [t0,t1), slices [z0,z1), into two
+  /// border textures and reads them back in two operations. X/Y faces
+  /// only (the distributed driver decomposes in 2D, as in Table 1).
+  /// Layout: [z - z0][t - t0][k], k indexing outgoing_directions(face).
+  std::vector<Real> read_border_plane(lbm::Face face, int coord, int t0,
+                                      int t1, int z0, int z1);
+
+  /// Writes incoming distributions (outgoing_directions(opposite(face)))
+  /// into the ghost plane at in-slice coordinate `coord` of the
+  /// post-collision buffer; same layout as read_border_plane. Charged as
+  /// a single host->GPU transfer of the payload.
+  void write_ghost_plane(lbm::Face face, int coord, int t0, int t1, int z0,
+                         int z1, const std::vector<Real>& values);
+
+  /// Writes one distribution along a ghost corner line (x, y, z0..z1) of
+  /// the post-collision buffer (the diagonal-neighbor chunk).
+  void write_ghost_line_z(int x, int y, int dir, int z0, int z1,
+                          const std::vector<Real>& values);
+
+  /// Copies the device state back into a host lattice (debug/validation
+  /// path; does not charge bus time — use read_border_* for timed I/O).
+  void copy_state_to_host(lbm::Lattice& out) const;
+
+  /// Re-uploads distributions from a host lattice (charged).
+  void upload_from(const lbm::Lattice& src);
+
+  /// Border values leaving `face`, ordered [row][texel][dir_k] with
+  /// dir_k indexing outgoing_directions(face). Runs the on-GPU gather
+  /// passes and exactly two read-backs (the Section 4.3 optimization).
+  std::vector<Real> read_border_gathered(lbm::Face face);
+
+  /// The naive alternative: one small read-back per direction per slice
+  /// straight from the distribution textures. Same values, many more
+  /// read initializations — the ablation of bench_ablation_gather.
+  std::vector<Real> read_border_unbundled(lbm::Face face);
+
+  /// Renders the moments pass (density + velocity per cell, one stack)
+  /// and reads it back; returns (rho, ux, uy, uz) per cell, slice-major.
+  std::vector<float> read_moments();
+
+ private:
+  int wrap_slice(int z) const;
+  std::vector<gpusim::TextureId> bound_for_stream(int z) const;
+
+  gpusim::GpuDevice& dev_;
+  LbmShaderParams params_;
+  // f_[b][s][z]: texture of stack s, slice z, buffer b. f_[cur_] is the
+  // current state; collision writes the other buffer, streaming writes
+  // back into cur_, so cur_ never flips.
+  std::array<std::array<std::vector<gpusim::TextureId>, NUM_STACKS>, 2> f_;
+  std::vector<gpusim::TextureId> flags_;
+  std::vector<gpusim::TextureId> moments_;           // lazy
+  std::array<gpusim::TextureId, 2> border_tex_{-1, -1};  // lazy, reused
+  Int3 border_tex_dim_{0, 0, 0};
+  int cur_ = 0;
+  i64 steps_ = 0;
+};
+
+}  // namespace gc::gpulbm

@@ -1,0 +1,48 @@
+// Texture layout of Section 4.2 / Figure 5: each of the 19 velocity
+// distributions is a volume with the lattice's resolution; every four
+// volumes pack into the RGBA channels of one stack of 2D textures, so the
+// 19 distributions occupy 5 stacks (the last has one padding channel).
+#pragma once
+
+#include "lbm/lattice.hpp"
+#include "util/common.hpp"
+
+namespace gc::gpulbm {
+
+/// Number of RGBA texture stacks holding the 19 distributions.
+inline constexpr int NUM_STACKS = 5;
+
+/// Stack index holding direction i.
+inline constexpr int stack_of(int i) { return i / 4; }
+
+/// Channel (0=r,1=g,2=b,3=a) of direction i within its stack.
+inline constexpr int channel_of(int i) { return i % 4; }
+
+/// Direction stored at (stack, channel), or -1 for the padding channel.
+inline constexpr int dir_at(int stack, int channel) {
+  const int i = stack * 4 + channel;
+  return i < lbm::Q ? i : -1;
+}
+
+/// Packs one z-slice of the 4 direction planes of `stack` from a host
+/// lattice into an RGBA float array (dim.x * dim.y * 4), ready for upload.
+std::vector<float> pack_slice(const lbm::Lattice& lat, int stack, int z);
+
+/// Unpacks an RGBA slice back into the host lattice's current buffer.
+void unpack_slice(lbm::Lattice& lat, int stack, int z,
+                  const std::vector<float>& rgba);
+
+/// Packs a z-slice of cell flags into the red channel of an RGBA array.
+std::vector<float> pack_flags_slice(const lbm::Lattice& lat, int z);
+
+/// Texture-memory footprint (bytes) of a full distribution set for a
+/// sub-domain of the given size: NUM_STACKS stacks x 2 (ping-pong) of
+/// dim.z slices of dim.x*dim.y RGBA-float texels, plus the flag stack.
+/// This is what caps a 128 MB GPU at a 92^3 sub-domain (Section 2).
+i64 texture_footprint_bytes(Int3 dim);
+
+/// Largest cubic sub-domain that fits a GPU with `usable_bytes` of
+/// texture memory (the paper: 86 MB usable -> 92^3).
+int max_cubic_subdomain(i64 usable_bytes);
+
+}  // namespace gc::gpulbm

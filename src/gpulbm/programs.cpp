@@ -1,0 +1,236 @@
+#include "gpulbm/programs.hpp"
+
+#include "lbm/collision.hpp"
+
+namespace gc::gpulbm {
+
+using gpusim::FragmentContext;
+using gpusim::RGBA;
+using lbm::C;
+using lbm::CellType;
+using lbm::FaceBc;
+using lbm::OPP;
+using lbm::Q;
+
+namespace {
+
+/// Wrap/flag resolution shared by stream pulls. Returns the crossed
+/// non-periodic face (0..5) or -1 after wrapping periodic axes.
+int resolve_periodic(const LbmShaderParams& p, Int3& src) {
+  int face = -1;
+  for (int a = 0; a < 3; ++a) {
+    if (src[a] < 0) {
+      if (p.face_bc[static_cast<std::size_t>(2 * a)] == FaceBc::Periodic) {
+        src[a] += p.dim[a];
+      } else if (face < 0) {
+        face = 2 * a;
+      }
+    } else if (src[a] >= p.dim[a]) {
+      if (p.face_bc[static_cast<std::size_t>(2 * a + 1)] == FaceBc::Periodic) {
+        src[a] -= p.dim[a];
+      } else if (face < 0) {
+        face = 2 * a + 1;
+      }
+    }
+  }
+  return face;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- collision
+
+RGBA CollisionProgram::shade(FragmentContext& ctx) const {
+  const int x = ctx.x();
+  const int y = ctx.y();
+  const int flag = static_cast<int>(ctx.fetch(collide_flag_unit(), x, y).r);
+  if (flag != static_cast<int>(CellType::Fluid)) {
+    // Solids stay zero; inlet cells keep their imposed equilibrium.
+    return ctx.fetch(out_stack_, x, y);
+  }
+
+  Real f[Q];
+  for (int s = 0; s < NUM_STACKS; ++s) {
+    const RGBA v = ctx.fetch(s, x, y);
+    for (int ch = 0; ch < 4; ++ch) {
+      const int dir = dir_at(s, ch);
+      if (dir >= 0) f[dir] = v[ch];
+    }
+  }
+  lbm::collide_bgk_cell(f, p_.tau, Vec3{});
+
+  RGBA out;
+  for (int ch = 0; ch < 4; ++ch) {
+    const int dir = dir_at(out_stack_, ch);
+    out[ch] = dir >= 0 ? f[dir] : 0.0f;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- streaming
+
+float StreamProgram::fetch_dir(FragmentContext& ctx, int i, int x, int y,
+                               int dz) const {
+  const RGBA v = ctx.fetch(stream_f_unit(stack_of(i), dz), x, y);
+  return v[channel_of(i)];
+}
+
+int StreamProgram::flag_at(FragmentContext& ctx, int x, int y, int dz) const {
+  return static_cast<int>(ctx.fetch(stream_flag_unit(dz), x, y).r);
+}
+
+float StreamProgram::pull(FragmentContext& ctx, Int3 pcell, int i) const {
+  Int3 src = pcell - C[i];
+  const int crossed = resolve_periodic(p_, src);
+  if (crossed >= 0) {
+    const FaceBc bc = p_.face_bc[static_cast<std::size_t>(crossed)];
+    switch (bc) {
+      case FaceBc::Inlet:
+        return lbm::equilibrium(i, p_.inlet_density, p_.inlet_velocity);
+      case FaceBc::Wall:
+        return fetch_dir(ctx, OPP[i], pcell.x, pcell.y, 0);
+      case FaceBc::Outflow:
+        return fetch_dir(ctx, i, pcell.x, pcell.y, 0);
+      case FaceBc::FreeSlip: {
+        // Same-row specular reflection: only the tangential offset applies.
+        const int axis = crossed / 2;
+        const int m = lbm::mirror_direction(i, axis);
+        Int3 cm = C[m];
+        cm[axis] = 0;
+        Int3 srcm = pcell - cm;
+        const int crossed2 = resolve_periodic(p_, srcm);
+        const int dz = axis == 2 ? 0 : -cm.z;
+        if (crossed2 < 0 && flag_at(ctx, srcm.x, srcm.y, dz) !=
+                                static_cast<int>(CellType::Solid)) {
+          return fetch_dir(ctx, m, srcm.x, srcm.y, dz);
+        }
+        return fetch_dir(ctx, OPP[i], pcell.x, pcell.y, 0);
+      }
+      case FaceBc::Periodic:
+        break;  // unreachable
+    }
+    return fetch_dir(ctx, OPP[i], pcell.x, pcell.y, 0);
+  }
+
+  // In-bounds source: z offset in link space (the solver binds wrapped
+  // slices at the -1/+1 units, so -C[i].z addresses the right texture).
+  const int flag = flag_at(ctx, src.x, src.y, -C[i].z);
+  if (flag == static_cast<int>(CellType::Solid)) {
+    return fetch_dir(ctx, OPP[i], pcell.x, pcell.y, 0);
+  }
+  if (flag == static_cast<int>(CellType::Inlet)) {
+    return lbm::equilibrium(i, p_.inlet_density, p_.inlet_velocity);
+  }
+  if (flag == static_cast<int>(CellType::Outflow)) {
+    return fetch_dir(ctx, i, pcell.x, pcell.y, 0);
+  }
+  return fetch_dir(ctx, i, src.x, src.y, -C[i].z);
+}
+
+RGBA StreamProgram::shade(FragmentContext& ctx) const {
+  const Int3 pcell{ctx.x(), ctx.y(), z_};
+  const int own = flag_at(ctx, pcell.x, pcell.y, 0);
+
+  RGBA out;
+  if (own == static_cast<int>(CellType::Solid)) {
+    return out;  // zeros
+  }
+  for (int ch = 0; ch < 4; ++ch) {
+    const int dir = dir_at(out_stack_, ch);
+    if (dir < 0) continue;
+    if (own == static_cast<int>(CellType::Inlet)) {
+      out[ch] = lbm::equilibrium(dir, p_.inlet_density, p_.inlet_velocity);
+    } else {
+      out[ch] = pull(ctx, pcell, dir);
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------------------------ moments
+
+RGBA MomentsProgram::shade(FragmentContext& ctx) const {
+  const int x = ctx.x();
+  const int y = ctx.y();
+  Real rho = 0;
+  Vec3 mom{};
+  for (int s = 0; s < NUM_STACKS; ++s) {
+    const RGBA v = ctx.fetch(s, x, y);
+    for (int ch = 0; ch < 4; ++ch) {
+      const int dir = dir_at(s, ch);
+      if (dir < 0) continue;
+      rho += v[ch];
+      mom.x += v[ch] * Real(C[dir].x);
+      mom.y += v[ch] * Real(C[dir].y);
+      mom.z += v[ch] * Real(C[dir].z);
+    }
+  }
+  RGBA out;
+  out.r = rho;
+  if (rho > Real(0)) {
+    out.g = mom.x / rho;
+    out.b = mom.y / rho;
+    out.a = mom.z / rho;
+  }
+  return out;
+}
+
+// ------------------------------------------------------------- border gather
+
+std::array<int, 5> outgoing_directions(lbm::Face face) {
+  const int axis = face / 2;
+  const int sign = (face % 2 == 0) ? -1 : +1;
+  std::array<int, 5> dirs{};
+  int k = 0;
+  for (int i = 1; i < Q; ++i) {
+    if (C[i][axis] == sign) dirs[static_cast<std::size_t>(k++)] = i;
+  }
+  GC_CHECK(k == 5);
+  return dirs;
+}
+
+namespace {
+int edge_coord(const LbmShaderParams& p, lbm::Face face) {
+  const int axis = face / 2;
+  return (face % 2 == 0) ? 0 : p.dim[axis] - 1;
+}
+}  // namespace
+
+BorderGatherProgram::BorderGatherProgram(const LbmShaderParams& params,
+                                         lbm::Face face, int group)
+    : BorderGatherProgram(params, face, group, edge_coord(params, face), 0) {}
+
+BorderGatherProgram::BorderGatherProgram(const LbmShaderParams& params,
+                                         lbm::Face face, int group, int coord,
+                                         int t0)
+    : p_(params), face_(face), group_(group), coord_(coord), t0_(t0) {
+  GC_CHECK(group == 0 || group == 1);
+}
+
+RGBA BorderGatherProgram::shade(FragmentContext& ctx) const {
+  // Map the border texel back to in-slice cell coordinates.
+  int cx = 0, cy = 0;
+  switch (face_) {
+    case lbm::FACE_XMIN:
+    case lbm::FACE_XMAX: cx = coord_;         cy = t0_ + ctx.x(); break;
+    case lbm::FACE_YMIN:
+    case lbm::FACE_YMAX: cx = t0_ + ctx.x();  cy = coord_; break;
+    case lbm::FACE_ZMIN:
+    case lbm::FACE_ZMAX: cx = ctx.x();        cy = ctx.y(); break;
+  }
+  const std::array<int, 5> dirs = outgoing_directions(face_);
+
+  RGBA out;
+  if (group_ == 0) {
+    for (int k = 0; k < 4; ++k) {
+      const int i = dirs[static_cast<std::size_t>(k)];
+      out[k] = ctx.fetch(stack_of(i), cx, cy)[channel_of(i)];
+    }
+  } else {
+    const int i = dirs[4];
+    out.r = ctx.fetch(stack_of(i), cx, cy)[channel_of(i)];
+  }
+  return out;
+}
+
+}  // namespace gc::gpulbm

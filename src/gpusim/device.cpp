@@ -1,0 +1,118 @@
+#include "gpusim/device.hpp"
+
+#include <algorithm>
+
+namespace gc::gpusim {
+
+GpuDevice::GpuDevice(GpuSpec spec, BusSpec bus)
+    : perf_(spec),
+      bus_(std::move(bus)),
+      memory_(spec.texture_memory_bytes, spec.usable_fraction) {}
+
+TextureId GpuDevice::create_texture(int width, int height) {
+  Texture2D t(width, height);
+  memory_.allocate(t.bytes());
+  // Reuse a free slot if any, else append.
+  for (std::size_t i = 0; i < textures_.size(); ++i) {
+    if (!textures_[i]) {
+      textures_[i] = std::move(t);
+      return static_cast<TextureId>(i);
+    }
+  }
+  textures_.push_back(std::move(t));
+  return static_cast<TextureId>(textures_.size() - 1);
+}
+
+void GpuDevice::destroy_texture(TextureId id) {
+  Texture2D& t = tex_checked(id);
+  memory_.release(t.bytes());
+  textures_[static_cast<std::size_t>(id)].reset();
+}
+
+Texture2D& GpuDevice::tex_checked(TextureId id) {
+  GC_CHECK_MSG(id >= 0 && id < static_cast<TextureId>(textures_.size()) &&
+                   textures_[static_cast<std::size_t>(id)],
+               "invalid texture id " << id);
+  return *textures_[static_cast<std::size_t>(id)];
+}
+
+Texture2D& GpuDevice::texture(TextureId id) { return tex_checked(id); }
+
+const Texture2D& GpuDevice::texture(TextureId id) const {
+  return const_cast<GpuDevice*>(this)->tex_checked(id);
+}
+
+void GpuDevice::upload(TextureId id, const std::vector<float>& rgba) {
+  Texture2D& t = tex_checked(id);
+  GC_CHECK_MSG(static_cast<i64>(rgba.size()) == t.num_texels() * 4,
+               "upload size mismatch");
+  std::copy(rgba.begin(), rgba.end(), t.data());
+  ledger_.download_s += bus_.download_seconds(t.bytes());
+}
+
+std::vector<float> GpuDevice::readback(TextureId id) {
+  Texture2D& t = tex_checked(id);
+  std::vector<float> out(t.data(), t.data() + t.num_texels() * 4);
+  ledger_.readback_s += bus_.upload_seconds(t.bytes());
+  return out;
+}
+
+std::vector<float> GpuDevice::readback_rect(TextureId id, Rect rect) {
+  Texture2D& t = tex_checked(id);
+  GC_CHECK(rect.x0 >= 0 && rect.y0 >= 0 && rect.x1 <= t.width() &&
+           rect.y1 <= t.height() && rect.x0 <= rect.x1 && rect.y0 <= rect.y1);
+  std::vector<float> out;
+  out.reserve(static_cast<std::size_t>(rect.num_fragments()) * 4);
+  for (int y = rect.y0; y < rect.y1; ++y) {
+    for (int x = rect.x0; x < rect.x1; ++x) {
+      const RGBA v = t.fetch(x, y);
+      out.push_back(v.r);
+      out.push_back(v.g);
+      out.push_back(v.b);
+      out.push_back(v.a);
+    }
+  }
+  ledger_.readback_s += bus_.upload_seconds(rect.num_fragments() * 16);
+  return out;
+}
+
+double GpuDevice::render(const FragmentProgram& program, TextureId target,
+                         Rect rect, const std::vector<TextureId>& bound,
+                         const Uniforms& uniforms) {
+  Texture2D& dst = tex_checked(target);
+  GC_CHECK_MSG(rect.x0 >= 0 && rect.y0 >= 0 && rect.x1 <= dst.width() &&
+                   rect.y1 <= dst.height() && rect.x0 <= rect.x1 &&
+                   rect.y0 <= rect.y1,
+               "render rect out of target bounds in pass " << program.name());
+
+  std::vector<const Texture2D*> bound_ptrs;
+  bound_ptrs.reserve(bound.size());
+  for (TextureId id : bound) {
+    GC_CHECK_MSG(id != target, "texture " << id
+                                          << " bound for reading while being "
+                                             "the render target (pass "
+                                          << program.name() << ")");
+    bound_ptrs.push_back(&tex_checked(id));
+  }
+
+  i64 fetches = 0;
+  for (int y = rect.y0; y < rect.y1; ++y) {
+    for (int x = rect.x0; x < rect.x1; ++x) {
+      FragmentContext ctx(x, y, bound_ptrs, uniforms);
+      const RGBA out = program.shade(ctx);
+      dst.store(x, y, out);
+      fetches += ctx.fetch_count();
+    }
+  }
+
+  const i64 fragments = rect.num_fragments();
+  const double t = perf_.pass_seconds(
+      fragments, program.arithmetic_instructions(), fetches, fragments * 16);
+  ledger_.compute_s += t;
+  ledger_.passes += 1;
+  ledger_.fragments += fragments;
+  ledger_.tex_fetches += fetches;
+  return t;
+}
+
+}  // namespace gc::gpusim

@@ -1,0 +1,83 @@
+// The simulated GPU device: texture registry, render passes into pixel
+// buffers, copy-to-texture, and host transfers over a Bus. Functionally
+// exact (programs really execute, texel by texel); timing comes from the
+// GpuPerfModel and is accumulated in a ledger the cluster simulator reads.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "gpusim/bus.hpp"
+#include "gpusim/fragment.hpp"
+#include "gpusim/perf_model.hpp"
+#include "gpusim/texture.hpp"
+#include "gpusim/texture_memory.hpp"
+
+namespace gc::gpusim {
+
+using TextureId = int;
+
+/// Target rectangle of a render pass (half-open, in texel coordinates) —
+/// the paper covers boundary regions with "multiple small rectangles".
+struct Rect {
+  int x0 = 0, y0 = 0, x1 = 0, y1 = 0;
+  i64 num_fragments() const { return i64(x1 - x0) * i64(y1 - y0); }
+};
+
+/// Accumulated simulated time, by category.
+struct GpuTimeLedger {
+  double compute_s = 0.0;   ///< render passes
+  double download_s = 0.0;  ///< host -> GPU
+  double readback_s = 0.0;  ///< GPU -> host
+  i64 passes = 0;
+  i64 fragments = 0;
+  i64 tex_fetches = 0;
+  double total_s() const { return compute_s + download_s + readback_s; }
+};
+
+class GpuDevice {
+ public:
+  GpuDevice(GpuSpec spec, BusSpec bus);
+
+  const GpuSpec& spec() const { return perf_.spec(); }
+  Bus& bus() { return bus_; }
+  TextureMemory& memory() { return memory_; }
+  const GpuTimeLedger& ledger() const { return ledger_; }
+  void reset_ledger() { ledger_ = GpuTimeLedger{}; }
+
+  // --- texture management ---
+  TextureId create_texture(int width, int height);
+  void destroy_texture(TextureId id);
+  Texture2D& texture(TextureId id);
+  const Texture2D& texture(TextureId id) const;
+
+  // --- host transfers (simulated bus time is charged) ---
+  /// Host -> GPU: replaces the full contents of a texture.
+  void upload(TextureId id, const std::vector<float>& rgba);
+  /// GPU -> host: reads the full texture (glGetTexImage analog).
+  std::vector<float> readback(TextureId id);
+
+  /// GPU -> host for a sub-rectangle (glReadPixels analog). Charges the
+  /// same per-read setup, which is why reading many small rectangles
+  /// loses to one gathered read (Section 4.3).
+  std::vector<float> readback_rect(TextureId id, Rect rect);
+
+  // --- render passes ---
+  /// Executes `program` for every fragment in `rect`, writing results into
+  /// `target`. A texture bound for reading must not be the target (the
+  /// pbuffer rule; violating it throws). Returns the pass's simulated time.
+  double render(const FragmentProgram& program, TextureId target, Rect rect,
+                const std::vector<TextureId>& bound, const Uniforms& uniforms);
+
+ private:
+  Texture2D& tex_checked(TextureId id);
+
+  GpuPerfModel perf_;
+  Bus bus_;
+  TextureMemory memory_;
+  std::vector<std::optional<Texture2D>> textures_;
+  GpuTimeLedger ledger_;
+};
+
+}  // namespace gc::gpusim

@@ -1,0 +1,11 @@
+#include "gpusim/fragment.hpp"
+
+namespace gc::gpusim {
+
+const std::array<float, 4>& Uniforms::get(const std::string& name) const {
+  auto it = values_.find(name);
+  GC_CHECK_MSG(it != values_.end(), "unbound uniform: " << name);
+  return it->second;
+}
+
+}  // namespace gc::gpusim

@@ -1,0 +1,69 @@
+#include "gpusim/texture.hpp"
+
+#include <algorithm>
+
+namespace gc::gpusim {
+
+Texture2D::Texture2D(int width, int height) : w_(width), h_(height) {
+  GC_CHECK_MSG(width > 0 && height > 0,
+               "texture dimensions must be positive: " << width << "x" << height);
+  texels_.assign(static_cast<std::size_t>(num_texels()) * 4, 0.0f);
+}
+
+RGBA Texture2D::fetch(int x, int y) const {
+  x = std::clamp(x, 0, w_ - 1);
+  y = std::clamp(y, 0, h_ - 1);
+  const std::size_t o = (static_cast<std::size_t>(y) * w_ + x) * 4;
+  return RGBA{texels_[o], texels_[o + 1], texels_[o + 2], texels_[o + 3]};
+}
+
+void Texture2D::store(int x, int y, const RGBA& v) {
+  GC_CHECK(x >= 0 && x < w_ && y >= 0 && y < h_);
+  const std::size_t o = (static_cast<std::size_t>(y) * w_ + x) * 4;
+  texels_[o] = v.r;
+  texels_[o + 1] = v.g;
+  texels_[o + 2] = v.b;
+  texels_[o + 3] = v.a;
+}
+
+void Texture2D::fill(const RGBA& v) {
+  for (std::size_t o = 0; o < texels_.size(); o += 4) {
+    texels_[o] = v.r;
+    texels_[o + 1] = v.g;
+    texels_[o + 2] = v.b;
+    texels_[o + 3] = v.a;
+  }
+}
+
+TextureStack::TextureStack(int width, int height, int slices)
+    : w_(width), h_(height) {
+  GC_CHECK(slices > 0);
+  slices_.reserve(static_cast<std::size_t>(slices));
+  for (int z = 0; z < slices; ++z) slices_.emplace_back(width, height);
+}
+
+i64 TextureStack::bytes() const {
+  return slices_.empty() ? 0 : slices_[0].bytes() * slices();
+}
+
+Texture2D& TextureStack::slice(int z) {
+  GC_CHECK(z >= 0 && z < slices());
+  return slices_[static_cast<std::size_t>(z)];
+}
+
+const Texture2D& TextureStack::slice(int z) const {
+  GC_CHECK(z >= 0 && z < slices());
+  return slices_[static_cast<std::size_t>(z)];
+}
+
+RGBA TextureStack::fetch(int x, int y, int z) const {
+  z = std::clamp(z, 0, slices() - 1);
+  return slices_[static_cast<std::size_t>(z)].fetch(x, y);
+}
+
+void TextureStack::store(int x, int y, int z, const RGBA& v) {
+  GC_CHECK(z >= 0 && z < slices());
+  slices_[static_cast<std::size_t>(z)].store(x, y, v);
+}
+
+}  // namespace gc::gpusim

@@ -1,0 +1,73 @@
+// RGBA float textures — the GPU-resident data containers of Section 2:
+// "the data are laid out as texel colors in textures". A TextureStack is
+// the paper's "stack of 2D textures" representing a volume (Figure 5).
+#pragma once
+
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace gc::gpusim {
+
+/// One texel: four 32-bit float channels (the FX 5800's fp32 path).
+struct RGBA {
+  float r = 0, g = 0, b = 0, a = 0;
+
+  float& operator[](int c) { return c == 0 ? r : (c == 1 ? g : (c == 2 ? b : a)); }
+  float operator[](int c) const { return c == 0 ? r : (c == 1 ? g : (c == 2 ? b : a)); }
+
+  friend bool operator==(const RGBA& x, const RGBA& y) {
+    return x.r == y.r && x.g == y.g && x.b == y.b && x.a == y.a;
+  }
+};
+
+/// A 2D texture of RGBA float texels with clamp-to-edge addressing.
+class Texture2D {
+ public:
+  Texture2D(int width, int height);
+
+  int width() const { return w_; }
+  int height() const { return h_; }
+  i64 num_texels() const { return i64(w_) * h_; }
+  i64 bytes() const { return num_texels() * 16; }  // 4 channels x fp32
+
+  /// Texel fetch with clamp-to-edge (out-of-range coords are clamped).
+  RGBA fetch(int x, int y) const;
+
+  void store(int x, int y, const RGBA& v);
+
+  /// Direct access for uploads/readbacks (row-major, 4 floats per texel).
+  float* data() { return texels_.data(); }
+  const float* data() const { return texels_.data(); }
+
+  void fill(const RGBA& v);
+
+ private:
+  int w_, h_;
+  std::vector<float> texels_;
+};
+
+/// A stack of same-sized 2D textures representing a 3D volume (one slice
+/// per z). Figure 5: four scalar volumes pack into one stack's channels.
+class TextureStack {
+ public:
+  TextureStack(int width, int height, int slices);
+
+  int width() const { return w_; }
+  int height() const { return h_; }
+  int slices() const { return static_cast<int>(slices_.size()); }
+  i64 bytes() const;
+
+  Texture2D& slice(int z);
+  const Texture2D& slice(int z) const;
+
+  /// Clamp-addressed volume fetch.
+  RGBA fetch(int x, int y, int z) const;
+  void store(int x, int y, int z, const RGBA& v);
+
+ private:
+  int w_, h_;
+  std::vector<Texture2D> slices_;
+};
+
+}  // namespace gc::gpusim

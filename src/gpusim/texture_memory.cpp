@@ -1,0 +1,25 @@
+#include "gpusim/texture_memory.hpp"
+
+namespace gc::gpusim {
+
+TextureMemory::TextureMemory(i64 total_bytes, double usable_fraction)
+    : total_(total_bytes),
+      usable_(static_cast<i64>(static_cast<double>(total_bytes) * usable_fraction)) {
+  GC_CHECK(total_bytes > 0);
+  GC_CHECK(usable_fraction > 0.0 && usable_fraction <= 1.0);
+}
+
+void TextureMemory::allocate(i64 bytes) {
+  GC_CHECK(bytes >= 0);
+  if (allocated_ + bytes > usable_) {
+    throw GpuOutOfMemory(bytes, available_bytes());
+  }
+  allocated_ += bytes;
+}
+
+void TextureMemory::release(i64 bytes) {
+  GC_CHECK(bytes >= 0 && bytes <= allocated_);
+  allocated_ -= bytes;
+}
+
+}  // namespace gc::gpusim

@@ -1,0 +1,42 @@
+// On-board texture memory accounting (Section 2): the FX 5800 Ultra has
+// 128 MB, of which the paper could use at most 86 MB for lattice data —
+// capping a single GPU's sub-domain at 92^3. Allocations beyond the usable
+// budget throw GpuOutOfMemory, which the decomposition planner catches to
+// decide how many nodes a problem needs.
+#pragma once
+
+#include "util/common.hpp"
+
+namespace gc::gpusim {
+
+class GpuOutOfMemory : public Error {
+ public:
+  GpuOutOfMemory(i64 requested, i64 available)
+      : Error("GPU texture memory exhausted: requested " +
+              std::to_string(requested) + " bytes, " +
+              std::to_string(available) + " available") {}
+};
+
+class TextureMemory {
+ public:
+  /// `total_bytes` is the physical memory; `usable_fraction` models the
+  /// driver/framebuffer reservation the paper measured (86/128).
+  TextureMemory(i64 total_bytes, double usable_fraction = 86.0 / 128.0);
+
+  i64 total_bytes() const { return total_; }
+  i64 usable_bytes() const { return usable_; }
+  i64 allocated_bytes() const { return allocated_; }
+  i64 available_bytes() const { return usable_ - allocated_; }
+
+  /// Reserve `bytes`; throws GpuOutOfMemory when over budget.
+  void allocate(i64 bytes);
+  /// Release previously allocated bytes.
+  void release(i64 bytes);
+
+ private:
+  i64 total_;
+  i64 usable_;
+  i64 allocated_ = 0;
+};
+
+}  // namespace gc::gpusim

@@ -1,0 +1,130 @@
+#include "io/checkpoint.hpp"
+
+#include <cstring>
+#include <fstream>
+
+namespace gc::io {
+
+namespace {
+constexpr char kMagic[4] = {'G', 'C', 'L', 'B'};
+constexpr u32 kVersion = 1;
+
+template <typename T>
+void write_pod(std::ofstream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+void read_pod(std::ifstream& in, T& v) {
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  GC_CHECK_MSG(in.good(), "truncated checkpoint");
+}
+}  // namespace
+
+void save_checkpoint(const std::string& path, const lbm::Lattice& lat) {
+  std::ofstream out(path, std::ios::binary);
+  GC_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, kVersion);
+  const Int3 d = lat.dim();
+  write_pod(out, d.x);
+  write_pod(out, d.y);
+  write_pod(out, d.z);
+  write_pod(out, static_cast<u32>(lbm::Q));
+
+  for (int face = 0; face < 6; ++face) {
+    write_pod(out, static_cast<u8>(lat.face_bc(static_cast<lbm::Face>(face))));
+  }
+  write_pod(out, lat.inlet_density());
+  const Vec3 uin = lat.inlet_velocity();
+  write_pod(out, uin.x);
+  write_pod(out, uin.y);
+  write_pod(out, uin.z);
+
+  const i64 n = lat.num_cells();
+  out.write(reinterpret_cast<const char*>(lat.flags().data()),
+            static_cast<std::streamsize>(n));
+  for (int i = 0; i < lbm::Q; ++i) {
+    out.write(reinterpret_cast<const char*>(lat.plane_ptr(i)),
+              static_cast<std::streamsize>(n * sizeof(Real)));
+  }
+
+  const u32 num_links = static_cast<u32>(lat.curved_links().size());
+  write_pod(out, num_links);
+  for (const lbm::CurvedLink& link : lat.curved_links()) {
+    write_pod(out, link.cell);
+    write_pod(out, link.dir);
+    write_pod(out, link.q);
+  }
+  GC_CHECK_MSG(out.good(), "write failure on " << path);
+}
+
+lbm::Lattice load_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  GC_CHECK_MSG(in.good(), "cannot open " << path);
+
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  GC_CHECK_MSG(in.good() && std::memcmp(magic, kMagic, 4) == 0,
+               path << " is not a gpucluster checkpoint");
+  u32 version;
+  read_pod(in, version);
+  GC_CHECK_MSG(version == kVersion, "unsupported checkpoint version "
+                                        << version);
+  Int3 d;
+  read_pod(in, d.x);
+  read_pod(in, d.y);
+  read_pod(in, d.z);
+  u32 q;
+  read_pod(in, q);
+  GC_CHECK_MSG(q == static_cast<u32>(lbm::Q),
+               "checkpoint has " << q << " velocities, expected " << lbm::Q);
+
+  lbm::Lattice lat(d);
+  for (int face = 0; face < 6; ++face) {
+    u8 bc;
+    read_pod(in, bc);
+    GC_CHECK_MSG(bc <= static_cast<u8>(lbm::FaceBc::FreeSlip),
+                 "invalid face BC in checkpoint");
+    lat.set_face_bc(static_cast<lbm::Face>(face),
+                    static_cast<lbm::FaceBc>(bc));
+  }
+  Real rho;
+  Vec3 uin;
+  read_pod(in, rho);
+  read_pod(in, uin.x);
+  read_pod(in, uin.y);
+  read_pod(in, uin.z);
+  lat.set_inlet(rho, uin);
+
+  const i64 n = lat.num_cells();
+  std::vector<u8> flags(static_cast<std::size_t>(n));
+  in.read(reinterpret_cast<char*>(flags.data()),
+          static_cast<std::streamsize>(n));
+  GC_CHECK_MSG(in.good(), "truncated checkpoint (flags)");
+  for (i64 c = 0; c < n; ++c) {
+    const u8 t = flags[static_cast<std::size_t>(c)];
+    GC_CHECK_MSG(t <= static_cast<u8>(lbm::CellType::Outflow),
+                 "invalid cell flag in checkpoint");
+    lat.set_flag(c, static_cast<lbm::CellType>(t));
+  }
+  for (int i = 0; i < lbm::Q; ++i) {
+    in.read(reinterpret_cast<char*>(lat.plane_ptr(i)),
+            static_cast<std::streamsize>(n * sizeof(Real)));
+    GC_CHECK_MSG(in.good(), "truncated checkpoint (plane " << i << ")");
+  }
+
+  u32 num_links;
+  read_pod(in, num_links);
+  for (u32 k = 0; k < num_links; ++k) {
+    lbm::CurvedLink link;
+    read_pod(in, link.cell);
+    read_pod(in, link.dir);
+    read_pod(in, link.q);
+    lat.add_curved_link(link);
+  }
+  return lat;
+}
+
+}  // namespace gc::io

@@ -1,0 +1,15 @@
+#include "io/csv.hpp"
+
+#include <fstream>
+
+#include "util/common.hpp"
+
+namespace gc::io {
+
+void write_csv(const std::string& path, const Table& table) {
+  std::ofstream out(path);
+  GC_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  out << table.csv();
+}
+
+}  // namespace gc::io

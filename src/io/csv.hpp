@@ -1,0 +1,13 @@
+// CSV persistence for benchmark tables.
+#pragma once
+
+#include <string>
+
+#include "util/table.hpp"
+
+namespace gc::io {
+
+/// Writes a Table to disk as CSV.
+void write_csv(const std::string& path, const Table& table);
+
+}  // namespace gc::io

@@ -1,0 +1,53 @@
+#include "io/ppm_writer.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+namespace gc::io {
+
+void write_ppm_slice(const std::string& path, Int3 dim,
+                     const std::vector<float>& data, int z, float lo,
+                     float hi) {
+  GC_CHECK(static_cast<i64>(data.size()) == dim.volume());
+  GC_CHECK(z >= 0 && z < dim.z);
+  const std::size_t base =
+      static_cast<std::size_t>(z) * dim.x * static_cast<std::size_t>(dim.y);
+
+  if (lo == hi) {
+    lo = hi = data[base];
+    for (i64 i = 0; i < i64(dim.x) * dim.y; ++i) {
+      lo = std::min(lo, data[base + static_cast<std::size_t>(i)]);
+      hi = std::max(hi, data[base + static_cast<std::size_t>(i)]);
+    }
+    if (lo == hi) hi = lo + 1.0f;
+  }
+
+  std::ofstream out(path, std::ios::binary);
+  GC_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  out << "P6\n" << dim.x << " " << dim.y << "\n255\n";
+  for (int y = dim.y - 1; y >= 0; --y) {  // north up
+    for (int x = 0; x < dim.x; ++x) {
+      const float v = data[base + static_cast<std::size_t>(y) * dim.x + x];
+      float t = (v - lo) / (hi - lo);
+      t = std::clamp(t, 0.0f, 1.0f);
+      // Diverging blue -> white -> red.
+      u8 r, g, b;
+      if (t < 0.5f) {
+        const float s = t * 2.0f;
+        r = static_cast<u8>(255 * s);
+        g = static_cast<u8>(255 * s);
+        b = 255;
+      } else {
+        const float s = (t - 0.5f) * 2.0f;
+        r = 255;
+        g = static_cast<u8>(255 * (1.0f - s));
+        b = static_cast<u8>(255 * (1.0f - s));
+      }
+      out.put(static_cast<char>(r));
+      out.put(static_cast<char>(g));
+      out.put(static_cast<char>(b));
+    }
+  }
+}
+
+}  // namespace gc::io

@@ -1,0 +1,20 @@
+// Quick-look PPM image output: renders a z-slice of a scalar field with a
+// blue-to-white-to-red colormap (the streamline figures' color scheme:
+// blue = horizontal flow, white = vertical component).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+#include "util/vec3.hpp"
+
+namespace gc::io {
+
+/// Writes slice z of the scalar field as a binary PPM, normalizing values
+/// into [lo, hi] (pass lo == hi to auto-scale to the slice's range).
+void write_ppm_slice(const std::string& path, Int3 dim,
+                     const std::vector<float>& data, int z, float lo = 0.0f,
+                     float hi = 0.0f);
+
+}  // namespace gc::io

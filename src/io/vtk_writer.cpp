@@ -1,0 +1,81 @@
+#include "io/vtk_writer.hpp"
+
+#include <fstream>
+
+namespace gc::io {
+
+namespace {
+std::ofstream open_checked(const std::string& path) {
+  std::ofstream out(path);
+  GC_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  return out;
+}
+
+void write_structured_header(std::ofstream& out, Int3 dim, i64 n) {
+  out << "# vtk DataFile Version 3.0\n"
+      << "gpucluster field\n"
+      << "ASCII\n"
+      << "DATASET STRUCTURED_POINTS\n"
+      << "DIMENSIONS " << dim.x << " " << dim.y << " " << dim.z << "\n"
+      << "ORIGIN 0 0 0\n"
+      << "SPACING 1 1 1\n"
+      << "POINT_DATA " << n << "\n";
+}
+}  // namespace
+
+void write_vtk_scalar(const std::string& path, Int3 dim,
+                      const std::vector<float>& data,
+                      const std::string& field_name) {
+  const i64 n = dim.volume();
+  GC_CHECK(static_cast<i64>(data.size()) == n);
+  std::ofstream out = open_checked(path);
+  write_structured_header(out, dim, n);
+  out << "SCALARS " << field_name << " float 1\nLOOKUP_TABLE default\n";
+  for (i64 i = 0; i < n; ++i) {
+    out << data[static_cast<std::size_t>(i)] << "\n";
+  }
+}
+
+void write_vtk_vector(const std::string& path, Int3 dim,
+                      const std::vector<Vec3>& data,
+                      const std::string& field_name) {
+  const i64 n = dim.volume();
+  GC_CHECK(static_cast<i64>(data.size()) == n);
+  std::ofstream out = open_checked(path);
+  write_structured_header(out, dim, n);
+  out << "VECTORS " << field_name << " float\n";
+  for (i64 i = 0; i < n; ++i) {
+    const Vec3& v = data[static_cast<std::size_t>(i)];
+    out << v.x << " " << v.y << " " << v.z << "\n";
+  }
+}
+
+void write_vtk_polylines(const std::string& path,
+                         const std::vector<std::vector<Vec3>>& lines) {
+  std::ofstream out = open_checked(path);
+  i64 total_points = 0;
+  for (const auto& line : lines) total_points += static_cast<i64>(line.size());
+
+  out << "# vtk DataFile Version 3.0\n"
+      << "gpucluster streamlines\n"
+      << "ASCII\n"
+      << "DATASET POLYDATA\n"
+      << "POINTS " << total_points << " float\n";
+  for (const auto& line : lines) {
+    for (const Vec3& p : line) out << p.x << " " << p.y << " " << p.z << "\n";
+  }
+  i64 size_entries = 0;
+  for (const auto& line : lines) {
+    size_entries += 1 + static_cast<i64>(line.size());
+  }
+  out << "LINES " << lines.size() << " " << size_entries << "\n";
+  i64 offset = 0;
+  for (const auto& line : lines) {
+    out << line.size();
+    for (std::size_t k = 0; k < line.size(); ++k) out << " " << offset + static_cast<i64>(k);
+    out << "\n";
+    offset += static_cast<i64>(line.size());
+  }
+}
+
+}  // namespace gc::io

@@ -1,0 +1,28 @@
+// Legacy-VTK writers for the simulation outputs (the offline rendering
+// path of Section 5: streamline and volume visualization of the flow and
+// the contaminant density).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+#include "util/vec3.hpp"
+
+namespace gc::io {
+
+/// Writes a scalar field as a STRUCTURED_POINTS legacy VTK file (ASCII).
+void write_vtk_scalar(const std::string& path, Int3 dim,
+                      const std::vector<float>& data,
+                      const std::string& field_name);
+
+/// Writes a vector field (one Vec3 per cell) as STRUCTURED_POINTS.
+void write_vtk_vector(const std::string& path, Int3 dim,
+                      const std::vector<Vec3>& data,
+                      const std::string& field_name);
+
+/// Writes polylines (e.g. streamlines) as legacy VTK POLYDATA.
+void write_vtk_polylines(const std::string& path,
+                         const std::vector<std::vector<Vec3>>& lines);
+
+}  // namespace gc::io

@@ -1,0 +1,59 @@
+#include "lbm/boundary.hpp"
+
+namespace gc::lbm {
+
+void apply_curved_bounce(Lattice& lat) {
+  const auto& links = lat.curved_links();
+  if (links.empty()) return;
+
+  for (const CurvedLink& L : links) {
+    const int i = L.dir;
+    const int ip = OPP[i];
+    const Int3 p = lat.coords(L.cell);
+    // Post-collision (pre-stream) values live in the back buffer now.
+    const Real fi_star = lat.back_plane_ptr(i)[L.cell];
+    Real corrected;
+    if (L.q < Real(0.5)) {
+      const Int3 behind = p - C[i];
+      Real f_behind = fi_star;
+      if (lat.in_bounds(behind) && lat.flag(behind) == CellType::Fluid) {
+        f_behind = lat.back_plane_ptr(i)[lat.idx(behind)];
+      }
+      corrected = Real(2) * L.q * fi_star + (Real(1) - Real(2) * L.q) * f_behind;
+    } else {
+      const Real inv2q = Real(1) / (Real(2) * L.q);
+      const Real fip_star = lat.back_plane_ptr(ip)[L.cell];
+      corrected = inv2q * fi_star + (Real(1) - inv2q) * fip_star;
+    }
+    lat.set_f(ip, L.cell, corrected);
+  }
+}
+
+Vec3 momentum_exchange_force(const Lattice& lat) {
+  // For every fluid cell with a solid neighbor along c_i, the wall gains
+  // momentum c_i * (f*_i(x) + f_i'(x)) where f*_i is pre-stream
+  // (back buffer) and f_i' the reflected post-stream value.
+  Vec3 force{};
+  const Int3 d = lat.dim();
+  for (int z = 0; z < d.z; ++z) {
+    for (int y = 0; y < d.y; ++y) {
+      for (int x = 0; x < d.x; ++x) {
+        const i64 cell = lat.idx(x, y, z);
+        if (lat.flag(cell) != CellType::Fluid) continue;
+        for (int i = 1; i < Q; ++i) {
+          const Int3 np = Int3{x, y, z} + C[i];
+          if (!lat.in_bounds(np) || lat.flag(np) != CellType::Solid) continue;
+          const Real out = lat.back_plane_ptr(i)[cell];   // heading to wall
+          const Real back = lat.f(OPP[i], cell);          // reflected
+          const Real m = out + back;
+          force.x += m * Real(C[i].x);
+          force.y += m * Real(C[i].y);
+          force.z += m * Real(C[i].z);
+        }
+      }
+    }
+  }
+  return force;
+}
+
+}  // namespace gc::lbm

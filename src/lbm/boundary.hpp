@@ -1,0 +1,27 @@
+// Boundary-condition helpers beyond the inline handling in stream():
+// Bouzidi linear interpolation for curved surfaces (Section 4.1, Mei et
+// al.-style sub-link boundary placement) and momentum-exchange force
+// measurement on obstacles (used by the cylinder-drag validation tests).
+#pragma once
+
+#include "lbm/lattice.hpp"
+
+namespace gc::lbm {
+
+/// Applies the Bouzidi linear interpolation correction for every curved
+/// link registered on the lattice. Must run right after stream() swapped
+/// buffers: the back buffer still holds the post-collision values f*.
+///
+/// For a fluid cell x with a wall cutting its link c_i at fraction q, the
+/// post-streaming value of the reflected direction i' = opp(i) is
+///   q < 1/2 : f_i'(x) = 2q f*_i(x) + (1-2q) f*_i(x - c_i)
+///   q >= 1/2: f_i'(x) = f*_i(x)/(2q) + (1 - 1/(2q)) f*_i'(x)
+/// (q = 1/2 reduces to plain half-way bounce-back.)
+void apply_curved_bounce(Lattice& lat);
+
+/// Momentum transferred to solid cells by bounce-back during the last
+/// stream (momentum-exchange method): sum over boundary links of
+/// c_i (f*_i + f_i'), giving the hydrodynamic force on the obstacle set.
+Vec3 momentum_exchange_force(const Lattice& lat);
+
+}  // namespace gc::lbm

@@ -1,0 +1,158 @@
+#include "lbm/collision.hpp"
+
+#include "lbm/stream.hpp"
+
+namespace gc::lbm {
+
+void collide_bgk_cell(Real f[Q], Real tau, Vec3 force) {
+  Real rho = 0;
+  Vec3 mom{};
+  for (int i = 0; i < Q; ++i) {
+    rho += f[i];
+    mom.x += f[i] * Real(C[i].x);
+    mom.y += f[i] * Real(C[i].y);
+    mom.z += f[i] * Real(C[i].z);
+  }
+  const Real inv_rho = Real(1) / rho;
+  // Guo forcing: velocity shifted by half the force impulse.
+  Vec3 u = (mom + force * Real(0.5)) * inv_rho;
+
+  const Real omega = Real(1) / tau;
+  const Real uu15 = Real(1.5) * dot(u, u);
+  const bool forced = force.x != 0 || force.y != 0 || force.z != 0;
+  const Real fpref = forced ? (Real(1) - Real(0.5) * omega) : Real(0);
+
+  for (int i = 0; i < Q; ++i) {
+    const Vec3 c{Real(C[i].x), Real(C[i].y), Real(C[i].z)};
+    const Real cu = dot(c, u);
+    const Real feq =
+        W[i] * rho * (Real(1) + Real(3) * cu + Real(4.5) * cu * cu - uu15);
+    Real fi = f[i] - omega * (f[i] - feq);
+    if (forced) {
+      // Guo: F_i = (1 - 1/(2tau)) w_i [3(c - u) + 9(c.u)c] . F
+      const Vec3 term = (c - u) * Real(3) + c * (Real(9) * cu);
+      fi += fpref * W[i] * dot(term, force);
+    }
+    f[i] = fi;
+  }
+}
+
+namespace {
+
+void collide_span(Lattice& lat, const BgkParams& p, i64 begin, i64 end) {
+  Real* planes[Q];
+  for (int i = 0; i < Q; ++i) planes[i] = lat.plane_ptr(i);
+  Real f[Q];
+  for (i64 c = begin; c < end; ++c) {
+    const CellType t = lat.flag(c);
+    if (t != CellType::Fluid) continue;  // inlet cells hold equilibrium
+    for (int i = 0; i < Q; ++i) f[i] = planes[i][c];
+    collide_bgk_cell(f, p.tau, p.force);
+    for (int i = 0; i < Q; ++i) planes[i][c] = f[i];
+  }
+}
+
+}  // namespace
+
+void collide_bgk(Lattice& lat, const BgkParams& p) {
+  collide_span(lat, p, 0, lat.num_cells());
+}
+
+void collide_bgk(Lattice& lat, const BgkParams& p, ThreadPool& pool) {
+  const i64 plane = i64(lat.dim().x) * lat.dim().y;
+  pool.parallel_for_chunks(0, lat.dim().z, [&lat, &p, plane](i64 z0, i64 z1) {
+    collide_span(lat, p, z0 * plane, z1 * plane);
+  });
+}
+
+void collide_bgk_region(Lattice& lat, const BgkParams& p, Int3 lo, Int3 hi) {
+  Real* planes[Q];
+  for (int i = 0; i < Q; ++i) planes[i] = lat.plane_ptr(i);
+  Real f[Q];
+  for (int z = lo.z; z < hi.z; ++z) {
+    for (int y = lo.y; y < hi.y; ++y) {
+      i64 c = lat.idx(lo.x, y, z);
+      for (int x = lo.x; x < hi.x; ++x, ++c) {
+        if (lat.flag(c) != CellType::Fluid) continue;
+        for (int i = 0; i < Q; ++i) f[i] = planes[i][c];
+        collide_bgk_cell(f, p.tau, p.force);
+        for (int i = 0; i < Q; ++i) planes[i][c] = f[i];
+      }
+    }
+  }
+}
+
+void collide_bgk_forced(Lattice& lat, Real tau, const Vec3* force) {
+  Real* planes[Q];
+  for (int i = 0; i < Q; ++i) planes[i] = lat.plane_ptr(i);
+  Real f[Q];
+  const i64 n = lat.num_cells();
+  for (i64 c = 0; c < n; ++c) {
+    if (lat.flag(c) != CellType::Fluid) continue;
+    for (int i = 0; i < Q; ++i) f[i] = planes[i][c];
+    collide_bgk_cell(f, tau, force[c]);
+    for (int i = 0; i < Q; ++i) planes[i][c] = f[i];
+  }
+}
+
+void fused_stream_collide(Lattice& lat, const BgkParams& p) {
+  // The fused pass cannot interpose the Bouzidi correction between
+  // streaming and collision; use the separate passes for curved boundaries.
+  GC_CHECK_MSG(lat.curved_links().empty(),
+               "fused_stream_collide does not support curved links");
+  const Int3 d = lat.dim();
+  Real* dst[Q];
+  const Real* src[Q];
+  for (int i = 0; i < Q; ++i) {
+    dst[i] = lat.back_plane_ptr(i);
+    src[i] = lat.plane_ptr(i);
+  }
+  const i64 sx = 1, sy = d.x, sz = i64(d.x) * d.y;
+  i64 shift[Q];
+  for (int i = 0; i < Q; ++i) {
+    shift[i] = -(C[i].x * sx + C[i].y * sy + C[i].z * sz);
+  }
+  const auto& flags = lat.flags();
+  const u8 fluid = static_cast<u8>(CellType::Fluid);
+
+  Real f[Q];
+  for (int z = 0; z < d.z; ++z) {
+    for (int y = 0; y < d.y; ++y) {
+      i64 cell = lat.idx(0, y, z);
+      for (int x = 0; x < d.x; ++x, ++cell) {
+        const CellType t = static_cast<CellType>(flags[cell]);
+        if (t == CellType::Solid) {
+          for (int i = 0; i < Q; ++i) dst[i][cell] = Real(0);
+          continue;
+        }
+        bool fast = x >= 1 && y >= 1 && z >= 1 && x < d.x - 1 &&
+                    y < d.y - 1 && z < d.z - 1 && t == CellType::Fluid;
+        if (fast) {
+          for (int i = 1; i < Q; ++i) {
+            if (flags[cell + shift[i]] != fluid) {
+              fast = false;
+              break;
+            }
+          }
+        }
+        if (fast) {
+          f[0] = src[0][cell];
+          for (int i = 1; i < Q; ++i) f[i] = src[i][cell + shift[i]];
+        } else {
+          const Int3 pos{x, y, z};
+          for (int i = 0; i < Q; ++i) f[i] = detail::pull_value(lat, pos, i);
+        }
+        if (t == CellType::Fluid) {
+          collide_bgk_cell(f, p.tau, p.force);
+        } else if (t == CellType::Inlet) {
+          equilibrium_all(lat.inlet_density(),
+                          lat.inlet_velocity_at(Int3{x, y, z}), f);
+        }
+        for (int i = 0; i < Q; ++i) dst[i][cell] = f[i];
+      }
+    }
+  }
+  lat.swap_buffers();
+}
+
+}  // namespace gc::lbm

@@ -1,0 +1,106 @@
+#include "lbm/lattice.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gc::lbm {
+
+Lattice::Lattice(Int3 dim) : dim_(dim), n_(dim.volume()) {
+  GC_CHECK_MSG(dim.x > 0 && dim.y > 0 && dim.z > 0,
+               "lattice dimensions must be positive, got " << dim);
+  for (auto& b : buf_) b.assign(static_cast<std::size_t>(Q * n_), Real(0));
+  flags_.assign(static_cast<std::size_t>(n_), static_cast<u8>(CellType::Fluid));
+  face_bc_.fill(FaceBc::Periodic);
+}
+
+Int3 Lattice::coords(i64 cell) const {
+  const int x = static_cast<int>(cell % dim_.x);
+  const i64 rest = cell / dim_.x;
+  const int y = static_cast<int>(rest % dim_.y);
+  const int z = static_cast<int>(rest / dim_.y);
+  return {x, y, z};
+}
+
+void Lattice::add_curved_link(CurvedLink link) {
+  GC_CHECK_MSG(link.q > Real(0) && link.q <= Real(1),
+               "curved link fraction must be in (0,1], got " << link.q);
+  GC_CHECK(link.dir >= 1 && link.dir < Q);
+  GC_CHECK(link.cell >= 0 && link.cell < n_);
+  curved_links_.push_back(link);
+}
+
+void Lattice::init_equilibrium(Real rho, Vec3 u) {
+  Real feq[Q];
+  equilibrium_all(rho, u, feq);
+  for (int i = 0; i < Q; ++i) {
+    Real* p = plane_ptr(i);
+    Real* pb = back_plane_ptr(i);
+    std::fill(p, p + n_, feq[i]);
+    std::fill(pb, pb + n_, feq[i]);
+  }
+}
+
+void Lattice::fill_solid_box(Int3 lo, Int3 hi) {
+  const Int3 clo{std::max(lo.x, 0), std::max(lo.y, 0), std::max(lo.z, 0)};
+  const Int3 chi{std::min(hi.x, dim_.x), std::min(hi.y, dim_.y),
+                 std::min(hi.z, dim_.z)};
+  for (int z = clo.z; z < chi.z; ++z)
+    for (int y = clo.y; y < chi.y; ++y)
+      for (int x = clo.x; x < chi.x; ++x)
+        set_flag(idx(x, y, z), CellType::Solid);
+}
+
+void Lattice::fill_solid_sphere(Vec3 center, Real radius, bool curved) {
+  const Real r2 = radius * radius;
+  const int x0 = std::max(0, static_cast<int>(std::floor(center.x - radius)) - 1);
+  const int x1 = std::min(dim_.x - 1, static_cast<int>(std::ceil(center.x + radius)) + 1);
+  const int y0 = std::max(0, static_cast<int>(std::floor(center.y - radius)) - 1);
+  const int y1 = std::min(dim_.y - 1, static_cast<int>(std::ceil(center.y + radius)) + 1);
+  const int z0 = std::max(0, static_cast<int>(std::floor(center.z - radius)) - 1);
+  const int z1 = std::min(dim_.z - 1, static_cast<int>(std::ceil(center.z + radius)) + 1);
+
+  auto inside = [&](Vec3 p) { return (p - center).norm2() <= r2; };
+
+  for (int z = z0; z <= z1; ++z)
+    for (int y = y0; y <= y1; ++y)
+      for (int x = x0; x <= x1; ++x)
+        if (inside(Vec3(Real(x), Real(y), Real(z))))
+          set_flag(idx(x, y, z), CellType::Solid);
+
+  if (!curved) return;
+
+  // Record the exact link/sphere intersection fraction q for each fluid
+  // cell whose link toward the sphere crosses the surface.
+  for (int z = std::max(0, z0 - 1); z <= std::min(dim_.z - 1, z1 + 1); ++z) {
+    for (int y = std::max(0, y0 - 1); y <= std::min(dim_.y - 1, y1 + 1); ++y) {
+      for (int x = std::max(0, x0 - 1); x <= std::min(dim_.x - 1, x1 + 1); ++x) {
+        const i64 cell = idx(x, y, z);
+        if (flag(cell) != CellType::Fluid) continue;
+        const Vec3 p{Real(x), Real(y), Real(z)};
+        for (int i = 1; i < Q; ++i) {
+          const Int3 np{x + C[i].x, y + C[i].y, z + C[i].z};
+          if (!in_bounds(np) || flag(np) != CellType::Solid) continue;
+          // Solve |p + t*c - center|^2 = r^2 for t in (0, 1].
+          const Vec3 c{Real(C[i].x), Real(C[i].y), Real(C[i].z)};
+          const Vec3 d = p - center;
+          const Real a = dot(c, c);
+          const Real b = Real(2) * dot(c, d);
+          const Real cc = dot(d, d) - r2;
+          const Real disc = b * b - Real(4) * a * cc;
+          Real q = Real(0.5);  // fall back to half-way bounce-back
+          if (disc >= Real(0)) {
+            const Real t = (-b - std::sqrt(disc)) / (Real(2) * a);
+            if (t > Real(0) && t <= Real(1)) q = t;
+          }
+          add_curved_link({cell, i, q});
+        }
+      }
+    }
+  }
+}
+
+i64 Lattice::count(CellType t) const {
+  return std::count(flags_.begin(), flags_.end(), static_cast<u8>(t));
+}
+
+}  // namespace gc::lbm

@@ -1,0 +1,159 @@
+// The LBM lattice container: a structured 3D grid of D3Q19 distribution
+// values stored as 19 contiguous planes (structure-of-arrays), double
+// buffered (A/B pattern) so streaming can pull from the previous step.
+// Mirrors the texture-stack layout of Section 4.2: one "volume" per
+// distribution, packed 4-at-a-time on the simulated GPU (see src/gpulbm).
+#pragma once
+
+#include <array>
+#include <functional>
+#include <vector>
+
+#include "lbm/model.hpp"
+#include "util/common.hpp"
+#include "util/vec3.hpp"
+
+namespace gc::lbm {
+
+/// Per-cell classification.
+enum class CellType : u8 {
+  Fluid = 0,    ///< normal LBM dynamics
+  Solid = 1,    ///< half-way bounce-back obstacle (buildings, walls)
+  Inlet = 2,    ///< imposed equilibrium at prescribed density/velocity
+  Outflow = 3,  ///< zero-gradient outflow
+};
+
+/// What lies beyond each domain face (used when a pull source is outside).
+enum class FaceBc : u8 {
+  Periodic = 0,  ///< wrap around
+  Wall = 1,      ///< half-way bounce-back
+  Inlet = 2,     ///< equilibrium inflow at (inlet_density, inlet_velocity)
+  Outflow = 3,   ///< zero gradient
+  FreeSlip = 4,  ///< specular reflection (slip wall, e.g. domain top)
+};
+
+/// Face indices for Lattice::set_face_bc.
+enum Face : int {
+  FACE_XMIN = 0, FACE_XMAX = 1,
+  FACE_YMIN = 2, FACE_YMAX = 3,
+  FACE_ZMIN = 4, FACE_ZMAX = 5,
+};
+
+/// A lattice link cut by a curved boundary surface at fraction q in (0,1]
+/// of the link length, measured from the fluid cell (Section 4.1: boundary
+/// surfaces represented by link intersections, Mei/Bouzidi interpolation).
+struct CurvedLink {
+  i64 cell;  ///< fluid cell index
+  int dir;   ///< direction pointing from the fluid cell toward the wall
+  Real q;    ///< intersection fraction along the link, in (0, 1]
+};
+
+class Lattice {
+ public:
+  explicit Lattice(Int3 dim);
+
+  Int3 dim() const { return dim_; }
+  i64 num_cells() const { return n_; }
+
+  /// Linear index of (x, y, z); x is the fastest-varying coordinate.
+  i64 idx(int x, int y, int z) const {
+    return x + i64(dim_.x) * (y + i64(dim_.y) * z);
+  }
+  i64 idx(Int3 p) const { return idx(p.x, p.y, p.z); }
+  Int3 coords(i64 cell) const;
+
+  bool in_bounds(Int3 p) const {
+    return p.x >= 0 && p.x < dim_.x && p.y >= 0 && p.y < dim_.y &&
+           p.z >= 0 && p.z < dim_.z;
+  }
+
+  // --- distribution access (current buffer) ---
+  Real f(int i, i64 cell) const { return buf_[cur_][plane(i) + cell]; }
+  void set_f(int i, i64 cell, Real v) { buf_[cur_][plane(i) + cell] = v; }
+
+  /// Raw plane pointers for kernels. `other` selects the back buffer.
+  Real* plane_ptr(int i) { return buf_[cur_].data() + plane(i); }
+  const Real* plane_ptr(int i) const { return buf_[cur_].data() + plane(i); }
+  Real* back_plane_ptr(int i) { return buf_[1 - cur_].data() + plane(i); }
+  const Real* back_plane_ptr(int i) const {
+    return buf_[1 - cur_].data() + plane(i);
+  }
+
+  /// Swap current and back buffers (after a streaming pass).
+  void swap_buffers() { cur_ = 1 - cur_; }
+
+  // --- cell flags ---
+  CellType flag(i64 cell) const { return static_cast<CellType>(flags_[cell]); }
+  CellType flag(Int3 p) const { return flag(idx(p)); }
+  void set_flag(i64 cell, CellType t) { flags_[cell] = static_cast<u8>(t); }
+  void set_flag(Int3 p, CellType t) { set_flag(idx(p), t); }
+  const std::vector<u8>& flags() const { return flags_; }
+
+  // --- domain face boundary conditions ---
+  void set_face_bc(Face face, FaceBc bc) { face_bc_[face] = bc; }
+  FaceBc face_bc(Face face) const { return face_bc_[face]; }
+
+  void set_inlet(Real density, Vec3 velocity) {
+    inlet_density_ = density;
+    inlet_velocity_ = velocity;
+  }
+  Real inlet_density() const { return inlet_density_; }
+  Vec3 inlet_velocity() const { return inlet_velocity_; }
+
+  /// Optional spatially varying inlet: the callback maps a boundary cell
+  /// to its inflow velocity (e.g. an atmospheric boundary-layer profile).
+  /// Host-only — the GPU path requires a uniform inlet.
+  void set_inlet_profile(std::function<Vec3(Int3)> profile) {
+    inlet_profile_ = std::move(profile);
+  }
+  bool has_inlet_profile() const { return static_cast<bool>(inlet_profile_); }
+  const std::function<Vec3(Int3)>& inlet_profile() const {
+    return inlet_profile_;
+  }
+
+  /// Inflow velocity at a boundary cell (profile if set, else uniform).
+  Vec3 inlet_velocity_at(Int3 cell) const {
+    return inlet_profile_ ? inlet_profile_(cell) : inlet_velocity_;
+  }
+
+  // --- curved boundary links ---
+  void add_curved_link(CurvedLink link);
+  const std::vector<CurvedLink>& curved_links() const { return curved_links_; }
+  void clear_curved_links() { curved_links_.clear(); }
+
+  // --- initialization and shape helpers ---
+  /// Sets every fluid cell to equilibrium at (rho, u).
+  void init_equilibrium(Real rho, Vec3 u);
+
+  /// Marks a solid axis-aligned box [lo, hi) (clipped to the domain).
+  void fill_solid_box(Int3 lo, Int3 hi);
+
+  /// Marks a solid sphere; optionally records curved links with exact
+  /// link-sphere intersection fractions for Bouzidi interpolation.
+  void fill_solid_sphere(Vec3 center, Real radius, bool curved = false);
+
+  /// Number of cells with the given flag.
+  i64 count(CellType t) const;
+
+  /// Bytes of distribution storage (both buffers), as the texture-memory
+  /// footprint of Section 2 would account for them.
+  i64 storage_bytes() const {
+    return i64(2) * Q * n_ * static_cast<i64>(sizeof(Real));
+  }
+
+ private:
+  i64 plane(int i) const { return i64(i) * n_; }
+
+  Int3 dim_;
+  i64 n_;
+  std::array<std::vector<Real>, 2> buf_;
+  int cur_ = 0;
+  std::vector<u8> flags_;
+  std::array<FaceBc, 6> face_bc_;
+  Real inlet_density_ = Real(1);
+  Vec3 inlet_velocity_{};
+  std::function<Vec3(Int3)> inlet_profile_;
+  std::vector<CurvedLink> curved_links_;
+};
+
+}  // namespace gc::lbm

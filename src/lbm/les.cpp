@@ -1,0 +1,62 @@
+#include "lbm/les.hpp"
+
+#include <cmath>
+
+#include "lbm/collision.hpp"
+
+namespace gc::lbm {
+
+Real smagorinsky_tau(const Real f[Q], const SmagorinskyParams& p) {
+  Real rho = 0;
+  Vec3 mom{};
+  for (int i = 0; i < Q; ++i) {
+    rho += f[i];
+    mom.x += f[i] * Real(C[i].x);
+    mom.y += f[i] * Real(C[i].y);
+    mom.z += f[i] * Real(C[i].z);
+  }
+  if (rho <= Real(0)) return p.tau0;
+  const Vec3 u = mom / rho;
+
+  Real feq[Q];
+  equilibrium_all(rho, u, feq);
+
+  // Non-equilibrium second moment Pi_ab.
+  double pi[3][3] = {{0, 0, 0}, {0, 0, 0}, {0, 0, 0}};
+  for (int i = 0; i < Q; ++i) {
+    const double dneq = double(f[i]) - feq[i];
+    for (int a = 0; a < 3; ++a) {
+      for (int b = 0; b < 3; ++b) {
+        pi[a][b] += dneq * C[i][a] * C[i][b];
+      }
+    }
+  }
+  double pipi = 0;
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) pipi += pi[a][b] * pi[a][b];
+  }
+  const double q = std::sqrt(2.0 * pipi);
+
+  const double tau0 = p.tau0;
+  const double cs2 = double(p.cs) * p.cs;
+  const double tau_eff =
+      0.5 * (tau0 + std::sqrt(tau0 * tau0 +
+                              18.0 * std::sqrt(2.0) * cs2 * q / double(rho)));
+  return static_cast<Real>(tau_eff);
+}
+
+void collide_bgk_les(Lattice& lat, const SmagorinskyParams& p) {
+  Real* planes[Q];
+  for (int i = 0; i < Q; ++i) planes[i] = lat.plane_ptr(i);
+  Real f[Q];
+  const i64 n = lat.num_cells();
+  for (i64 c = 0; c < n; ++c) {
+    if (lat.flag(c) != CellType::Fluid) continue;
+    for (int i = 0; i < Q; ++i) f[i] = planes[i][c];
+    const Real tau = smagorinsky_tau(f, p);
+    collide_bgk_cell(f, tau, Vec3{});
+    for (int i = 0; i < Q; ++i) planes[i][c] = f[i];
+  }
+}
+
+}  // namespace gc::lbm

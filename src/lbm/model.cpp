@@ -1,0 +1,61 @@
+#include "lbm/model.hpp"
+
+#include <cmath>
+
+namespace gc::lbm {
+
+void equilibrium_all(Real rho, Vec3 u, Real out[Q]) {
+  const Real uu15 = Real(1.5) * dot(u, u);
+  for (int i = 0; i < Q; ++i) {
+    const Real cu = Real(C[i].x) * u.x + Real(C[i].y) * u.y + Real(C[i].z) * u.z;
+    out[i] = W[i] * rho * (Real(1) + Real(3) * cu + Real(4.5) * cu * cu - uu15);
+  }
+}
+
+int direction_index(Int3 offset) {
+  for (int i = 0; i < Q; ++i) {
+    if (C[i] == offset) return i;
+  }
+  return -1;
+}
+
+int mirror_direction(int i, int axis) {
+  Int3 c = C[i];
+  c[axis] = -c[axis];
+  const int m = direction_index(c);
+  GC_CHECK(m >= 0);
+  return m;
+}
+
+bool model_tables_consistent() {
+  // Opposites.
+  for (int i = 0; i < Q; ++i) {
+    if (!(C[OPP[i]] == Int3{-C[i].x, -C[i].y, -C[i].z})) return false;
+    if (OPP[OPP[i]] != i) return false;
+  }
+  // Weight normalization and isotropy moments (sum w c = 0,
+  // sum w c_a c_b = cs^2 delta_ab).
+  double wsum = 0.0;
+  double m1[3] = {0, 0, 0};
+  double m2[3][3] = {{0, 0, 0}, {0, 0, 0}, {0, 0, 0}};
+  for (int i = 0; i < Q; ++i) {
+    wsum += W[i];
+    for (int a = 0; a < 3; ++a) {
+      m1[a] += W[i] * C[i][a];
+      for (int b = 0; b < 3; ++b) m2[a][b] += W[i] * C[i][a] * C[i][b];
+    }
+  }
+  // Weights are stored in Real (float) precision; the moments match the
+  // exact rationals to float rounding.
+  if (std::abs(wsum - 1.0) > 1e-6) return false;
+  for (int a = 0; a < 3; ++a) {
+    if (std::abs(m1[a]) > 1e-6) return false;
+    for (int b = 0; b < 3; ++b) {
+      const double want = (a == b) ? 1.0 / 3.0 : 0.0;
+      if (std::abs(m2[a][b] - want) > 1e-6) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace gc::lbm

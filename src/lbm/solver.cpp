@@ -1,0 +1,69 @@
+#include "lbm/solver.hpp"
+
+#include "lbm/macroscopic.hpp"
+#include "lbm/stream.hpp"
+
+namespace gc::lbm {
+
+Solver::Solver(Int3 dim, SolverConfig cfg) : cfg_(cfg), lat_(dim) {
+  if (cfg_.thermal) {
+    thermal_.emplace(dim, *cfg_.thermal);
+    GC_CHECK_MSG(cfg_.collision == CollisionKind::MRT,
+                 "the hybrid thermal model couples to the MRT collision");
+  }
+  if (cfg_.fused) {
+    GC_CHECK_MSG(cfg_.collision == CollisionKind::BGK,
+                 "fused kernel is implemented for BGK only");
+  }
+}
+
+void Solver::step() {
+  ThreadPool* pool = cfg_.pool;
+  auto do_stream = [this, pool] {
+    if (pool) {
+      stream(lat_, *pool);
+    } else {
+      stream(lat_);
+    }
+  };
+
+  if (thermal_) {
+    // Hybrid thermal step: advance T with the current velocity field,
+    // then collide with the Boussinesq force, then stream.
+    compute_velocity_field(lat_, velocity_field_);
+    thermal_->step(lat_, velocity_field_);
+    const MrtParams p = cfg_.mrt ? *cfg_.mrt : MrtParams::standard(cfg_.tau);
+    if (pool) {
+      collide_mrt(lat_, p, *pool);
+    } else {
+      collide_mrt(lat_, p);
+    }
+    thermal_->buoyancy_force(lat_, force_field_);
+    apply_force_first_order(lat_, force_field_);
+    do_stream();
+  } else if (cfg_.collision == CollisionKind::MRT) {
+    const MrtParams p = cfg_.mrt ? *cfg_.mrt : MrtParams::standard(cfg_.tau);
+    if (pool) {
+      collide_mrt(lat_, p, *pool);
+    } else {
+      collide_mrt(lat_, p);
+    }
+    do_stream();
+  } else if (cfg_.fused) {
+    fused_stream_collide(lat_, BgkParams{cfg_.tau, cfg_.body_force});
+  } else {
+    if (pool) {
+      collide_bgk(lat_, BgkParams{cfg_.tau, cfg_.body_force}, *pool);
+    } else {
+      collide_bgk(lat_, BgkParams{cfg_.tau, cfg_.body_force});
+    }
+    do_stream();
+  }
+  ++steps_;
+}
+
+void Solver::run(int steps) {
+  for (int s = 0; s < steps; ++s) step();
+}
+
+}  // namespace gc::lbm

@@ -1,0 +1,56 @@
+// Top-level single-node LBM solver: owns a Lattice (and optionally a
+// ThermalField) and advances them one step at a time. This is the serial
+// reference implementation that the simulated-GPU solver (src/gpulbm) and
+// the distributed solver (src/core) are validated against.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "lbm/collision.hpp"
+#include "lbm/lattice.hpp"
+#include "lbm/mrt.hpp"
+#include "lbm/thermal.hpp"
+
+namespace gc::lbm {
+
+enum class CollisionKind { BGK, MRT };
+
+struct SolverConfig {
+  CollisionKind collision = CollisionKind::BGK;
+  Real tau = Real(0.8);
+  Vec3 body_force{};             ///< uniform force (BGK/Guo only)
+  bool fused = false;            ///< use the fused stream+collide kernel
+  std::optional<MrtParams> mrt;  ///< overrides MrtParams::standard(tau)
+  std::optional<ThermalParams> thermal;
+  /// When set, collision and streaming run on this pool (z-slab
+  /// parallelism, bit-identical to the serial kernels). Not owned.
+  ThreadPool* pool = nullptr;
+};
+
+class Solver {
+ public:
+  Solver(Int3 dim, SolverConfig cfg);
+
+  Lattice& lattice() { return lat_; }
+  const Lattice& lattice() const { return lat_; }
+  ThermalField* thermal() { return thermal_ ? &*thermal_ : nullptr; }
+  const SolverConfig& config() const { return cfg_; }
+
+  /// One LBM time step: collide (+ thermal coupling), stream.
+  void step();
+
+  void run(int steps);
+
+  i64 step_count() const { return steps_; }
+
+ private:
+  SolverConfig cfg_;
+  Lattice lat_;
+  std::optional<ThermalField> thermal_;
+  std::vector<Vec3> force_field_;
+  std::vector<Vec3> velocity_field_;
+  i64 steps_ = 0;
+};
+
+}  // namespace gc::lbm

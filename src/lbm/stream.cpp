@@ -1,0 +1,192 @@
+#include "lbm/stream.hpp"
+
+#include "lbm/boundary.hpp"
+
+namespace gc::lbm {
+namespace detail {
+
+namespace {
+
+/// Wraps src along every periodic axis; returns false if src remains out of
+/// bounds on some non-periodic axis (the crossed face index goes to *face).
+bool resolve_periodic(const Lattice& lat, Int3& src, int* face) {
+  const Int3 d = lat.dim();
+  *face = -1;
+  for (int a = 0; a < 3; ++a) {
+    const int lo_face = 2 * a;      // FACE_{X,Y,Z}MIN
+    const int hi_face = 2 * a + 1;  // FACE_{X,Y,Z}MAX
+    if (src[a] < 0) {
+      if (lat.face_bc(static_cast<Face>(lo_face)) == FaceBc::Periodic) {
+        src[a] += d[a];
+      } else if (*face < 0) {
+        *face = lo_face;
+      }
+    } else if (src[a] >= d[a]) {
+      if (lat.face_bc(static_cast<Face>(hi_face)) == FaceBc::Periodic) {
+        src[a] -= d[a];
+      } else if (*face < 0) {
+        *face = hi_face;
+      }
+    }
+  }
+  return *face < 0;
+}
+
+}  // namespace
+
+Real pull_value(const Lattice& lat, Int3 p, int i) {
+  Int3 src = p - C[i];
+  int face = -1;
+  if (!resolve_periodic(lat, src, &face)) {
+    // The pull crosses a non-periodic domain face.
+    const FaceBc bc = lat.face_bc(static_cast<Face>(face));
+    switch (bc) {
+      case FaceBc::Inlet:
+        return equilibrium(i, lat.inlet_density(), lat.inlet_velocity_at(p));
+      case FaceBc::Wall:
+        return lat.f(OPP[i], lat.idx(p));  // half-way bounce-back
+      case FaceBc::Outflow:
+        return lat.f(i, lat.idx(p));  // zero gradient
+      case FaceBc::FreeSlip: {
+        // Specular reflection: pull the mirrored direction from the same
+        // boundary row — only the tangential offset applies.
+        const int axis = face / 2;
+        const int m = mirror_direction(i, axis);
+        Int3 cm = C[m];
+        cm[axis] = 0;
+        Int3 srcm = p - cm;
+        int face2 = -1;
+        if (resolve_periodic(lat, srcm, &face2) &&
+            lat.flag(srcm) != CellType::Solid) {
+          return lat.f(m, lat.idx(srcm));
+        }
+        return lat.f(OPP[i], lat.idx(p));  // corner fallback: bounce-back
+      }
+      case FaceBc::Periodic:
+        break;  // unreachable: periodic was resolved above
+    }
+    return lat.f(OPP[i], lat.idx(p));
+  }
+
+  switch (lat.flag(src)) {
+    case CellType::Solid:
+      return lat.f(OPP[i], lat.idx(p));  // half-way bounce-back at obstacle
+    case CellType::Inlet:
+      return equilibrium(i, lat.inlet_density(), lat.inlet_velocity_at(src));
+    case CellType::Outflow:
+      return lat.f(i, lat.idx(p));
+    case CellType::Fluid:
+      break;
+  }
+  return lat.f(i, lat.idx(src));
+}
+
+bool is_interior_fluid(const Lattice& lat, Int3 p) {
+  const Int3 d = lat.dim();
+  if (p.x < 1 || p.y < 1 || p.z < 1 || p.x >= d.x - 1 || p.y >= d.y - 1 ||
+      p.z >= d.z - 1) {
+    return false;
+  }
+  if (lat.flag(p) != CellType::Fluid) return false;
+  for (int i = 1; i < Q; ++i) {
+    if (lat.flag(p - C[i]) != CellType::Fluid) return false;
+  }
+  return true;
+}
+
+}  // namespace detail
+
+namespace {
+
+/// Streams slices [z0, z1) from the current into the back buffer.
+void stream_z_range(Lattice& lat, int z0, int z1) {
+  const Int3 d = lat.dim();
+  const i64 sx = 1, sy = d.x, sz = i64(d.x) * d.y;
+
+  // Per-direction linear offset of the pull source for interior cells.
+  i64 shift[Q];
+  for (int i = 0; i < Q; ++i) {
+    shift[i] = -(C[i].x * sx + C[i].y * sy + C[i].z * sz);
+  }
+
+  const Real* src[Q];
+  Real* dst[Q];
+  for (int i = 0; i < Q; ++i) {
+    src[i] = lat.plane_ptr(i);
+    dst[i] = lat.back_plane_ptr(i);
+  }
+  const u8 fluid = static_cast<u8>(CellType::Fluid);
+  const auto& flags = lat.flags();
+
+  for (int z = z0; z < z1; ++z) {
+    for (int y = 0; y < d.y; ++y) {
+      const bool row_interior =
+          z >= 1 && z < d.z - 1 && y >= 1 && y < d.y - 1;
+      i64 cell = lat.idx(0, y, z);
+      for (int x = 0; x < d.x; ++x, ++cell) {
+        const CellType t = static_cast<CellType>(flags[cell]);
+        if (t == CellType::Solid) {
+          for (int i = 0; i < Q; ++i) dst[i][cell] = Real(0);
+          continue;
+        }
+        bool fast = row_interior && x >= 1 && x < d.x - 1 && t == CellType::Fluid;
+        if (fast) {
+          for (int i = 1; i < Q; ++i) {
+            if (flags[cell + shift[i]] != fluid) {
+              fast = false;
+              break;
+            }
+          }
+        }
+        if (fast) {
+          dst[0][cell] = src[0][cell];
+          for (int i = 1; i < Q; ++i) dst[i][cell] = src[i][cell + shift[i]];
+        } else {
+          const Int3 p{x, y, z};
+          for (int i = 0; i < Q; ++i) {
+            dst[i][cell] = detail::pull_value(lat, p, i);
+          }
+        }
+      }
+    }
+  }
+
+}
+
+/// Buffer swap + inlet re-imposition + curved-boundary corrections.
+void finish_stream(Lattice& lat) {
+  lat.swap_buffers();
+
+  if (lat.count(CellType::Inlet) > 0) {
+    Real feq[Q];
+    equilibrium_all(lat.inlet_density(), lat.inlet_velocity(), feq);
+    const i64 n = lat.num_cells();
+    for (i64 c = 0; c < n; ++c) {
+      if (lat.flag(c) == CellType::Inlet) {
+        if (lat.has_inlet_profile()) {
+          equilibrium_all(lat.inlet_density(),
+                          lat.inlet_velocity_at(lat.coords(c)), feq);
+        }
+        for (int i = 0; i < Q; ++i) lat.set_f(i, c, feq[i]);
+      }
+    }
+  }
+
+  apply_curved_bounce(lat);
+}
+
+}  // namespace
+
+void stream(Lattice& lat) {
+  stream_z_range(lat, 0, lat.dim().z);
+  finish_stream(lat);
+}
+
+void stream(Lattice& lat, ThreadPool& pool) {
+  pool.parallel_for_chunks(0, lat.dim().z, [&lat](i64 z0, i64 z1) {
+    stream_z_range(lat, static_cast<int>(z0), static_cast<int>(z1));
+  });
+  finish_stream(lat);
+}
+
+}  // namespace gc::lbm

@@ -1,0 +1,34 @@
+// Streaming (propagation) step, Section 4.1: particles move synchronously
+// along their links in discrete time. Implemented as a "pull": the new
+// f_i at x is fetched from x - c_i in the previous buffer — exactly the
+// gather operation the paper's fragment programs perform on the GPU
+// (Section 4.2), which is why the simulated-GPU path reuses pull_value().
+#pragma once
+
+#include "lbm/lattice.hpp"
+#include "util/thread_pool.hpp"
+
+namespace gc::lbm {
+
+/// Streams every cell from the current buffer into the back buffer,
+/// applying face boundary conditions, half-way bounce-back at solids,
+/// inlet equilibria and outflow copies; then swaps buffers and applies
+/// curved-boundary (Bouzidi) corrections for registered links.
+void stream(Lattice& lat);
+
+/// Multithreaded variant: z-slabs stream concurrently on the pool (the
+/// pull pattern has no write conflicts). Bit-identical to stream().
+void stream(Lattice& lat, ThreadPool& pool);
+
+namespace detail {
+
+/// Value pulled for direction i at cell position p, with all boundary
+/// handling. Reads the *current* buffer; callers write the back buffer.
+Real pull_value(const Lattice& lat, Int3 p, int i);
+
+/// True when all 19 pull sources of p are in-bounds fluid cells — the fast
+/// path where streaming is a plain shifted copy.
+bool is_interior_fluid(const Lattice& lat, Int3 p);
+
+}  // namespace detail
+}  // namespace gc::lbm

@@ -1,0 +1,162 @@
+#include "lbm/thermal.hpp"
+
+#include <algorithm>
+
+namespace gc::lbm {
+
+ThermalField::ThermalField(Int3 dim, ThermalParams params)
+    : dim_(dim), params_(params) {
+  const auto n = static_cast<std::size_t>(dim.volume());
+  T_.assign(n, params.t_ref);
+  T_next_.assign(n, params.t_ref);
+  // Explicit 7-point diffusion stability: kappa * 6 < 1.
+  GC_CHECK_MSG(params.kappa >= Real(0) && params.kappa < Real(1.0 / 6.0),
+               "thermal diffusivity out of explicit-stability range: "
+                   << params.kappa);
+}
+
+void ThermalField::fill(Real v) {
+  std::fill(T_.begin(), T_.end(), v);
+}
+
+void ThermalField::step(const Lattice& lat, const std::vector<Vec3>& velocity) {
+  GC_CHECK(lat.dim() == dim_);
+  GC_CHECK(velocity.size() == T_.size());
+  const Int3 d = dim_;
+
+  // Neighbor temperature with boundary handling: solid or out-of-domain
+  // neighbors are adiabatic (mirror own value); periodic faces wrap;
+  // Dirichlet z-plates (if enabled) impose the plate temperature.
+  auto neighbor_t = [&](Int3 p, int axis, int dir, Real own) -> Real {
+    Int3 q = p;
+    q[axis] += dir;
+    if (q[axis] < 0 || q[axis] >= d[axis]) {
+      const Face face = static_cast<Face>(2 * axis + (dir > 0 ? 1 : 0));
+      if (axis == 2 && params_.dirichlet_z) {
+        return dir > 0 ? params_.t_cold : params_.t_hot;
+      }
+      if (lat.face_bc(face) == FaceBc::Periodic) {
+        q[axis] = (q[axis] + d[axis]) % d[axis];
+      } else {
+        return own;  // adiabatic
+      }
+    }
+    const i64 qc = idx(q.x, q.y, q.z);
+    if (lat.flag(qc) == CellType::Solid) return own;
+    return T_[static_cast<std::size_t>(qc)];
+  };
+
+  for (int z = 0; z < d.z; ++z) {
+    for (int y = 0; y < d.y; ++y) {
+      for (int x = 0; x < d.x; ++x) {
+        const i64 c = idx(x, y, z);
+        const auto ci = static_cast<std::size_t>(c);
+        if (lat.flag(c) == CellType::Solid) {
+          T_next_[ci] = T_[ci];
+          continue;
+        }
+        const Real own = T_[ci];
+        const Int3 p{x, y, z};
+        Real lap = Real(0);
+        Real adv = Real(0);
+        const Vec3 u = velocity[ci];
+        for (int a = 0; a < 3; ++a) {
+          const Real tm = neighbor_t(p, a, -1, own);
+          const Real tp = neighbor_t(p, a, +1, own);
+          lap += tm + tp - Real(2) * own;
+          const Real ua = u[a];
+          // First-order upwind derivative along axis a.
+          adv += ua > Real(0) ? ua * (own - tm) : ua * (tp - own);
+        }
+        T_next_[ci] = own + params_.kappa * lap - adv;
+      }
+    }
+  }
+  T_.swap(T_next_);
+}
+
+void ThermalField::buoyancy_force(const Lattice& lat,
+                                  std::vector<Vec3>& force) const {
+  GC_CHECK(lat.dim() == dim_);
+  force.assign(T_.size(), Vec3{});
+  for (std::size_t c = 0; c < T_.size(); ++c) {
+    if (lat.flag(static_cast<i64>(c)) == CellType::Solid) continue;
+    force[c].z = params_.buoyancy * (T_[c] - params_.t_ref);
+  }
+}
+
+double ThermalField::total_heat(const Lattice& lat) const {
+  double sum = 0.0;
+  for (std::size_t c = 0; c < T_.size(); ++c) {
+    if (lat.flag(static_cast<i64>(c)) == CellType::Solid) continue;
+    sum += static_cast<double>(T_[c]);
+  }
+  return sum;
+}
+
+void apply_force_first_order_region(Lattice& lat,
+                                    const std::vector<Vec3>& force, Int3 lo,
+                                    Int3 hi) {
+  GC_CHECK(static_cast<i64>(force.size()) == lat.num_cells());
+  for (int i = 1; i < Q; ++i) {
+    Real* p = lat.plane_ptr(i);
+    const Real wx = Real(3) * W[i] * Real(C[i].x);
+    const Real wy = Real(3) * W[i] * Real(C[i].y);
+    const Real wz = Real(3) * W[i] * Real(C[i].z);
+    for (int z = lo.z; z < hi.z; ++z) {
+      for (int y = lo.y; y < hi.y; ++y) {
+        i64 c = lat.idx(lo.x, y, z);
+        for (int x = lo.x; x < hi.x; ++x, ++c) {
+          if (lat.flag(c) != CellType::Fluid) continue;
+          const Vec3& F = force[static_cast<std::size_t>(c)];
+          p[c] += wx * F.x + wy * F.y + wz * F.z;
+        }
+      }
+    }
+  }
+}
+
+void compute_velocity_region(const Lattice& lat, std::vector<Vec3>& u,
+                             Int3 lo, Int3 hi) {
+  GC_CHECK(static_cast<i64>(u.size()) == lat.num_cells());
+  for (int z = lo.z; z < hi.z; ++z) {
+    for (int y = lo.y; y < hi.y; ++y) {
+      i64 c = lat.idx(lo.x, y, z);
+      for (int x = lo.x; x < hi.x; ++x, ++c) {
+        if (lat.flag(c) == CellType::Solid) {
+          u[static_cast<std::size_t>(c)] = Vec3{};
+          continue;
+        }
+        Real rho = 0;
+        Vec3 mom{};
+        for (int i = 0; i < Q; ++i) {
+          const Real fi = lat.f(i, c);
+          rho += fi;
+          mom.x += fi * Real(C[i].x);
+          mom.y += fi * Real(C[i].y);
+          mom.z += fi * Real(C[i].z);
+        }
+        u[static_cast<std::size_t>(c)] =
+            rho > Real(0) ? mom / rho : Vec3{};
+      }
+    }
+  }
+}
+
+void apply_force_first_order(Lattice& lat, const std::vector<Vec3>& force) {
+  const i64 n = lat.num_cells();
+  GC_CHECK(static_cast<i64>(force.size()) == n);
+  for (int i = 1; i < Q; ++i) {
+    Real* p = lat.plane_ptr(i);
+    const Real wx = Real(3) * W[i] * Real(C[i].x);
+    const Real wy = Real(3) * W[i] * Real(C[i].y);
+    const Real wz = Real(3) * W[i] * Real(C[i].z);
+    for (i64 c = 0; c < n; ++c) {
+      if (lat.flag(c) != CellType::Fluid) continue;
+      const Vec3& F = force[static_cast<std::size_t>(c)];
+      p[c] += wx * F.x + wy * F.y + wz * F.z;
+    }
+  }
+}
+
+}  // namespace gc::lbm

@@ -1,0 +1,58 @@
+#include "linalg/cg.hpp"
+
+#include <cmath>
+
+namespace gc::linalg {
+
+CgResult cg_solve(
+    const std::function<std::vector<Real>(const std::vector<Real>&)>& apply,
+    const std::vector<Real>& b, std::vector<Real>& x, const CgParams& params) {
+  GC_CHECK(b.size() == x.size());
+  CgResult result;
+
+  const double bnorm = norm2(b);
+  if (bnorm == 0.0) {
+    std::fill(x.begin(), x.end(), Real(0));
+    result.converged = true;
+    return result;
+  }
+
+  std::vector<Real> r = b;
+  {
+    const std::vector<Real> ax = apply(x);
+    for (std::size_t i = 0; i < r.size(); ++i) r[i] -= ax[i];
+  }
+  std::vector<Real> p = r;
+  double rr = dot(r, r);
+
+  for (int it = 0; it < params.max_iterations; ++it) {
+    result.residual = std::sqrt(rr) / bnorm;
+    if (result.residual < params.rel_tolerance) {
+      result.converged = true;
+      return result;
+    }
+    const std::vector<Real> ap = apply(p);
+    const double pap = dot(p, ap);
+    GC_CHECK_MSG(pap > 0.0, "matrix is not positive definite (p.Ap = "
+                                << pap << ")");
+    const Real alpha = static_cast<Real>(rr / pap);
+    axpy(alpha, p, x);
+    axpy(-alpha, ap, r);
+    const double rr_new = dot(r, r);
+    const Real beta = static_cast<Real>(rr_new / rr);
+    for (std::size_t i = 0; i < p.size(); ++i) p[i] = r[i] + beta * p[i];
+    rr = rr_new;
+    result.iterations = it + 1;
+  }
+  result.residual = std::sqrt(rr) / bnorm;
+  result.converged = result.residual < params.rel_tolerance;
+  return result;
+}
+
+CgResult cg_solve(const CsrMatrix& a, const std::vector<Real>& b,
+                  std::vector<Real>& x, const CgParams& params) {
+  return cg_solve([&a](const std::vector<Real>& v) { return a.multiply(v); },
+                  b, x, params);
+}
+
+}  // namespace gc::linalg

@@ -1,0 +1,35 @@
+// Conjugate gradient for symmetric positive-definite sparse systems — the
+// iterative solver Section 6 cites (Krueger & Westermann; Bolz et al.)
+// for implicit finite differences and FEM on the GPU (cluster).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "linalg/csr.hpp"
+
+namespace gc::linalg {
+
+struct CgResult {
+  int iterations = 0;
+  double residual = 0.0;  ///< final ||b - Ax|| / ||b||
+  bool converged = false;
+};
+
+struct CgParams {
+  double rel_tolerance = 1e-5;
+  int max_iterations = 1000;
+};
+
+/// Matrix-free CG: `apply` computes A x. `x` carries the initial guess
+/// and receives the solution.
+CgResult cg_solve(
+    const std::function<std::vector<Real>(const std::vector<Real>&)>& apply,
+    const std::vector<Real>& b, std::vector<Real>& x,
+    const CgParams& params = {});
+
+/// Convenience overload on a CSR matrix.
+CgResult cg_solve(const CsrMatrix& a, const std::vector<Real>& b,
+                  std::vector<Real>& x, const CgParams& params = {});
+
+}  // namespace gc::linalg

@@ -1,0 +1,132 @@
+#include "linalg/csr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace gc::linalg {
+
+CsrMatrix::CsrMatrix(int rows, int cols, std::vector<i64> row_ptr,
+                     std::vector<int> col_idx, std::vector<Real> values)
+    : rows_(rows),
+      cols_(cols),
+      row_ptr_(std::move(row_ptr)),
+      col_idx_(std::move(col_idx)),
+      values_(std::move(values)) {
+  GC_CHECK(rows >= 0 && cols >= 0);
+  GC_CHECK(row_ptr_.size() == static_cast<std::size_t>(rows) + 1);
+  GC_CHECK(row_ptr_.front() == 0);
+  GC_CHECK(row_ptr_.back() == static_cast<i64>(col_idx_.size()));
+  GC_CHECK(col_idx_.size() == values_.size());
+  for (int c : col_idx_) GC_CHECK(c >= 0 && c < cols);
+}
+
+std::vector<Real> CsrMatrix::multiply(const std::vector<Real>& x) const {
+  GC_CHECK(static_cast<int>(x.size()) == cols_);
+  std::vector<Real> y(static_cast<std::size_t>(rows_), Real(0));
+  for (int r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (i64 k = row_ptr_[static_cast<std::size_t>(r)];
+         k < row_ptr_[static_cast<std::size_t>(r) + 1]; ++k) {
+      acc += static_cast<double>(values_[static_cast<std::size_t>(k)]) *
+             x[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])];
+    }
+    y[static_cast<std::size_t>(r)] = static_cast<Real>(acc);
+  }
+  return y;
+}
+
+int CsrMatrix::max_row_nnz() const {
+  i64 best = 0;
+  for (int r = 0; r < rows_; ++r) {
+    best = std::max(best, row_ptr_[static_cast<std::size_t>(r) + 1] -
+                              row_ptr_[static_cast<std::size_t>(r)]);
+  }
+  return static_cast<int>(best);
+}
+
+bool CsrMatrix::is_symmetric(Real tol) const {
+  if (rows_ != cols_) return false;
+  std::map<std::pair<int, int>, Real> entries;
+  for (int r = 0; r < rows_; ++r) {
+    for (i64 k = row_ptr_[static_cast<std::size_t>(r)];
+         k < row_ptr_[static_cast<std::size_t>(r) + 1]; ++k) {
+      entries[{r, col_idx_[static_cast<std::size_t>(k)]}] =
+          values_[static_cast<std::size_t>(k)];
+    }
+  }
+  for (const auto& [pos, v] : entries) {
+    auto it = entries.find({pos.second, pos.first});
+    const Real other = it == entries.end() ? Real(0) : it->second;
+    if (std::abs(v - other) > tol) return false;
+  }
+  return true;
+}
+
+CsrMatrix CsrMatrix::poisson3d(Int3 dim, Real diagonal_shift) {
+  const int n = static_cast<int>(dim.volume());
+  auto idx = [&dim](int x, int y, int z) {
+    return x + dim.x * (y + dim.y * z);
+  };
+  std::vector<i64> row_ptr(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<int> col_idx;
+  std::vector<Real> values;
+  col_idx.reserve(static_cast<std::size_t>(n) * 7);
+  values.reserve(static_cast<std::size_t>(n) * 7);
+
+  for (int z = 0; z < dim.z; ++z) {
+    for (int y = 0; y < dim.y; ++y) {
+      for (int x = 0; x < dim.x; ++x) {
+        const int r = idx(x, y, z);
+        // Row entries in column order for determinism.
+        struct Entry {
+          int col;
+          Real val;
+        };
+        std::vector<Entry> row;
+        row.push_back({r, Real(6) + diagonal_shift});
+        auto add = [&row, &idx, &dim](int xx, int yy, int zz) {
+          if (xx < 0 || yy < 0 || zz < 0 || xx >= dim.x || yy >= dim.y ||
+              zz >= dim.z) {
+            return;  // Dirichlet boundary: the neighbor term drops
+          }
+          row.push_back({idx(xx, yy, zz), Real(-1)});
+        };
+        add(x - 1, y, z);
+        add(x + 1, y, z);
+        add(x, y - 1, z);
+        add(x, y + 1, z);
+        add(x, y, z - 1);
+        add(x, y, z + 1);
+        std::sort(row.begin(), row.end(),
+                  [](const Entry& a, const Entry& b) { return a.col < b.col; });
+        for (const Entry& e : row) {
+          col_idx.push_back(e.col);
+          values.push_back(e.val);
+        }
+        row_ptr[static_cast<std::size_t>(r) + 1] =
+            static_cast<i64>(col_idx.size());
+      }
+    }
+  }
+  return CsrMatrix(n, n, std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+double dot(const std::vector<Real>& a, const std::vector<Real>& b) {
+  GC_CHECK(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<double>(a[i]) * b[i];
+  }
+  return acc;
+}
+
+void axpy(Real alpha, const std::vector<Real>& x, std::vector<Real>& y) {
+  GC_CHECK(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+double norm2(const std::vector<Real>& a) { return std::sqrt(dot(a, a)); }
+
+}  // namespace gc::linalg

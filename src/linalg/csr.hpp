@@ -1,0 +1,60 @@
+// Sparse matrices for the implicit-method path of Section 6: implicit
+// finite differences and FEM reduce to solving large sparse systems
+// Ax = y; this is the substrate the (distributed, GPU) conjugate-gradient
+// solvers operate on.
+#pragma once
+
+#include <vector>
+
+#include "util/common.hpp"
+#include "util/vec3.hpp"
+
+namespace gc::linalg {
+
+/// Compressed-sparse-row matrix with Real (float) values, mirroring the
+/// 32-bit precision of the GPU path.
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+  CsrMatrix(int rows, int cols, std::vector<i64> row_ptr,
+            std::vector<int> col_idx, std::vector<Real> values);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  i64 nnz() const { return static_cast<i64>(values_.size()); }
+
+  const std::vector<i64>& row_ptr() const { return row_ptr_; }
+  const std::vector<int>& col_idx() const { return col_idx_; }
+  const std::vector<Real>& values() const { return values_; }
+
+  /// y = A x.
+  std::vector<Real> multiply(const std::vector<Real>& x) const;
+
+  /// Max nonzeros in any row (the ELL width for the GPU texture layout).
+  int max_row_nnz() const;
+
+  bool is_symmetric(Real tol = Real(1e-6)) const;
+
+  /// 7-point Laplacian of a 3D grid with Dirichlet boundaries: the matrix
+  /// of an implicit diffusion/pressure solve (Section 6's canonical
+  /// sparse system). Diagonal 6 + eps, off-diagonals -1.
+  static CsrMatrix poisson3d(Int3 dim, Real diagonal_shift = Real(0));
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<i64> row_ptr_;
+  std::vector<int> col_idx_;
+  std::vector<Real> values_;
+};
+
+/// Dot product with double accumulation (CG needs stable reductions).
+double dot(const std::vector<Real>& a, const std::vector<Real>& b);
+
+/// y += alpha * x
+void axpy(Real alpha, const std::vector<Real>& x, std::vector<Real>& y);
+
+/// L2 norm.
+double norm2(const std::vector<Real>& a);
+
+}  // namespace gc::linalg

@@ -1,0 +1,235 @@
+#include "linalg/distributed_cg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <set>
+
+namespace gc::linalg {
+
+using netsim::Comm;
+using netsim::Payload;
+
+namespace {
+
+constexpr int TAG_PROXY = 7000;  // + sender rank
+
+struct RankPlan {
+  int lo = 0;
+  int hi = 0;  ///< owned rows [lo, hi)
+  // Local matrix in CSR over local slots: owned rows remapped to
+  // [0, hi-lo), proxy columns appended after the owned ones.
+  std::vector<i64> row_ptr;
+  std::vector<int> col_slot;
+  std::vector<Real> values;
+  std::vector<int> proxy_global;           ///< global index per proxy slot
+  std::map<int, std::vector<int>> send_to; ///< rank -> my global indices
+  std::map<int, std::vector<int>> recv_from;  ///< rank -> proxy slot list
+};
+
+int owner_of(int global, int n, int ranks) {
+  // Near-even contiguous partition, mirroring split_start in the
+  // decomposition module.
+  const int base = n / ranks;
+  const int rem = n % ranks;
+  // Rows [r*base + min(r, rem), ...) belong to rank r.
+  // Invert by scanning (ranks is small).
+  for (int r = 0; r < ranks; ++r) {
+    const int lo = r * base + std::min(r, rem);
+    const int hi = (r + 1) * base + std::min(r + 1, rem);
+    if (global >= lo && global < hi) return r;
+  }
+  GC_CHECK(false);
+  return -1;
+}
+
+RankPlan build_plan(const CsrMatrix& a, int rank, int ranks) {
+  const int n = a.rows();
+  const int base = n / ranks;
+  const int rem = n % ranks;
+  RankPlan plan;
+  plan.lo = rank * base + std::min(rank, rem);
+  plan.hi = (rank + 1) * base + std::min(rank + 1, rem);
+
+  // Collect the external (proxy) columns my rows touch.
+  std::set<int> external;
+  for (int r = plan.lo; r < plan.hi; ++r) {
+    for (i64 k = a.row_ptr()[static_cast<std::size_t>(r)];
+         k < a.row_ptr()[static_cast<std::size_t>(r) + 1]; ++k) {
+      const int col = a.col_idx()[static_cast<std::size_t>(k)];
+      if (col < plan.lo || col >= plan.hi) external.insert(col);
+    }
+  }
+  std::map<int, int> proxy_slot;  // global -> local slot
+  const int owned = plan.hi - plan.lo;
+  for (int g : external) {
+    proxy_slot[g] = owned + static_cast<int>(plan.proxy_global.size());
+    plan.proxy_global.push_back(g);
+    plan.recv_from[owner_of(g, n, ranks)].push_back(proxy_slot[g]);
+  }
+
+  // Remap my rows onto local slots.
+  plan.row_ptr.push_back(0);
+  for (int r = plan.lo; r < plan.hi; ++r) {
+    for (i64 k = a.row_ptr()[static_cast<std::size_t>(r)];
+         k < a.row_ptr()[static_cast<std::size_t>(r) + 1]; ++k) {
+      const int col = a.col_idx()[static_cast<std::size_t>(k)];
+      const int slot = (col >= plan.lo && col < plan.hi)
+                           ? col - plan.lo
+                           : proxy_slot.at(col);
+      plan.col_slot.push_back(slot);
+      plan.values.push_back(a.values()[static_cast<std::size_t>(k)]);
+    }
+    plan.row_ptr.push_back(static_cast<i64>(plan.col_slot.size()));
+  }
+  return plan;
+}
+
+}  // namespace
+
+DistributedCgStats distributed_cg_solve(const CsrMatrix& a,
+                                        const std::vector<Real>& b,
+                                        std::vector<Real>& x, int ranks,
+                                        const CgParams& params) {
+  GC_CHECK(a.rows() == a.cols());
+  GC_CHECK(static_cast<int>(b.size()) == a.rows());
+  GC_CHECK(x.size() == b.size());
+  GC_CHECK(ranks >= 1);
+
+  DistributedCgStats stats;
+  std::mutex out_mu;
+
+  // Every rank also needs to know which of its entries the others want:
+  // build all plans up front (cheap, and mirrors a real setup phase).
+  std::vector<RankPlan> plans;
+  plans.reserve(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) plans.push_back(build_plan(a, r, ranks));
+  for (int r = 0; r < ranks; ++r) {
+    for (const auto& [owner, slots] : plans[static_cast<std::size_t>(r)].recv_from) {
+      auto& list = plans[static_cast<std::size_t>(owner)].send_to[r];
+      for (int slot : slots) {
+        list.push_back(plans[static_cast<std::size_t>(r)]
+                           .proxy_global[static_cast<std::size_t>(
+                               slot - (plans[static_cast<std::size_t>(r)].hi -
+                                       plans[static_cast<std::size_t>(r)].lo))]);
+      }
+    }
+  }
+  for (const RankPlan& p : plans) {
+    stats.proxy_values_exchanged += static_cast<i64>(p.proxy_global.size());
+    stats.messages_per_iteration += static_cast<i64>(p.recv_from.size());
+  }
+
+  netsim::MpiLite world(ranks);
+  world.run([&](Comm& comm) {
+    const RankPlan& plan = plans[static_cast<std::size_t>(comm.rank())];
+    const int owned = plan.hi - plan.lo;
+    const int slots = owned + static_cast<int>(plan.proxy_global.size());
+
+    // Local vectors: x, r, p over owned entries; p additionally has the
+    // proxy tail refreshed each iteration.
+    std::vector<Real> xl(b.begin() + plan.lo, b.begin() + plan.hi);
+    for (int i = 0; i < owned; ++i) {
+      xl[static_cast<std::size_t>(i)] = x[static_cast<std::size_t>(plan.lo + i)];
+    }
+    std::vector<Real> p_full(static_cast<std::size_t>(slots), Real(0));
+
+    // Exchange the proxy entries of the vector whose owned part is `v`.
+    auto refresh_proxies = [&](const std::vector<Real>& v) {
+      for (const auto& [dst, globals] : plan.send_to) {
+        Payload out;
+        out.reserve(globals.size());
+        for (int g : globals) {
+          out.push_back(v[static_cast<std::size_t>(g - plan.lo)]);
+        }
+        comm.send(dst, TAG_PROXY + comm.rank(), std::move(out));
+      }
+      for (const auto& [src, proxy_slots] : plan.recv_from) {
+        const Payload in = comm.recv(src, TAG_PROXY + src);
+        GC_CHECK(in.size() == proxy_slots.size());
+        for (std::size_t i = 0; i < in.size(); ++i) {
+          p_full[static_cast<std::size_t>(proxy_slots[i])] = in[i];
+        }
+      }
+    };
+
+    auto local_matvec = [&](const std::vector<Real>& v_owned) {
+      // v_owned fills the owned slots; proxies were refreshed already.
+      for (int i = 0; i < owned; ++i) {
+        p_full[static_cast<std::size_t>(i)] = v_owned[static_cast<std::size_t>(i)];
+      }
+      std::vector<Real> y(static_cast<std::size_t>(owned), Real(0));
+      for (int r = 0; r < owned; ++r) {
+        double acc = 0.0;
+        for (i64 k = plan.row_ptr[static_cast<std::size_t>(r)];
+             k < plan.row_ptr[static_cast<std::size_t>(r) + 1]; ++k) {
+          acc += static_cast<double>(
+                     plan.values[static_cast<std::size_t>(k)]) *
+                 p_full[static_cast<std::size_t>(
+                     plan.col_slot[static_cast<std::size_t>(k)])];
+        }
+        y[static_cast<std::size_t>(r)] = static_cast<Real>(acc);
+      }
+      return y;
+    };
+
+    std::vector<Real> bl(b.begin() + plan.lo, b.begin() + plan.hi);
+    const double bnorm =
+        std::sqrt(comm.allreduce_sum(dot(bl, bl)));
+
+    // r = b - A x
+    refresh_proxies(xl);
+    std::vector<Real> rl = bl;
+    {
+      const std::vector<Real> ax = local_matvec(xl);
+      for (int i = 0; i < owned; ++i) {
+        rl[static_cast<std::size_t>(i)] -= ax[static_cast<std::size_t>(i)];
+      }
+    }
+    std::vector<Real> pl = rl;
+    double rr = comm.allreduce_sum(dot(rl, rl));
+
+    CgResult local_result;
+    for (int it = 0; it < params.max_iterations; ++it) {
+      local_result.residual = bnorm == 0.0 ? 0.0 : std::sqrt(rr) / bnorm;
+      if (local_result.residual < params.rel_tolerance) {
+        local_result.converged = true;
+        break;
+      }
+      refresh_proxies(pl);
+      const std::vector<Real> ap = local_matvec(pl);
+      const double pap = comm.allreduce_sum(dot(pl, ap));
+      GC_CHECK_MSG(pap > 0.0, "matrix not positive definite");
+      const Real alpha = static_cast<Real>(rr / pap);
+      axpy(alpha, pl, xl);
+      axpy(-alpha, ap, rl);
+      const double rr_new = comm.allreduce_sum(dot(rl, rl));
+      const Real beta = static_cast<Real>(rr_new / rr);
+      for (int i = 0; i < owned; ++i) {
+        pl[static_cast<std::size_t>(i)] =
+            rl[static_cast<std::size_t>(i)] +
+            beta * pl[static_cast<std::size_t>(i)];
+      }
+      rr = rr_new;
+      local_result.iterations = it + 1;
+    }
+    if (!local_result.converged) {
+      local_result.residual = bnorm == 0.0 ? 0.0 : std::sqrt(rr) / bnorm;
+      local_result.converged = local_result.residual < params.rel_tolerance;
+    }
+
+    // Publish the owned slice (and, from rank 0, the stats).
+    {
+      std::lock_guard<std::mutex> lock(out_mu);
+      for (int i = 0; i < owned; ++i) {
+        x[static_cast<std::size_t>(plan.lo + i)] =
+            xl[static_cast<std::size_t>(i)];
+      }
+      if (comm.rank() == 0) stats.result = local_result;
+    }
+  });
+  return stats;
+}
+
+}  // namespace gc::linalg

@@ -1,0 +1,110 @@
+#include "linalg/gpu_matvec.hpp"
+
+#include <cmath>
+
+namespace gc::linalg {
+
+using gpusim::FragmentContext;
+using gpusim::Rect;
+using gpusim::RGBA;
+
+namespace {
+
+/// One fragment per row: acc += val_k * x[ptr_k] over the ELL width.
+/// Unit 0: x; units 1 + 2k: indirection; units 2 + 2k: coefficients.
+class MatvecProgram : public gpusim::FragmentProgram {
+ public:
+  explicit MatvecProgram(int k) : k_(k) {}
+
+  RGBA shade(FragmentContext& ctx) const override {
+    const int x = ctx.x();
+    const int y = ctx.y();
+    float acc = 0.0f;
+    for (int k = 0; k < k_; ++k) {
+      const RGBA ptr = ctx.fetch(1 + 2 * k, x, y);
+      const RGBA val = ctx.fetch(2 + 2 * k, x, y);
+      if (val.r == 0.0f) continue;  // padding slot
+      // Dependent (indirect) fetch: coordinates came from a texture.
+      const RGBA xv = ctx.fetch(0, static_cast<int>(ptr.r),
+                                static_cast<int>(ptr.g));
+      acc += val.r * xv.r;
+    }
+    RGBA out;
+    out.r = acc;
+    return out;
+  }
+  std::string name() const override { return "sparse_matvec"; }
+  int arithmetic_instructions() const override { return 2 * k_; }
+
+ private:
+  int k_;
+};
+
+}  // namespace
+
+GpuSparseMatrix::GpuSparseMatrix(gpusim::GpuDevice& dev, const CsrMatrix& a)
+    : dev_(dev), rows_(a.rows()), k_(a.max_row_nnz()) {
+  GC_CHECK_MSG(a.rows() == a.cols(), "square matrices only");
+  w_ = std::max(1, static_cast<int>(std::ceil(std::sqrt(double(rows_)))));
+  h_ = (rows_ + w_ - 1) / w_;
+
+  x_tex_ = dev_.create_texture(w_, h_);
+  y_tex_ = dev_.create_texture(w_, h_);
+
+  // Build the ELL slot textures.
+  const std::size_t texels = static_cast<std::size_t>(w_) * h_;
+  for (int k = 0; k < k_; ++k) {
+    std::vector<float> ptr(texels * 4, 0.0f);
+    std::vector<float> val(texels * 4, 0.0f);
+    for (int r = 0; r < rows_; ++r) {
+      const i64 begin = a.row_ptr()[static_cast<std::size_t>(r)];
+      const i64 end = a.row_ptr()[static_cast<std::size_t>(r) + 1];
+      if (begin + k >= end) continue;
+      const int col = a.col_idx()[static_cast<std::size_t>(begin + k)];
+      const Real v = a.values()[static_cast<std::size_t>(begin + k)];
+      const auto t = static_cast<std::size_t>(r) * 4;
+      ptr[t] = static_cast<float>(col % w_);
+      ptr[t + 1] = static_cast<float>(col / w_);
+      val[t] = v;
+    }
+    ptr_tex_.push_back(dev_.create_texture(w_, h_));
+    val_tex_.push_back(dev_.create_texture(w_, h_));
+    dev_.upload(ptr_tex_.back(), ptr);
+    dev_.upload(val_tex_.back(), val);
+  }
+}
+
+GpuSparseMatrix::~GpuSparseMatrix() {
+  dev_.destroy_texture(x_tex_);
+  dev_.destroy_texture(y_tex_);
+  for (auto id : ptr_tex_) dev_.destroy_texture(id);
+  for (auto id : val_tex_) dev_.destroy_texture(id);
+}
+
+std::vector<Real> GpuSparseMatrix::multiply(const std::vector<Real>& x) {
+  GC_CHECK(static_cast<int>(x.size()) == rows_);
+  const std::size_t texels = static_cast<std::size_t>(w_) * h_;
+  std::vector<float> xt(texels * 4, 0.0f);
+  for (int r = 0; r < rows_; ++r) {
+    xt[static_cast<std::size_t>(r) * 4] = x[static_cast<std::size_t>(r)];
+  }
+  dev_.upload(x_tex_, xt);
+
+  std::vector<gpusim::TextureId> bound;
+  bound.push_back(x_tex_);
+  for (int k = 0; k < k_; ++k) {
+    bound.push_back(ptr_tex_[static_cast<std::size_t>(k)]);
+    bound.push_back(val_tex_[static_cast<std::size_t>(k)]);
+  }
+  MatvecProgram prog(k_);
+  dev_.render(prog, y_tex_, Rect{0, 0, w_, h_}, bound, gpusim::Uniforms{});
+
+  const std::vector<float> yt = dev_.readback(y_tex_);
+  std::vector<Real> y(static_cast<std::size_t>(rows_));
+  for (int r = 0; r < rows_; ++r) {
+    y[static_cast<std::size_t>(r)] = yt[static_cast<std::size_t>(r) * 4];
+  }
+  return y;
+}
+
+}  // namespace gc::linalg

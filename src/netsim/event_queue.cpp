@@ -1,0 +1,23 @@
+#include "netsim/event_queue.hpp"
+
+namespace gc::netsim {
+
+void EventQueue::schedule_at(double t, Handler fn) {
+  GC_CHECK_MSG(t >= now_, "cannot schedule event in the past: " << t << " < "
+                                                                << now_);
+  heap_.push(Event{t, seq_++, std::move(fn)});
+}
+
+double EventQueue::run() {
+  while (!heap_.empty()) {
+    // priority_queue::top returns const&; move out via const_cast is UB —
+    // copy the handler instead (events are small).
+    Event ev = heap_.top();
+    heap_.pop();
+    now_ = ev.t;
+    ev.fn();
+  }
+  return now_;
+}
+
+}  // namespace gc::netsim

@@ -1,0 +1,50 @@
+// A minimal discrete-event simulation core: events execute in time order;
+// ties break by insertion sequence so runs are deterministic.
+#pragma once
+
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace gc::netsim {
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Current simulation time (seconds). Only advances during run().
+  double now() const { return now_; }
+
+  /// Schedule `fn` at absolute time t (>= now).
+  void schedule_at(double t, Handler fn);
+
+  /// Schedule `fn` `dt` seconds from now.
+  void schedule_in(double dt, Handler fn) { schedule_at(now_ + dt, std::move(fn)); }
+
+  /// Process events until the queue drains; returns the final time.
+  double run();
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+
+ private:
+  struct Event {
+    double t;
+    u64 seq;
+    Handler fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  u64 seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+};
+
+}  // namespace gc::netsim

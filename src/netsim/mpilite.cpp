@@ -1,0 +1,122 @@
+#include "netsim/mpilite.hpp"
+
+#include <exception>
+#include <thread>
+
+namespace gc::netsim {
+
+int Comm::size() const { return world_->size(); }
+
+void Comm::send(int dst, int tag, Payload data) {
+  world_->do_send(rank_, dst, tag, std::move(data));
+}
+
+Payload Comm::recv(int src, int tag) {
+  return world_->do_recv(src, rank_, tag);
+}
+
+Payload Comm::sendrecv(int partner, int tag, Payload data) {
+  send(partner, tag, std::move(data));
+  return recv(partner, tag);
+}
+
+void Comm::barrier() { world_->do_barrier(); }
+
+double Comm::allreduce_sum(double value) {
+  // Payload carries the double split into two Reals? No — encode via a
+  // single-element payload per 32-bit half would lose precision; instead
+  // serialize through memcpy into two floats' bit patterns.
+  static constexpr int kTagGather = 90001;
+  static constexpr int kTagBcast = 90002;
+  auto encode = [](double v) {
+    Payload p(2);
+    static_assert(sizeof(double) == 2 * sizeof(Real));
+    std::memcpy(p.data(), &v, sizeof(double));
+    return p;
+  };
+  auto decode = [](const Payload& p) {
+    double v;
+    GC_CHECK(p.size() == 2);
+    std::memcpy(&v, p.data(), sizeof(double));
+    return v;
+  };
+
+  const int n = size();
+  if (n == 1) return value;
+  if (rank() == 0) {
+    double total = value;
+    for (int r = 1; r < n; ++r) {
+      total += decode(world_->do_recv(r, 0, kTagGather));
+    }
+    for (int r = 1; r < n; ++r) {
+      world_->do_send(0, r, kTagBcast, encode(total));
+    }
+    return total;
+  }
+  world_->do_send(rank_, 0, kTagGather, encode(value));
+  return decode(world_->do_recv(0, rank_, kTagBcast));
+}
+
+MpiLite::MpiLite(int ranks) : ranks_(ranks) {
+  GC_CHECK_MSG(ranks >= 1, "MpiLite needs at least one rank");
+}
+
+void MpiLite::run(const std::function<void(Comm&)>& node_main) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(ranks_));
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+
+  for (int r = 0; r < ranks_; ++r) {
+    threads.emplace_back([this, r, &node_main, &err_mu, &first_error] {
+      try {
+        Comm comm(this, r);
+        node_main(comm);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void MpiLite::do_send(int src, int dst, int tag, Payload data) {
+  GC_CHECK_MSG(dst >= 0 && dst < ranks_, "send to invalid rank " << dst);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    total_messages_ += 1;
+    total_values_ += static_cast<i64>(data.size());
+    mailboxes_[Key{src, dst, tag}].push(std::move(data));
+  }
+  cv_.notify_all();
+}
+
+Payload MpiLite::do_recv(int src, int dst, int tag) {
+  GC_CHECK_MSG(src >= 0 && src < ranks_, "recv from invalid rank " << src);
+  std::unique_lock<std::mutex> lock(mu_);
+  const Key key{src, dst, tag};
+  cv_.wait(lock, [this, &key] {
+    auto it = mailboxes_.find(key);
+    return it != mailboxes_.end() && !it->second.empty();
+  });
+  auto& q = mailboxes_[key];
+  Payload data = std::move(q.front());
+  q.pop();
+  return data;
+}
+
+void MpiLite::do_barrier() {
+  std::unique_lock<std::mutex> lock(barrier_mu_);
+  const u64 gen = barrier_generation_;
+  if (++barrier_waiting_ == ranks_) {
+    barrier_waiting_ = 0;
+    ++barrier_generation_;
+    barrier_cv_.notify_all();
+  } else {
+    barrier_cv_.wait(lock, [this, gen] { return barrier_generation_ != gen; });
+  }
+}
+
+}  // namespace gc::netsim

@@ -1,0 +1,99 @@
+// MpiLite: an in-process message-passing layer in the style of the MPI
+// subset the paper uses (point-to-point send/recv + barrier). Each logical
+// cluster node runs as a thread; mailboxes are keyed by (src, dst, tag).
+// This layer provides the *functional* data movement of the distributed
+// LBM; the *timing* of the same traffic comes from netsim::SwitchModel.
+#pragma once
+
+#include <condition_variable>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <queue>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace gc::netsim {
+
+using Payload = std::vector<Real>;
+
+class MpiLite;
+
+/// Per-rank communicator handle (valid only inside run()).
+class Comm {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+
+  /// Non-blocking send: enqueues a copy for (dst, tag).
+  void send(int dst, int tag, Payload data);
+
+  /// Blocking receive of the next message from (src, tag), FIFO order.
+  Payload recv(int src, int tag);
+
+  /// Combined exchange with a partner (both sides must call it).
+  Payload sendrecv(int partner, int tag, Payload data);
+
+  /// Synchronizes all ranks.
+  void barrier();
+
+  /// Global sum across ranks; every rank receives the result (naive
+  /// gather-to-root + broadcast, which is all the paper's solvers need).
+  double allreduce_sum(double value);
+
+ private:
+  friend class MpiLite;
+  Comm(MpiLite* world, int rank) : world_(world), rank_(rank) {}
+  MpiLite* world_;
+  int rank_;
+};
+
+class MpiLite {
+ public:
+  explicit MpiLite(int ranks);
+
+  int size() const { return ranks_; }
+
+  /// Runs `node_main(comm)` on `ranks` threads and joins them. Exceptions
+  /// thrown by any rank are captured and rethrown (first one wins).
+  void run(const std::function<void(Comm&)>& node_main);
+
+  /// Total messages and bytes that passed through the mailboxes (for
+  /// traffic accounting and tests).
+  i64 total_messages() const { return total_messages_; }
+  i64 total_payload_values() const { return total_values_; }
+
+ private:
+  friend class Comm;
+
+  struct Key {
+    int src, dst, tag;
+    bool operator<(const Key& o) const {
+      if (src != o.src) return src < o.src;
+      if (dst != o.dst) return dst < o.dst;
+      return tag < o.tag;
+    }
+  };
+
+  void do_send(int src, int dst, int tag, Payload data);
+  Payload do_recv(int src, int dst, int tag);
+  void do_barrier();
+
+  int ranks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<Key, std::queue<Payload>> mailboxes_;
+
+  // Generation-counting barrier.
+  std::mutex barrier_mu_;
+  std::condition_variable barrier_cv_;
+  int barrier_waiting_ = 0;
+  u64 barrier_generation_ = 0;
+
+  i64 total_messages_ = 0;
+  i64 total_values_ = 0;
+};
+
+}  // namespace gc::netsim

@@ -1,0 +1,130 @@
+#include "netsim/switch_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gc::netsim {
+
+NetSpec NetSpec::gigabit_ethernet() {
+  NetSpec s;
+  s.name = "1 Gigabit Ethernet";
+  s.port_Bps = 125e6;
+  // Calibrated against the network-communication column of Table 1
+  // (see DESIGN.md Section 5 and bench_fig8).
+  s.msg_setup_s = 2.0e-3;
+  s.step_sync_s = 13.0e-3;
+  s.barrier_coef_s = 0.08e-3;
+  s.jitter_coef_s = 0.35e-3;
+  s.backplane_flows = 24.0;
+  s.congestion_penalty_s = 3.5e-3;
+  s.interrupt_penalty_s = 8.0e-3;
+  return s;
+}
+
+NetSpec NetSpec::myrinet2000() {
+  NetSpec s;
+  s.name = "Myrinet 2000";
+  s.port_Bps = 250e6;
+  s.msg_setup_s = 30e-6;
+  s.step_sync_s = 100e-6;
+  s.barrier_coef_s = 2e-6;
+  s.jitter_coef_s = 8e-6;
+  s.backplane_flows = 64.0;  // full-bisection fabric
+  s.congestion_penalty_s = 0.2e-3;
+  s.interrupt_penalty_s = 0.3e-3;
+  return s;
+}
+
+double SwitchModel::step_seconds(int active_pairs, i64 max_pair_bytes,
+                                 int nodes, bool barrier) const {
+  if (active_pairs == 0) return 0.0;
+  GC_CHECK(active_pairs > 0 && nodes > 0 && max_pair_bytes >= 0);
+
+  const double transfer =
+      spec_.msg_setup_s +
+      static_cast<double>(max_pair_bytes) / spec_.port_Bps;
+
+  const int flows = 2 * active_pairs;  // full-duplex exchange
+  const double excess = std::max(0.0, flows - spec_.backplane_flows);
+  const double congestion = excess * spec_.congestion_penalty_s;
+
+  const double sync =
+      barrier ? spec_.barrier_coef_s * nodes * std::log2(std::max(2, nodes))
+              : spec_.jitter_coef_s * nodes;
+
+  return spec_.step_sync_s + transfer + congestion + sync;
+}
+
+NetworkTiming SwitchModel::scheduled_seconds(const CommSchedule& sched,
+                                             i64 pair_bytes,
+                                             bool barrier) const {
+  std::vector<std::vector<i64>> bytes(sched.steps.size());
+  for (std::size_t k = 0; k < sched.steps.size(); ++k) {
+    bytes[k].assign(sched.steps[k].size(), pair_bytes);
+  }
+  return scheduled_seconds(sched, bytes, barrier);
+}
+
+NetworkTiming SwitchModel::scheduled_seconds(
+    const CommSchedule& sched, const std::vector<std::vector<i64>>& bytes,
+    bool barrier) const {
+  GC_CHECK(bytes.size() == sched.steps.size());
+  NetworkTiming out;
+  const int nodes = sched.grid.num_nodes();
+  for (std::size_t k = 0; k < sched.steps.size(); ++k) {
+    const auto& step = sched.steps[k];
+    GC_CHECK(bytes[k].size() == step.size());
+    StepTiming st;
+    st.active_pairs = static_cast<int>(step.size());
+    st.flows = 2 * st.active_pairs;
+    i64 max_bytes = 0;
+    for (i64 b : bytes[k]) max_bytes = std::max(max_bytes, b);
+    st.seconds = step_seconds(st.active_pairs, max_bytes, nodes, barrier);
+    out.total_s += st.seconds;
+    out.steps.push_back(st);
+  }
+  return out;
+}
+
+double SwitchModel::direct_exchange_seconds(const std::vector<Message>& msgs,
+                                            int nodes) const {
+  GC_CHECK(nodes > 0);
+  std::vector<double> sender_free(static_cast<std::size_t>(nodes), 0.0);
+  std::vector<double> receiver_free(static_cast<std::size_t>(nodes), 0.0);
+  std::vector<bool> done(msgs.size(), false);
+
+  // Greedy event simulation: repeatedly start the feasible message with
+  // the earliest possible start time (deterministic tie-break by index).
+  double makespan = 0.0;
+  for (std::size_t round = 0; round < msgs.size(); ++round) {
+    std::size_t pick = msgs.size();
+    double pick_start = 0.0;
+    for (std::size_t m = 0; m < msgs.size(); ++m) {
+      if (done[m]) continue;
+      const double start = sender_free[static_cast<std::size_t>(msgs[m].src)];
+      if (pick == msgs.size() || start < pick_start) {
+        pick = m;
+        pick_start = start;
+      }
+    }
+    GC_CHECK(pick < msgs.size());
+    const Message& msg = msgs[pick];
+    double start = pick_start;
+    const auto dst = static_cast<std::size_t>(msg.dst);
+    if (receiver_free[dst] > start) {
+      // Receiver port busy: the new transfer waits and the interruption
+      // costs both sides extra (the paper's finding (1)).
+      start = receiver_free[dst] + spec_.interrupt_penalty_s;
+    }
+    const double dur = spec_.msg_setup_s +
+                       static_cast<double>(msg.bytes) / spec_.port_Bps;
+    const double finish = start + dur;
+    sender_free[static_cast<std::size_t>(msg.src)] = finish;
+    receiver_free[dst] = finish;
+    makespan = std::max(makespan, finish);
+    done[pick] = true;
+  }
+  return makespan;
+}
+
+}  // namespace gc::netsim

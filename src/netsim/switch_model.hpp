@@ -1,0 +1,91 @@
+// Timing model of the cluster interconnect (1 Gigabit Ethernet switch in
+// the paper, Section 3/4.3). Reproduces the two empirical findings of
+// Section 4.3: (1) a third node sending into an in-progress transfer
+// interrupts it and hurts badly (modeled in direct_exchange_seconds), and
+// (2) transferring to more neighbors costs more than the same bytes to
+// fewer neighbors (per-exchange setup + per-step costs). Also models the
+// barrier trade-off: MPI_Barrier per step pays n*log2(n) but removes the
+// jitter-induced interference that otherwise grows with n — the paper's
+// crossover at ~16 nodes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netsim/schedule.hpp"
+#include "util/common.hpp"
+
+namespace gc::netsim {
+
+struct NetSpec {
+  std::string name;
+  double port_Bps;             ///< per-direction port bandwidth
+  double msg_setup_s;          ///< software cost per pairwise exchange
+  double step_sync_s;          ///< fixed cost per schedule step
+  double barrier_coef_s;       ///< barrier cost/step = coef * n * log2(n)
+  double jitter_coef_s;        ///< no-barrier interference/step = coef * n
+  double backplane_flows;      ///< simultaneous line-rate flows sustained
+  double congestion_penalty_s; ///< extra per excess flow per step
+  double interrupt_penalty_s;  ///< penalty when a busy receiver is hit
+                               ///< by another sender (unscheduled mode)
+
+  /// The paper's switch, calibrated against Table 1's network column.
+  static NetSpec gigabit_ethernet();
+  /// The "faster network" enhancement of Section 4.4.
+  static NetSpec myrinet2000();
+
+  /// The paper's rule: barrier-synchronize each step up to 16 nodes.
+  static bool auto_barrier(int nodes) { return nodes <= 16; }
+};
+
+struct StepTiming {
+  int active_pairs = 0;
+  int flows = 0;
+  double seconds = 0.0;
+};
+
+struct NetworkTiming {
+  std::vector<StepTiming> steps;
+  double total_s = 0.0;
+};
+
+/// A point-to-point message for the unscheduled (ablation) mode.
+struct Message {
+  int src;
+  int dst;
+  i64 bytes;
+};
+
+class SwitchModel {
+ public:
+  explicit SwitchModel(NetSpec spec) : spec_(std::move(spec)) {}
+
+  const NetSpec& spec() const { return spec_; }
+
+  /// Duration of one schedule step in which `active_pairs` disjoint pairs
+  /// exchange `max_pair_bytes` each way, on a cluster of `nodes` nodes.
+  double step_seconds(int active_pairs, i64 max_pair_bytes, int nodes,
+                      bool barrier) const;
+
+  /// Timing of a full schedule round with uniform per-pair payloads.
+  /// Steps with no pairs cost nothing (they are skipped at run time).
+  NetworkTiming scheduled_seconds(const CommSchedule& sched, i64 pair_bytes,
+                                  bool barrier) const;
+
+  /// Variant with per-step, per-pair payload sizes (bytes[step][pair]),
+  /// e.g. when indirect diagonal traffic inflates certain messages.
+  NetworkTiming scheduled_seconds(const CommSchedule& sched,
+                                  const std::vector<std::vector<i64>>& bytes,
+                                  bool barrier) const;
+
+  /// Unscheduled mode: every node fires its messages at once; sender and
+  /// receiver ports serialize, and a message arriving at a busy receiver
+  /// delays both transfers by interrupt_penalty_s. Returns the makespan.
+  double direct_exchange_seconds(const std::vector<Message>& msgs,
+                                 int nodes) const;
+
+ private:
+  NetSpec spec_;
+};
+
+}  // namespace gc::netsim

@@ -1,0 +1,142 @@
+#include "util/args.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace gc {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void ArgParser::add_int(const std::string& name, long default_value,
+                        const std::string& help) {
+  GC_CHECK_MSG(!options_.count(name), "duplicate option --" << name);
+  options_[name] = Option{Kind::Int, help, std::to_string(default_value)};
+  order_.push_back(name);
+}
+
+void ArgParser::add_real(const std::string& name, double default_value,
+                         const std::string& help) {
+  GC_CHECK_MSG(!options_.count(name), "duplicate option --" << name);
+  std::ostringstream os;
+  os << default_value;
+  options_[name] = Option{Kind::Real, help, os.str()};
+  order_.push_back(name);
+}
+
+void ArgParser::add_string(const std::string& name,
+                           const std::string& default_value,
+                           const std::string& help) {
+  GC_CHECK_MSG(!options_.count(name), "duplicate option --" << name);
+  options_[name] = Option{Kind::String, help, default_value};
+  order_.push_back(name);
+}
+
+void ArgParser::add_flag(const std::string& name, const std::string& help) {
+  GC_CHECK_MSG(!options_.count(name), "duplicate option --" << name);
+  options_[name] = Option{Kind::Flag, help, "0"};
+  order_.push_back(name);
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  for (int k = 1; k < argc; ++k) {
+    std::string arg = argv[k];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(help().c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "%s: unexpected argument '%s' (see --help)\n",
+                   program_.c_str(), arg.c_str());
+      return false;
+    }
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    auto it = options_.find(arg);
+    if (it == options_.end()) {
+      std::fprintf(stderr, "%s: unknown option '--%s' (see --help)\n",
+                   program_.c_str(), arg.c_str());
+      return false;
+    }
+    Option& opt = it->second;
+    if (opt.kind == Kind::Flag) {
+      opt.value = "1";
+      continue;
+    }
+    if (!has_value) {
+      if (k + 1 >= argc) {
+        std::fprintf(stderr, "%s: option '--%s' needs a value\n",
+                     program_.c_str(), arg.c_str());
+        return false;
+      }
+      value = argv[++k];
+    }
+    // Validate the textual value for typed options.
+    char* end = nullptr;
+    if (opt.kind == Kind::Int) {
+      (void)std::strtol(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0') {
+        std::fprintf(stderr, "%s: '--%s' expects an integer, got '%s'\n",
+                     program_.c_str(), arg.c_str(), value.c_str());
+        return false;
+      }
+    } else if (opt.kind == Kind::Real) {
+      (void)std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0') {
+        std::fprintf(stderr, "%s: '--%s' expects a number, got '%s'\n",
+                     program_.c_str(), arg.c_str(), value.c_str());
+        return false;
+      }
+    }
+    opt.value = value;
+  }
+  return true;
+}
+
+const ArgParser::Option& ArgParser::find(const std::string& name,
+                                         Kind kind) const {
+  auto it = options_.find(name);
+  GC_CHECK_MSG(it != options_.end(), "option --" << name << " not registered");
+  GC_CHECK_MSG(it->second.kind == kind,
+               "option --" << name << " accessed with the wrong type");
+  return it->second;
+}
+
+long ArgParser::get_int(const std::string& name) const {
+  return std::strtol(find(name, Kind::Int).value.c_str(), nullptr, 10);
+}
+
+double ArgParser::get_real(const std::string& name) const {
+  return std::strtod(find(name, Kind::Real).value.c_str(), nullptr);
+}
+
+const std::string& ArgParser::get_string(const std::string& name) const {
+  return find(name, Kind::String).value;
+}
+
+bool ArgParser::get_flag(const std::string& name) const {
+  return find(name, Kind::Flag).value == "1";
+}
+
+std::string ArgParser::help() const {
+  std::ostringstream os;
+  os << program_ << " — " << description_ << "\n\noptions:\n";
+  for (const std::string& name : order_) {
+    const Option& opt = options_.at(name);
+    os << "  --" << name;
+    if (opt.kind != Kind::Flag) os << " <" << opt.value << ">";
+    os << "\n      " << opt.help << "\n";
+  }
+  os << "  --help\n      show this text\n";
+  return os.str();
+}
+
+}  // namespace gc

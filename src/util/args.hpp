@@ -1,0 +1,53 @@
+// Minimal command-line parsing for the example binaries: --name=value /
+// --name value flags with typed defaults and a generated --help text.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace gc {
+
+class ArgParser {
+ public:
+  ArgParser(std::string program, std::string description);
+
+  /// Registers options (call before parse).
+  void add_int(const std::string& name, long default_value,
+               const std::string& help);
+  void add_real(const std::string& name, double default_value,
+                const std::string& help);
+  void add_string(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parses argv. Returns false when --help was requested or an argument
+  /// was invalid (a diagnostic is printed); callers should exit then.
+  bool parse(int argc, const char* const* argv);
+
+  long get_int(const std::string& name) const;
+  double get_real(const std::string& name) const;
+  const std::string& get_string(const std::string& name) const;
+  bool get_flag(const std::string& name) const;
+
+  /// The generated usage text.
+  std::string help() const;
+
+ private:
+  enum class Kind { Int, Real, String, Flag };
+  struct Option {
+    Kind kind;
+    std::string help;
+    std::string value;  // canonical textual value
+  };
+  const Option& find(const std::string& name, Kind kind) const;
+
+  std::string program_;
+  std::string description_;
+  std::vector<std::string> order_;
+  std::map<std::string, Option> options_;
+};
+
+}  // namespace gc

@@ -1,0 +1,54 @@
+// Common small utilities shared across all gpucluster modules.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gc {
+
+/// Floating-point type used by the LBM numerics. The paper's GPU path is
+/// single precision (32-bit, the FX 5800's fragment pipeline); we mirror it.
+using Real = float;
+
+using u8 = std::uint8_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+
+/// Thrown by GC_CHECK / precondition failures anywhere in the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* cond, const char* file, int line,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << cond;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace gc
+
+/// Precondition/invariant check that is always on (library code is not hot
+/// enough for these to matter; kernels avoid them in inner loops).
+#define GC_CHECK(cond)                                              \
+  do {                                                              \
+    if (!(cond)) ::gc::detail::fail(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define GC_CHECK_MSG(cond, msg)                                        \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::ostringstream gc_os_;                                       \
+      gc_os_ << msg;                                                   \
+      ::gc::detail::fail(#cond, __FILE__, __LINE__, gc_os_.str());     \
+    }                                                                  \
+  } while (0)

@@ -1,0 +1,69 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace gc {
+
+namespace {
+u64 splitmix64(u64& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  u64 z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+inline u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(u64 seed) {
+  u64 sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+u64 Rng::next_u64() {
+  const u64 result = rotl(s_[1] * 5, 7) * 9;
+  const u64 t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 random mantissa bits -> [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+i64 Rng::uniform_int(i64 lo, i64 hi) {
+  GC_CHECK(lo <= hi);
+  const u64 span = static_cast<u64>(hi - lo) + 1;
+  // Rejection-free modulo is fine here: span << 2^64 for all our uses.
+  return lo + static_cast<i64>(next_u64() % span);
+}
+
+double Rng::normal() {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = 0.0;
+  do { u1 = uniform(); } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  have_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+bool Rng::chance(double p) { return uniform() < p; }
+
+Rng Rng::split() { return Rng(next_u64()); }
+
+}  // namespace gc

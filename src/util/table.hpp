@@ -1,0 +1,45 @@
+// Console table formatting used by the benchmark harnesses to print the
+// paper's tables and figure series in a readable, diff-able layout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gc {
+
+/// A simple column-aligned text table with an optional title, printed to
+/// any ostream and convertible to CSV. Cells are strings; numeric helpers
+/// format with fixed precision.
+class Table {
+ public:
+  explicit Table(std::string title = "") : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header);
+
+  /// Starts a new row; subsequent cell() calls append to it.
+  Table& row();
+  Table& cell(const std::string& s);
+  Table& cell(const char* s) { return cell(std::string(s)); }
+  Table& cell(long v);
+  Table& cell(int v) { return cell(static_cast<long>(v)); }
+  Table& cell(double v, int precision = 2);
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Render with aligned columns.
+  std::string str() const;
+  /// Render as CSV (header + rows).
+  std::string csv() const;
+  /// Print to stdout.
+  void print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helper: fixed-precision double -> string.
+std::string fmt(double v, int precision = 2);
+
+}  // namespace gc

@@ -1,0 +1,90 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace gc {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push(std::move(task));
+    ++in_flight_;
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(i64 begin, i64 end,
+                              const std::function<void(i64)>& body) {
+  parallel_for_chunks(begin, end, [&body](i64 lo, i64 hi) {
+    for (i64 i = lo; i < hi; ++i) body(i);
+  });
+}
+
+void ThreadPool::parallel_for_chunks(
+    i64 begin, i64 end, const std::function<void(i64, i64)>& body) {
+  const i64 n = end - begin;
+  if (n <= 0) return;
+  const i64 parts = std::min<i64>(static_cast<i64>(size()), n);
+  if (parts <= 1) {
+    body(begin, end);
+    return;
+  }
+  const i64 chunk = (n + parts - 1) / parts;
+  for (i64 p = 0; p < parts; ++p) {
+    const i64 lo = begin + p * chunk;
+    const i64 hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    submit([&body, lo, hi] { body(lo, hi); });
+  }
+  wait();
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace gc

@@ -1,0 +1,60 @@
+// A small fixed-size thread pool with a blocking parallel_for, in the style
+// of an OpenMP static-schedule worksharing loop. Used to run LBM kernels
+// and to host the logical cluster nodes of MpiLite.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace gc {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue an arbitrary task (fire and forget; use wait() to drain).
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait();
+
+  /// Static-partition parallel loop over [begin, end). Blocks until done.
+  /// The body receives (index). Chunks are contiguous so kernels stay
+  /// cache-friendly; with a single worker it degenerates to a serial loop.
+  void parallel_for(i64 begin, i64 end, const std::function<void(i64)>& body);
+
+  /// Chunked variant: body receives a [chunk_begin, chunk_end) range.
+  /// Preferred for kernels — avoids a std::function call per element.
+  void parallel_for_chunks(i64 begin, i64 end,
+                           const std::function<void(i64, i64)>& body);
+
+  /// Process-wide pool sized to the hardware. Lazily constructed.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_done_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace gc

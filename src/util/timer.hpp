@@ -1,0 +1,46 @@
+// Wall-clock timing helpers for the "measured mode" of the benchmarks.
+#pragma once
+
+#include <chrono>
+#include <string>
+
+namespace gc {
+
+/// Monotonic stopwatch; reports elapsed seconds / milliseconds.
+class Timer {
+ public:
+  Timer() { reset(); }
+
+  void reset() { start_ = clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates total time and call count for a named section.
+class SectionTimer {
+ public:
+  explicit SectionTimer(std::string name) : name_(std::move(name)) {}
+
+  void add(double seconds) {
+    total_ += seconds;
+    ++count_;
+  }
+  double total_seconds() const { return total_; }
+  long count() const { return count_; }
+  double mean_seconds() const { return count_ ? total_ / count_ : 0.0; }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  double total_ = 0.0;
+  long count_ = 0;
+};
+
+}  // namespace gc

@@ -1,0 +1,62 @@
+// Small fixed-size vector types used for lattice coordinates and velocities.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <ostream>
+
+#include "util/common.hpp"
+
+namespace gc {
+
+/// Integer 3-vector (lattice coordinates, node-grid coordinates, offsets).
+struct Int3 {
+  int x = 0, y = 0, z = 0;
+
+  constexpr Int3() = default;
+  constexpr Int3(int x_, int y_, int z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr int& operator[](int i) { return i == 0 ? x : (i == 1 ? y : z); }
+  constexpr int operator[](int i) const { return i == 0 ? x : (i == 1 ? y : z); }
+
+  friend constexpr Int3 operator+(Int3 a, Int3 b) { return {a.x + b.x, a.y + b.y, a.z + b.z}; }
+  friend constexpr Int3 operator-(Int3 a, Int3 b) { return {a.x - b.x, a.y - b.y, a.z - b.z}; }
+  friend constexpr Int3 operator*(Int3 a, int s) { return {a.x * s, a.y * s, a.z * s}; }
+  friend constexpr bool operator==(Int3 a, Int3 b) { return a.x == b.x && a.y == b.y && a.z == b.z; }
+  friend constexpr bool operator!=(Int3 a, Int3 b) { return !(a == b); }
+
+  /// Total number of cells in a box of this extent.
+  constexpr i64 volume() const { return i64(x) * i64(y) * i64(z); }
+
+  friend std::ostream& operator<<(std::ostream& os, Int3 v) {
+    return os << "(" << v.x << "," << v.y << "," << v.z << ")";
+  }
+};
+
+/// Real-valued 3-vector (velocities, positions).
+struct Vec3 {
+  Real x = 0, y = 0, z = 0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(Real x_, Real y_, Real z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr Real& operator[](int i) { return i == 0 ? x : (i == 1 ? y : z); }
+  constexpr Real operator[](int i) const { return i == 0 ? x : (i == 1 ? y : z); }
+
+  friend constexpr Vec3 operator+(Vec3 a, Vec3 b) { return {a.x + b.x, a.y + b.y, a.z + b.z}; }
+  friend constexpr Vec3 operator-(Vec3 a, Vec3 b) { return {a.x - b.x, a.y - b.y, a.z - b.z}; }
+  friend constexpr Vec3 operator*(Vec3 a, Real s) { return {a.x * s, a.y * s, a.z * s}; }
+  friend constexpr Vec3 operator*(Real s, Vec3 a) { return a * s; }
+  friend constexpr Vec3 operator/(Vec3 a, Real s) { return {a.x / s, a.y / s, a.z / s}; }
+  Vec3& operator+=(Vec3 b) { x += b.x; y += b.y; z += b.z; return *this; }
+
+  friend constexpr Real dot(Vec3 a, Vec3 b) { return a.x * b.x + a.y * b.y + a.z * b.z; }
+  Real norm2() const { return x * x + y * y + z * z; }
+  Real norm() const { return std::sqrt(norm2()); }
+
+  friend std::ostream& operator<<(std::ostream& os, Vec3 v) {
+    return os << "(" << v.x << "," << v.y << "," << v.z << ")";
+  }
+};
+
+}  // namespace gc

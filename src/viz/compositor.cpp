@@ -1,0 +1,104 @@
+#include "viz/compositor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gc::viz {
+
+ImageTile ImageTile::blank(int w, int h) {
+  ImageTile t;
+  t.width = w;
+  t.height = h;
+  t.rgba.assign(static_cast<std::size_t>(w) * h * 4, 0.0f);
+  return t;
+}
+
+ImageTile composite_over(const ImageTile& front, const ImageTile& back) {
+  GC_CHECK(front.width == back.width && front.height == back.height);
+  ImageTile out = front;
+  for (std::size_t p = 0; p < out.rgba.size(); p += 4) {
+    const float transparency = 1.0f - front.rgba[p + 3];
+    for (int c = 0; c < 4; ++c) {
+      out.rgba[p + static_cast<std::size_t>(c)] =
+          front.rgba[p + static_cast<std::size_t>(c)] +
+          transparency * back.rgba[p + static_cast<std::size_t>(c)];
+    }
+  }
+  return out;
+}
+
+ImageTile composite_cluster(const core::Decomposition3& decomp,
+                            const std::vector<ImageTile>& tiles,
+                            int view_axis, bool positive) {
+  GC_CHECK(static_cast<int>(tiles.size()) == decomp.num_nodes());
+  GC_CHECK(view_axis >= 0 && view_axis < 3);
+
+  // Depth order: nodes nearer the viewer composite in front.
+  std::vector<int> order(tiles.size());
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    order[k] = static_cast<int>(k);
+  }
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const int pa = decomp.block(a).lo[view_axis];
+    const int pb = decomp.block(b).lo[view_axis];
+    return positive ? pa > pb : pa < pb;
+  });
+
+  ImageTile acc = tiles[static_cast<std::size_t>(order[0])];
+  for (std::size_t k = 1; k < order.size(); ++k) {
+    acc = composite_over(acc, tiles[static_cast<std::size_t>(order[k])]);
+  }
+  return acc;
+}
+
+ImageTile render_density_tile(const core::Decomposition3& decomp, int node,
+                              const std::vector<float>& density,
+                              int view_axis, float opacity_scale) {
+  GC_CHECK(view_axis >= 0 && view_axis < 3);
+  const core::SubDomain& b = decomp.block(node);
+  const Int3 size = b.size();
+  GC_CHECK(static_cast<i64>(density.size()) == size.volume());
+
+  // Screen axes: the two non-view axes, lower axis horizontal.
+  const int ax_u = view_axis == 0 ? 1 : 0;
+  const int ax_v = view_axis == 2 ? 1 : 2;
+  const Int3 global = decomp.lattice_dim();
+  ImageTile tile = ImageTile::blank(global[ax_u], global[ax_v]);
+
+  for (int v = 0; v < size[ax_v]; ++v) {
+    for (int u = 0; u < size[ax_u]; ++u) {
+      // Accumulate opacity along the view axis through the sub-volume.
+      float acc = 0.0f;
+      for (int w = 0; w < size[view_axis]; ++w) {
+        Int3 p;
+        p[ax_u] = u;
+        p[ax_v] = v;
+        p[view_axis] = w;
+        acc += density[static_cast<std::size_t>(
+            p.x + i64(size.x) * (p.y + i64(size.y) * p.z))];
+      }
+      const float alpha =
+          1.0f - std::exp(-opacity_scale * acc);
+      const std::size_t px =
+          (static_cast<std::size_t>(b.lo[ax_v] + v) * tile.width +
+           static_cast<std::size_t>(b.lo[ax_u] + u)) *
+          4;
+      tile.rgba[px] = alpha;        // premultiplied white smoke
+      tile.rgba[px + 1] = alpha;
+      tile.rgba[px + 2] = alpha;
+      tile.rgba[px + 3] = alpha;
+    }
+  }
+  return tile;
+}
+
+double compositing_seconds(int nodes, int width, int height,
+                           double link_Bps) {
+  GC_CHECK(nodes >= 1 && width > 0 && height > 0 && link_Bps > 0);
+  if (nodes == 1) return 0.0;
+  const double frame_bytes = double(width) * height * 4.0;  // RGBA8 wire
+  const double stages = std::ceil(std::log2(double(nodes)));
+  return stages * frame_bytes / link_Bps;
+}
+
+}  // namespace gc::viz

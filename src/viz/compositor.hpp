@@ -1,0 +1,50 @@
+// Sort-last image compositing for online cluster visualization — the
+// future-work capability of Section 5: "each node could rapidly render
+// its contents, and the images could then be transferred through a
+// specially designed composing network" (HP Sepia-2A, 450-500 MB/s).
+// Each node renders its sub-domain into an RGBA tile with depth-ordered
+// alpha; tiles composite front-to-back over a binary-swap-style tree.
+#pragma once
+
+#include <vector>
+
+#include "core/decomposition.hpp"
+#include "util/common.hpp"
+
+namespace gc::viz {
+
+/// A node's rendered tile: full-frame RGBA with premultiplied alpha.
+struct ImageTile {
+  int width = 0;
+  int height = 0;
+  std::vector<float> rgba;  ///< 4 floats per pixel, premultiplied
+
+  static ImageTile blank(int w, int h);
+};
+
+/// Front-to-back "over" compositing: out = front + (1 - front.a) * back.
+ImageTile composite_over(const ImageTile& front, const ImageTile& back);
+
+/// Orders nodes front-to-back along the view axis and composites all
+/// tiles (tiles[node] rendered from decomp.block(node)). `view_axis` is
+/// 0/1/2 and `positive` selects the viewing direction.
+ImageTile composite_cluster(const core::Decomposition3& decomp,
+                            const std::vector<ImageTile>& tiles,
+                            int view_axis, bool positive);
+
+/// Renders one node's density sub-volume into a tile by maximum-intensity
+/// style accumulation along the view axis (a cheap stand-in for the
+/// volume rendering of Figure 13). `density` is the node's sub-volume in
+/// x-fastest order; the tile covers the full global frame so tiles from
+/// different nodes land in their own screen region.
+ImageTile render_density_tile(const core::Decomposition3& decomp, int node,
+                              const std::vector<float>& density,
+                              int view_axis, float opacity_scale);
+
+/// Timing model of the composing network: each composite step moves a
+/// full frame at the Sepia DVI rate; a binary tree over n nodes has
+/// ceil(log2 n) sequential stages.
+double compositing_seconds(int nodes, int width, int height,
+                           double link_Bps = 475e6);
+
+}  // namespace gc::viz

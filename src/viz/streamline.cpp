@@ -1,0 +1,84 @@
+#include "viz/streamline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gc::viz {
+
+using lbm::CellType;
+
+Vec3 sample_velocity(const lbm::Lattice& lat, const std::vector<Vec3>& u,
+                     Vec3 p) {
+  const Int3 d = lat.dim();
+  const Real x = std::clamp(p.x, Real(0), Real(d.x - 1));
+  const Real y = std::clamp(p.y, Real(0), Real(d.y - 1));
+  const Real z = std::clamp(p.z, Real(0), Real(d.z - 1));
+  const int x0 = std::min(static_cast<int>(x), d.x - 2 >= 0 ? d.x - 2 : 0);
+  const int y0 = std::min(static_cast<int>(y), d.y - 2 >= 0 ? d.y - 2 : 0);
+  const int z0 = std::min(static_cast<int>(z), d.z - 2 >= 0 ? d.z - 2 : 0);
+  const Real fx = x - Real(x0);
+  const Real fy = y - Real(y0);
+  const Real fz = z - Real(z0);
+
+  Vec3 acc{};
+  for (int dz = 0; dz <= 1; ++dz) {
+    for (int dy = 0; dy <= 1; ++dy) {
+      for (int dx = 0; dx <= 1; ++dx) {
+        const int cx = std::min(x0 + dx, d.x - 1);
+        const int cy = std::min(y0 + dy, d.y - 1);
+        const int cz = std::min(z0 + dz, d.z - 1);
+        const Real w = (dx ? fx : Real(1) - fx) * (dy ? fy : Real(1) - fy) *
+                       (dz ? fz : Real(1) - fz);
+        const i64 cell = lat.idx(cx, cy, cz);
+        if (lat.flag(cell) == CellType::Solid) continue;
+        acc += u[static_cast<std::size_t>(cell)] * w;
+      }
+    }
+  }
+  return acc;
+}
+
+std::vector<Vec3> trace_streamline(const lbm::Lattice& lat,
+                                   const std::vector<Vec3>& u, Vec3 seed,
+                                   const StreamlineParams& params) {
+  GC_CHECK(u.size() == static_cast<std::size_t>(lat.num_cells()));
+  const Int3 d = lat.dim();
+  std::vector<Vec3> line;
+  Vec3 p = seed;
+
+  auto in_domain = [&d](Vec3 q) {
+    return q.x >= 0 && q.x <= Real(d.x - 1) && q.y >= 0 &&
+           q.y <= Real(d.y - 1) && q.z >= 0 && q.z <= Real(d.z - 1);
+  };
+
+  for (int s = 0; s < params.max_steps && in_domain(p); ++s) {
+    const Int3 cell{static_cast<int>(p.x), static_cast<int>(p.y),
+                    static_cast<int>(p.z)};
+    if (lat.flag(cell) == CellType::Solid) break;
+    line.push_back(p);
+
+    // RK2 midpoint step, normalized so each step advances ~step_size cells.
+    const Vec3 v1 = sample_velocity(lat, u, p);
+    const Real s1 = v1.norm();
+    if (s1 < params.min_speed) break;
+    const Vec3 mid = p + v1 * (params.step_size / s1 * Real(0.5));
+    const Vec3 v2 = sample_velocity(lat, u, mid);
+    const Real s2 = v2.norm();
+    if (s2 < params.min_speed) break;
+    p = p + v2 * (params.step_size / s2);
+  }
+  return line;
+}
+
+std::vector<std::vector<Vec3>> trace_streamlines(
+    const lbm::Lattice& lat, const std::vector<Vec3>& u,
+    const std::vector<Vec3>& seeds, const StreamlineParams& params) {
+  std::vector<std::vector<Vec3>> lines;
+  lines.reserve(seeds.size());
+  for (const Vec3& seed : seeds) {
+    lines.push_back(trace_streamline(lat, u, seed, params));
+  }
+  return lines;
+}
+
+}  // namespace gc::viz

@@ -1,0 +1,34 @@
+// Streamline integration through the LBM velocity field (the Figure-12
+// visualization): trilinear velocity sampling + RK2 (midpoint) advection
+// from seed points, stopping at solids, domain exits or a length cap.
+#pragma once
+
+#include <vector>
+
+#include "lbm/lattice.hpp"
+
+namespace gc::viz {
+
+/// Trilinearly interpolated velocity at a continuous position (cell-center
+/// convention: sample (x,y,z) lies between centers floor(p) and floor(p)+1).
+/// Solid cells contribute zero velocity.
+Vec3 sample_velocity(const lbm::Lattice& lat, const std::vector<Vec3>& u,
+                     Vec3 p);
+
+struct StreamlineParams {
+  Real step_size = Real(0.5);  ///< integration step, in cells
+  int max_steps = 2000;
+  Real min_speed = Real(1e-6);  ///< stop in stagnant regions
+};
+
+/// Integrates one streamline from `seed` (lattice coordinates).
+std::vector<Vec3> trace_streamline(const lbm::Lattice& lat,
+                                   const std::vector<Vec3>& u, Vec3 seed,
+                                   const StreamlineParams& params = {});
+
+/// Traces a bundle of streamlines from a set of seeds.
+std::vector<std::vector<Vec3>> trace_streamlines(
+    const lbm::Lattice& lat, const std::vector<Vec3>& u,
+    const std::vector<Vec3>& seeds, const StreamlineParams& params = {});
+
+}  // namespace gc::viz

@@ -1,0 +1,95 @@
+// CLI parser: defaults, both flag syntaxes, validation, help text.
+#include <gtest/gtest.h>
+
+#include "util/args.hpp"
+
+namespace gc {
+namespace {
+
+ArgParser make() {
+  ArgParser p("demo", "a demo");
+  p.add_int("steps", 100, "number of steps");
+  p.add_real("tau", 0.8, "relaxation time");
+  p.add_string("out", ".", "output dir");
+  p.add_flag("verbose", "chatty output");
+  return p;
+}
+
+TEST(Args, DefaultsApplyWithoutArguments) {
+  ArgParser p = make();
+  const char* argv[] = {"demo"};
+  ASSERT_TRUE(p.parse(1, argv));
+  EXPECT_EQ(p.get_int("steps"), 100);
+  EXPECT_DOUBLE_EQ(p.get_real("tau"), 0.8);
+  EXPECT_EQ(p.get_string("out"), ".");
+  EXPECT_FALSE(p.get_flag("verbose"));
+}
+
+TEST(Args, EqualsAndSpaceSyntaxes) {
+  ArgParser p = make();
+  const char* argv[] = {"demo", "--steps=42", "--tau", "1.2", "--verbose"};
+  ASSERT_TRUE(p.parse(5, argv));
+  EXPECT_EQ(p.get_int("steps"), 42);
+  EXPECT_DOUBLE_EQ(p.get_real("tau"), 1.2);
+  EXPECT_TRUE(p.get_flag("verbose"));
+}
+
+TEST(Args, RejectsUnknownOption) {
+  ArgParser p = make();
+  const char* argv[] = {"demo", "--bogus=1"};
+  EXPECT_FALSE(p.parse(2, argv));
+}
+
+TEST(Args, RejectsNonNumericValue) {
+  ArgParser p = make();
+  const char* argv[] = {"demo", "--steps=abc"};
+  EXPECT_FALSE(p.parse(2, argv));
+  const char* argv2[] = {"demo", "--tau=xyz"};
+  ArgParser q = make();
+  EXPECT_FALSE(q.parse(2, argv2));
+}
+
+TEST(Args, RejectsMissingValue) {
+  ArgParser p = make();
+  const char* argv[] = {"demo", "--steps"};
+  EXPECT_FALSE(p.parse(2, argv));
+}
+
+TEST(Args, RejectsPositionalArgument) {
+  ArgParser p = make();
+  const char* argv[] = {"demo", "stray"};
+  EXPECT_FALSE(p.parse(2, argv));
+}
+
+TEST(Args, HelpStopsParsing) {
+  ArgParser p = make();
+  const char* argv[] = {"demo", "--help"};
+  EXPECT_FALSE(p.parse(2, argv));
+}
+
+TEST(Args, HelpListsAllOptions) {
+  const ArgParser p = make();
+  const std::string h = p.help();
+  EXPECT_NE(h.find("--steps"), std::string::npos);
+  EXPECT_NE(h.find("--tau"), std::string::npos);
+  EXPECT_NE(h.find("relaxation time"), std::string::npos);
+  EXPECT_NE(h.find("--help"), std::string::npos);
+}
+
+TEST(Args, WrongTypeAccessThrows) {
+  ArgParser p = make();
+  const char* argv[] = {"demo"};
+  ASSERT_TRUE(p.parse(1, argv));
+  EXPECT_THROW(p.get_int("tau"), Error);
+  EXPECT_THROW(p.get_flag("steps"), Error);
+  EXPECT_THROW(p.get_int("nonexistent"), Error);
+}
+
+TEST(Args, DuplicateRegistrationThrows) {
+  ArgParser p("x", "y");
+  p.add_int("n", 1, "h");
+  EXPECT_THROW(p.add_real("n", 2.0, "h"), Error);
+}
+
+}  // namespace
+}  // namespace gc

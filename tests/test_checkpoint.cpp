@@ -1,0 +1,116 @@
+// Checkpoint round-trips: bit-identical state, boundary config, curved
+// links, and robust rejection of malformed files.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "io/checkpoint.hpp"
+#include "lbm/collision.hpp"
+#include "lbm/stream.hpp"
+#include "util/rng.hpp"
+
+namespace gc::io {
+namespace {
+
+using lbm::FaceBc;
+using lbm::Lattice;
+
+class TempFile {
+ public:
+  explicit TempFile(const char* name)
+      : path_(std::string(::testing::TempDir()) + "/" + name) {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+Lattice make_state() {
+  Lattice lat(Int3{9, 7, 5});
+  lat.set_face_bc(lbm::FACE_XMIN, FaceBc::Inlet);
+  lat.set_face_bc(lbm::FACE_XMAX, FaceBc::Outflow);
+  lat.set_face_bc(lbm::FACE_ZMAX, FaceBc::FreeSlip);
+  lat.set_inlet(Real(1.02), Vec3{0.04f, -0.01f, 0.02f});
+  Rng rng(123);
+  for (int i = 0; i < lbm::Q; ++i) {
+    for (i64 c = 0; c < lat.num_cells(); ++c) {
+      lat.set_f(i, c, Real(rng.uniform(0.01, 0.1)));
+    }
+  }
+  lat.fill_solid_box(Int3{3, 3, 1}, Int3{5, 5, 3});
+  lat.add_curved_link({lat.idx(2, 3, 1), 1, Real(0.37)});
+  return lat;
+}
+
+TEST(Checkpoint, RoundTripIsBitIdentical) {
+  TempFile f("state.gclb");
+  const Lattice original = make_state();
+  save_checkpoint(f.path(), original);
+  const Lattice restored = load_checkpoint(f.path());
+
+  EXPECT_EQ(restored.dim(), original.dim());
+  for (int face = 0; face < 6; ++face) {
+    EXPECT_EQ(restored.face_bc(static_cast<lbm::Face>(face)),
+              original.face_bc(static_cast<lbm::Face>(face)));
+  }
+  EXPECT_EQ(restored.inlet_density(), original.inlet_density());
+  EXPECT_EQ(restored.inlet_velocity().x, original.inlet_velocity().x);
+  for (i64 c = 0; c < original.num_cells(); ++c) {
+    ASSERT_EQ(restored.flag(c), original.flag(c));
+    for (int i = 0; i < lbm::Q; ++i) {
+      ASSERT_EQ(restored.f(i, c), original.f(i, c));
+    }
+  }
+  ASSERT_EQ(restored.curved_links().size(), 1u);
+  EXPECT_EQ(restored.curved_links()[0].cell, original.curved_links()[0].cell);
+  EXPECT_EQ(restored.curved_links()[0].q, original.curved_links()[0].q);
+}
+
+TEST(Checkpoint, RestoredStateEvolvesIdentically) {
+  TempFile f("evolve.gclb");
+  Lattice a = make_state();
+  save_checkpoint(f.path(), a);
+  Lattice b = load_checkpoint(f.path());
+
+  for (int s = 0; s < 3; ++s) {
+    lbm::collide_bgk(a, lbm::BgkParams{Real(0.8), Vec3{}});
+    lbm::stream(a);
+    lbm::collide_bgk(b, lbm::BgkParams{Real(0.8), Vec3{}});
+    lbm::stream(b);
+  }
+  for (int i = 0; i < lbm::Q; ++i) {
+    for (i64 c = 0; c < a.num_cells(); ++c) {
+      ASSERT_EQ(a.f(i, c), b.f(i, c));
+    }
+  }
+}
+
+TEST(Checkpoint, RejectsWrongMagic) {
+  TempFile f("bogus.gclb");
+  std::ofstream(f.path()) << "not a checkpoint at all";
+  EXPECT_THROW(load_checkpoint(f.path()), Error);
+}
+
+TEST(Checkpoint, RejectsTruncatedFile) {
+  TempFile f("trunc.gclb");
+  save_checkpoint(f.path(), make_state());
+  // Truncate to half size.
+  std::ifstream in(f.path(), std::ios::binary);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(f.path(), std::ios::binary | std::ios::trunc);
+  out.write(content.data(),
+            static_cast<std::streamsize>(content.size() / 2));
+  out.close();
+  EXPECT_THROW(load_checkpoint(f.path()), Error);
+}
+
+TEST(Checkpoint, RejectsMissingFile) {
+  EXPECT_THROW(load_checkpoint("/nonexistent/dir/x.gclb"), Error);
+}
+
+}  // namespace
+}  // namespace gc::io

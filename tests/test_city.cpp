@@ -1,0 +1,133 @@
+// Procedural city: determinism, paper-scale statistics (91 blocks,
+// ~850 buildings), voxelization, wind boundary setup.
+#include <gtest/gtest.h>
+
+#include "city/city_model.hpp"
+#include "city/voxelize.hpp"
+#include "city/wind.hpp"
+
+namespace gc::city {
+namespace {
+
+TEST(City, DeterministicForSameSeed) {
+  CityModel a{CityParams{}}, b{CityParams{}};
+  ASSERT_EQ(a.buildings().size(), b.buildings().size());
+  for (std::size_t k = 0; k < a.buildings().size(); ++k) {
+    EXPECT_FLOAT_EQ(a.buildings()[k].x0, b.buildings()[k].x0);
+    EXPECT_FLOAT_EQ(a.buildings()[k].height, b.buildings()[k].height);
+  }
+}
+
+TEST(City, DifferentSeedsDiffer) {
+  CityParams p1, p2;
+  p2.seed = 99;
+  CityModel a(p1), b(p2);
+  bool any_diff = a.buildings().size() != b.buildings().size();
+  for (std::size_t k = 0;
+       !any_diff && k < std::min(a.buildings().size(), b.buildings().size());
+       ++k) {
+    any_diff = a.buildings()[k].height != b.buildings()[k].height;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(City, MatchesPaperScaleStatistics) {
+  // Section 5: "91 blocks and roughly 850 buildings".
+  const CityModel m{CityParams{}};
+  EXPECT_EQ(m.num_blocks(), 91);
+  EXPECT_GT(m.buildings().size(), 600u);
+  EXPECT_LT(m.buildings().size(), 1100u);
+}
+
+TEST(City, BuildingsStayInsideExtents) {
+  const CityModel m{CityParams{}};
+  for (const Building& b : m.buildings()) {
+    EXPECT_GE(b.x0, 0.0f);
+    EXPECT_LE(b.x1, m.params().extent_x_m);
+    EXPECT_GE(b.y0, 0.0f);
+    EXPECT_LE(b.y1, m.params().extent_y_m);
+    EXPECT_LT(b.x0, b.x1);
+    EXPECT_LT(b.y0, b.y1);
+    EXPECT_GT(b.height, 0.0f);
+    EXPECT_LE(b.height, 300.0f);
+  }
+}
+
+TEST(City, StreetsStayOpen) {
+  // The corridor lines between blocks must be building-free.
+  const CityModel m{CityParams{}};
+  const CityParams& p = m.params();
+  for (int k = 0; k < p.avenues; ++k) {
+    const Real x = p.extent_x_m * Real(k) / Real(p.avenues - 1);
+    EXPECT_FALSE(m.inside(x, p.extent_y_m / 2, Real(2)))
+        << "avenue " << k << " blocked";
+  }
+}
+
+TEST(City, InsideQueriesRespectHeight) {
+  const CityModel m{CityParams{}};
+  const Building& b = m.buildings().front();
+  const Real cx = (b.x0 + b.x1) / 2, cy = (b.y0 + b.y1) / 2;
+  EXPECT_TRUE(m.inside(cx, cy, b.height / 2));
+  EXPECT_FALSE(m.inside(cx, cy, b.height + Real(1)));
+  EXPECT_FALSE(m.inside(cx, cy, Real(-1)));
+}
+
+TEST(Voxelize, MarksSolidCellsUnderBuildings) {
+  const CityModel m{CityParams{}};
+  lbm::Lattice lat(Int3{480, 400, 80});
+  VoxelizeParams vp;
+  const i64 marked = voxelize(m, lat, vp);
+  EXPECT_GT(marked, 0);
+  EXPECT_EQ(lat.count(lbm::CellType::Solid), marked);
+  // Ground coverage should be substantial but leave streets open:
+  // between 5% and 60% of the total volume is building.
+  EXPECT_GT(marked, lat.num_cells() / 100);
+  EXPECT_LT(marked, lat.num_cells() * 6 / 10);
+}
+
+TEST(Voxelize, ClipsToLattice) {
+  const CityModel m{CityParams{}};
+  lbm::Lattice small(Int3{40, 40, 10});
+  VoxelizeParams vp;
+  vp.origin_cells = Int3{0, 0, 0};
+  const i64 marked = voxelize(m, small, vp);  // city mostly outside
+  EXPECT_GE(marked, 0);
+  EXPECT_LE(marked, small.num_cells());
+}
+
+TEST(Wind, NortheasterlySetsInletOnDownwindFaces) {
+  lbm::Lattice lat(Int3{32, 32, 8});
+  const WindScenario w = WindScenario::northeasterly(Real(0.1));
+  EXPECT_LT(w.velocity.x, 0.0f);
+  EXPECT_LT(w.velocity.y, 0.0f);
+  apply_wind_boundaries(lat, w);
+  // Wind toward -x/-y: inflow through the xmax/ymax faces.
+  EXPECT_EQ(lat.face_bc(lbm::FACE_XMAX), lbm::FaceBc::Inlet);
+  EXPECT_EQ(lat.face_bc(lbm::FACE_YMAX), lbm::FaceBc::Inlet);
+  EXPECT_EQ(lat.face_bc(lbm::FACE_XMIN), lbm::FaceBc::Outflow);
+  EXPECT_EQ(lat.face_bc(lbm::FACE_YMIN), lbm::FaceBc::Outflow);
+  EXPECT_EQ(lat.face_bc(lbm::FACE_ZMIN), lbm::FaceBc::Wall);
+  EXPECT_EQ(lat.face_bc(lbm::FACE_ZMAX), lbm::FaceBc::FreeSlip);
+  EXPECT_FLOAT_EQ(lat.inlet_velocity().x, w.velocity.x);
+}
+
+TEST(Wind, CrosswindAxisGetsFreeSlip) {
+  lbm::Lattice lat(Int3{16, 16, 8});
+  WindScenario w;
+  w.velocity = Vec3{Real(0.1), 0, 0};
+  apply_wind_boundaries(lat, w);
+  EXPECT_EQ(lat.face_bc(lbm::FACE_YMIN), lbm::FaceBc::FreeSlip);
+  EXPECT_EQ(lat.face_bc(lbm::FACE_YMAX), lbm::FaceBc::FreeSlip);
+  EXPECT_EQ(lat.face_bc(lbm::FACE_XMIN), lbm::FaceBc::Inlet);
+}
+
+TEST(Wind, RejectsSupersonicWind) {
+  lbm::Lattice lat(Int3{8, 8, 8});
+  WindScenario w;
+  w.velocity = Vec3{Real(0.5), 0, 0};
+  EXPECT_THROW(apply_wind_boundaries(lat, w), Error);
+}
+
+}  // namespace
+}  // namespace gc::city

@@ -1,0 +1,104 @@
+// Sort-last compositor: over-operator algebra, depth ordering across the
+// decomposition, tile placement, and the Sepia-network timing model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "viz/compositor.hpp"
+
+namespace gc::viz {
+namespace {
+
+ImageTile solid(int w, int h, float r, float g, float b, float a) {
+  ImageTile t = ImageTile::blank(w, h);
+  for (std::size_t p = 0; p < t.rgba.size(); p += 4) {
+    t.rgba[p] = r * a;  // premultiplied
+    t.rgba[p + 1] = g * a;
+    t.rgba[p + 2] = b * a;
+    t.rgba[p + 3] = a;
+  }
+  return t;
+}
+
+TEST(Compositor, OpaqueFrontHidesBack) {
+  const ImageTile front = solid(4, 4, 1, 0, 0, 1.0f);
+  const ImageTile back = solid(4, 4, 0, 1, 0, 1.0f);
+  const ImageTile out = composite_over(front, back);
+  EXPECT_FLOAT_EQ(out.rgba[0], 1.0f);  // red
+  EXPECT_FLOAT_EQ(out.rgba[1], 0.0f);  // no green leaks through
+}
+
+TEST(Compositor, TransparentFrontShowsBack) {
+  const ImageTile front = ImageTile::blank(4, 4);
+  const ImageTile back = solid(4, 4, 0, 1, 0, 0.8f);
+  const ImageTile out = composite_over(front, back);
+  EXPECT_FLOAT_EQ(out.rgba[1], 0.8f);
+  EXPECT_FLOAT_EQ(out.rgba[3], 0.8f);
+}
+
+TEST(Compositor, OverOperatorIsAssociative) {
+  const ImageTile a = solid(2, 2, 1, 0, 0, 0.5f);
+  const ImageTile b = solid(2, 2, 0, 1, 0, 0.4f);
+  const ImageTile c = solid(2, 2, 0, 0, 1, 0.7f);
+  const ImageTile left = composite_over(composite_over(a, b), c);
+  const ImageTile right = composite_over(a, composite_over(b, c));
+  for (std::size_t p = 0; p < left.rgba.size(); ++p) {
+    EXPECT_NEAR(left.rgba[p], right.rgba[p], 1e-6);
+  }
+}
+
+TEST(Compositor, ClusterCompositeRespectsDepthOrder) {
+  // Two nodes along x; viewing down +x means the high-x node is in front.
+  const core::Decomposition3 decomp(Int3{8, 4, 4},
+                                    netsim::NodeGrid{Int3{2, 1, 1}});
+  std::vector<ImageTile> tiles;
+  tiles.push_back(solid(4, 4, 0, 1, 0, 1.0f));  // node 0 (low x): green
+  tiles.push_back(solid(4, 4, 1, 0, 0, 1.0f));  // node 1 (high x): red
+  const ImageTile toward_pos = composite_cluster(decomp, tiles, 0, true);
+  EXPECT_FLOAT_EQ(toward_pos.rgba[0], 1.0f);  // red wins in front
+  const ImageTile toward_neg = composite_cluster(decomp, tiles, 0, false);
+  EXPECT_FLOAT_EQ(toward_neg.rgba[1], 1.0f);  // green wins
+}
+
+TEST(Compositor, DensityTileLandsInOwnScreenRegion) {
+  const core::Decomposition3 decomp(Int3{8, 6, 4},
+                                    netsim::NodeGrid{Int3{2, 1, 1}});
+  // Node 1 (x in [4,8)) with uniform density, viewed along z:
+  // screen = (x, y), so only x >= 4 pixels are touched.
+  const Int3 size = decomp.block(1).size();
+  std::vector<float> density(static_cast<std::size_t>(size.volume()), 0.5f);
+  const ImageTile tile = render_density_tile(decomp, 1, density, 2, 1.0f);
+  EXPECT_EQ(tile.width, 8);
+  EXPECT_EQ(tile.height, 6);
+  auto alpha_at = [&tile](int x, int y) {
+    return tile.rgba[(static_cast<std::size_t>(y) * tile.width + x) * 4 + 3];
+  };
+  EXPECT_FLOAT_EQ(alpha_at(1, 1), 0.0f);  // node 0's region untouched
+  EXPECT_GT(alpha_at(5, 1), 0.5f);        // node 1's region rendered
+}
+
+TEST(Compositor, EmptyDensityGivesTransparentTile) {
+  const core::Decomposition3 decomp(Int3{4, 4, 4},
+                                    netsim::NodeGrid{Int3{1, 1, 1}});
+  std::vector<float> density(64, 0.0f);
+  const ImageTile tile = render_density_tile(decomp, 0, density, 2, 1.0f);
+  for (std::size_t p = 3; p < tile.rgba.size(); p += 4) {
+    EXPECT_FLOAT_EQ(tile.rgba[p], 0.0f);
+  }
+}
+
+TEST(Compositor, SepiaTimingSupportsInteractiveRates) {
+  // A 1024x768 frame over 30 nodes on the 450-500 MB/s Sepia network:
+  // the paper's "immediate visual feedback" needs a handful of frames
+  // per second at most; the model should land well under 100 ms.
+  const double t = compositing_seconds(30, 1024, 768);
+  EXPECT_GT(t, 0.0);
+  EXPECT_LT(t, 0.1);
+  // More nodes -> more (log) stages.
+  EXPECT_GT(compositing_seconds(32, 1024, 768),
+            compositing_seconds(4, 1024, 768));
+  EXPECT_DOUBLE_EQ(compositing_seconds(1, 1024, 768), 0.0);
+}
+
+}  // namespace
+}  // namespace gc::viz

@@ -1,0 +1,179 @@
+// Simulated GPU: textures, memory budget, render passes, bus timing.
+#include <gtest/gtest.h>
+
+#include "gpusim/device.hpp"
+
+namespace gc::gpusim {
+namespace {
+
+GpuDevice make_device() {
+  return GpuDevice(GpuSpec::geforce_fx5800_ultra(), BusSpec::agp8x());
+}
+
+TEST(Texture, FetchStoreRoundTrip) {
+  Texture2D t(4, 3);
+  t.store(2, 1, RGBA{1, 2, 3, 4});
+  EXPECT_EQ(t.fetch(2, 1), (RGBA{1, 2, 3, 4}));
+  EXPECT_EQ(t.fetch(0, 0), (RGBA{0, 0, 0, 0}));
+}
+
+TEST(Texture, ClampToEdgeAddressing) {
+  Texture2D t(4, 4);
+  t.store(3, 3, RGBA{9, 0, 0, 0});
+  EXPECT_FLOAT_EQ(t.fetch(10, 10).r, 9.0f);
+  t.store(0, 0, RGBA{5, 0, 0, 0});
+  EXPECT_FLOAT_EQ(t.fetch(-3, -1).r, 5.0f);
+}
+
+TEST(Texture, BytesAre16PerTexel) {
+  Texture2D t(10, 10);
+  EXPECT_EQ(t.bytes(), 1600);
+}
+
+TEST(TextureStack, VolumeFetchClampsSlices) {
+  TextureStack s(2, 2, 3);
+  s.store(1, 1, 2, RGBA{7, 0, 0, 0});
+  EXPECT_FLOAT_EQ(s.fetch(1, 1, 5).r, 7.0f);
+  EXPECT_EQ(s.bytes(), 3 * 4 * 16);
+}
+
+TEST(TextureMemory, EnforcesUsableBudget) {
+  TextureMemory mem(128 * 1024 * 1024);  // 86/128 usable by default
+  EXPECT_EQ(mem.usable_bytes(), i64(86) * 1024 * 1024);
+  mem.allocate(80 * 1024 * 1024);
+  EXPECT_THROW(mem.allocate(10 * 1024 * 1024), GpuOutOfMemory);
+  mem.release(80 * 1024 * 1024);
+  mem.allocate(10 * 1024 * 1024);  // fits now
+  EXPECT_EQ(mem.allocated_bytes(), 10 * 1024 * 1024);
+}
+
+TEST(Device, TextureLifecycleTracksMemory) {
+  GpuDevice dev = make_device();
+  const i64 before = dev.memory().allocated_bytes();
+  const TextureId id = dev.create_texture(64, 64);
+  EXPECT_EQ(dev.memory().allocated_bytes(), before + 64 * 64 * 16);
+  dev.destroy_texture(id);
+  EXPECT_EQ(dev.memory().allocated_bytes(), before);
+  EXPECT_THROW(dev.texture(id), Error);  // destroyed
+}
+
+/// Doubles the red channel of texture unit 0.
+class DoubleRed : public FragmentProgram {
+ public:
+  RGBA shade(FragmentContext& ctx) const override {
+    RGBA v = ctx.fetch(0, ctx.x(), ctx.y());
+    v.r *= 2;
+    return v;
+  }
+  std::string name() const override { return "double_red"; }
+};
+
+TEST(Device, RenderExecutesProgramOverRect) {
+  GpuDevice dev = make_device();
+  const TextureId src = dev.create_texture(4, 4);
+  const TextureId dst = dev.create_texture(4, 4);
+  dev.texture(src).fill(RGBA{3, 1, 0, 0});
+
+  DoubleRed prog;
+  dev.render(prog, dst, Rect{1, 1, 3, 3}, {src}, Uniforms{});
+  EXPECT_FLOAT_EQ(dev.texture(dst).fetch(1, 1).r, 6.0f);
+  EXPECT_FLOAT_EQ(dev.texture(dst).fetch(2, 2).r, 6.0f);
+  EXPECT_FLOAT_EQ(dev.texture(dst).fetch(0, 0).r, 0.0f);  // outside rect
+}
+
+TEST(Device, TargetCannotBeBoundForReading) {
+  GpuDevice dev = make_device();
+  const TextureId t = dev.create_texture(4, 4);
+  DoubleRed prog;
+  EXPECT_THROW(dev.render(prog, t, Rect{0, 0, 4, 4}, {t}, Uniforms{}), Error);
+}
+
+TEST(Device, LedgerCountsPassesAndFetches) {
+  GpuDevice dev = make_device();
+  const TextureId src = dev.create_texture(8, 8);
+  const TextureId dst = dev.create_texture(8, 8);
+  DoubleRed prog;
+  dev.render(prog, dst, Rect{0, 0, 8, 8}, {src}, Uniforms{});
+  EXPECT_EQ(dev.ledger().passes, 1);
+  EXPECT_EQ(dev.ledger().fragments, 64);
+  EXPECT_EQ(dev.ledger().tex_fetches, 64);
+  EXPECT_GT(dev.ledger().compute_s, 0.0);
+}
+
+TEST(Device, UploadReadbackRoundTripAndBusCharges) {
+  GpuDevice dev = make_device();
+  const TextureId id = dev.create_texture(4, 2);
+  std::vector<float> data(4 * 2 * 4);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = float(i);
+  dev.upload(id, data);
+  EXPECT_GT(dev.ledger().download_s, 0.0);
+  const std::vector<float> back = dev.readback(id);
+  EXPECT_EQ(back, data);
+  EXPECT_GT(dev.ledger().readback_s, 0.0);
+}
+
+TEST(Device, ReadbackRectExtractsRegion) {
+  GpuDevice dev = make_device();
+  const TextureId id = dev.create_texture(4, 4);
+  dev.texture(id).store(2, 3, RGBA{8, 0, 0, 0});
+  const auto rect = dev.readback_rect(id, Rect{2, 3, 3, 4});
+  ASSERT_EQ(rect.size(), 4u);
+  EXPECT_FLOAT_EQ(rect[0], 8.0f);
+}
+
+TEST(Bus, AsymmetricAgpCosts) {
+  Bus bus(BusSpec::agp8x());
+  const i64 mb = 1024 * 1024;
+  // Upstream (read-back) is far slower than downstream on AGP.
+  EXPECT_GT(bus.upload_cost(mb), 5.0 * bus.download_cost(mb));
+}
+
+TEST(Bus, PcieIsSymmetricAndFaster) {
+  Bus agp(BusSpec::agp8x());
+  Bus pcie(BusSpec::pcie_x16());
+  const i64 mb = 10 * 1024 * 1024;
+  EXPECT_LT(pcie.upload_cost(mb), agp.upload_cost(mb) / 5.0);
+  EXPECT_NEAR(pcie.upload_cost(mb), pcie.download_cost(mb),
+              0.2 * pcie.download_cost(mb) + 1e-3);
+}
+
+TEST(Bus, LedgerAccumulates) {
+  Bus bus(BusSpec::agp8x());
+  bus.download_seconds(1000);
+  bus.download_seconds(2000);
+  bus.upload_seconds(500);
+  EXPECT_EQ(bus.total_download_bytes(), 3000);
+  EXPECT_EQ(bus.total_upload_bytes(), 500);
+  bus.reset_ledger();
+  EXPECT_EQ(bus.total_download_bytes(), 0);
+}
+
+TEST(PerfModel, PeakGflopsMatchesPaperFigures) {
+  EXPECT_NEAR(GpuSpec::geforce_fx5800_ultra().peak_gflops(), 16.0, 0.1);
+  EXPECT_NEAR(GpuSpec::geforce_6800_ultra().peak_gflops(), 51.2, 12.0);
+}
+
+TEST(PerfModel, MoreFragmentsTakeLonger) {
+  GpuPerfModel m(GpuSpec::geforce_fx5800_ultra());
+  const double small = m.pass_seconds(1000, 20, 5000, 16000);
+  const double large = m.pass_seconds(100000, 20, 500000, 1600000);
+  EXPECT_GT(large, small);
+}
+
+TEST(PerfModel, PassOverheadDominatesTinyPasses) {
+  GpuPerfModel m(GpuSpec::geforce_fx5800_ultra());
+  const double tiny = m.pass_seconds(1, 1, 1, 16);
+  EXPECT_NEAR(tiny, GpuSpec::geforce_fx5800_ultra().pass_overhead_s,
+              GpuSpec::geforce_fx5800_ultra().pass_overhead_s * 0.5);
+}
+
+TEST(Uniforms, SetGetAndMissingThrows) {
+  Uniforms u;
+  u.set("wind", 1.0f, 2.0f, 3.0f, 4.0f);
+  EXPECT_TRUE(u.has("wind"));
+  EXPECT_FLOAT_EQ(u.get("wind")[2], 3.0f);
+  EXPECT_THROW(u.get("missing"), Error);
+}
+
+}  // namespace
+}  // namespace gc::gpusim

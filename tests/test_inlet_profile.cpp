@@ -1,0 +1,122 @@
+// Spatially varying inlet profiles (atmospheric boundary layer): host
+// streaming honors the profile, the distributed solver stays bit-exact,
+// and the GPU path rejects what it cannot express.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "city/wind.hpp"
+#include "core/parallel_lbm.hpp"
+#include "gpulbm/gpu_solver.hpp"
+#include "lbm/collision.hpp"
+#include "lbm/macroscopic.hpp"
+#include "lbm/stream.hpp"
+
+namespace gc::lbm {
+namespace {
+
+TEST(InletProfile, FaceInletUsesPerCellVelocity) {
+  Lattice lat(Int3{8, 4, 6});
+  lat.set_face_bc(FACE_XMIN, FaceBc::Inlet);
+  lat.set_face_bc(FACE_XMAX, FaceBc::Outflow);
+  lat.set_inlet(Real(1), Vec3{0.1f, 0, 0});
+  lat.set_inlet_profile([](Int3 cell) {
+    return Vec3{Real(0.01) * Real(cell.z + 1), 0, 0};
+  });
+  lat.init_equilibrium(Real(1), Vec3{});
+  stream(lat);
+  // The +x distribution entering at (0, y, z) carries equilibrium at the
+  // profile velocity of that row.
+  for (int z = 0; z < 6; ++z) {
+    const Vec3 u{Real(0.01) * Real(z + 1), 0, 0};
+    EXPECT_FLOAT_EQ(lat.f(1, lat.idx(0, 2, z)), equilibrium(1, Real(1), u))
+        << "z=" << z;
+  }
+}
+
+TEST(InletProfile, InletCellsUseProfile) {
+  Lattice lat(Int3{6, 6, 6});
+  lat.set_inlet(Real(1), Vec3{0.1f, 0, 0});
+  lat.set_inlet_profile(
+      [](Int3 cell) { return Vec3{0, Real(0.005) * Real(cell.y), 0}; });
+  lat.set_flag(Int3{3, 4, 3}, CellType::Inlet);
+  lat.init_equilibrium(Real(1), Vec3{});
+  stream(lat);
+  const Vec3 expect{0, Real(0.02), 0};
+  for (int i = 0; i < Q; ++i) {
+    EXPECT_FLOAT_EQ(lat.f(i, lat.idx(3, 4, 3)),
+                    equilibrium(i, Real(1), expect));
+  }
+}
+
+TEST(InletProfile, ParallelMatchesSerialBitExact) {
+  const Int3 dim{16, 12, 8};
+  auto make = [&dim] {
+    Lattice lat(dim);
+    lat.set_face_bc(FACE_XMIN, FaceBc::Inlet);
+    lat.set_face_bc(FACE_XMAX, FaceBc::Outflow);
+    lat.set_face_bc(FACE_YMIN, FaceBc::Wall);
+    lat.set_face_bc(FACE_YMAX, FaceBc::Wall);
+    lat.set_face_bc(FACE_ZMIN, FaceBc::Wall);
+    lat.set_face_bc(FACE_ZMAX, FaceBc::FreeSlip);
+    lat.set_inlet(Real(1), Vec3{0.06f, 0, 0});
+    lat.set_inlet_profile([](Int3 cell) {
+      return Vec3{Real(0.01) * Real(cell.z % 5), Real(0.002) * Real(cell.y % 3),
+                  0};
+    });
+    lat.init_equilibrium(Real(1), Vec3{0.03f, 0, 0});
+    return lat;
+  };
+
+  Lattice serial = make();
+  Lattice initial = make();
+  core::ParallelConfig cfg;
+  cfg.grid = netsim::NodeGrid{Int3{2, 2, 1}};
+  core::ParallelLbm par(initial, cfg);
+  par.run(4);
+  for (int s = 0; s < 4; ++s) {
+    collide_bgk(serial, BgkParams{Real(0.8), Vec3{}});
+    stream(serial);
+  }
+  Lattice gathered(dim);
+  par.gather(gathered);
+  for (int i = 0; i < Q; ++i) {
+    for (i64 c = 0; c < serial.num_cells(); ++c) {
+      ASSERT_EQ(gathered.f(i, c), serial.f(i, c));
+    }
+  }
+}
+
+TEST(InletProfile, GpuPathRejectsProfiles) {
+  Lattice lat(Int3{4, 4, 4});
+  lat.set_inlet_profile([](Int3) { return Vec3{}; });
+  gpusim::GpuDevice dev(gpusim::GpuSpec::geforce_fx5800_ultra(),
+                        gpusim::BusSpec::agp8x());
+  EXPECT_THROW(gpulbm::GpuLbmSolver(dev, lat, Real(0.8)), Error);
+}
+
+TEST(InletProfile, WindBoundaryLayerGrowsWithHeight) {
+  city::WindScenario w = city::WindScenario::northeasterly(Real(0.1));
+  w.profile_exponent = Real(0.25);
+  EXPECT_LT(w.height_factor(0, 32), w.height_factor(16, 32));
+  EXPECT_LT(w.height_factor(16, 32), w.height_factor(31, 32));
+  EXPECT_NEAR(w.height_factor(31, 32), 1.0, 0.01);
+
+  lbm::Lattice lat(Int3{16, 16, 32});
+  city::apply_wind_boundaries(lat, w);
+  ASSERT_TRUE(lat.has_inlet_profile());
+  const Vec3 low = lat.inlet_velocity_at(Int3{15, 8, 1});
+  const Vec3 high = lat.inlet_velocity_at(Int3{15, 8, 30});
+  EXPECT_LT(low.norm(), high.norm());
+}
+
+TEST(InletProfile, UniformWindHasNoProfile) {
+  city::WindScenario w = city::WindScenario::northeasterly(Real(0.1));
+  lbm::Lattice lat(Int3{8, 8, 8});
+  city::apply_wind_boundaries(lat, w);
+  EXPECT_FALSE(lat.has_inlet_profile());
+  EXPECT_FLOAT_EQ(w.height_factor(3, 8), 1.0f);
+}
+
+}  // namespace
+}  // namespace gc::lbm

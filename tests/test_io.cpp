@@ -1,0 +1,105 @@
+// IO: VTK and PPM writers produce well-formed files; CSV round-trips.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "io/csv.hpp"
+#include "io/ppm_writer.hpp"
+#include "io/vtk_writer.hpp"
+
+namespace gc::io {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class TempFile {
+ public:
+  explicit TempFile(const char* name)
+      : path_(std::string(::testing::TempDir()) + "/" + name) {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(Vtk, ScalarFileHasHeaderAndData) {
+  TempFile f("scalar.vtk");
+  const Int3 dim{2, 2, 2};
+  std::vector<float> data{1, 2, 3, 4, 5, 6, 7, 8};
+  write_vtk_scalar(f.path(), dim, data, "rho");
+  const std::string s = slurp(f.path());
+  EXPECT_NE(s.find("DATASET STRUCTURED_POINTS"), std::string::npos);
+  EXPECT_NE(s.find("DIMENSIONS 2 2 2"), std::string::npos);
+  EXPECT_NE(s.find("SCALARS rho float 1"), std::string::npos);
+  EXPECT_NE(s.find("POINT_DATA 8"), std::string::npos);
+  EXPECT_NE(s.find("\n8\n"), std::string::npos);
+}
+
+TEST(Vtk, ScalarSizeMismatchThrows) {
+  TempFile f("bad.vtk");
+  EXPECT_THROW(write_vtk_scalar(f.path(), Int3{2, 2, 2},
+                                std::vector<float>(7), "x"),
+               Error);
+}
+
+TEST(Vtk, VectorFile) {
+  TempFile f("vec.vtk");
+  const Int3 dim{2, 1, 1};
+  std::vector<Vec3> data{Vec3{1, 2, 3}, Vec3{4, 5, 6}};
+  write_vtk_vector(f.path(), dim, data, "velocity");
+  const std::string s = slurp(f.path());
+  EXPECT_NE(s.find("VECTORS velocity float"), std::string::npos);
+  EXPECT_NE(s.find("4 5 6"), std::string::npos);
+}
+
+TEST(Vtk, PolylinesFile) {
+  TempFile f("lines.vtk");
+  std::vector<std::vector<Vec3>> lines{
+      {Vec3{0, 0, 0}, Vec3{1, 0, 0}, Vec3{2, 0, 0}},
+      {Vec3{5, 5, 5}, Vec3{6, 6, 6}},
+  };
+  write_vtk_polylines(f.path(), lines);
+  const std::string s = slurp(f.path());
+  EXPECT_NE(s.find("POINTS 5 float"), std::string::npos);
+  EXPECT_NE(s.find("LINES 2 7"), std::string::npos);
+  EXPECT_NE(s.find("3 0 1 2"), std::string::npos);
+  EXPECT_NE(s.find("2 3 4"), std::string::npos);
+}
+
+TEST(Ppm, WritesValidBinaryImage) {
+  TempFile f("slice.ppm");
+  const Int3 dim{4, 3, 2};
+  std::vector<float> data(static_cast<std::size_t>(dim.volume()));
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = float(i);
+  write_ppm_slice(f.path(), dim, data, 1);
+  const std::string s = slurp(f.path());
+  EXPECT_EQ(s.rfind("P6\n4 3\n255\n", 0), 0u);
+  EXPECT_EQ(s.size(), std::string("P6\n4 3\n255\n").size() + 4u * 3u * 3u);
+}
+
+TEST(Ppm, RejectsBadSlice) {
+  TempFile f("bad.ppm");
+  EXPECT_THROW(
+      write_ppm_slice(f.path(), Int3{2, 2, 2}, std::vector<float>(8), 5),
+      Error);
+}
+
+TEST(Csv, WritesTable) {
+  TempFile f("t.csv");
+  Table t;
+  t.set_header({"nodes", "ms"});
+  t.row().cell(4L).cell(266.0, 1);
+  write_csv(f.path(), t);
+  EXPECT_EQ(slurp(f.path()), "nodes,ms\n4,266.0\n");
+}
+
+}  // namespace
+}  // namespace gc::io

@@ -1,0 +1,131 @@
+// Lattice container: indexing, flags, shapes, curved-link registration.
+#include <gtest/gtest.h>
+
+#include "lbm/lattice.hpp"
+#include "lbm/macroscopic.hpp"
+
+namespace gc::lbm {
+namespace {
+
+TEST(Lattice, IndexCoordsRoundTrip) {
+  Lattice lat(Int3{5, 7, 3});
+  for (i64 c = 0; c < lat.num_cells(); ++c) {
+    EXPECT_EQ(lat.idx(lat.coords(c)), c);
+  }
+}
+
+TEST(Lattice, IndexIsXFastest) {
+  Lattice lat(Int3{4, 5, 6});
+  EXPECT_EQ(lat.idx(1, 0, 0), 1);
+  EXPECT_EQ(lat.idx(0, 1, 0), 4);
+  EXPECT_EQ(lat.idx(0, 0, 1), 20);
+}
+
+TEST(Lattice, RejectsNonPositiveDims) {
+  EXPECT_THROW(Lattice(Int3{0, 4, 4}), Error);
+  EXPECT_THROW(Lattice(Int3{4, -1, 4}), Error);
+}
+
+TEST(Lattice, InitEquilibriumSetsAllCells) {
+  Lattice lat(Int3{4, 4, 4});
+  const Vec3 u{0.05f, -0.02f, 0.01f};
+  lat.init_equilibrium(Real(1.1), u);
+  for (i64 c = 0; c < lat.num_cells(); ++c) {
+    const Moments m = cell_moments(lat, c);
+    EXPECT_NEAR(m.rho, 1.1, 1e-5);
+    EXPECT_NEAR(m.u.x, u.x, 1e-5);
+    EXPECT_NEAR(m.u.y, u.y, 1e-5);
+    EXPECT_NEAR(m.u.z, u.z, 1e-5);
+  }
+}
+
+TEST(Lattice, SolidBoxClipsToDomain) {
+  Lattice lat(Int3{6, 6, 6});
+  lat.fill_solid_box(Int3{4, 4, 4}, Int3{100, 100, 100});
+  EXPECT_EQ(lat.count(CellType::Solid), 2 * 2 * 2);
+  EXPECT_EQ(lat.flag(Int3{5, 5, 5}), CellType::Solid);
+  EXPECT_EQ(lat.flag(Int3{3, 4, 4}), CellType::Fluid);
+}
+
+TEST(Lattice, SolidSphereMarksCenter) {
+  Lattice lat(Int3{16, 16, 16});
+  lat.fill_solid_sphere(Vec3{8, 8, 8}, Real(3));
+  EXPECT_EQ(lat.flag(Int3{8, 8, 8}), CellType::Solid);
+  EXPECT_EQ(lat.flag(Int3{8, 8, 11}), CellType::Solid);  // on the surface
+  EXPECT_EQ(lat.flag(Int3{8, 8, 12}), CellType::Fluid);
+  EXPECT_EQ(lat.flag(Int3{0, 0, 0}), CellType::Fluid);
+  // Volume roughly 4/3 pi r^3 = 113; the rasterization is within ~30%.
+  EXPECT_GT(lat.count(CellType::Solid), 80);
+  EXPECT_LT(lat.count(CellType::Solid), 160);
+}
+
+TEST(Lattice, CurvedSphereLinksHaveValidFractions) {
+  Lattice lat(Int3{16, 16, 16});
+  lat.fill_solid_sphere(Vec3{8, 8, 8}, Real(3.5), /*curved=*/true);
+  ASSERT_FALSE(lat.curved_links().empty());
+  for (const CurvedLink& L : lat.curved_links()) {
+    EXPECT_GT(L.q, Real(0));
+    EXPECT_LE(L.q, Real(1));
+    // Link must start at a fluid cell and point at a solid one.
+    EXPECT_EQ(lat.flag(L.cell), CellType::Fluid);
+    const Int3 target = lat.coords(L.cell) + C[L.dir];
+    ASSERT_TRUE(lat.in_bounds(target));
+    EXPECT_EQ(lat.flag(target), CellType::Solid);
+  }
+}
+
+TEST(Lattice, CurvedLinkValidation) {
+  Lattice lat(Int3{4, 4, 4});
+  EXPECT_THROW(lat.add_curved_link({0, 1, Real(0)}), Error);    // q == 0
+  EXPECT_THROW(lat.add_curved_link({0, 1, Real(1.5)}), Error);  // q > 1
+  EXPECT_THROW(lat.add_curved_link({0, 0, Real(0.5)}), Error);  // rest dir
+  EXPECT_THROW(lat.add_curved_link({-1, 1, Real(0.5)}), Error);
+  lat.add_curved_link({0, 1, Real(0.5)});
+  EXPECT_EQ(lat.curved_links().size(), 1u);
+}
+
+TEST(Lattice, SwapBuffersExchangesPlanes) {
+  Lattice lat(Int3{2, 2, 2});
+  lat.set_f(3, 0, Real(42));
+  lat.back_plane_ptr(3)[0] = Real(7);
+  lat.swap_buffers();
+  EXPECT_FLOAT_EQ(lat.f(3, 0), Real(7));
+  lat.swap_buffers();
+  EXPECT_FLOAT_EQ(lat.f(3, 0), Real(42));
+}
+
+TEST(Lattice, StorageBytesMatchesLayout) {
+  Lattice lat(Int3{10, 10, 10});
+  EXPECT_EQ(lat.storage_bytes(),
+            i64(2) * Q * 1000 * static_cast<i64>(sizeof(Real)));
+}
+
+TEST(Lattice, FaceBcDefaultsPeriodic) {
+  Lattice lat(Int3{3, 3, 3});
+  for (int f = 0; f < 6; ++f) {
+    EXPECT_EQ(lat.face_bc(static_cast<Face>(f)), FaceBc::Periodic);
+  }
+}
+
+TEST(Macroscopic, FieldsSkipSolids) {
+  Lattice lat(Int3{4, 4, 4});
+  lat.init_equilibrium(Real(1), Vec3{0.1f, 0, 0});
+  lat.fill_solid_box(Int3{0, 0, 0}, Int3{1, 1, 1});
+  std::vector<Real> rho;
+  compute_density_field(lat, rho);
+  EXPECT_FLOAT_EQ(rho[0], Real(0));
+  EXPECT_NEAR(rho[1], 1.0, 1e-5);
+  std::vector<Vec3> u;
+  compute_velocity_field(lat, u);
+  EXPECT_FLOAT_EQ(u[0].x, Real(0));
+  EXPECT_NEAR(u[1].x, 0.1, 1e-5);
+}
+
+TEST(Macroscopic, MaxVelocity) {
+  Lattice lat(Int3{4, 4, 4});
+  lat.init_equilibrium(Real(1), Vec3{0.1f, 0, 0});
+  EXPECT_NEAR(max_velocity(lat), 0.1, 1e-5);
+}
+
+}  // namespace
+}  // namespace gc::lbm

@@ -1,0 +1,175 @@
+// Section 6 machinery: CSR matrices, CG, the GPU indirection-texture
+// matvec, and the Figure-15 proxy-point distributed CG.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/cg.hpp"
+#include "linalg/distributed_cg.hpp"
+#include "linalg/gpu_matvec.hpp"
+#include "util/rng.hpp"
+
+namespace gc::linalg {
+namespace {
+
+TEST(Csr, Poisson3dStructure) {
+  const CsrMatrix a = CsrMatrix::poisson3d(Int3{3, 3, 3});
+  EXPECT_EQ(a.rows(), 27);
+  EXPECT_EQ(a.cols(), 27);
+  EXPECT_EQ(a.max_row_nnz(), 7);  // interior row: diagonal + 6 neighbors
+  EXPECT_TRUE(a.is_symmetric());
+  // Center row sums to zero... no: Dirichlet drops boundary terms, so
+  // the interior center row sums 6 - 6 = 0; corner rows sum 6 - 3 = 3.
+  const auto ones = std::vector<Real>(27, Real(1));
+  const auto row_sums = a.multiply(ones);
+  EXPECT_FLOAT_EQ(row_sums[13], 0.0f);  // center of the 3x3x3 grid
+  EXPECT_FLOAT_EQ(row_sums[0], 3.0f);   // corner
+}
+
+TEST(Csr, MultiplyMatchesDense) {
+  // Small hand-checked case: [[2,1],[1,3]] * [4,5] = [13,19].
+  CsrMatrix a(2, 2, {0, 2, 4}, {0, 1, 0, 1}, {2, 1, 1, 3});
+  const auto y = a.multiply({4, 5});
+  EXPECT_FLOAT_EQ(y[0], 13.0f);
+  EXPECT_FLOAT_EQ(y[1], 19.0f);
+}
+
+TEST(Csr, ValidationCatchesBadInput) {
+  EXPECT_THROW(CsrMatrix(2, 2, {0, 1}, {0}, {1}), Error);      // bad row_ptr
+  EXPECT_THROW(CsrMatrix(2, 2, {0, 1, 1}, {5}, {1}), Error);   // col oob
+}
+
+TEST(Cg, SolvesPoissonToTolerance) {
+  const CsrMatrix a = CsrMatrix::poisson3d(Int3{6, 6, 6});
+  Rng rng(3);
+  std::vector<Real> x_true(static_cast<std::size_t>(a.rows()));
+  for (auto& v : x_true) v = Real(rng.uniform(-1, 1));
+  const std::vector<Real> b = a.multiply(x_true);
+
+  std::vector<Real> x(x_true.size(), Real(0));
+  const CgResult res = cg_solve(a, b, x, CgParams{1e-5, 2000});
+  EXPECT_TRUE(res.converged);
+  EXPECT_LT(res.residual, 1e-5);
+  double max_err = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    max_err = std::max(max_err, std::abs(double(x[i]) - x_true[i]));
+  }
+  EXPECT_LT(max_err, 1e-3);
+}
+
+TEST(Cg, ZeroRhsGivesZeroSolution) {
+  const CsrMatrix a = CsrMatrix::poisson3d(Int3{3, 3, 3});
+  std::vector<Real> x(27, Real(5));
+  const CgResult res = cg_solve(a, std::vector<Real>(27, Real(0)), x);
+  EXPECT_TRUE(res.converged);
+  for (Real v : x) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(Cg, ReportsNonConvergenceWithinBudget) {
+  const CsrMatrix a = CsrMatrix::poisson3d(Int3{8, 8, 8});
+  std::vector<Real> x(static_cast<std::size_t>(a.rows()), Real(0));
+  std::vector<Real> b(x.size(), Real(1));
+  const CgResult res = cg_solve(a, b, x, CgParams{1e-12, 2});
+  EXPECT_FALSE(res.converged);
+  EXPECT_EQ(res.iterations, 2);
+}
+
+TEST(GpuMatvec, MatchesHostMultiply) {
+  const CsrMatrix a = CsrMatrix::poisson3d(Int3{5, 4, 3});
+  gpusim::GpuDevice dev(gpusim::GpuSpec::geforce_fx5800_ultra(),
+                        gpusim::BusSpec::agp8x());
+  GpuSparseMatrix ga(dev, a);
+  EXPECT_EQ(ga.ell_width(), 7);
+
+  Rng rng(9);
+  std::vector<Real> x(static_cast<std::size_t>(a.rows()));
+  for (auto& v : x) v = Real(rng.uniform(-2, 2));
+
+  const auto host = a.multiply(x);
+  const auto gpu = ga.multiply(x);
+  ASSERT_EQ(host.size(), gpu.size());
+  for (std::size_t i = 0; i < host.size(); ++i) {
+    EXPECT_NEAR(gpu[i], host[i], 1e-4) << "row " << i;
+  }
+}
+
+TEST(GpuMatvec, ChargesBusAndPassTime) {
+  const CsrMatrix a = CsrMatrix::poisson3d(Int3{4, 4, 4});
+  gpusim::GpuDevice dev(gpusim::GpuSpec::geforce_fx5800_ultra(),
+                        gpusim::BusSpec::agp8x());
+  GpuSparseMatrix ga(dev, a);
+  dev.reset_ledger();
+  ga.multiply(std::vector<Real>(64, Real(1)));
+  EXPECT_EQ(dev.ledger().passes, 1);
+  EXPECT_GT(dev.ledger().download_s, 0.0);  // x upload
+  EXPECT_GT(dev.ledger().readback_s, 0.0);  // y read-back
+}
+
+TEST(GpuMatvec, CgWithGpuMatvecConverges) {
+  // The Krueger/Westermann setup: CG iterations driven by the GPU matvec.
+  const CsrMatrix a = CsrMatrix::poisson3d(Int3{4, 4, 4});
+  gpusim::GpuDevice dev(gpusim::GpuSpec::geforce_fx5800_ultra(),
+                        gpusim::BusSpec::agp8x());
+  GpuSparseMatrix ga(dev, a);
+
+  std::vector<Real> x_true(64);
+  Rng rng(11);
+  for (auto& v : x_true) v = Real(rng.uniform(-1, 1));
+  const auto b = a.multiply(x_true);
+  std::vector<Real> x(64, Real(0));
+  const CgResult res = cg_solve(
+      [&ga](const std::vector<Real>& v) { return ga.multiply(v); }, b, x,
+      CgParams{1e-5, 500});
+  EXPECT_TRUE(res.converged);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(x[i], x_true[i], 2e-3);
+  }
+}
+
+class DistributedCgRanks : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistributedCgRanks, MatchesSerialSolution) {
+  const int ranks = GetParam();
+  const CsrMatrix a = CsrMatrix::poisson3d(Int3{6, 5, 4});
+  Rng rng(21);
+  std::vector<Real> x_true(static_cast<std::size_t>(a.rows()));
+  for (auto& v : x_true) v = Real(rng.uniform(-1, 1));
+  const auto b = a.multiply(x_true);
+
+  std::vector<Real> x_serial(x_true.size(), Real(0));
+  const CgResult serial = cg_solve(a, b, x_serial, CgParams{1e-6, 2000});
+  ASSERT_TRUE(serial.converged);
+
+  std::vector<Real> x_dist(x_true.size(), Real(0));
+  const DistributedCgStats stats =
+      distributed_cg_solve(a, b, x_dist, ranks, CgParams{1e-6, 2000});
+  EXPECT_TRUE(stats.result.converged);
+  // Same Krylov process up to float reduction order: the iteration count
+  // must be close and the solutions nearly identical.
+  EXPECT_NEAR(stats.result.iterations, serial.iterations, 10);
+  for (std::size_t i = 0; i < x_dist.size(); ++i) {
+    EXPECT_NEAR(x_dist[i], x_serial[i], 2e-3) << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, DistributedCgRanks,
+                         ::testing::Values(1, 2, 3, 4, 7));
+
+TEST(DistributedCg, ProxyTrafficIsSurfaceLike) {
+  // For a 1D row partition of a 3D Poisson matrix, each interior rank's
+  // proxy set is two grid planes: traffic O(n^2/3) per rank, i.e. the
+  // O(1/N) network-to-compute ratio Section 6 derives.
+  const Int3 dim{8, 8, 8};
+  const CsrMatrix a = CsrMatrix::poisson3d(dim);
+  std::vector<Real> b(static_cast<std::size_t>(a.rows()), Real(1));
+  std::vector<Real> x(b.size(), Real(0));
+  const DistributedCgStats stats =
+      distributed_cg_solve(a, b, x, 4, CgParams{1e-4, 500});
+  EXPECT_TRUE(stats.result.converged);
+  // 4 ranks, interior ranks need 2 planes of 64, edge ranks 1 plane.
+  EXPECT_EQ(stats.proxy_values_exchanged, (1 + 2 + 2 + 1) * 64);
+  EXPECT_EQ(stats.messages_per_iteration, 1 + 2 + 2 + 1);
+}
+
+}  // namespace
+}  // namespace gc::linalg

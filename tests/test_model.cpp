@@ -1,0 +1,138 @@
+// D3Q19 model invariants: link tables, weights, equilibrium moments.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lbm/model.hpp"
+
+namespace gc::lbm {
+namespace {
+
+TEST(Model, TablesConsistent) { EXPECT_TRUE(model_tables_consistent()); }
+
+TEST(Model, LinkCounts) {
+  int rest = 0, axial = 0, diag = 0;
+  for (int i = 0; i < Q; ++i) {
+    const int norm2 = C[i].x * C[i].x + C[i].y * C[i].y + C[i].z * C[i].z;
+    if (norm2 == 0) ++rest;
+    if (norm2 == 1) ++axial;
+    if (norm2 == 2) ++diag;
+  }
+  EXPECT_EQ(rest, 1);
+  EXPECT_EQ(axial, 6);   // nearest axial links
+  EXPECT_EQ(diag, 12);   // second-nearest minor diagonals
+}
+
+TEST(Model, WeightsMatchLinkClasses) {
+  for (int i = 0; i < Q; ++i) {
+    const int norm2 = C[i].x * C[i].x + C[i].y * C[i].y + C[i].z * C[i].z;
+    if (norm2 == 0) {
+      EXPECT_FLOAT_EQ(W[i], Real(1.0 / 3.0));
+    } else if (norm2 == 1) {
+      EXPECT_FLOAT_EQ(W[i], Real(1.0 / 18.0));
+    } else {
+      EXPECT_FLOAT_EQ(W[i], Real(1.0 / 36.0));
+    }
+  }
+}
+
+TEST(Model, OppositeIsInvolution) {
+  for (int i = 0; i < Q; ++i) {
+    EXPECT_EQ(OPP[OPP[i]], i);
+    EXPECT_EQ(C[OPP[i]].x, -C[i].x);
+    EXPECT_EQ(C[OPP[i]].y, -C[i].y);
+    EXPECT_EQ(C[OPP[i]].z, -C[i].z);
+  }
+}
+
+TEST(Model, DirectionIndexRoundTrip) {
+  for (int i = 0; i < Q; ++i) {
+    EXPECT_EQ(direction_index(C[i]), i);
+  }
+  EXPECT_EQ(direction_index(Int3{1, 1, 1}), -1);  // no corner links in D3Q19
+  EXPECT_EQ(direction_index(Int3{2, 0, 0}), -1);
+}
+
+TEST(Model, MirrorDirectionFlipsOneAxis) {
+  for (int i = 0; i < Q; ++i) {
+    for (int axis = 0; axis < 3; ++axis) {
+      const int m = mirror_direction(i, axis);
+      for (int a = 0; a < 3; ++a) {
+        if (a == axis) {
+          EXPECT_EQ(C[m][a], -C[i][a]);
+        } else {
+          EXPECT_EQ(C[m][a], C[i][a]);
+        }
+      }
+      EXPECT_EQ(mirror_direction(m, axis), i);  // involution
+    }
+  }
+}
+
+class EquilibriumMoments : public ::testing::TestWithParam<Vec3> {};
+
+TEST_P(EquilibriumMoments, DensityAndMomentumExact) {
+  const Vec3 u = GetParam();
+  const Real rho = Real(1.07);
+  double sum = 0.0, mx = 0.0, my = 0.0, mz = 0.0;
+  for (int i = 0; i < Q; ++i) {
+    const double f = equilibrium(i, rho, u);
+    sum += f;
+    mx += f * C[i].x;
+    my += f * C[i].y;
+    mz += f * C[i].z;
+  }
+  EXPECT_NEAR(sum, rho, 1e-5);
+  EXPECT_NEAR(mx, rho * u.x, 1e-5);
+  EXPECT_NEAR(my, rho * u.y, 1e-5);
+  EXPECT_NEAR(mz, rho * u.z, 1e-5);
+}
+
+TEST_P(EquilibriumMoments, SecondMomentIsIsotropicPlusUU) {
+  // sum_i feq c_a c_b = rho (cs^2 delta_ab + u_a u_b), exact for the
+  // quadratic D3Q19 equilibrium.
+  const Vec3 u = GetParam();
+  const Real rho = Real(0.93);
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      double m2 = 0.0;
+      for (int i = 0; i < Q; ++i) {
+        m2 += static_cast<double>(equilibrium(i, rho, u)) * C[i][a] * C[i][b];
+      }
+      const double want =
+          rho * ((a == b ? 1.0 / 3.0 : 0.0) + double(u[a]) * double(u[b]));
+      EXPECT_NEAR(m2, want, 2e-5) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST_P(EquilibriumMoments, BatchMatchesScalar) {
+  const Vec3 u = GetParam();
+  Real batch[Q];
+  equilibrium_all(Real(1.01), u, batch);
+  for (int i = 0; i < Q; ++i) {
+    EXPECT_FLOAT_EQ(batch[i], equilibrium(i, Real(1.01), u)) << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Velocities, EquilibriumMoments,
+    ::testing::Values(Vec3{0, 0, 0}, Vec3{0.05f, 0, 0}, Vec3{0, -0.08f, 0},
+                      Vec3{0, 0, 0.1f}, Vec3{0.03f, -0.04f, 0.05f},
+                      Vec3{-0.1f, 0.1f, -0.1f}));
+
+TEST(Model, ViscosityTauRoundTrip) {
+  for (Real tau : {Real(0.55), Real(0.8), Real(1.0), Real(1.7)}) {
+    EXPECT_NEAR(tau_from_viscosity(viscosity_from_tau(tau)), tau, 1e-6);
+  }
+  EXPECT_NEAR(viscosity_from_tau(Real(0.5)), 0.0, 1e-7);
+}
+
+TEST(Model, RestEquilibriumIsWeights) {
+  for (int i = 0; i < Q; ++i) {
+    EXPECT_FLOAT_EQ(equilibrium(i, Real(1), Vec3{}), W[i]);
+  }
+}
+
+}  // namespace
+}  // namespace gc::lbm

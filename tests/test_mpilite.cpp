@@ -1,0 +1,134 @@
+// In-process message passing: point-to-point ordering, sendrecv, barrier,
+// error propagation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "netsim/mpilite.hpp"
+
+namespace gc::netsim {
+namespace {
+
+TEST(MpiLite, PointToPointDelivers) {
+  MpiLite world(2);
+  world.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 7, Payload{1.0f, 2.0f, 3.0f});
+    } else {
+      const Payload p = comm.recv(0, 7);
+      EXPECT_EQ(p, (Payload{1.0f, 2.0f, 3.0f}));
+    }
+  });
+}
+
+TEST(MpiLite, FifoOrderPerChannel) {
+  MpiLite world(2);
+  world.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int k = 0; k < 10; ++k) comm.send(1, 0, Payload{Real(k)});
+    } else {
+      for (int k = 0; k < 10; ++k) {
+        const Payload p = comm.recv(0, 0);
+        EXPECT_FLOAT_EQ(p[0], Real(k));
+      }
+    }
+  });
+}
+
+TEST(MpiLite, TagsAreIndependentChannels) {
+  MpiLite world(2);
+  world.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 1, Payload{Real(11)});
+      comm.send(1, 2, Payload{Real(22)});
+    } else {
+      // Receive in the opposite order of sending.
+      EXPECT_FLOAT_EQ(comm.recv(0, 2)[0], Real(22));
+      EXPECT_FLOAT_EQ(comm.recv(0, 1)[0], Real(11));
+    }
+  });
+}
+
+TEST(MpiLite, SendRecvExchanges) {
+  MpiLite world(2);
+  world.run([](Comm& comm) {
+    const int partner = 1 - comm.rank();
+    const Payload got =
+        comm.sendrecv(partner, 5, Payload{Real(comm.rank())});
+    EXPECT_FLOAT_EQ(got[0], Real(partner));
+  });
+}
+
+TEST(MpiLite, BarrierSynchronizes) {
+  const int ranks = 4;
+  MpiLite world(ranks);
+  std::atomic<int> arrived{0};
+  world.run([&arrived, ranks](Comm& comm) {
+    for (int round = 0; round < 5; ++round) {
+      arrived.fetch_add(1);
+      comm.barrier();
+      // After the barrier, every rank of this round must have arrived.
+      EXPECT_GE(arrived.load(), ranks * (round + 1));
+      comm.barrier();
+    }
+  });
+}
+
+TEST(MpiLite, RingPassAccumulates) {
+  const int ranks = 5;
+  MpiLite world(ranks);
+  world.run([ranks](Comm& comm) {
+    const int next = (comm.rank() + 1) % ranks;
+    const int prev = (comm.rank() + ranks - 1) % ranks;
+    if (comm.rank() == 0) {
+      comm.send(next, 0, Payload{Real(0)});
+      const Payload p = comm.recv(prev, 0);
+      EXPECT_FLOAT_EQ(p[0], Real(ranks - 1));
+    } else {
+      Payload p = comm.recv(prev, 0);
+      p[0] += Real(1);
+      comm.send(next, 0, std::move(p));
+    }
+  });
+}
+
+TEST(MpiLite, CountsTraffic) {
+  MpiLite world(2);
+  world.run([](Comm& comm) {
+    if (comm.rank() == 0) comm.send(1, 0, Payload(100, Real(1)));
+    if (comm.rank() == 1) comm.recv(0, 0);
+  });
+  EXPECT_EQ(world.total_messages(), 1);
+  EXPECT_EQ(world.total_payload_values(), 100);
+}
+
+TEST(MpiLite, ExceptionsPropagateToCaller) {
+  MpiLite world(3);
+  EXPECT_THROW(world.run([](Comm& comm) {
+                 if (comm.rank() == 1) throw Error("boom");
+               }),
+               Error);
+}
+
+TEST(MpiLite, SendToInvalidRankThrows) {
+  MpiLite world(2);
+  EXPECT_THROW(world.run([](Comm& comm) {
+                 if (comm.rank() == 0) comm.send(5, 0, Payload{});
+               }),
+               Error);
+}
+
+TEST(MpiLite, SingleRankWorldWorks) {
+  MpiLite world(1);
+  int visits = 0;
+  world.run([&visits](Comm& comm) {
+    EXPECT_EQ(comm.size(), 1);
+    comm.barrier();
+    ++visits;
+  });
+  EXPECT_EQ(visits, 1);
+}
+
+}  // namespace
+}  // namespace gc::netsim

@@ -1,0 +1,133 @@
+// Tracer dispersion: determinism, advection with the flow, wall blocking,
+// escape accounting, density deposition.
+#include <gtest/gtest.h>
+
+#include "lbm/lattice.hpp"
+#include "tracer/tracer.hpp"
+
+namespace gc::tracer {
+namespace {
+
+using lbm::FaceBc;
+using lbm::Lattice;
+
+TEST(Tracer, ReleaseAddsParticles) {
+  TracerCloud cloud;
+  cloud.release(Int3{2, 2, 2}, 100);
+  EXPECT_EQ(cloud.num_particles(), 100);
+  EXPECT_EQ(cloud.num_escaped(), 0);
+}
+
+TEST(Tracer, DeterministicForSameSeed) {
+  Lattice lat(Int3{16, 16, 8});
+  lat.init_equilibrium(Real(1), Vec3{0.1f, 0, 0});
+  TracerParams p;
+  p.seed = 5;
+  TracerCloud a(p), b(p);
+  a.release(Int3{8, 8, 4}, 50);
+  b.release(Int3{8, 8, 4}, 50);
+  for (int s = 0; s < 10; ++s) {
+    a.step(lat);
+    b.step(lat);
+  }
+  ASSERT_EQ(a.particles().size(), b.particles().size());
+  for (std::size_t k = 0; k < a.particles().size(); ++k) {
+    EXPECT_EQ(a.particles()[k], b.particles()[k]);
+  }
+}
+
+TEST(Tracer, DriftsWithTheMeanFlow) {
+  // In a uniform flow u, the mean tracer displacement per step must be u
+  // (the Lowe-Succi transition probabilities are f_i / rho, whose first
+  // moment is exactly u).
+  Lattice lat(Int3{64, 16, 16});
+  const Vec3 u{0.15f, 0, 0};
+  lat.init_equilibrium(Real(1), u);
+  TracerCloud cloud;
+  cloud.release(Int3{8, 8, 8}, 2000);
+  const int steps = 40;
+  for (int s = 0; s < steps; ++s) cloud.step(lat);
+
+  double mean_x = 0;
+  for (const Int3& p : cloud.particles()) mean_x += p.x;
+  mean_x /= static_cast<double>(cloud.particles().size());
+  EXPECT_NEAR(mean_x - 8.0, double(u.x) * steps, 0.8);
+}
+
+TEST(Tracer, StationaryFluidSpreadsSymmetrically) {
+  Lattice lat(Int3{32, 32, 32});
+  lat.init_equilibrium(Real(1), Vec3{});
+  TracerCloud cloud;
+  cloud.release(Int3{16, 16, 16}, 3000);
+  for (int s = 0; s < 20; ++s) cloud.step(lat);
+  double mx = 0, my = 0, mz = 0;
+  for (const Int3& p : cloud.particles()) {
+    mx += p.x - 16;
+    my += p.y - 16;
+    mz += p.z - 16;
+  }
+  const double n = static_cast<double>(cloud.particles().size());
+  EXPECT_NEAR(mx / n, 0.0, 0.4);
+  EXPECT_NEAR(my / n, 0.0, 0.4);
+  EXPECT_NEAR(mz / n, 0.0, 0.4);
+}
+
+TEST(Tracer, BuildingsBlockParticles) {
+  Lattice lat(Int3{16, 16, 8});
+  for (int f = 0; f < 6; ++f) {
+    lat.set_face_bc(static_cast<lbm::Face>(f), FaceBc::Wall);
+  }
+  lat.init_equilibrium(Real(1), Vec3{0.2f, 0, 0});
+  // A wall right of the release point, spanning the full cross-section.
+  lat.fill_solid_box(Int3{10, 0, 0}, Int3{12, 16, 8});
+  TracerCloud cloud;
+  cloud.release(Int3{8, 8, 4}, 500);
+  for (int s = 0; s < 30; ++s) cloud.step(lat);
+  for (const Int3& p : cloud.particles()) {
+    EXPECT_NE(lat.flag(p), lbm::CellType::Solid);
+    EXPECT_LT(p.x, 10);  // nobody crossed the building wall
+  }
+}
+
+TEST(Tracer, OutflowFaceRemovesParticles) {
+  Lattice lat(Int3{12, 8, 8});
+  lat.set_face_bc(lbm::FACE_XMAX, FaceBc::Outflow);
+  lat.set_face_bc(lbm::FACE_XMIN, FaceBc::Inlet);
+  lat.init_equilibrium(Real(1), Vec3{0.2f, 0, 0});
+  TracerCloud cloud;
+  cloud.release(Int3{10, 4, 4}, 300);
+  for (int s = 0; s < 40; ++s) cloud.step(lat);
+  EXPECT_GT(cloud.num_escaped(), 250);
+  EXPECT_EQ(cloud.num_particles() + cloud.num_escaped(), 300);
+}
+
+TEST(Tracer, WallsReflect) {
+  Lattice lat(Int3{8, 8, 8});
+  for (int f = 0; f < 6; ++f) {
+    lat.set_face_bc(static_cast<lbm::Face>(f), FaceBc::Wall);
+  }
+  lat.init_equilibrium(Real(1), Vec3{});
+  TracerCloud cloud;
+  cloud.release(Int3{0, 0, 0}, 200);
+  for (int s = 0; s < 25; ++s) cloud.step(lat);
+  EXPECT_EQ(cloud.num_escaped(), 0);
+  EXPECT_EQ(cloud.num_particles(), 200);
+}
+
+TEST(Tracer, DepositAccumulatesCounts) {
+  Lattice lat(Int3{4, 4, 4});
+  lat.init_equilibrium(Real(1), Vec3{});
+  TracerCloud cloud;
+  cloud.release(Int3{1, 2, 3}, 7);
+  cloud.release(Int3{0, 0, 0}, 3);
+  std::vector<float> density;
+  cloud.deposit(lat, density);
+  EXPECT_FLOAT_EQ(density[static_cast<std::size_t>(lat.idx(1, 2, 3))], 7.0f);
+  EXPECT_FLOAT_EQ(density[static_cast<std::size_t>(lat.idx(0, 0, 0))], 3.0f);
+  float total = 0;
+  for (float v : density) total += v;
+  EXPECT_FLOAT_EQ(total, 10.0f);
+}
+
+}  // namespace
+}  // namespace gc::tracer

@@ -1,0 +1,157 @@
+// Utility layer: RNG determinism and distributions, thread pool, tables.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace gc {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(9);
+  std::set<i64> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(3, 7));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 3);
+  EXPECT_EQ(*seen.rbegin(), 7);
+}
+
+TEST(Rng, NormalHasUnitVariance) {
+  Rng rng(13);
+  double sum = 0, sum2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Rng, SplitStreamsAreIndependentButDeterministic) {
+  Rng a(5), b(5);
+  Rng as = a.split(), bs = b.split();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(as.next_u64(), bs.next_u64());
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, 1000, [&hits](i64 i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ChunkedVariantCoversRange) {
+  ThreadPool pool(3);
+  std::atomic<i64> total{0};
+  pool.parallel_for_chunks(10, 500, [&total](i64 lo, i64 hi) {
+    total.fetch_add(hi - lo);
+  });
+  EXPECT_EQ(total.load(), 490);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for_chunks(5, 5, [&called](i64, i64) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, SubmitAndWait) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait();
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(Table, AlignsAndFormats) {
+  Table t("demo");
+  t.set_header({"a", "value"});
+  t.row().cell("x").cell(1.234567, 3);
+  t.row().cell("longer").cell(2L);
+  const std::string s = t.str();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("1.235"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, CsvOutput) {
+  Table t;
+  t.set_header({"n", "ms"});
+  t.row().cell(1L).cell(2.5, 1);
+  EXPECT_EQ(t.csv(), "n,ms\n1,2.5\n");
+}
+
+TEST(Table, CellWithoutRowThrows) {
+  Table t;
+  EXPECT_THROW(t.cell("oops"), Error);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  // Busy-wait a tiny amount.
+  volatile double x = 0;
+  for (int i = 0; i < 100000; ++i) x = x + std::sqrt(double(i));
+  EXPECT_GE(t.seconds(), 0.0);
+  EXPECT_LT(t.seconds(), 10.0);
+}
+
+TEST(SectionTimer, Accumulates) {
+  SectionTimer s("phase");
+  s.add(0.5);
+  s.add(1.5);
+  EXPECT_DOUBLE_EQ(s.total_seconds(), 2.0);
+  EXPECT_EQ(s.count(), 2);
+  EXPECT_DOUBLE_EQ(s.mean_seconds(), 1.0);
+}
+
+TEST(Check, MacroThrowsWithMessage) {
+  try {
+    GC_CHECK_MSG(false, "context " << 42);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("context 42"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace gc

@@ -1,0 +1,96 @@
+// Streamlines: interpolation correctness, advection direction, stopping
+// conditions.
+#include <gtest/gtest.h>
+
+#include "lbm/macroscopic.hpp"
+#include "viz/streamline.hpp"
+
+namespace gc::viz {
+namespace {
+
+using lbm::Lattice;
+
+TEST(SampleVelocity, ExactAtCellCenters) {
+  Lattice lat(Int3{4, 4, 4});
+  std::vector<Vec3> u(static_cast<std::size_t>(lat.num_cells()));
+  u[static_cast<std::size_t>(lat.idx(2, 1, 3))] = Vec3{1, 2, 3};
+  const Vec3 v = sample_velocity(lat, u, Vec3{2, 1, 3});
+  EXPECT_FLOAT_EQ(v.x, 1.0f);
+  EXPECT_FLOAT_EQ(v.y, 2.0f);
+  EXPECT_FLOAT_EQ(v.z, 3.0f);
+}
+
+TEST(SampleVelocity, LinearBetweenCenters) {
+  Lattice lat(Int3{4, 2, 2});
+  std::vector<Vec3> u(static_cast<std::size_t>(lat.num_cells()));
+  for (i64 c = 0; c < lat.num_cells(); ++c) {
+    u[static_cast<std::size_t>(c)] = Vec3{Real(lat.coords(c).x), 0, 0};
+  }
+  const Vec3 v = sample_velocity(lat, u, Vec3{1.5f, 0, 0});
+  EXPECT_NEAR(v.x, 1.5f, 1e-5);
+}
+
+TEST(SampleVelocity, SolidCellsContributeZero) {
+  Lattice lat(Int3{4, 2, 2});
+  std::vector<Vec3> u(static_cast<std::size_t>(lat.num_cells()),
+                      Vec3{2, 0, 0});
+  lat.set_flag(Int3{1, 0, 0}, lbm::CellType::Solid);
+  const Vec3 mid = sample_velocity(lat, u, Vec3{0.5f, 0, 0});
+  EXPECT_LT(mid.x, 2.0f);  // the solid neighbor pulled the average down
+}
+
+TEST(Streamline, FollowsUniformFlow) {
+  Lattice lat(Int3{32, 8, 8});
+  std::vector<Vec3> u(static_cast<std::size_t>(lat.num_cells()),
+                      Vec3{0.1f, 0, 0});
+  StreamlineParams p;
+  p.step_size = Real(1);
+  p.max_steps = 10;
+  const auto line = trace_streamline(lat, u, Vec3{2, 4, 4}, p);
+  ASSERT_GE(line.size(), 5u);
+  for (std::size_t k = 1; k < line.size(); ++k) {
+    EXPECT_NEAR(line[k].x - line[k - 1].x, 1.0, 1e-4);
+    EXPECT_NEAR(line[k].y, 4.0, 1e-4);
+  }
+}
+
+TEST(Streamline, StopsAtDomainExit) {
+  Lattice lat(Int3{8, 4, 4});
+  std::vector<Vec3> u(static_cast<std::size_t>(lat.num_cells()),
+                      Vec3{1, 0, 0});
+  StreamlineParams p;
+  p.step_size = Real(1);
+  p.max_steps = 1000;
+  const auto line = trace_streamline(lat, u, Vec3{5, 2, 2}, p);
+  EXPECT_LE(line.size(), 4u);
+  for (const Vec3& q : line) EXPECT_LE(q.x, 7.0f);
+}
+
+TEST(Streamline, StopsAtSolid) {
+  Lattice lat(Int3{16, 4, 4});
+  lat.fill_solid_box(Int3{8, 0, 0}, Int3{16, 4, 4});
+  std::vector<Vec3> u(static_cast<std::size_t>(lat.num_cells()),
+                      Vec3{1, 0, 0});
+  const auto line = trace_streamline(lat, u, Vec3{2, 2, 2});
+  for (const Vec3& q : line) EXPECT_LT(q.x, 8.0f);
+}
+
+TEST(Streamline, StopsInStagnantFluid) {
+  Lattice lat(Int3{8, 8, 8});
+  std::vector<Vec3> u(static_cast<std::size_t>(lat.num_cells()));
+  const auto line = trace_streamline(lat, u, Vec3{4, 4, 4});
+  EXPECT_LE(line.size(), 1u);
+}
+
+TEST(Streamline, BundleTracesAllSeeds) {
+  Lattice lat(Int3{16, 8, 8});
+  std::vector<Vec3> u(static_cast<std::size_t>(lat.num_cells()),
+                      Vec3{0.05f, 0, 0});
+  const std::vector<Vec3> seeds{Vec3{1, 2, 2}, Vec3{1, 4, 4}, Vec3{1, 6, 6}};
+  const auto lines = trace_streamlines(lat, u, seeds);
+  ASSERT_EQ(lines.size(), 3u);
+  for (const auto& line : lines) EXPECT_GT(line.size(), 3u);
+}
+
+}  // namespace
+}  // namespace gc::viz
