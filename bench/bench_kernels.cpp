@@ -30,7 +30,7 @@ void BM_CollideBgk(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * lat.num_cells());
 }
-BENCHMARK(BM_CollideBgk)->Arg(32)->Arg(64);
+BENCHMARK(BM_CollideBgk)->Arg(32)->Arg(64)->Arg(80);
 
 void BM_Stream(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -40,7 +40,7 @@ void BM_Stream(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * lat.num_cells());
 }
-BENCHMARK(BM_Stream)->Arg(32)->Arg(64);
+BENCHMARK(BM_Stream)->Arg(32)->Arg(64)->Arg(80);
 
 void BM_FusedStreamCollide(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -50,7 +50,59 @@ void BM_FusedStreamCollide(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * lat.num_cells());
 }
-BENCHMARK(BM_FusedStreamCollide)->Arg(32)->Arg(64);
+BENCHMARK(BM_FusedStreamCollide)->Arg(32)->Arg(64)->Arg(80);
+
+// Span-path streaming on a mixed domain: inlet/outflow faces plus solid
+// obstacles, so the precomputed classification carries bulk spans, a slow
+// boundary minority, and solid runs (the realistic urban-lattice shape).
+void BM_StreamSpans(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  lbm::Lattice lat = make_lattice(n);
+  lat.set_face_bc(lbm::FACE_XMIN, lbm::FaceBc::Inlet);
+  lat.set_face_bc(lbm::FACE_XMAX, lbm::FaceBc::Outflow);
+  lat.set_face_bc(lbm::FACE_ZMIN, lbm::FaceBc::Wall);
+  lat.set_inlet(Real(1), Vec3{0.05f, 0, 0});
+  lat.fill_solid_box(Int3{n / 4, n / 4, 0}, Int3{n / 2, n / 2, n / 2});
+  lat.cell_class();  // classification built outside the timed loop
+  for (auto _ : state) {
+    lbm::stream(lat);
+  }
+  state.SetItemsProcessed(state.iterations() * lat.num_cells());
+}
+BENCHMARK(BM_StreamSpans)->Arg(64)->Arg(80);
+
+// Pooled fused stream+collide: the fastest host path. The second argument
+// is the pool size, to show scaling with threads.
+void BM_FusedPooled(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ThreadPool pool(static_cast<std::size_t>(state.range(1)));
+  lbm::Lattice lat = make_lattice(n);
+  lat.cell_class();
+  for (auto _ : state) {
+    lbm::fused_stream_collide(lat, lbm::BgkParams{Real(0.8), Vec3{}}, pool);
+  }
+  state.SetItemsProcessed(state.iterations() * lat.num_cells());
+}
+BENCHMARK(BM_FusedPooled)
+    ->Args({80, 1})
+    ->Args({80, 2})
+    ->Args({80, 4})
+    ->Args({80, 8})
+    ->UseRealTime();
+
+// Full classification rebuild (the one-time O(cells x 18) pass the
+// per-step kernels no longer pay). set_flag dirties, cell_class rebuilds.
+void BM_ClassificationRebuild(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  lbm::Lattice lat = make_lattice(n);
+  lat.fill_solid_box(Int3{n / 4, n / 4, 0}, Int3{n / 2, n / 2, n / 2});
+  for (auto _ : state) {
+    lat.set_flag(0, lbm::CellType::Fluid);  // mark dirty, same value
+    benchmark::DoNotOptimize(&lat.cell_class());
+  }
+  state.SetItemsProcessed(state.iterations() * lat.num_cells());
+}
+BENCHMARK(BM_ClassificationRebuild)->Arg(80);
 
 void BM_CollideMrt(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

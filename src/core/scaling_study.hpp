@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/cluster_sim.hpp"
+#include "util/thread_pool.hpp"
 
 namespace gc::core {
 
@@ -36,9 +37,18 @@ struct ThroughputRow {
 std::vector<ThroughputRow> throughput_rows(
     const std::vector<StepBreakdown>& series, i64 cells_per_node);
 
+/// Knobs for measured mode: which host hot path to time. The default is
+/// the serial split collide+stream reference; the fastest configuration is
+/// the fused span kernel on a thread pool.
+struct MeasureOptions {
+  bool fused = false;          ///< fused stream+collide instead of split
+  ThreadPool* pool = nullptr;  ///< run kernels on this pool (not owned)
+};
+
 /// Measured mode: actually steps a periodic 3D lattice on this host and
 /// returns the mean wall-clock milliseconds per LBM step (used to report
 /// our own numbers next to the paper's in EXPERIMENTS.md).
-double measure_host_step_ms(Int3 dim, int steps);
+double measure_host_step_ms(Int3 dim, int steps,
+                            const MeasureOptions& opt = {});
 
 }  // namespace gc::core

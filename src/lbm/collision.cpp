@@ -1,5 +1,7 @@
 #include "lbm/collision.hpp"
 
+#include <algorithm>
+
 #include "lbm/stream.hpp"
 
 namespace gc::lbm {
@@ -39,13 +41,31 @@ void collide_bgk_cell(Real f[Q], Real tau, Vec3 force) {
 
 namespace {
 
-void collide_span(Lattice& lat, const BgkParams& p, i64 begin, i64 end) {
+/// Collides one bulk span in place: every cell is known Fluid, so the
+/// loop carries no flag test at all.
+void collide_span(Real* const planes[Q], const BgkParams& p, i64 begin,
+                  i32 len) {
+  Real f[Q];
+  for (i32 k = 0; k < len; ++k) {
+    for (int i = 0; i < Q; ++i) f[i] = planes[i][begin + k];
+    collide_bgk_cell(f, p.tau, p.force);
+    for (int i = 0; i < Q; ++i) planes[i][begin + k] = f[i];
+  }
+}
+
+/// Collides slices [z0, z1): bulk spans first, then the slow fluid list
+/// (both precomputed — no per-cell flag scanning).
+void collide_z_range(Lattice& lat, const CellClass& cc, const BgkParams& p,
+                     int z0, int z1) {
   Real* planes[Q];
   for (int i = 0; i < Q; ++i) planes[i] = lat.plane_ptr(i);
+  for (i64 s = cc.span_z[z0]; s < cc.span_z[z1]; ++s) {
+    const CellSpan sp = cc.spans[static_cast<std::size_t>(s)];
+    collide_span(planes, p, sp.begin, sp.len);
+  }
   Real f[Q];
-  for (i64 c = begin; c < end; ++c) {
-    const CellType t = lat.flag(c);
-    if (t != CellType::Fluid) continue;  // inlet cells hold equilibrium
+  for (i64 k = cc.fluid_slow_z[z0]; k < cc.fluid_slow_z[z1]; ++k) {
+    const i64 c = cc.fluid_slow[static_cast<std::size_t>(k)];
     for (int i = 0; i < Q; ++i) f[i] = planes[i][c];
     collide_bgk_cell(f, p.tau, p.force);
     for (int i = 0; i < Q; ++i) planes[i][c] = f[i];
@@ -55,51 +75,106 @@ void collide_span(Lattice& lat, const BgkParams& p, i64 begin, i64 end) {
 }  // namespace
 
 void collide_bgk(Lattice& lat, const BgkParams& p) {
-  collide_span(lat, p, 0, lat.num_cells());
+  collide_z_range(lat, lat.cell_class(), p, 0, lat.dim().z);
 }
 
 void collide_bgk(Lattice& lat, const BgkParams& p, ThreadPool& pool) {
-  const i64 plane = i64(lat.dim().x) * lat.dim().y;
-  pool.parallel_for_chunks(0, lat.dim().z, [&lat, &p, plane](i64 z0, i64 z1) {
-    collide_span(lat, p, z0 * plane, z1 * plane);
-  });
+  const CellClass& cc = lat.cell_class();  // build before dispatch
+  const Int3 d = lat.dim();
+  pool.parallel_for_chunks(
+      0, d.z,
+      [&lat, &cc, &p](i64 z0, i64 z1) {
+        collide_z_range(lat, cc, p, static_cast<int>(z0),
+                        static_cast<int>(z1));
+      },
+      ThreadPool::min_chunk_indices(i64(d.x) * d.y));
 }
 
 void collide_bgk_region(Lattice& lat, const BgkParams& p, Int3 lo, Int3 hi) {
+  const CellClass& cc = lat.cell_class();
+  const Int3 d = lat.dim();
   Real* planes[Q];
   for (int i = 0; i < Q; ++i) planes[i] = lat.plane_ptr(i);
-  Real f[Q];
   for (int z = lo.z; z < hi.z; ++z) {
-    for (int y = lo.y; y < hi.y; ++y) {
-      i64 c = lat.idx(lo.x, y, z);
-      for (int x = lo.x; x < hi.x; ++x, ++c) {
-        if (lat.flag(c) != CellType::Fluid) continue;
-        for (int i = 0; i < Q; ++i) f[i] = planes[i][c];
-        collide_bgk_cell(f, p.tau, p.force);
-        for (int i = 0; i < Q; ++i) planes[i][c] = f[i];
+    // Bulk spans clipped to the box: a span lives in one row, so only its
+    // x extent needs clipping once the row's y is inside.
+    for (i64 s = cc.span_z[z]; s < cc.span_z[z + 1]; ++s) {
+      const CellSpan sp = cc.spans[static_cast<std::size_t>(s)];
+      const int y = static_cast<int>((sp.begin / d.x) % d.y);
+      if (y < lo.y || y >= hi.y) continue;
+      const int x0 = static_cast<int>(sp.begin % d.x);
+      const int xb = std::max(x0, lo.x);
+      const int xe = std::min(x0 + sp.len, hi.x);
+      if (xb >= xe) continue;
+      collide_span(planes, p, sp.begin + (xb - x0),
+                   static_cast<i32>(xe - xb));
+    }
+    Real f[Q];
+    for (i64 k = cc.fluid_slow_z[z]; k < cc.fluid_slow_z[z + 1]; ++k) {
+      const i64 c = cc.fluid_slow[static_cast<std::size_t>(k)];
+      const Int3 pos = lat.coords(c);
+      if (pos.x < lo.x || pos.x >= hi.x || pos.y < lo.y || pos.y >= hi.y) {
+        continue;
       }
+      for (int i = 0; i < Q; ++i) f[i] = planes[i][c];
+      collide_bgk_cell(f, p.tau, p.force);
+      for (int i = 0; i < Q; ++i) planes[i][c] = f[i];
     }
   }
 }
 
-void collide_bgk_forced(Lattice& lat, Real tau, const Vec3* force) {
+namespace {
+
+void collide_forced_z_range(Lattice& lat, const CellClass& cc, Real tau,
+                            const Vec3* force, int z0, int z1) {
   Real* planes[Q];
   for (int i = 0; i < Q; ++i) planes[i] = lat.plane_ptr(i);
   Real f[Q];
-  const i64 n = lat.num_cells();
-  for (i64 c = 0; c < n; ++c) {
-    if (lat.flag(c) != CellType::Fluid) continue;
+  for (i64 s = cc.span_z[z0]; s < cc.span_z[z1]; ++s) {
+    const CellSpan sp = cc.spans[static_cast<std::size_t>(s)];
+    for (i32 k = 0; k < sp.len; ++k) {
+      const i64 c = sp.begin + k;
+      for (int i = 0; i < Q; ++i) f[i] = planes[i][c];
+      collide_bgk_cell(f, tau, force[c]);
+      for (int i = 0; i < Q; ++i) planes[i][c] = f[i];
+    }
+  }
+  for (i64 k = cc.fluid_slow_z[z0]; k < cc.fluid_slow_z[z1]; ++k) {
+    const i64 c = cc.fluid_slow[static_cast<std::size_t>(k)];
     for (int i = 0; i < Q; ++i) f[i] = planes[i][c];
     collide_bgk_cell(f, tau, force[c]);
     for (int i = 0; i < Q; ++i) planes[i][c] = f[i];
   }
 }
 
-void fused_stream_collide(Lattice& lat, const BgkParams& p) {
-  // The fused pass cannot interpose the Bouzidi correction between
-  // streaming and collision; use the separate passes for curved boundaries.
-  GC_CHECK_MSG(lat.curved_links().empty(),
-               "fused_stream_collide does not support curved links");
+}  // namespace
+
+void collide_bgk_forced(Lattice& lat, Real tau, const Vec3* force) {
+  collide_forced_z_range(lat, lat.cell_class(), tau, force, 0, lat.dim().z);
+}
+
+void collide_bgk_forced(Lattice& lat, Real tau, const Vec3* force,
+                        ThreadPool& pool) {
+  const CellClass& cc = lat.cell_class();  // build before dispatch
+  const Int3 d = lat.dim();
+  pool.parallel_for_chunks(
+      0, d.z,
+      [&lat, &cc, tau, force](i64 z0, i64 z1) {
+        collide_forced_z_range(lat, cc, tau, force, static_cast<int>(z0),
+                               static_cast<int>(z1));
+      },
+      ThreadPool::min_chunk_indices(i64(d.x) * d.y));
+}
+
+namespace {
+
+/// Fused pull+collide over slices [z0, z1): bulk spans read the 19
+/// distributions straight off restrict-qualified shifted plane pointers
+/// (the pull is just a pointer offset for classified bulk cells), collide,
+/// and write the back buffer — with no flag work at all. The slow minority
+/// takes pull_value and per-flag handling, solids are zeroed.
+void fused_z_range(Lattice& lat, const CellClass& cc, const BgkParams& p,
+                   int z0, int z1) {
   const Int3 d = lat.dim();
   Real* dst[Q];
   const Real* src[Q];
@@ -113,45 +188,67 @@ void fused_stream_collide(Lattice& lat, const BgkParams& p) {
     shift[i] = -(C[i].x * sx + C[i].y * sy + C[i].z * sz);
   }
   const auto& flags = lat.flags();
-  const u8 fluid = static_cast<u8>(CellType::Fluid);
+
+  for (i64 k = cc.solid_z[z0]; k < cc.solid_z[z1]; ++k) {
+    const i64 cell = cc.solid[static_cast<std::size_t>(k)];
+    for (int i = 0; i < Q; ++i) dst[i][cell] = Real(0);
+  }
 
   Real f[Q];
-  for (int z = 0; z < d.z; ++z) {
-    for (int y = 0; y < d.y; ++y) {
-      i64 cell = lat.idx(0, y, z);
-      for (int x = 0; x < d.x; ++x, ++cell) {
-        const CellType t = static_cast<CellType>(flags[cell]);
-        if (t == CellType::Solid) {
-          for (int i = 0; i < Q; ++i) dst[i][cell] = Real(0);
-          continue;
-        }
-        bool fast = x >= 1 && y >= 1 && z >= 1 && x < d.x - 1 &&
-                    y < d.y - 1 && z < d.z - 1 && t == CellType::Fluid;
-        if (fast) {
-          for (int i = 1; i < Q; ++i) {
-            if (flags[cell + shift[i]] != fluid) {
-              fast = false;
-              break;
-            }
-          }
-        }
-        if (fast) {
-          f[0] = src[0][cell];
-          for (int i = 1; i < Q; ++i) f[i] = src[i][cell + shift[i]];
-        } else {
-          const Int3 pos{x, y, z};
-          for (int i = 0; i < Q; ++i) f[i] = detail::pull_value(lat, pos, i);
-        }
-        if (t == CellType::Fluid) {
-          collide_bgk_cell(f, p.tau, p.force);
-        } else if (t == CellType::Inlet) {
-          equilibrium_all(lat.inlet_density(),
-                          lat.inlet_velocity_at(Int3{x, y, z}), f);
-        }
-        for (int i = 0; i < Q; ++i) dst[i][cell] = f[i];
-      }
+  for (i64 s = cc.span_z[z0]; s < cc.span_z[z1]; ++s) {
+    const CellSpan sp = cc.spans[static_cast<std::size_t>(s)];
+    const Real* GC_RESTRICT in[Q];
+    Real* GC_RESTRICT out[Q];
+    for (int i = 0; i < Q; ++i) {
+      in[i] = src[i] + sp.begin + shift[i];
+      out[i] = dst[i] + sp.begin;
+    }
+    for (i32 k = 0; k < sp.len; ++k) {
+      for (int i = 0; i < Q; ++i) f[i] = in[i][k];
+      collide_bgk_cell(f, p.tau, p.force);
+      for (int i = 0; i < Q; ++i) out[i][k] = f[i];
     }
   }
+
+  for (i64 k = cc.slow_z[z0]; k < cc.slow_z[z1]; ++k) {
+    const i64 cell = cc.slow[static_cast<std::size_t>(k)];
+    const Int3 pos = lat.coords(cell);
+    const CellType t = static_cast<CellType>(flags[cell]);
+    for (int i = 0; i < Q; ++i) f[i] = detail::pull_value(lat, pos, i);
+    if (t == CellType::Fluid) {
+      collide_bgk_cell(f, p.tau, p.force);
+    } else if (t == CellType::Inlet) {
+      equilibrium_all(lat.inlet_density(), lat.inlet_velocity_at(pos), f);
+    }
+    for (int i = 0; i < Q; ++i) dst[i][cell] = f[i];
+  }
+}
+
+void check_fused_supported(const Lattice& lat) {
+  // The fused pass cannot interpose the Bouzidi correction between
+  // streaming and collision; use the separate passes for curved boundaries.
+  GC_CHECK_MSG(lat.curved_links().empty(),
+               "fused_stream_collide does not support curved links");
+}
+
+}  // namespace
+
+void fused_stream_collide(Lattice& lat, const BgkParams& p) {
+  check_fused_supported(lat);
+  fused_z_range(lat, lat.cell_class(), p, 0, lat.dim().z);
+  lat.swap_buffers();
+}
+
+void fused_stream_collide(Lattice& lat, const BgkParams& p, ThreadPool& pool) {
+  check_fused_supported(lat);
+  const CellClass& cc = lat.cell_class();  // build before dispatch
+  const Int3 d = lat.dim();
+  pool.parallel_for_chunks(
+      0, d.z,
+      [&lat, &cc, &p](i64 z0, i64 z1) {
+        fused_z_range(lat, cc, p, static_cast<int>(z0), static_cast<int>(z1));
+      },
+      ThreadPool::min_chunk_indices(i64(d.x) * d.y));
   lat.swap_buffers();
 }
 

@@ -35,9 +35,18 @@ void collide_bgk_cell(Real f[Q], Real tau, Vec3 force);
 /// buoyancy from the thermal module). `force[cell]` is the force at a cell.
 void collide_bgk_forced(Lattice& lat, Real tau, const Vec3* force);
 
+/// Multithreaded forced variant (z-slabs, bit-identical to serial).
+void collide_bgk_forced(Lattice& lat, Real tau, const Vec3* force,
+                        ThreadPool& pool);
+
 /// Fused stream+collide ("pull then collide"), the memory-traffic
 /// optimization of Massaioli & Amati cited in Section 4.4. Handles the same
 /// boundary conditions as the separate passes. Swaps buffers itself.
 void fused_stream_collide(Lattice& lat, const BgkParams& p);
+
+/// Multithreaded fused variant: z-slabs pull+collide concurrently (the
+/// pull pattern has no write conflicts). Bit-identical to the serial
+/// fused kernel.
+void fused_stream_collide(Lattice& lat, const BgkParams& p, ThreadPool& pool);
 
 }  // namespace gc::lbm

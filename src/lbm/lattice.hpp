@@ -9,6 +9,7 @@
 #include <functional>
 #include <vector>
 
+#include "lbm/cell_class.hpp"
 #include "lbm/model.hpp"
 #include "util/common.hpp"
 #include "util/vec3.hpp"
@@ -85,12 +86,36 @@ class Lattice {
   // --- cell flags ---
   CellType flag(i64 cell) const { return static_cast<CellType>(flags_[cell]); }
   CellType flag(Int3 p) const { return flag(idx(p)); }
-  void set_flag(i64 cell, CellType t) { flags_[cell] = static_cast<u8>(t); }
+  void set_flag(i64 cell, CellType t) {
+    flags_[cell] = static_cast<u8>(t);
+    class_dirty_ = true;
+  }
   void set_flag(Int3 p, CellType t) { set_flag(idx(p), t); }
   const std::vector<u8>& flags() const { return flags_; }
 
+  // --- precomputed cell classification ---
+  /// The span/index classification of the current flags. Rebuilt lazily,
+  /// at most once per flag or face-BC mutation (any number of set_flag
+  /// calls between two kernel invocations cost one rebuild). Not safe to
+  /// call for the first time from concurrent threads — the pooled kernel
+  /// entry points build it on the calling thread before dispatching.
+  const CellClass& cell_class() const {
+    if (class_dirty_) {
+      class_.build(*this);
+      class_dirty_ = false;
+      ++class_rebuilds_;
+    }
+    return class_;
+  }
+  /// Number of classification rebuilds so far (observable by tests to
+  /// assert the rebuilt-at-most-once-per-mutation contract).
+  i64 cell_class_rebuilds() const { return class_rebuilds_; }
+
   // --- domain face boundary conditions ---
-  void set_face_bc(Face face, FaceBc bc) { face_bc_[face] = bc; }
+  void set_face_bc(Face face, FaceBc bc) {
+    face_bc_[face] = bc;
+    class_dirty_ = true;  // conservative: keep classification fresh
+  }
   FaceBc face_bc(Face face) const { return face_bc_[face]; }
 
   void set_inlet(Real density, Vec3 velocity) {
@@ -154,6 +179,9 @@ class Lattice {
   Vec3 inlet_velocity_{};
   std::function<Vec3(Int3)> inlet_profile_;
   std::vector<CurvedLink> curved_links_;
+  mutable CellClass class_;
+  mutable bool class_dirty_ = true;
+  mutable i64 class_rebuilds_ = 0;
 };
 
 }  // namespace gc::lbm

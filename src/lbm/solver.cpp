@@ -50,7 +50,12 @@ void Solver::step() {
     }
     do_stream();
   } else if (cfg_.fused) {
-    fused_stream_collide(lat_, BgkParams{cfg_.tau, cfg_.body_force});
+    const BgkParams p{cfg_.tau, cfg_.body_force};
+    if (pool) {
+      fused_stream_collide(lat_, p, *pool);
+    } else {
+      fused_stream_collide(lat_, p);
+    }
   } else {
     if (pool) {
       collide_bgk(lat_, BgkParams{cfg_.tau, cfg_.body_force}, *pool);

@@ -98,8 +98,11 @@ bool is_interior_fluid(const Lattice& lat, Int3 p) {
 
 namespace {
 
-/// Streams slices [z0, z1) from the current into the back buffer.
-void stream_z_range(Lattice& lat, int z0, int z1) {
+/// Streams slices [z0, z1) from the current into the back buffer, driven
+/// by the precomputed classification: solid cells are zeroed, bulk-fast
+/// spans are branch-free shifted copies, and only the slow minority walks
+/// the general pull_value path. No per-cell flag scanning.
+void stream_z_range(Lattice& lat, const CellClass& cc, int z0, int z1) {
   const Int3 d = lat.dim();
   const i64 sx = 1, sy = d.x, sz = i64(d.x) * d.y;
 
@@ -115,58 +118,51 @@ void stream_z_range(Lattice& lat, int z0, int z1) {
     src[i] = lat.plane_ptr(i);
     dst[i] = lat.back_plane_ptr(i);
   }
-  const u8 fluid = static_cast<u8>(CellType::Fluid);
-  const auto& flags = lat.flags();
 
-  for (int z = z0; z < z1; ++z) {
-    for (int y = 0; y < d.y; ++y) {
-      const bool row_interior =
-          z >= 1 && z < d.z - 1 && y >= 1 && y < d.y - 1;
-      i64 cell = lat.idx(0, y, z);
-      for (int x = 0; x < d.x; ++x, ++cell) {
-        const CellType t = static_cast<CellType>(flags[cell]);
-        if (t == CellType::Solid) {
-          for (int i = 0; i < Q; ++i) dst[i][cell] = Real(0);
-          continue;
-        }
-        bool fast = row_interior && x >= 1 && x < d.x - 1 && t == CellType::Fluid;
-        if (fast) {
-          for (int i = 1; i < Q; ++i) {
-            if (flags[cell + shift[i]] != fluid) {
-              fast = false;
-              break;
-            }
-          }
-        }
-        if (fast) {
-          dst[0][cell] = src[0][cell];
-          for (int i = 1; i < Q; ++i) dst[i][cell] = src[i][cell + shift[i]];
-        } else {
-          const Int3 p{x, y, z};
-          for (int i = 0; i < Q; ++i) {
-            dst[i][cell] = detail::pull_value(lat, p, i);
-          }
-        }
-      }
+  for (i64 k = cc.solid_z[z0]; k < cc.solid_z[z1]; ++k) {
+    const i64 cell = cc.solid[static_cast<std::size_t>(k)];
+    for (int i = 0; i < Q; ++i) dst[i][cell] = Real(0);
+  }
+
+  for (i64 s = cc.span_z[z0]; s < cc.span_z[z1]; ++s) {
+    const CellSpan sp = cc.spans[static_cast<std::size_t>(s)];
+    for (int i = 0; i < Q; ++i) {
+      Real* GC_RESTRICT out = dst[i] + sp.begin;
+      const Real* GC_RESTRICT in = src[i] + sp.begin + shift[i];
+      for (i32 k = 0; k < sp.len; ++k) out[k] = in[k];
     }
   }
 
+  for (i64 k = cc.slow_z[z0]; k < cc.slow_z[z1]; ++k) {
+    const i64 cell = cc.slow[static_cast<std::size_t>(k)];
+    const Int3 p = lat.coords(cell);
+    for (int i = 0; i < Q; ++i) {
+      dst[i][cell] = detail::pull_value(lat, p, i);
+    }
+  }
 }
 
 /// Buffer swap + inlet re-imposition + curved-boundary corrections.
+/// Inlet cells come from the precomputed index list; the uniform-inlet
+/// equilibrium is computed once outside the loop, and a profiled inlet
+/// recomputes per cell into its own scratch so the two cases never share
+/// (and clobber) one feq buffer.
 void finish_stream(Lattice& lat) {
   lat.swap_buffers();
 
-  if (lat.count(CellType::Inlet) > 0) {
-    Real feq[Q];
-    equilibrium_all(lat.inlet_density(), lat.inlet_velocity(), feq);
-    const i64 n = lat.num_cells();
-    for (i64 c = 0; c < n; ++c) {
-      if (lat.flag(c) == CellType::Inlet) {
-        if (lat.has_inlet_profile()) {
-          equilibrium_all(lat.inlet_density(),
-                          lat.inlet_velocity_at(lat.coords(c)), feq);
-        }
+  const CellClass& cc = lat.cell_class();
+  if (!cc.inlet.empty()) {
+    if (lat.has_inlet_profile()) {
+      Real feq[Q];
+      for (const i64 c : cc.inlet) {
+        equilibrium_all(lat.inlet_density(),
+                        lat.inlet_velocity_at(lat.coords(c)), feq);
+        for (int i = 0; i < Q; ++i) lat.set_f(i, c, feq[i]);
+      }
+    } else {
+      Real feq[Q];
+      equilibrium_all(lat.inlet_density(), lat.inlet_velocity(), feq);
+      for (const i64 c : cc.inlet) {
         for (int i = 0; i < Q; ++i) lat.set_f(i, c, feq[i]);
       }
     }
@@ -178,14 +174,20 @@ void finish_stream(Lattice& lat) {
 }  // namespace
 
 void stream(Lattice& lat) {
-  stream_z_range(lat, 0, lat.dim().z);
+  const CellClass& cc = lat.cell_class();
+  stream_z_range(lat, cc, 0, lat.dim().z);
   finish_stream(lat);
 }
 
 void stream(Lattice& lat, ThreadPool& pool) {
-  pool.parallel_for_chunks(0, lat.dim().z, [&lat](i64 z0, i64 z1) {
-    stream_z_range(lat, static_cast<int>(z0), static_cast<int>(z1));
-  });
+  const CellClass& cc = lat.cell_class();  // build before dispatch
+  const Int3 d = lat.dim();
+  pool.parallel_for_chunks(
+      0, d.z,
+      [&lat, &cc](i64 z0, i64 z1) {
+        stream_z_range(lat, cc, static_cast<int>(z0), static_cast<int>(z1));
+      },
+      ThreadPool::min_chunk_indices(i64(d.x) * d.y));
   finish_stream(lat);
 }
 

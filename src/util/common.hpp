@@ -37,6 +37,16 @@ namespace detail {
 
 }  // namespace gc
 
+/// No-alias qualifier for the plane pointers of hot kernels, so the
+/// compiler can autovectorize span loops without runtime overlap checks.
+#if defined(_MSC_VER) && !defined(__clang__)
+#define GC_RESTRICT __restrict
+#elif defined(__GNUC__) || defined(__clang__)
+#define GC_RESTRICT __restrict__
+#else
+#define GC_RESTRICT
+#endif
+
 /// Precondition/invariant check that is always on (library code is not hot
 /// enough for these to matter; kernels avoid them in inner loops).
 #define GC_CHECK(cond)                                              \

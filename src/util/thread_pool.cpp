@@ -63,11 +63,14 @@ void ThreadPool::parallel_for(i64 begin, i64 end,
   });
 }
 
-void ThreadPool::parallel_for_chunks(
-    i64 begin, i64 end, const std::function<void(i64, i64)>& body) {
+void ThreadPool::parallel_for_chunks(i64 begin, i64 end,
+                                     const std::function<void(i64, i64)>& body,
+                                     i64 min_chunk) {
   const i64 n = end - begin;
   if (n <= 0) return;
-  const i64 parts = std::min<i64>(static_cast<i64>(size()), n);
+  const i64 by_floor = min_chunk > 1 ? std::max<i64>(1, n / min_chunk) : n;
+  const i64 parts =
+      std::min<i64>(static_cast<i64>(size()), std::min(n, by_floor));
   if (parts <= 1) {
     body(begin, end);
     return;

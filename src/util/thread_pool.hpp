@@ -39,11 +39,25 @@ class ThreadPool {
 
   /// Chunked variant: body receives a [chunk_begin, chunk_end) range.
   /// Preferred for kernels — avoids a std::function call per element.
+  /// `min_chunk` is a floor on the chunk length: fewer chunks are handed
+  /// out when the range is small, so tiny inputs (e.g. 8^3 test lattices)
+  /// don't pay pool dispatch overhead for near-empty chunks. With one
+  /// chunk the body runs inline on the calling thread.
   void parallel_for_chunks(i64 begin, i64 end,
-                           const std::function<void(i64, i64)>& body);
+                           const std::function<void(i64, i64)>& body,
+                           i64 min_chunk = 1);
 
   /// Process-wide pool sized to the hardware. Lazily constructed.
   static ThreadPool& global();
+
+  /// Chunk floor for parallel_for_chunks when every loop index stands for
+  /// `per_index` elements of real work (e.g. one z-slice of d.x*d.y lattice
+  /// cells): enough indices per chunk that a chunk covers at least `target`
+  /// elements. Large slices yield 1 (no change); tiny slices coalesce.
+  static i64 min_chunk_indices(i64 per_index, i64 target = 8192) {
+    if (per_index <= 0) return 1;
+    return (target + per_index - 1) / per_index;
+  }
 
  private:
   void worker_loop();

@@ -85,6 +85,44 @@ TEST(ThreadPool, ChunkedVariantCoversRange) {
   EXPECT_EQ(total.load(), 490);
 }
 
+TEST(ThreadPool, MinChunkCoalescesTinyRanges) {
+  ThreadPool pool(4);
+  // 8 indices with a floor of 5 per chunk: at most one chunk fits, so the
+  // body must run exactly once, inline, over the whole range.
+  std::atomic<int> chunks{0};
+  std::atomic<i64> covered{0};
+  pool.parallel_for_chunks(
+      0, 8,
+      [&](i64 lo, i64 hi) {
+        chunks.fetch_add(1);
+        covered.fetch_add(hi - lo);
+      },
+      5);
+  EXPECT_EQ(chunks.load(), 1);
+  EXPECT_EQ(covered.load(), 8);
+
+  // 20 indices, floor 5: at most 4 chunks, full coverage.
+  chunks = 0;
+  covered = 0;
+  pool.parallel_for_chunks(
+      0, 20,
+      [&](i64 lo, i64 hi) {
+        chunks.fetch_add(1);
+        covered.fetch_add(hi - lo);
+      },
+      5);
+  EXPECT_LE(chunks.load(), 4);
+  EXPECT_EQ(covered.load(), 20);
+}
+
+TEST(ThreadPool, MinChunkIndicesHeuristic) {
+  // Large slices need no coalescing; tiny slices coalesce to ~target.
+  EXPECT_EQ(ThreadPool::min_chunk_indices(6400), 2);   // 80^2 plane
+  EXPECT_EQ(ThreadPool::min_chunk_indices(10000), 1);  // 100^2 plane
+  EXPECT_EQ(ThreadPool::min_chunk_indices(64), 128);   // 8^2 plane
+  EXPECT_EQ(ThreadPool::min_chunk_indices(0), 1);
+}
+
 TEST(ThreadPool, EmptyRangeIsNoop) {
   ThreadPool pool(2);
   bool called = false;
