@@ -1,15 +1,26 @@
 // Kernel microbenchmarks (google-benchmark): host LBM collision,
 // streaming, fused step, MRT, thermal update, GPU-simulated step, tracer
-// hop, and the pack/unpack paths of the border exchange.
+// hop, and the pack/unpack paths of the border exchange. `--trace out.json`
+// additionally runs a short instrumented Solver + ParallelLbm session and
+// writes the Chrome-trace JSON plus its CSV sibling.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "core/border_exchange.hpp"
+#include "core/parallel_lbm.hpp"
 #include "gpulbm/gpu_solver.hpp"
+#include "io/csv.hpp"
 #include "lbm/collision.hpp"
 #include "lbm/macroscopic.hpp"
 #include "lbm/mrt.hpp"
+#include "lbm/solver.hpp"
 #include "lbm/stream.hpp"
 #include "lbm/thermal.hpp"
+#include "obs/export.hpp"
 #include "tracer/tracer.hpp"
 
 namespace {
@@ -79,7 +90,8 @@ void BM_FusedPooled(benchmark::State& state) {
   lbm::Lattice lat = make_lattice(n);
   lat.cell_class();
   for (auto _ : state) {
-    lbm::fused_stream_collide(lat, lbm::BgkParams{Real(0.8), Vec3{}}, pool);
+    lbm::fused_stream_collide(lat, lbm::BgkParams{Real(0.8), Vec3{}},
+                              lbm::StepContext{&pool, nullptr, 0});
   }
   state.SetItemsProcessed(state.iterations() * lat.num_cells());
 }
@@ -179,6 +191,67 @@ void BM_Moments(benchmark::State& state) {
 }
 BENCHMARK(BM_Moments);
 
+// Short instrumented session: a fused serial Solver run and a 2x2x1
+// ParallelLbm run share one recorder, so the artifact holds single-node
+// spans (tid 0) next to per-rank spans and the mpi.* counters.
+void run_traced_session(const std::string& trace_path) {
+  obs::TraceRecorder rec;
+
+  lbm::SolverConfig scfg;
+  scfg.fused = true;
+  scfg.trace = &rec;
+  lbm::Solver solver(Int3{48, 48, 48}, scfg);
+  solver.lattice().init_equilibrium(Real(1), Vec3{0.05f, 0.02f, 0.01f});
+  const obs::RunStats serial = solver.run(5);
+
+  lbm::Lattice global(Int3{32, 32, 16});
+  global.set_face_bc(lbm::FACE_XMIN, lbm::FaceBc::Inlet);
+  global.set_face_bc(lbm::FACE_XMAX, lbm::FaceBc::Outflow);
+  global.set_face_bc(lbm::FACE_YMIN, lbm::FaceBc::Wall);
+  global.set_face_bc(lbm::FACE_YMAX, lbm::FaceBc::Wall);
+  global.set_face_bc(lbm::FACE_ZMIN, lbm::FaceBc::Wall);
+  global.set_face_bc(lbm::FACE_ZMAX, lbm::FaceBc::FreeSlip);
+  global.set_inlet(Real(1), Vec3{0.05f, 0, 0});
+  global.init_equilibrium(Real(1), Vec3{0.05f, 0, 0});
+  core::ParallelConfig pcfg;
+  pcfg.grid = netsim::NodeGrid{Int3{2, 2, 1}};
+  pcfg.trace = &rec;
+  core::ParallelLbm par(global, pcfg);
+  const obs::RunStats parallel = par.run(5);
+
+  obs::write_chrome_trace(trace_path, rec);
+  const std::string csv_path = obs::csv_sibling_path(trace_path);
+  io::write_csv(csv_path, obs::trace_table(rec));
+  std::printf(
+      "traced session: serial %lld steps %.2f ms, 2x2x1 parallel %lld steps "
+      "%.2f ms (%lld MPI messages)\nwrote %s and %s\n",
+      static_cast<long long>(serial.steps), serial.wall_ms,
+      static_cast<long long>(parallel.steps), parallel.wall_ms,
+      static_cast<long long>(rec.counter("mpi.messages")), trace_path.c_str(),
+      csv_path.c_str());
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// benchmark::Initialize rejects flags it does not know, so --trace is
+// extracted from argv before handing over.
+int main(int argc, char** argv) {
+  std::string trace_path;
+  std::vector<char*> kept;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
+    } else {
+      kept.push_back(argv[i]);
+    }
+  }
+  int kept_argc = static_cast<int>(kept.size());
+  benchmark::Initialize(&kept_argc, kept.data());
+  if (benchmark::ReportUnrecognizedArguments(kept_argc, kept.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!trace_path.empty()) run_traced_session(trace_path);
+  return 0;
+}

@@ -11,15 +11,27 @@
 #include "city/voxelize.hpp"
 #include "city/wind.hpp"
 #include "core/scaling_study.hpp"
+#include "io/csv.hpp"
 #include "lbm/collision.hpp"
 #include "lbm/macroscopic.hpp"
 #include "lbm/stream.hpp"
+#include "obs/export.hpp"
 #include "tracer/tracer.hpp"
+#include "util/args.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gc;
+  ArgParser args("bench_times_square",
+                 "Times Square headline numbers + functional urban run.");
+  args.add_string("trace", "",
+                  "write a Chrome-trace JSON (+ CSV sibling) of the "
+                  "functional urban run to this path");
+  if (!args.parse(argc, argv)) return 1;
+  const std::string trace_path = args.get_string("trace");
+  obs::TraceRecorder recorder;
+  obs::TraceRecorder* rec = trace_path.empty() ? nullptr : &recorder;
 
   // --- Timing model at paper scale -------------------------------------
   core::ClusterSimulator sim;
@@ -81,8 +93,14 @@ int main() {
   Timer timer;
   const int steps = 60;
   for (int s = 0; s < steps; ++s) {
-    lbm::collide_bgk(lat, lbm::BgkParams{Real(0.55), Vec3{}}, pool);
-    lbm::stream(lat, pool);
+    {
+      obs::ScopedSpan span(rec, "collide", 0, "lbm");
+      lbm::collide_bgk(lat, lbm::BgkParams{Real(0.55), Vec3{}}, pool);
+    }
+    {
+      obs::ScopedSpan span(rec, "stream", 0, "lbm");
+      lbm::stream(lat, pool);
+    }
   }
   const double ms_per_step = timer.millis() / steps;
 
@@ -103,7 +121,10 @@ int main() {
 
   tracer::TracerCloud cloud;
   cloud.release(Int3{dim.x * 3 / 4, dim.y * 3 / 4, 2}, 2000);
-  for (int s = 0; s < 100; ++s) cloud.step(lat);
+  {
+    obs::ScopedSpan span(rec, "tracer advection", 0, "tracer");
+    for (int s = 0; s < 100; ++s) cloud.step(lat);
+  }
 
   Table f("Functional urban run (reduced scale, this machine)");
   f.set_header({"quantity", "value"});
@@ -122,5 +143,13 @@ int main() {
       .cell("rect memory savings (Sec 4.2)")
       .cell(100.0 * cov.savings(), 1);
   f.print();
+
+  if (rec) {
+    recorder.set_gauge("urban.ms_per_step", 0, ms_per_step);
+    obs::write_chrome_trace(trace_path, recorder);
+    const std::string csv_path = obs::csv_sibling_path(trace_path);
+    io::write_csv(csv_path, obs::trace_table(recorder));
+    std::printf("wrote %s and %s\n", trace_path.c_str(), csv_path.c_str());
+  }
   return 0;
 }

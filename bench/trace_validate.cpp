@@ -1,0 +1,80 @@
+// Artifact validator behind the trace_smoke ctest: for every JSON path
+// given, parses the Chrome trace back (strict), requires at least one
+// span, and checks the CSV sibling exists with a header plus data rows.
+// Exits non-zero with a diagnostic on the first violation.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/export.hpp"
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::fprintf(stderr, "trace_validate: cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gc;
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: trace_validate trace.json [trace2.json ...]\n");
+    return 2;
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string json_path = argv[i];
+    obs::ParsedTrace parsed;
+    try {
+      parsed = obs::parse_chrome_trace(slurp(json_path));
+    } catch (const Error& e) {
+      std::fprintf(stderr, "trace_validate: %s: malformed trace: %s\n",
+                   json_path.c_str(), e.what());
+      return 1;
+    }
+    if (parsed.spans.empty()) {
+      std::fprintf(stderr, "trace_validate: %s: no spans\n", json_path.c_str());
+      return 1;
+    }
+    for (const obs::TraceEvent& e : parsed.spans) {
+      if (e.name.empty() || e.t1_us < e.t0_us) {
+        std::fprintf(stderr, "trace_validate: %s: bad span '%s' [%f, %f]\n",
+                     json_path.c_str(), e.name.c_str(), e.t0_us, e.t1_us);
+        return 1;
+      }
+    }
+
+    const std::string csv_path = obs::csv_sibling_path(json_path);
+    const std::string csv = slurp(csv_path);
+    std::istringstream lines(csv);
+    std::string header;
+    std::getline(lines, header);
+    if (header.find("kind") == std::string::npos ||
+        header.find("name") == std::string::npos) {
+      std::fprintf(stderr, "trace_validate: %s: missing CSV header\n",
+                   csv_path.c_str());
+      return 1;
+    }
+    int rows = 0;
+    for (std::string line; std::getline(lines, line);) {
+      if (!line.empty()) ++rows;
+    }
+    if (rows < 1) {
+      std::fprintf(stderr, "trace_validate: %s: no data rows\n",
+                   csv_path.c_str());
+      return 1;
+    }
+    std::printf("%s: %zu spans, %zu counters; %s: %d rows — ok\n",
+                json_path.c_str(), parsed.spans.size(), parsed.counters.size(),
+                csv_path.c_str(), rows);
+  }
+  return 0;
+}

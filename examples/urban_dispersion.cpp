@@ -5,7 +5,8 @@
 // Writes VTK volumes (velocity, contaminant density) and streamlines.
 //
 //   ./urban_dispersion [--out DIR] [--spin-up N] [--tracer-steps N]
-//                      [--wind SPEED] [--seed S]   (--help for all)
+//                      [--wind SPEED] [--seed S] [--trace FILE.json]
+//                      (--help for all)
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -16,10 +17,12 @@
 #include "city/wind.hpp"
 #include "io/ppm_writer.hpp"
 #include "io/vtk_writer.hpp"
+#include "io/csv.hpp"
 #include "lbm/collision.hpp"
 #include "lbm/les.hpp"
 #include "lbm/macroscopic.hpp"
 #include "lbm/stream.hpp"
+#include "obs/export.hpp"
 #include "tracer/tracer.hpp"
 #include "util/timer.hpp"
 #include "viz/streamline.hpp"
@@ -33,8 +36,13 @@ int main(int argc, char** argv) {
   args.add_int("tracer-steps", 300, "dispersion steps after release");
   args.add_real("wind", 0.08, "wind speed in lattice units (< 0.2)");
   args.add_int("seed", 2004, "city generator seed");
+  args.add_string("trace", "",
+                  "write a Chrome-trace JSON (+ CSV sibling) of the run");
   if (!args.parse(argc, argv)) return 1;
   const std::string out_dir = args.get_string("out");
+  const std::string trace_path = args.get_string("trace");
+  obs::TraceRecorder recorder;
+  obs::TraceRecorder* rec = trace_path.empty() ? nullptr : &recorder;
   const int spin_up = static_cast<int>(args.get_int("spin-up"));
   const int tracer_steps = static_cast<int>(args.get_int("tracer-steps"));
 
@@ -67,8 +75,14 @@ int main(int argc, char** argv) {
   Timer t;
   const lbm::SmagorinskyParams p{Real(0.55), Real(0.14)};
   for (int s = 0; s < spin_up; ++s) {
-    lbm::collide_bgk_les(lat, p);
-    lbm::stream(lat);
+    {
+      obs::ScopedSpan span(rec, "collide", 0, "lbm");
+      lbm::collide_bgk_les(lat, p);
+    }
+    {
+      obs::ScopedSpan span(rec, "stream", 0, "lbm");
+      lbm::stream(lat);
+    }
     if ((s + 1) % 50 == 0) {
       std::printf("  spin-up %4d/%d  max|u| = %.4f\n", s + 1, spin_up,
                   double(lbm::max_velocity(lat)));
@@ -95,9 +109,18 @@ int main(int argc, char** argv) {
   const Int3 source{dim.x * 2 / 3, dim.y * 2 / 3, 2};
   cloud.release(source, 20000);
   for (int s = 0; s < tracer_steps; ++s) {
-    lbm::collide_bgk_les(lat, p);
-    lbm::stream(lat);
-    cloud.step(lat);
+    {
+      obs::ScopedSpan span(rec, "collide", 0, "lbm");
+      lbm::collide_bgk_les(lat, p);
+    }
+    {
+      obs::ScopedSpan span(rec, "stream", 0, "lbm");
+      lbm::stream(lat);
+    }
+    {
+      obs::ScopedSpan span(rec, "tracer", 0, "tracer");
+      cloud.step(lat);
+    }
   }
   std::printf("Tracers: %lld in flight, %lld escaped the domain\n",
               static_cast<long long>(cloud.num_particles()),
@@ -119,5 +142,14 @@ int main(int argc, char** argv) {
       "Wrote urban_streamlines.vtk, urban_contaminant.vtk, urban_speed.vtk,\n"
       "and PPM quick-looks to %s\n",
       out_dir.c_str());
+
+  if (rec) {
+    recorder.add_counter("urban.spin_up_steps", 0, spin_up);
+    recorder.add_counter("urban.tracer_steps", 0, tracer_steps);
+    obs::write_chrome_trace(trace_path, recorder);
+    const std::string csv_path = obs::csv_sibling_path(trace_path);
+    io::write_csv(csv_path, obs::trace_table(recorder));
+    std::printf("wrote %s and %s\n", trace_path.c_str(), csv_path.c_str());
+  }
   return 0;
 }

@@ -7,11 +7,11 @@
 
 namespace gc::core {
 
-std::vector<std::vector<i64>> ClusterSimulator::traffic_bytes(
+netsim::TrafficMatrix ClusterSimulator::traffic_bytes_per_step(
     const Decomposition3& decomp, const netsim::CommSchedule& sched,
     bool indirect_diagonals) {
   const auto rb = static_cast<i64>(sizeof(Real));
-  std::vector<std::vector<i64>> bytes(sched.steps.size());
+  netsim::TrafficMatrix bytes(sched.steps.size());
   const netsim::NodeGrid& grid = sched.grid;
 
   for (std::size_t k = 0; k < sched.steps.size(); ++k) {
@@ -102,7 +102,8 @@ StepBreakdown ClusterSimulator::simulate_step(const ClusterScenario& sc) const {
     const netsim::CommSchedule sched = netsim::CommSchedule::pairwise(sc.grid);
     const netsim::SwitchModel sw(sc.net);
     const bool barrier = sc.barrier.value_or(netsim::NetSpec::auto_barrier(n));
-    const auto bytes = traffic_bytes(decomp, sched, sc.indirect_diagonals);
+    const auto bytes =
+        traffic_bytes_per_step(decomp, sched, sc.indirect_diagonals);
     out.net_total_ms = sw.scheduled_seconds(sched, bytes, barrier).total_s * 1e3;
 
     if (!sc.indirect_diagonals) {

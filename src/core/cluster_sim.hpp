@@ -46,10 +46,20 @@ class ClusterSimulator {
   StepBreakdown simulate_step(const ClusterScenario& sc) const;
 
   /// Per-pair payloads for every schedule step (face bytes + piggybacked
-  /// diagonal chunks), computed analytically from the decomposition.
-  static std::vector<std::vector<i64>> traffic_bytes(
+  /// diagonal chunks), computed analytically from the decomposition. Same
+  /// name and shape as ParallelLbm::traffic_bytes_per_step — the analytic
+  /// prediction of exactly what the functional layer measures, asserted
+  /// equal in the test suite.
+  static netsim::TrafficMatrix traffic_bytes_per_step(
       const Decomposition3& decomp, const netsim::CommSchedule& sched,
       bool indirect_diagonals);
+
+  /// Deprecated pre-alignment name; use traffic_bytes_per_step.
+  [[deprecated("use traffic_bytes_per_step")]] static netsim::TrafficMatrix
+  traffic_bytes(const Decomposition3& decomp,
+                const netsim::CommSchedule& sched, bool indirect_diagonals) {
+    return traffic_bytes_per_step(decomp, sched, indirect_diagonals);
+  }
 };
 
 }  // namespace gc::core

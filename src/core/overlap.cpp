@@ -32,6 +32,14 @@ std::string OverlapTimeline::gantt(int width) const {
   return os.str();
 }
 
+void OverlapTimeline::export_trace(obs::TraceRecorder& rec, int rank) const {
+  for (const TimelineTask& t : tasks) {
+    rec.record_span(t.name, "model", rank, t.start_ms * 1e3, t.end_ms * 1e3);
+  }
+  rec.set_gauge("model.makespan_ms", rank, makespan_ms);
+  rec.set_gauge("model.network_hidden_ms", rank, network_hidden_ms);
+}
+
 OverlapTimeline simulate_overlapped_step(const ClusterScenario& sc) {
   // Decompose the closed-form costs into pipeline tasks for the busiest
   // node, then schedule them with their dependencies on an event queue.
@@ -78,7 +86,8 @@ OverlapTimeline simulate_overlapped_step(const ClusterScenario& sc) {
     const netsim::SwitchModel sw(sc.net);
     const bool barrier = sc.barrier.value_or(netsim::NetSpec::auto_barrier(n));
     const auto bytes =
-        ClusterSimulator::traffic_bytes(decomp, sched, sc.indirect_diagonals);
+        ClusterSimulator::traffic_bytes_per_step(decomp, sched,
+                                                 sc.indirect_diagonals);
     network_ms = sw.scheduled_seconds(sched, bytes, barrier).total_s * 1e3;
   }
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/cluster_sim.hpp"
+#include "obs/trace.hpp"
 
 namespace gc::core {
 
@@ -30,6 +31,11 @@ struct OverlapTimeline {
   const TimelineTask* find(const std::string& name) const;
   /// ASCII Gantt rendering for the benches.
   std::string gantt(int width = 60) const;
+
+  /// Records every task as a span (cat "model", tid = `rank`) so the
+  /// modeled timeline lands in the same Chrome-trace file as measured
+  /// (functional) runs and the two can be overlaid in one viewer.
+  void export_trace(obs::TraceRecorder& rec, int rank = 0) const;
 };
 
 /// Simulates one overlapped step for the busiest node of the scenario.

@@ -4,6 +4,7 @@
 
 #include "lbm/mrt.hpp"
 #include "lbm/stream.hpp"
+#include "util/timer.hpp"
 
 namespace gc::core {
 
@@ -128,6 +129,7 @@ void ParallelLbm::node_step(Comm& comm, int node) {
   const LocalDomain& ld = domains_[static_cast<std::size_t>(node)];
   const netsim::NodeGrid& grid = cfg_.grid;
   const Int3 myc = grid.coords(node);
+  obs::TraceRecorder* rec = cfg_.trace;
 
   if (cfg_.thermal) {
     // Hybrid thermal step, matching lbm::Solver::step's ordering exactly:
@@ -135,22 +137,26 @@ void ParallelLbm::node_step(Comm& comm, int node) {
     // values, (2) FD temperature update using the pre-collision velocity,
     // (3) MRT collision, (4) Boussinesq force on owned cells.
     lbm::ThermalField& T = *thermals_[static_cast<std::size_t>(node)];
-    for (int k = 0; k < sched_.num_steps(); ++k) {
-      int partner = -1;
-      for (const netsim::ExchangePair& p :
-           sched_.steps[static_cast<std::size_t>(k)]) {
-        if (p.a == node) partner = p.b;
-        if (p.b == node) partner = p.a;
+    {
+      obs::ScopedSpan ex(rec, "exchange", node, "net");
+      for (int k = 0; k < sched_.num_steps(); ++k) {
+        int partner = -1;
+        for (const netsim::ExchangePair& p :
+             sched_.steps[static_cast<std::size_t>(k)]) {
+          if (p.a == node) partner = p.b;
+          if (p.b == node) partner = p.a;
+        }
+        if (partner < 0) continue;
+        const Int3 off = grid.coords(partner) - myc;
+        int face = -1;
+        for (int a = 0; a < 3; ++a) {
+          if (off[a] != 0) face = 2 * a + (off[a] > 0 ? 1 : 0);
+        }
+        comm.send(partner, TAG_TEMP, pack_face_scalar(T, lat, ld, face));
+        unpack_face_scalar(T, lat, ld, face, comm.recv(partner, TAG_TEMP));
       }
-      if (partner < 0) continue;
-      const Int3 off = grid.coords(partner) - myc;
-      int face = -1;
-      for (int a = 0; a < 3; ++a) {
-        if (off[a] != 0) face = 2 * a + (off[a] > 0 ? 1 : 0);
-      }
-      comm.send(partner, TAG_TEMP, pack_face_scalar(T, lat, ld, face));
-      unpack_face_scalar(T, lat, ld, face, comm.recv(partner, TAG_TEMP));
     }
+    obs::ScopedSpan collide_span(rec, "collide", node, "lbm");
     auto& u = scratch_u_[static_cast<std::size_t>(node)];
     lbm::compute_velocity_region(lat, u, ld.own_lo(), ld.own_hi());
     T.step(lat, u);
@@ -161,9 +167,11 @@ void ParallelLbm::node_step(Comm& comm, int node) {
     lbm::apply_force_first_order_region(lat, force, ld.own_lo(),
                                         ld.own_hi());
   } else if (cfg_.collision == lbm::CollisionKind::MRT) {
+    obs::ScopedSpan collide_span(rec, "collide", node, "lbm");
     lbm::collide_mrt_region(lat, lbm::MrtParams::standard(cfg_.tau),
                             ld.own_lo(), ld.own_hi());
   } else {
+    obs::ScopedSpan collide_span(rec, "collide", node, "lbm");
     lbm::collide_bgk_region(lat, lbm::BgkParams{cfg_.tau, Vec3{}},
                             ld.own_lo(), ld.own_hi());
   }
@@ -171,6 +179,8 @@ void ParallelLbm::node_step(Comm& comm, int node) {
   auto& store = forward_store_[static_cast<std::size_t>(node)];
 
   for (int k = 0; k < sched_.num_steps(); ++k) {
+    // One span per schedule step; pack/unpack nest inside it.
+    obs::ScopedSpan ex(rec, "exchange", node, "net");
     // My partner in this step, if any.
     int partner = -1;
     for (const netsim::ExchangePair& p :
@@ -184,7 +194,12 @@ void ParallelLbm::node_step(Comm& comm, int node) {
       for (int a = 0; a < 3; ++a) {
         if (off[a] != 0) face = 2 * a + (off[a] > 0 ? 1 : 0);
       }
-      comm.send(partner, TAG_FACE, pack_face(lat, ld, face));
+      netsim::Payload payload;
+      {
+        obs::ScopedSpan pack(rec, "pack", node, "net");
+        payload = pack_face(lat, ld, face);
+      }
+      comm.send(partner, TAG_FACE, std::move(payload));
     }
 
     if (cfg_.indirect_diagonals) {
@@ -204,7 +219,9 @@ void ParallelLbm::node_step(Comm& comm, int node) {
     }
 
     if (partner >= 0) {
-      unpack_face(lat, ld, face, comm.recv(partner, TAG_FACE));
+      const netsim::Payload payload = comm.recv(partner, TAG_FACE);
+      obs::ScopedSpan unpack(rec, "unpack", node, "net");
+      unpack_face(lat, ld, face, payload);
     }
     if (cfg_.indirect_diagonals) {
       for (const netsim::IndirectRoute& r : routes_) {
@@ -251,13 +268,42 @@ void ParallelLbm::node_step(Comm& comm, int node) {
     }
   }
 
+  obs::ScopedSpan stream_span(rec, "stream", node, "lbm");
   lbm::stream(lat);
 }
 
-void ParallelLbm::run(int steps) {
+obs::RunStats ParallelLbm::run(int steps) {
+  obs::RunStats rs;
+  obs::TraceRecorder* rec = cfg_.trace;
+  const std::size_t ev0 = rec ? rec->num_events() : 0;
+  std::vector<netsim::RankTraffic> before;
+  if (rec) {
+    for (int r = 0; r < world_.size(); ++r) {
+      before.push_back(world_.rank_traffic(r));
+    }
+  }
+
+  Timer t;
   world_.run([this, steps](Comm& comm) {
     for (int s = 0; s < steps; ++s) node_step(comm, comm.rank());
   });
+  rs.steps = steps;
+  rs.wall_ms = t.millis();
+
+  if (rec) {
+    rs.phases = rec->phase_totals(ev0);
+    const auto real_bytes = static_cast<i64>(sizeof(Real));
+    for (int r = 0; r < world_.size(); ++r) {
+      const netsim::RankTraffic d = world_.rank_traffic(r);
+      const netsim::RankTraffic& b = before[static_cast<std::size_t>(r)];
+      rec->add_counter("mpi.messages", r, d.messages - b.messages);
+      rec->add_counter("mpi.bytes", r,
+                       (d.payload_values - b.payload_values) * real_bytes);
+      rec->add_counter("mpi.barrier_waits", r,
+                       d.barrier_waits - b.barrier_waits);
+    }
+  }
+  return rs;
 }
 
 void ParallelLbm::gather(lbm::Lattice& out) const {
@@ -302,8 +348,8 @@ void ParallelLbm::gather_temperature(std::vector<Real>& out) const {
   }
 }
 
-std::vector<std::vector<i64>> ParallelLbm::traffic_bytes_per_step() const {
-  std::vector<std::vector<i64>> bytes(sched_.steps.size());
+netsim::TrafficMatrix ParallelLbm::traffic_bytes_per_step() const {
+  netsim::TrafficMatrix bytes(sched_.steps.size());
   const auto real_bytes = static_cast<i64>(sizeof(Real));
 
   for (std::size_t k = 0; k < sched_.steps.size(); ++k) {

@@ -17,6 +17,7 @@
 #include "lbm/solver.hpp"
 #include "netsim/mpilite.hpp"
 #include "netsim/schedule.hpp"
+#include "obs/trace.hpp"
 
 namespace gc::core {
 
@@ -36,6 +37,11 @@ struct ParallelConfig {
   /// nearest neighbors instead of the paper's two-hop indirect routing
   /// (functional results are identical; used by the schedule ablation).
   bool indirect_diagonals = true;
+  /// When set, every rank emits collide / pack / unpack / exchange /
+  /// stream spans here (tid = rank), and run() publishes per-rank
+  /// mpi.messages / mpi.bytes / mpi.barrier_waits counters. Null = zero
+  /// instrumentation cost. Not owned.
+  obs::TraceRecorder* trace = nullptr;
 };
 
 class ParallelLbm {
@@ -49,7 +55,9 @@ class ParallelLbm {
   const netsim::CommSchedule& schedule() const { return sched_; }
 
   /// Advances all nodes `steps` LBM steps, one MpiLite rank per node.
-  void run(int steps);
+  /// The summary carries wall time and, when a recorder is attached,
+  /// per-phase span totals for just this run.
+  obs::RunStats run(int steps);
 
   /// Reassembles the owned regions into a global lattice.
   void gather(lbm::Lattice& out) const;
@@ -62,7 +70,9 @@ class ParallelLbm {
 
   /// Bytes exchanged per schedule step per pair (face payloads plus any
   /// piggybacked diagonal hops) — the input for netsim::SwitchModel.
-  std::vector<std::vector<i64>> traffic_bytes_per_step() const;
+  /// Same shape and name as ClusterSimulator::traffic_bytes_per_step, so
+  /// the measured and analytic accountings can be diffed entry-by-entry.
+  netsim::TrafficMatrix traffic_bytes_per_step() const;
 
   /// Total payload values routed through MpiLite so far.
   i64 total_payload_values() const { return world_.total_payload_values(); }

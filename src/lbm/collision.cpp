@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "lbm/stream.hpp"
+#include "obs/trace.hpp"
 
 namespace gc::lbm {
 
@@ -149,21 +150,22 @@ void collide_forced_z_range(Lattice& lat, const CellClass& cc, Real tau,
 
 }  // namespace
 
-void collide_bgk_forced(Lattice& lat, Real tau, const Vec3* force) {
-  collide_forced_z_range(lat, lat.cell_class(), tau, force, 0, lat.dim().z);
-}
-
 void collide_bgk_forced(Lattice& lat, Real tau, const Vec3* force,
-                        ThreadPool& pool) {
+                        const StepContext& ctx) {
+  obs::ScopedSpan span(ctx.trace, "collide", ctx.rank, "lbm");
   const CellClass& cc = lat.cell_class();  // build before dispatch
   const Int3 d = lat.dim();
-  pool.parallel_for_chunks(
-      0, d.z,
-      [&lat, &cc, tau, force](i64 z0, i64 z1) {
-        collide_forced_z_range(lat, cc, tau, force, static_cast<int>(z0),
-                               static_cast<int>(z1));
-      },
-      ThreadPool::min_chunk_indices(i64(d.x) * d.y));
+  if (ctx.pool) {
+    ctx.pool->parallel_for_chunks(
+        0, d.z,
+        [&lat, &cc, tau, force](i64 z0, i64 z1) {
+          collide_forced_z_range(lat, cc, tau, force, static_cast<int>(z0),
+                                 static_cast<int>(z1));
+        },
+        ThreadPool::min_chunk_indices(i64(d.x) * d.y));
+  } else {
+    collide_forced_z_range(lat, cc, tau, force, 0, d.z);
+  }
 }
 
 namespace {
@@ -233,22 +235,23 @@ void check_fused_supported(const Lattice& lat) {
 
 }  // namespace
 
-void fused_stream_collide(Lattice& lat, const BgkParams& p) {
+void fused_stream_collide(Lattice& lat, const BgkParams& p,
+                          const StepContext& ctx) {
   check_fused_supported(lat);
-  fused_z_range(lat, lat.cell_class(), p, 0, lat.dim().z);
-  lat.swap_buffers();
-}
-
-void fused_stream_collide(Lattice& lat, const BgkParams& p, ThreadPool& pool) {
-  check_fused_supported(lat);
+  obs::ScopedSpan span(ctx.trace, "fused", ctx.rank, "lbm");
   const CellClass& cc = lat.cell_class();  // build before dispatch
   const Int3 d = lat.dim();
-  pool.parallel_for_chunks(
-      0, d.z,
-      [&lat, &cc, &p](i64 z0, i64 z1) {
-        fused_z_range(lat, cc, p, static_cast<int>(z0), static_cast<int>(z1));
-      },
-      ThreadPool::min_chunk_indices(i64(d.x) * d.y));
+  if (ctx.pool) {
+    ctx.pool->parallel_for_chunks(
+        0, d.z,
+        [&lat, &cc, &p](i64 z0, i64 z1) {
+          fused_z_range(lat, cc, p, static_cast<int>(z0),
+                        static_cast<int>(z1));
+        },
+        ThreadPool::min_chunk_indices(i64(d.x) * d.y));
+  } else {
+    fused_z_range(lat, cc, p, 0, d.z);
+  }
   lat.swap_buffers();
 }
 

@@ -5,6 +5,7 @@
 #pragma once
 
 #include "lbm/lattice.hpp"
+#include "lbm/step_context.hpp"
 #include "util/thread_pool.hpp"
 
 namespace gc::lbm {
@@ -33,20 +34,30 @@ void collide_bgk_cell(Real f[Q], Real tau, Vec3 force);
 
 /// Per-cell spatially varying force field variant (e.g., Boussinesq
 /// buoyancy from the thermal module). `force[cell]` is the force at a cell.
-void collide_bgk_forced(Lattice& lat, Real tau, const Vec3* force);
-
-/// Multithreaded forced variant (z-slabs, bit-identical to serial).
+/// Runs on ctx.pool when set (z-slabs, bit-identical to serial) and emits
+/// a "collide" span on ctx.trace when attached.
 void collide_bgk_forced(Lattice& lat, Real tau, const Vec3* force,
-                        ThreadPool& pool);
+                        const StepContext& ctx = {});
 
 /// Fused stream+collide ("pull then collide"), the memory-traffic
 /// optimization of Massaioli & Amati cited in Section 4.4. Handles the same
-/// boundary conditions as the separate passes. Swaps buffers itself.
-void fused_stream_collide(Lattice& lat, const BgkParams& p);
+/// boundary conditions as the separate passes. Swaps buffers itself. Runs
+/// on ctx.pool when set (z-slabs pull+collide concurrently; the pull
+/// pattern has no write conflicts, so this is bit-identical to serial) and
+/// emits a "fused" span on ctx.trace when attached.
+void fused_stream_collide(Lattice& lat, const BgkParams& p,
+                          const StepContext& ctx = {});
 
-/// Multithreaded fused variant: z-slabs pull+collide concurrently (the
-/// pull pattern has no write conflicts). Bit-identical to the serial
-/// fused kernel.
-void fused_stream_collide(Lattice& lat, const BgkParams& p, ThreadPool& pool);
+/// Deprecated pool-overload shims (PR-1 API); use the StepContext forms.
+[[deprecated("pass StepContext{&pool} instead")]] inline void
+collide_bgk_forced(Lattice& lat, Real tau, const Vec3* force,
+                   ThreadPool& pool) {
+  collide_bgk_forced(lat, tau, force, StepContext{&pool, nullptr, 0});
+}
+
+[[deprecated("pass StepContext{&pool} instead")]] inline void
+fused_stream_collide(Lattice& lat, const BgkParams& p, ThreadPool& pool) {
+  fused_stream_collide(lat, p, StepContext{&pool, nullptr, 0});
+}
 
 }  // namespace gc::lbm

@@ -2,6 +2,7 @@
 
 #include "lbm/macroscopic.hpp"
 #include "lbm/stream.hpp"
+#include "util/timer.hpp"
 
 namespace gc::lbm {
 
@@ -18,57 +19,88 @@ Solver::Solver(Int3 dim, SolverConfig cfg) : cfg_(cfg), lat_(dim) {
 }
 
 void Solver::step() {
-  ThreadPool* pool = cfg_.pool;
-  auto do_stream = [this, pool] {
-    if (pool) {
-      stream(lat_, *pool);
-    } else {
-      stream(lat_);
-    }
-  };
+  const StepContext ctx{cfg_.pool, cfg_.trace, 0};
+  obs::TraceRecorder* rec = cfg_.trace;
+  // Phase boundaries for the StepStats record; only read when tracing
+  // (the untraced hot path performs no clock reads or allocations).
+  const double t_begin = rec ? rec->now_us() : 0;
+  double t_thermal = 0, t_collide = 0;
 
   if (thermal_) {
     // Hybrid thermal step: advance T with the current velocity field,
     // then collide with the Boussinesq force, then stream.
-    compute_velocity_field(lat_, velocity_field_);
-    thermal_->step(lat_, velocity_field_);
-    const MrtParams p = cfg_.mrt ? *cfg_.mrt : MrtParams::standard(cfg_.tau);
-    if (pool) {
-      collide_mrt(lat_, p, *pool);
-    } else {
-      collide_mrt(lat_, p);
+    {
+      obs::ScopedSpan span(rec, "thermal", 0, "lbm");
+      compute_velocity_field(lat_, velocity_field_);
+      thermal_->step(lat_, velocity_field_);
     }
-    thermal_->buoyancy_force(lat_, force_field_);
-    apply_force_first_order(lat_, force_field_);
-    do_stream();
+    if (rec) t_thermal = rec->now_us();
+    const MrtParams p = cfg_.mrt ? *cfg_.mrt : MrtParams::standard(cfg_.tau);
+    {
+      obs::ScopedSpan span(rec, "collide", 0, "lbm");
+      if (ctx.pool) {
+        collide_mrt(lat_, p, *ctx.pool);
+      } else {
+        collide_mrt(lat_, p);
+      }
+      thermal_->buoyancy_force(lat_, force_field_);
+      apply_force_first_order(lat_, force_field_);
+    }
+    if (rec) t_collide = rec->now_us();
+    stream(lat_, ctx);
   } else if (cfg_.collision == CollisionKind::MRT) {
     const MrtParams p = cfg_.mrt ? *cfg_.mrt : MrtParams::standard(cfg_.tau);
-    if (pool) {
-      collide_mrt(lat_, p, *pool);
-    } else {
-      collide_mrt(lat_, p);
+    {
+      obs::ScopedSpan span(rec, "collide", 0, "lbm");
+      if (ctx.pool) {
+        collide_mrt(lat_, p, *ctx.pool);
+      } else {
+        collide_mrt(lat_, p);
+      }
     }
-    do_stream();
+    if (rec) t_collide = rec->now_us();
+    stream(lat_, ctx);
   } else if (cfg_.fused) {
-    const BgkParams p{cfg_.tau, cfg_.body_force};
-    if (pool) {
-      fused_stream_collide(lat_, p, *pool);
-    } else {
-      fused_stream_collide(lat_, p);
-    }
+    fused_stream_collide(lat_, BgkParams{cfg_.tau, cfg_.body_force}, ctx);
+    if (rec) t_collide = rec->now_us();
   } else {
-    if (pool) {
-      collide_bgk(lat_, BgkParams{cfg_.tau, cfg_.body_force}, *pool);
-    } else {
-      collide_bgk(lat_, BgkParams{cfg_.tau, cfg_.body_force});
+    {
+      obs::ScopedSpan span(rec, "collide", 0, "lbm");
+      if (ctx.pool) {
+        collide_bgk(lat_, BgkParams{cfg_.tau, cfg_.body_force}, *ctx.pool);
+      } else {
+        collide_bgk(lat_, BgkParams{cfg_.tau, cfg_.body_force});
+      }
     }
-    do_stream();
+    if (rec) t_collide = rec->now_us();
+    stream(lat_, ctx);
   }
   ++steps_;
+
+  if (rec) {
+    const double t_end = rec->now_us();
+    last_stats_.step = steps_;
+    last_stats_.thermal_ms = (t_thermal ? t_thermal - t_begin : 0) * 1e-3;
+    const double collide_from = t_thermal ? t_thermal : t_begin;
+    last_stats_.collide_ms =
+        (t_collide ? t_collide - collide_from : 0) * 1e-3;
+    last_stats_.stream_ms = (t_collide ? t_end - t_collide : 0) * 1e-3;
+    last_stats_.total_ms = (t_end - t_begin) * 1e-3;
+  }
 }
 
-void Solver::run(int steps) {
+obs::RunStats Solver::run(int steps) {
+  obs::RunStats rs;
+  const std::size_t ev0 = cfg_.trace ? cfg_.trace->num_events() : 0;
+  Timer t;
   for (int s = 0; s < steps; ++s) step();
+  rs.steps = steps;
+  rs.wall_ms = t.millis();
+  if (cfg_.trace) {
+    rs.phases = cfg_.trace->phase_totals(ev0);
+    cfg_.trace->add_counter("solver.steps", 0, steps);
+  }
+  return rs;
 }
 
 }  // namespace gc::lbm

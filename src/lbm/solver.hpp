@@ -11,6 +11,7 @@
 #include "lbm/lattice.hpp"
 #include "lbm/mrt.hpp"
 #include "lbm/thermal.hpp"
+#include "obs/trace.hpp"
 
 namespace gc::lbm {
 
@@ -26,6 +27,9 @@ struct SolverConfig {
   /// When set, collision and streaming run on this pool (z-slab
   /// parallelism, bit-identical to the serial kernels). Not owned.
   ThreadPool* pool = nullptr;
+  /// When set, step() emits collide/stream/thermal/finish spans and a
+  /// per-step StepStats record here. Null = zero instrumentation cost.
+  obs::TraceRecorder* trace = nullptr;
 };
 
 class Solver {
@@ -40,9 +44,15 @@ class Solver {
   /// One LBM time step: collide (+ thermal coupling), stream.
   void step();
 
-  void run(int steps);
+  /// Advances `steps` steps; the summary carries wall time and, when a
+  /// recorder is attached, per-phase totals for just this run.
+  obs::RunStats run(int steps);
 
   i64 step_count() const { return steps_; }
+
+  /// Phase breakdown of the most recent step() — populated only when a
+  /// recorder is attached (all zeros otherwise).
+  const obs::StepStats& last_step_stats() const { return last_stats_; }
 
  private:
   SolverConfig cfg_;
@@ -51,6 +61,7 @@ class Solver {
   std::vector<Vec3> force_field_;
   std::vector<Vec3> velocity_field_;
   i64 steps_ = 0;
+  obs::StepStats last_stats_;
 };
 
 }  // namespace gc::lbm

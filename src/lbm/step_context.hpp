@@ -1,0 +1,21 @@
+// Execution context threaded through the stepping kernels: which thread
+// pool to run on (null = serial) and where to record trace spans (null =
+// no instrumentation, zero overhead). Collapses the pool/no-pool overload
+// pairs that accumulated in PR 1 into single entry points.
+#pragma once
+
+#include "util/thread_pool.hpp"
+
+namespace gc::obs {
+class TraceRecorder;
+}  // namespace gc::obs
+
+namespace gc::lbm {
+
+struct StepContext {
+  ThreadPool* pool = nullptr;          ///< z-slab parallelism (not owned)
+  obs::TraceRecorder* trace = nullptr; ///< span/counter sink (not owned)
+  int rank = 0;                        ///< trace lane (MpiLite rank or 0)
+};
+
+}  // namespace gc::lbm

@@ -1,6 +1,7 @@
 #include "lbm/stream.hpp"
 
 #include "lbm/boundary.hpp"
+#include "obs/trace.hpp"
 
 namespace gc::lbm {
 namespace detail {
@@ -188,6 +189,27 @@ void stream(Lattice& lat, ThreadPool& pool) {
         stream_z_range(lat, cc, static_cast<int>(z0), static_cast<int>(z1));
       },
       ThreadPool::min_chunk_indices(i64(d.x) * d.y));
+  finish_stream(lat);
+}
+
+void stream(Lattice& lat, const StepContext& ctx) {
+  const CellClass& cc = lat.cell_class();  // build before dispatch
+  const Int3 d = lat.dim();
+  {
+    obs::ScopedSpan span(ctx.trace, "stream", ctx.rank, "lbm");
+    if (ctx.pool) {
+      ctx.pool->parallel_for_chunks(
+          0, d.z,
+          [&lat, &cc](i64 z0, i64 z1) {
+            stream_z_range(lat, cc, static_cast<int>(z0),
+                           static_cast<int>(z1));
+          },
+          ThreadPool::min_chunk_indices(i64(d.x) * d.y));
+    } else {
+      stream_z_range(lat, cc, 0, d.z);
+    }
+  }
+  obs::ScopedSpan span(ctx.trace, "finish", ctx.rank, "lbm");
   finish_stream(lat);
 }
 

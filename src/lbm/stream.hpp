@@ -6,6 +6,7 @@
 #pragma once
 
 #include "lbm/lattice.hpp"
+#include "lbm/step_context.hpp"
 #include "util/thread_pool.hpp"
 
 namespace gc::lbm {
@@ -19,6 +20,11 @@ void stream(Lattice& lat);
 /// Multithreaded variant: z-slabs stream concurrently on the pool (the
 /// pull pattern has no write conflicts). Bit-identical to stream().
 void stream(Lattice& lat, ThreadPool& pool);
+
+/// Context variant: runs on ctx.pool when set and emits "stream" (pull
+/// pass) and "finish" (swap + inlet + curved corrections) spans on
+/// ctx.trace when attached. Bit-identical to stream().
+void stream(Lattice& lat, const StepContext& ctx);
 
 namespace detail {
 

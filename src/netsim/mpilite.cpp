@@ -20,7 +20,7 @@ Payload Comm::sendrecv(int partner, int tag, Payload data) {
   return recv(partner, tag);
 }
 
-void Comm::barrier() { world_->do_barrier(); }
+void Comm::barrier() { world_->do_barrier(rank_); }
 
 double Comm::allreduce_sum(double value) {
   // Payload carries the double split into two Reals? No — encode via a
@@ -57,8 +57,15 @@ double Comm::allreduce_sum(double value) {
   return decode(world_->do_recv(0, rank_, kTagBcast));
 }
 
-MpiLite::MpiLite(int ranks) : ranks_(ranks) {
+MpiLite::MpiLite(int ranks)
+    : ranks_(ranks), rank_traffic_(static_cast<std::size_t>(ranks)) {
   GC_CHECK_MSG(ranks >= 1, "MpiLite needs at least one rank");
+}
+
+RankTraffic MpiLite::rank_traffic(int rank) const {
+  GC_CHECK_MSG(rank >= 0 && rank < ranks_, "invalid rank " << rank);
+  std::scoped_lock lock(mu_, barrier_mu_);
+  return rank_traffic_[static_cast<std::size_t>(rank)];
 }
 
 void MpiLite::run(const std::function<void(Comm&)>& node_main) {
@@ -88,6 +95,9 @@ void MpiLite::do_send(int src, int dst, int tag, Payload data) {
     std::lock_guard<std::mutex> lock(mu_);
     total_messages_ += 1;
     total_values_ += static_cast<i64>(data.size());
+    RankTraffic& rt = rank_traffic_[static_cast<std::size_t>(src)];
+    rt.messages += 1;
+    rt.payload_values += static_cast<i64>(data.size());
     mailboxes_[Key{src, dst, tag}].push(std::move(data));
   }
   cv_.notify_all();
@@ -107,8 +117,9 @@ Payload MpiLite::do_recv(int src, int dst, int tag) {
   return data;
 }
 
-void MpiLite::do_barrier() {
+void MpiLite::do_barrier(int rank) {
   std::unique_lock<std::mutex> lock(barrier_mu_);
+  rank_traffic_[static_cast<std::size_t>(rank)].barrier_waits += 1;
   const u64 gen = barrier_generation_;
   if (++barrier_waiting_ == ranks_) {
     barrier_waiting_ = 0;

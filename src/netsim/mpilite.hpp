@@ -50,6 +50,15 @@ class Comm {
   int rank_;
 };
 
+/// Per-rank traffic counters: messages/payload values *sent* by the rank
+/// and how many times it entered a barrier. The raw material for the
+/// per-rank mpi.* counters the observability layer exports.
+struct RankTraffic {
+  i64 messages = 0;
+  i64 payload_values = 0;
+  i64 barrier_waits = 0;
+};
+
 class MpiLite {
  public:
   explicit MpiLite(int ranks);
@@ -65,6 +74,9 @@ class MpiLite {
   i64 total_messages() const { return total_messages_; }
   i64 total_payload_values() const { return total_values_; }
 
+  /// Cumulative per-rank traffic (snapshot; copy to diff across runs).
+  RankTraffic rank_traffic(int rank) const;
+
  private:
   friend class Comm;
 
@@ -79,15 +91,16 @@ class MpiLite {
 
   void do_send(int src, int dst, int tag, Payload data);
   Payload do_recv(int src, int dst, int tag);
-  void do_barrier();
+  void do_barrier(int rank);
 
   int ranks_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::map<Key, std::queue<Payload>> mailboxes_;
+  std::vector<RankTraffic> rank_traffic_;
 
   // Generation-counting barrier.
-  std::mutex barrier_mu_;
+  mutable std::mutex barrier_mu_;
   std::condition_variable barrier_cv_;
   int barrier_waiting_ = 0;
   u64 barrier_generation_ = 0;

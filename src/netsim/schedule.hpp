@@ -14,6 +14,13 @@
 
 namespace gc::netsim {
 
+/// Per-pair payload bytes for every schedule step: bytes[k][p] is the
+/// traffic of pair p within schedule step k (face payloads plus any
+/// piggybacked diagonal hops). The shared shape of the analytic
+/// (ClusterSimulator) and measured (ParallelLbm) traffic accountings,
+/// and the input of SwitchModel::scheduled_seconds.
+using TrafficMatrix = std::vector<std::vector<i64>>;
+
 /// A logical arrangement of cluster nodes in a 1D/2D/3D grid.
 struct NodeGrid {
   Int3 dims{1, 1, 1};

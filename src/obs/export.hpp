@@ -1,0 +1,42 @@
+// Trace exporters: Chrome `chrome://tracing` / Perfetto JSON and a flat
+// table for CSV persistence (hand the Table to io::write_csv). A strict
+// parser for the emitted JSON backs the test suite and the trace_smoke
+// artifact validation, and lets modeled timelines (core::OverlapTimeline)
+// and measured runs be reloaded and overlaid in one viewer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "util/table.hpp"
+
+namespace gc::obs {
+
+/// Chrome-trace JSON: {"traceEvents":[...]} with spans as complete "X"
+/// events (ts/dur in microseconds, tid = rank) and counters/gauges as "C"
+/// counter events stamped at the end of the trace.
+std::string chrome_trace_json(const TraceRecorder& rec);
+
+/// Writes chrome_trace_json(rec) to `path`.
+void write_chrome_trace(const std::string& path, const TraceRecorder& rec);
+
+/// A chrome trace read back from JSON.
+struct ParsedTrace {
+  std::vector<TraceEvent> spans;        ///< "X" events
+  std::vector<GaugeSample> counters;    ///< "C" events (value from args)
+};
+
+/// Parses a trace produced by chrome_trace_json (strict JSON; unknown
+/// event phases are ignored). Throws gc::Error on malformed input.
+ParsedTrace parse_chrome_trace(const std::string& json);
+
+/// One row per span and per counter/gauge — the flat CSV companion of the
+/// JSON trace. Columns: kind,name,cat,rank,t0_us,dur_us,value.
+Table trace_table(const TraceRecorder& rec);
+
+/// Canonical path of the CSV companion artifact for a JSON trace path:
+/// a trailing ".json" is replaced by ".csv", otherwise ".csv" is appended.
+std::string csv_sibling_path(const std::string& json_path);
+
+}  // namespace gc::obs

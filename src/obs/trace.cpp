@@ -1,0 +1,103 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+namespace gc::obs {
+
+double RunStats::phase_ms(const std::string& name) const {
+  for (const PhaseTotal& p : phases) {
+    if (p.name == name) return p.total_ms;
+  }
+  return 0.0;
+}
+
+i64 RunStats::phase_count(const std::string& name) const {
+  for (const PhaseTotal& p : phases) {
+    if (p.name == name) return p.count;
+  }
+  return 0;
+}
+
+void TraceRecorder::record_span(std::string name, std::string cat, int rank,
+                                double t0_us, double t1_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(
+      TraceEvent{std::move(name), std::move(cat), rank, t0_us, t1_us});
+}
+
+void TraceRecorder::add_counter(const std::string& name, int rank, i64 delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[{name, rank}] += delta;
+}
+
+void TraceRecorder::set_gauge(const std::string& name, int rank,
+                              double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_[{name, rank}] = value;
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::size_t TraceRecorder::num_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+i64 TraceRecorder::counter(const std::string& name, int rank) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  i64 total = 0;
+  for (const auto& [key, value] : counters_) {
+    if (key.first != name) continue;
+    if (rank >= 0 && key.second != rank) continue;
+    total += value;
+  }
+  return total;
+}
+
+std::vector<CounterSample> TraceRecorder::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<CounterSample> out;
+  out.reserve(counters_.size());
+  for (const auto& [key, value] : counters_) {
+    out.push_back(CounterSample{key.first, key.second, value});
+  }
+  return out;
+}
+
+std::vector<GaugeSample> TraceRecorder::gauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<GaugeSample> out;
+  out.reserve(gauges_.size());
+  for (const auto& [key, value] : gauges_) {
+    out.push_back(GaugeSample{key.first, key.second, value});
+  }
+  return out;
+}
+
+std::vector<PhaseTotal> TraceRecorder::phase_totals(std::size_t from) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, PhaseTotal> by_name;
+  for (std::size_t i = from; i < events_.size(); ++i) {
+    const TraceEvent& e = events_[i];
+    PhaseTotal& p = by_name[e.name];
+    p.name = e.name;
+    p.total_ms += e.duration_ms();
+    p.count += 1;
+  }
+  std::vector<PhaseTotal> out;
+  out.reserve(by_name.size());
+  for (auto& [name, p] : by_name) out.push_back(std::move(p));
+  return out;
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  counters_.clear();
+  gauges_.clear();
+}
+
+}  // namespace gc::obs

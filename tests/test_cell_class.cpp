@@ -170,7 +170,8 @@ TEST(CellClass, FusedPooledBitExactVsSerialSplit) {
   collide_bgk(split, p);
 
   collide_bgk(fused, p);
-  for (int s = 0; s < steps; ++s) fused_stream_collide(fused, p, pool);
+  const StepContext ctx{&pool, nullptr, 0};
+  for (int s = 0; s < steps; ++s) fused_stream_collide(fused, p, ctx);
 
   for (int i = 0; i < Q; ++i) {
     for (i64 c = 0; c < split.num_cells(); ++c) {
@@ -194,7 +195,8 @@ TEST(CellClass, ForcedPooledBitExactVsSerial) {
     lat->fill_solid_box(Int3{3, 3, 3}, Int3{6, 6, 6});
   }
   collide_bgk_forced(serial, Real(0.8), force.data());
-  collide_bgk_forced(pooled, Real(0.8), force.data(), pool);
+  collide_bgk_forced(pooled, Real(0.8), force.data(),
+                     StepContext{&pool, nullptr, 0});
   for (int i = 0; i < Q; ++i) {
     for (i64 c = 0; c < serial.num_cells(); ++c) {
       ASSERT_EQ(serial.f(i, c), pooled.f(i, c));

@@ -187,7 +187,8 @@ TEST(ClusterSim, TrafficBytesMatchPaperFormula) {
   const netsim::NodeGrid grid{Int3{4, 4, 1}};
   const Decomposition3 decomp(Int3{320, 320, 80}, grid);
   const auto sched = netsim::CommSchedule::pairwise(grid);
-  const auto bytes = ClusterSimulator::traffic_bytes(decomp, sched, true);
+  const auto bytes =
+      ClusterSimulator::traffic_bytes_per_step(decomp, sched, true);
   const i64 face = i64(5) * 80 * 80 * static_cast<i64>(sizeof(Real));
   for (const auto& step : bytes) {
     for (i64 b : step) {

@@ -1,0 +1,353 @@
+// Observability subsystem: span nesting/balance, counter aggregation
+// across MpiLite ranks, Chrome-trace JSON round-tripping, the unified
+// RunStats surface of Solver::run / ParallelLbm::run, the measured-vs-
+// analytic traffic agreement, and a guard that an absent recorder adds
+// zero allocations to the Solver::step hot path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <new>
+#include <sstream>
+
+#include "core/overlap.hpp"
+#include "core/parallel_lbm.hpp"
+#include "lbm/solver.hpp"
+#include "netsim/mpilite.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
+
+// Global allocation counter backing the zero-allocation guard. Replacing
+// operator new is binary-wide, so keep the bookkeeping trivially cheap.
+namespace {
+std::atomic<long> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace gc {
+namespace {
+
+using lbm::FaceBc;
+using lbm::Lattice;
+
+TEST(Obs, SpansNestAndBalance) {
+  obs::TraceRecorder rec;
+  {
+    obs::ScopedSpan outer(&rec, "outer", 2, "test");
+    {
+      obs::ScopedSpan inner(&rec, "inner", 2, "test");
+    }
+  }
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 2u);
+  // Spans record on close, so the inner span lands first.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[1].name, "outer");
+  EXPECT_EQ(events[0].rank, 2);
+  // Nesting: the inner interval is contained in the outer one.
+  EXPECT_GE(events[0].t0_us, events[1].t0_us);
+  EXPECT_LE(events[0].t1_us, events[1].t1_us);
+  for (const obs::TraceEvent& e : events) {
+    EXPECT_LE(e.t0_us, e.t1_us);
+  }
+}
+
+TEST(Obs, DisabledOrNullRecorderRecordsNothing) {
+  obs::TraceRecorder rec;
+  rec.set_enabled(false);
+  {
+    obs::ScopedSpan span(&rec, "ghost", 0);
+    obs::ScopedSpan null_span(nullptr, "ghost", 0);
+  }
+  EXPECT_EQ(rec.num_events(), 0u);
+}
+
+TEST(Obs, PhaseTotalsAggregateByName) {
+  obs::TraceRecorder rec;
+  rec.record_span("collide", "lbm", 0, 0, 1000);
+  rec.record_span("collide", "lbm", 1, 0, 2000);
+  rec.record_span("stream", "lbm", 0, 1000, 1500);
+  const auto totals = rec.phase_totals();
+  ASSERT_EQ(totals.size(), 2u);  // sorted by name
+  EXPECT_EQ(totals[0].name, "collide");
+  EXPECT_EQ(totals[0].count, 2);
+  EXPECT_NEAR(totals[0].total_ms, 3.0, 1e-9);
+  EXPECT_EQ(totals[1].name, "stream");
+  EXPECT_NEAR(totals[1].total_ms, 0.5, 1e-9);
+
+  // The `from` snapshot restricts aggregation to later events.
+  const auto tail = rec.phase_totals(2);
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0].name, "stream");
+}
+
+TEST(Obs, CountersAggregateAcrossMpiLiteRanks) {
+  // Each rank sends rank+1 messages of 3 values to the next rank and
+  // hits one barrier; the per-rank counters must add up to the totals.
+  const int n = 4;
+  netsim::MpiLite world(n);
+  world.run([n](netsim::Comm& comm) {
+    const int r = comm.rank();
+    for (int m = 0; m <= r; ++m) {
+      comm.send((r + 1) % n, 7, netsim::Payload(3, Real(r)));
+    }
+    comm.barrier();
+    const int prev = (r + n - 1) % n;
+    for (int m = 0; m <= prev; ++m) comm.recv(prev, 7);
+  });
+
+  obs::TraceRecorder rec;
+  i64 messages = 0;
+  for (int r = 0; r < n; ++r) {
+    const netsim::RankTraffic t = world.rank_traffic(r);
+    EXPECT_EQ(t.messages, r + 1);
+    EXPECT_EQ(t.payload_values, 3 * (r + 1));
+    EXPECT_EQ(t.barrier_waits, 1);
+    messages += t.messages;
+    rec.add_counter("mpi.messages", r, t.messages);
+  }
+  EXPECT_EQ(messages, world.total_messages());
+  // Recorder-side aggregation: per-rank lookups and the cross-rank sum.
+  EXPECT_EQ(rec.counter("mpi.messages", 2), 3);
+  EXPECT_EQ(rec.counter("mpi.messages"), messages);
+  EXPECT_EQ(rec.counter("mpi.bytes"), 0);
+}
+
+TEST(Obs, ChromeTraceJsonRoundTrips) {
+  obs::TraceRecorder rec;
+  rec.record_span("collide", "lbm", 0, 10.5, 20.25);
+  rec.record_span("exchange \"x\"", "net", 3, 20.25, 30.0);
+  rec.add_counter("mpi.bytes", 1, 4096);
+  rec.set_gauge("model.makespan_ms", 0, 12.5);
+
+  const std::string json = obs::chrome_trace_json(rec);
+  const obs::ParsedTrace parsed = obs::parse_chrome_trace(json);
+  ASSERT_EQ(parsed.spans.size(), 2u);
+  EXPECT_EQ(parsed.spans[0].name, "collide");
+  EXPECT_EQ(parsed.spans[0].cat, "lbm");
+  EXPECT_EQ(parsed.spans[0].rank, 0);
+  EXPECT_NEAR(parsed.spans[0].t0_us, 10.5, 1e-3);
+  EXPECT_NEAR(parsed.spans[0].t1_us, 20.25, 1e-3);
+  EXPECT_EQ(parsed.spans[1].name, "exchange \"x\"");
+  EXPECT_EQ(parsed.spans[1].rank, 3);
+  ASSERT_EQ(parsed.counters.size(), 2u);
+  EXPECT_EQ(parsed.counters[0].name, "mpi.bytes");
+  EXPECT_EQ(parsed.counters[0].rank, 1);
+  EXPECT_NEAR(parsed.counters[0].value, 4096, 1e-9);
+  EXPECT_NEAR(parsed.counters[1].value, 12.5, 1e-3);
+
+  EXPECT_THROW(obs::parse_chrome_trace("{\"traceEvents\":"), Error);
+  EXPECT_THROW(obs::parse_chrome_trace("[1,2]"), Error);
+}
+
+TEST(Obs, TraceTableHasRowPerSpanAndCounter) {
+  obs::TraceRecorder rec;
+  rec.record_span("stream", "lbm", 0, 0, 500);
+  rec.add_counter("mpi.messages", 0, 2);
+  rec.set_gauge("g", 1, 0.5);
+  const Table t = obs::trace_table(rec);
+  EXPECT_EQ(t.num_rows(), 3u);
+  const std::string csv = t.csv();
+  EXPECT_NE(csv.find("kind"), std::string::npos);
+  EXPECT_NE(csv.find("span"), std::string::npos);
+  EXPECT_NE(csv.find("counter"), std::string::npos);
+  EXPECT_NE(csv.find("gauge"), std::string::npos);
+}
+
+lbm::Lattice make_flow_lattice(Int3 dim) {
+  lbm::Lattice lat(dim);
+  lat.set_face_bc(lbm::FACE_XMIN, FaceBc::Inlet);
+  lat.set_face_bc(lbm::FACE_XMAX, FaceBc::Outflow);
+  lat.set_face_bc(lbm::FACE_YMIN, FaceBc::Wall);
+  lat.set_face_bc(lbm::FACE_YMAX, FaceBc::Wall);
+  lat.set_face_bc(lbm::FACE_ZMIN, FaceBc::Wall);
+  lat.set_face_bc(lbm::FACE_ZMAX, FaceBc::FreeSlip);
+  lat.set_inlet(Real(1), Vec3{0.05f, 0, 0});
+  lat.init_equilibrium(Real(1), Vec3{0.05f, 0, 0});
+  return lat;
+}
+
+TEST(Obs, SolverRunReturnsPhaseTotals) {
+  obs::TraceRecorder rec;
+  lbm::SolverConfig cfg;
+  cfg.trace = &rec;
+  lbm::Solver solver(Int3{12, 10, 8}, cfg);
+  solver.lattice().init_equilibrium(Real(1), Vec3{0.02f, 0, 0});
+
+  const obs::RunStats rs = solver.run(3);
+  EXPECT_EQ(rs.steps, 3);
+  EXPECT_GT(rs.wall_ms, 0.0);
+  EXPECT_EQ(rs.phase_count("collide"), 3);
+  EXPECT_EQ(rs.phase_count("stream"), 3);
+  EXPECT_EQ(rs.phase_count("finish"), 3);
+  EXPECT_GT(rs.phase_ms("collide"), 0.0);
+  // Phases are a decomposition of the run, not more than the wall time.
+  EXPECT_LE(rs.phase_ms("collide") + rs.phase_ms("stream"), rs.wall_ms * 1.5);
+  EXPECT_EQ(rec.counter("solver.steps"), 3);
+
+  // The per-step record decomposes the step's wall time.
+  const obs::StepStats& st = solver.last_step_stats();
+  EXPECT_EQ(st.step, 3);
+  EXPECT_GT(st.total_ms, 0.0);
+  EXPECT_LE(st.collide_ms + st.stream_ms + st.thermal_ms,
+            st.total_ms + 1e-6);
+
+  // A second run only aggregates its own steps.
+  const obs::RunStats rs2 = solver.run(2);
+  EXPECT_EQ(rs2.phase_count("collide"), 2);
+}
+
+TEST(Obs, SolverFusedRunEmitsFusedSpans) {
+  obs::TraceRecorder rec;
+  lbm::SolverConfig cfg;
+  cfg.fused = true;
+  cfg.trace = &rec;
+  lbm::Solver solver(Int3{12, 10, 8}, cfg);
+  solver.lattice().init_equilibrium(Real(1), Vec3{0.02f, 0, 0});
+  const obs::RunStats rs = solver.run(2);
+  EXPECT_EQ(rs.phase_count("fused"), 2);
+  EXPECT_EQ(rs.phase_count("stream"), 0);
+  EXPECT_GT(solver.last_step_stats().collide_ms, 0.0);
+}
+
+TEST(Obs, ParallelRunEmitsPerRankSpansAndCounters) {
+  // The acceptance scenario: one ParallelLbm::run on a 2x2x1 grid emits a
+  // Chrome trace with per-rank collide/exchange/stream spans plus MpiLite
+  // byte counters.
+  Lattice lat = make_flow_lattice(Int3{16, 16, 8});
+  obs::TraceRecorder rec;
+  core::ParallelConfig cfg;
+  cfg.grid = netsim::NodeGrid{Int3{2, 2, 1}};
+  cfg.trace = &rec;
+  core::ParallelLbm par(lat, cfg);
+  const obs::RunStats rs = par.run(2);
+  EXPECT_EQ(rs.steps, 2);
+  EXPECT_GT(rs.wall_ms, 0.0);
+  // 4 ranks x 2 steps of collide/stream; exchange spans per schedule step.
+  EXPECT_EQ(rs.phase_count("collide"), 8);
+  EXPECT_EQ(rs.phase_count("stream"), 8);
+  EXPECT_EQ(rs.phase_count("exchange"),
+            8 * static_cast<i64>(par.schedule().steps.size()));
+  EXPECT_GT(rs.phase_count("pack"), 0);
+  EXPECT_GT(rs.phase_count("unpack"), 0);
+
+  const std::string json = obs::chrome_trace_json(rec);
+  const obs::ParsedTrace parsed = obs::parse_chrome_trace(json);
+  for (int rank = 0; rank < 4; ++rank) {
+    for (const char* phase : {"collide", "exchange", "stream"}) {
+      bool found = false;
+      for (const obs::TraceEvent& e : parsed.spans) {
+        if (e.rank == rank && e.name == phase) found = true;
+      }
+      EXPECT_TRUE(found) << "missing span " << phase << " for rank " << rank;
+    }
+    EXPECT_GT(rec.counter("mpi.bytes", rank), 0) << "rank " << rank;
+    EXPECT_GT(rec.counter("mpi.messages", rank), 0) << "rank " << rank;
+  }
+  // The byte counters cover exactly the payloads MpiLite moved.
+  EXPECT_EQ(rec.counter("mpi.bytes"),
+            par.total_payload_values() * static_cast<i64>(sizeof(Real)));
+  bool counter_in_trace = false;
+  for (const obs::GaugeSample& c : parsed.counters) {
+    if (c.name == "mpi.bytes") counter_in_trace = true;
+  }
+  EXPECT_TRUE(counter_in_trace);
+}
+
+TEST(Obs, MeasuredTrafficMatchesAnalyticPerScheduleStep) {
+  // The satellite alignment: the analytic (ClusterSimulator) and measured
+  // (ParallelLbm) traffic accountings agree entry-by-entry on 2x2x1.
+  Lattice lat = make_flow_lattice(Int3{16, 16, 8});
+  core::ParallelConfig cfg;
+  cfg.grid = netsim::NodeGrid{Int3{2, 2, 1}};
+  core::ParallelLbm par(lat, cfg);
+
+  const netsim::TrafficMatrix measured = par.traffic_bytes_per_step();
+  const netsim::TrafficMatrix analytic =
+      core::ClusterSimulator::traffic_bytes_per_step(
+          par.decomposition(), par.schedule(), /*indirect_diagonals=*/true);
+  ASSERT_EQ(measured.size(), analytic.size());
+  for (std::size_t k = 0; k < measured.size(); ++k) {
+    ASSERT_EQ(measured[k].size(), analytic[k].size()) << "step " << k;
+    for (std::size_t p = 0; p < measured[k].size(); ++p) {
+      EXPECT_EQ(measured[k][p], analytic[k][p])
+          << "schedule step " << k << " pair " << p;
+    }
+  }
+}
+
+TEST(Obs, OverlapTimelineExportsToTrace) {
+  core::ClusterScenario sc;
+  sc.grid = netsim::NodeGrid::arrange_2d(8);
+  sc.lattice = Int3{80 * sc.grid.dims.x, 80 * sc.grid.dims.y, 80};
+  const core::OverlapTimeline tl = core::simulate_overlapped_step(sc);
+
+  obs::TraceRecorder rec;
+  tl.export_trace(rec, 0);
+  ASSERT_EQ(rec.events().size(), tl.tasks.size());
+  const obs::ParsedTrace parsed =
+      obs::parse_chrome_trace(obs::chrome_trace_json(rec));
+  const obs::TraceEvent* net = nullptr;
+  for (const obs::TraceEvent& e : parsed.spans) {
+    if (e.name == "network exchange") net = &e;
+  }
+  ASSERT_NE(net, nullptr);
+  const core::TimelineTask* task = tl.find("network exchange");
+  EXPECT_NEAR(net->t1_us - net->t0_us, task->duration_ms() * 1e3, 1.0);
+  bool makespan = false;
+  for (const obs::GaugeSample& g : parsed.counters) {
+    if (g.name == "model.makespan_ms") makespan = true;
+  }
+  EXPECT_TRUE(makespan);
+}
+
+TEST(Obs, WriteChromeTraceProducesReadableFile) {
+  obs::TraceRecorder rec;
+  rec.record_span("collide", "lbm", 0, 0, 100);
+  const std::string path = ::testing::TempDir() + "/gc_trace_test.json";
+  obs::write_chrome_trace(path, rec);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const obs::ParsedTrace parsed = obs::parse_chrome_trace(ss.str());
+  ASSERT_EQ(parsed.spans.size(), 1u);
+  EXPECT_EQ(parsed.spans[0].name, "collide");
+  std::remove(path.c_str());
+}
+
+TEST(Obs, NoRecorderAddsZeroAllocationsToSolverStep) {
+  // The null-sink guarantee: stepping without a recorder must not touch
+  // the allocator (the instrumentation sites are pointer tests only).
+  lbm::SolverConfig cfg;
+  cfg.fused = true;  // the production hot path
+  lbm::Solver solver(Int3{16, 12, 8}, cfg);
+  solver.lattice().init_equilibrium(Real(1), Vec3{0.02f, 0, 0});
+  solver.step();  // warm up: builds the cell classification lazily
+  solver.step();
+
+  const long before = g_allocations.load();
+  for (int s = 0; s < 10; ++s) solver.step();
+  EXPECT_EQ(g_allocations.load(), before);
+}
+
+}  // namespace
+}  // namespace gc
