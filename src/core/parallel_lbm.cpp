@@ -1,6 +1,7 @@
 #include "core/parallel_lbm.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "lbm/mrt.hpp"
 #include "lbm/stream.hpp"
@@ -40,6 +41,8 @@ ParallelLbm::ParallelLbm(const lbm::Lattice& global, ParallelConfig cfg)
   if (cfg_.indirect_diagonals) {
     routes_ = netsim::plan_indirect_routes(sched_);
   }
+  if (cfg_.faults) world_.set_fault_spec(cfg_.faults);
+  world_.set_reliability(cfg_.reliability);
   if (cfg_.thermal) {
     GC_CHECK_MSG(cfg_.collision == lbm::CollisionKind::MRT,
                  "the hybrid thermal model couples to the MRT collision");
@@ -124,12 +127,19 @@ ParallelLbm::ParallelLbm(const lbm::Lattice& global, ParallelConfig cfg)
   }
 }
 
-void ParallelLbm::node_step(Comm& comm, int node) {
+void ParallelLbm::node_step(Comm& comm, int node, i64 global_step) {
   lbm::Lattice& lat = *locals_[static_cast<std::size_t>(node)];
   const LocalDomain& ld = domains_[static_cast<std::size_t>(node)];
   const netsim::NodeGrid& grid = cfg_.grid;
   const Int3 myc = grid.coords(node);
   obs::TraceRecorder* rec = cfg_.trace;
+
+  if (cfg_.faults && cfg_.faults->should_crash(node, global_step)) {
+    if (rec) rec->add_counter("ft.crashes", node, 1);
+    throw netsim::RankCrashError("injected crash of rank " +
+                                 std::to_string(node) + " at step " +
+                                 std::to_string(global_step));
+  }
 
   if (cfg_.thermal) {
     // Hybrid thermal step, matching lbm::Solver::step's ordering exactly:
@@ -268,8 +278,21 @@ void ParallelLbm::node_step(Comm& comm, int node) {
     }
   }
 
-  obs::ScopedSpan stream_span(rec, "stream", node, "lbm");
-  lbm::stream(lat);
+  {
+    obs::ScopedSpan stream_span(rec, "stream", node, "lbm");
+    lbm::stream(lat);
+  }
+
+  if (cfg_.sentinel &&
+      (global_step + 1) % std::max(1, cfg_.sentinel->every) == 0) {
+    obs::ScopedSpan span(rec, "sentinel", node, "ft");
+    if (auto report =
+            lbm::scan_divergence(lat, ld.own_lo(), ld.own_hi(),
+                                 *cfg_.sentinel)) {
+      if (rec) rec->add_counter("ft.divergences", node, 1);
+      throw lbm::DivergenceError(*report, global_step + 1, node);
+    }
+  }
 }
 
 obs::RunStats ParallelLbm::run(int steps) {
@@ -277,16 +300,22 @@ obs::RunStats ParallelLbm::run(int steps) {
   obs::TraceRecorder* rec = cfg_.trace;
   const std::size_t ev0 = rec ? rec->num_events() : 0;
   std::vector<netsim::RankTraffic> before;
+  std::vector<netsim::ReliabilityStats> rel_before;
   if (rec) {
     for (int r = 0; r < world_.size(); ++r) {
       before.push_back(world_.rank_traffic(r));
+      rel_before.push_back(world_.reliability_stats(r));
     }
   }
 
+  const i64 step0 = step_;
   Timer t;
-  world_.run([this, steps](Comm& comm) {
-    for (int s = 0; s < steps; ++s) node_step(comm, comm.rank());
+  world_.run([this, steps, step0](Comm& comm) {
+    for (int s = 0; s < steps; ++s) {
+      node_step(comm, comm.rank(), step0 + s);
+    }
   });
+  step_ += steps;  // only reached when every rank succeeded
   rs.steps = steps;
   rs.wall_ms = t.millis();
 
@@ -301,9 +330,41 @@ obs::RunStats ParallelLbm::run(int steps) {
                        (d.payload_values - b.payload_values) * real_bytes);
       rec->add_counter("mpi.barrier_waits", r,
                        d.barrier_waits - b.barrier_waits);
+      if (cfg_.faults) {
+        const netsim::ReliabilityStats rd = world_.reliability_stats(r);
+        const netsim::ReliabilityStats& rb =
+            rel_before[static_cast<std::size_t>(r)];
+        rec->add_counter("ft.retransmits", r,
+                         rd.retransmits - rb.retransmits);
+        rec->add_counter("ft.corrupt_detected", r,
+                         rd.corrupt_detected - rb.corrupt_detected);
+        rec->add_counter("ft.duplicates_dropped", r,
+                         rd.duplicates_dropped - rb.duplicates_dropped);
+        rec->add_counter("ft.recv_timeouts", r, rd.timeouts - rb.timeouts);
+      }
     }
   }
   return rs;
+}
+
+void ParallelLbm::restore_local(int node, const lbm::Lattice& saved) {
+  GC_CHECK_MSG(node >= 0 && node < decomp_.num_nodes(),
+               "invalid node " << node);
+  lbm::Lattice& lat = *locals_[static_cast<std::size_t>(node)];
+  GC_CHECK_MSG(saved.dim() == lat.dim(),
+               "checkpoint dimensions " << saved.dim()
+                                        << " do not match local lattice "
+                                        << lat.dim());
+  const i64 n = lat.num_cells();
+  for (int i = 0; i < lbm::Q; ++i) {
+    std::memcpy(lat.plane_ptr(i), saved.plane_ptr(i),
+                static_cast<std::size_t>(n) * sizeof(Real));
+  }
+}
+
+void ParallelLbm::reset_comm() {
+  world_.reset();
+  for (auto& store : forward_store_) store.clear();
 }
 
 void ParallelLbm::gather(lbm::Lattice& out) const {

@@ -42,6 +42,18 @@ struct ParallelConfig {
   /// mpi.messages / mpi.bytes / mpi.barrier_waits counters. Null = zero
   /// instrumentation cost. Not owned.
   obs::TraceRecorder* trace = nullptr;
+  /// Fault injection: when set, MpiLite switches to the reliable
+  /// sequence-numbered/checksummed envelope protocol and applies the
+  /// spec's message and rank faults. Not owned (and mutable: crash
+  /// faults are one-shot, counters accumulate). Null = perfect network,
+  /// zero protocol overhead.
+  netsim::FaultSpec* faults = nullptr;
+  /// Retransmit policy used when `faults` is attached.
+  netsim::ReliabilityConfig reliability;
+  /// When set, each rank scans its owned region after every
+  /// `sentinel->every`-th step and throws DivergenceError on NaN or
+  /// density blow-up. Unset = zero cost.
+  std::optional<lbm::SentinelThresholds> sentinel;
 };
 
 class ParallelLbm {
@@ -56,8 +68,26 @@ class ParallelLbm {
 
   /// Advances all nodes `steps` LBM steps, one MpiLite rank per node.
   /// The summary carries wall time and, when a recorder is attached,
-  /// per-phase span totals for just this run.
+  /// per-phase span totals for just this run. Under an attached
+  /// FaultSpec this may throw CommError / RankCrashError /
+  /// DivergenceError; the step counter only advances on success, and
+  /// reset_comm() + restore_local() roll the simulation back.
   obs::RunStats run(int steps);
+
+  /// Global LBM steps completed so far (advances only on successful
+  /// run() calls; the recovery layer rewinds it on rollback).
+  i64 current_step() const { return step_; }
+  void set_current_step(i64 step) { step_ = step; }
+
+  /// Overwrites node `node`'s distributions with `saved` (same local
+  /// dimensions; flags/BCs are configuration and stay untouched). The
+  /// restore half of a checkpoint rollback.
+  void restore_local(int node, const lbm::Lattice& saved);
+
+  /// Clears the communicator after a failed run (abort flag, in-flight
+  /// messages, protocol state) plus any half-forwarded diagonal chunks,
+  /// so a restored simulation can run again.
+  void reset_comm();
 
   /// Reassembles the owned regions into a global lattice.
   void gather(lbm::Lattice& out) const;
@@ -67,6 +97,10 @@ class ParallelLbm {
 
   /// Access to a node's local lattice (tests).
   const lbm::Lattice& local(int node) const { return *locals_[static_cast<std::size_t>(node)]; }
+
+  bool has_thermal() const { return !thermals_.empty(); }
+
+  const ParallelConfig& config() const { return cfg_; }
 
   /// Bytes exchanged per schedule step per pair (face payloads plus any
   /// piggybacked diagonal hops) — the input for netsim::SwitchModel.
@@ -78,7 +112,7 @@ class ParallelLbm {
   i64 total_payload_values() const { return world_.total_payload_values(); }
 
  private:
-  void node_step(netsim::Comm& comm, int node);
+  void node_step(netsim::Comm& comm, int node, i64 global_step);
 
   ParallelConfig cfg_;
   Decomposition3 decomp_;
@@ -90,6 +124,7 @@ class ParallelLbm {
   std::vector<std::vector<Vec3>> scratch_u_;
   std::vector<std::vector<Vec3>> scratch_force_;
   netsim::MpiLite world_;
+  i64 step_ = 0;
   // Forwarded diagonal chunks awaiting their second hop, per via node,
   // keyed by (src, dst).
   std::vector<std::map<std::pair<int, int>, netsim::Payload>> forward_store_;

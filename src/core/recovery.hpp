@@ -1,0 +1,71 @@
+// Checkpoint-based recovery for the distributed LBM. A cluster
+// checkpoint is one CRC-verified lattice file per rank plus a manifest
+// committed last (atomic rename), so a crash at any point leaves either
+// the previous consistent snapshot or the new one — never a torn mix.
+// RecoveryDriver wraps ParallelLbm::run with periodic checkpoints and,
+// when a run dies of a communication failure, an injected rank crash or
+// a divergence, rolls the simulation back to the last good snapshot and
+// resumes. Because the kernels are deterministic and a snapshot captures
+// the full per-rank state (ghost layers included), a recovered run is
+// bit-identical to an undisturbed one.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/parallel_lbm.hpp"
+#include "obs/trace.hpp"
+
+namespace gc::core {
+
+/// Writes one checkpoint file per rank plus the manifest into `dir`
+/// (created if missing), recording `sim.current_step()`. Thermal runs
+/// are not yet snapshot-able and are rejected.
+void save_cluster_checkpoint(const std::string& dir, const ParallelLbm& sim);
+
+/// Restores every rank's distributions from the snapshot in `dir`,
+/// rewinds `sim.current_step()` to the recorded step and returns it.
+/// Validates the manifest against the simulation's grid and lattice.
+i64 load_cluster_checkpoint(const std::string& dir, ParallelLbm& sim);
+
+struct RecoveryConfig {
+  std::string dir;           ///< checkpoint directory (required)
+  int checkpoint_every = 50; ///< steps between snapshots
+  int max_rollbacks = 8;     ///< give up (rethrow) past this many
+  /// Rollback/checkpoint spans and ft.* counters go here. Not owned.
+  obs::TraceRecorder* trace = nullptr;
+};
+
+/// One failure the driver recovered from (or died of).
+struct RecoveryEvent {
+  i64 at_step = 0;       ///< steps completed when the failure hit
+  i64 resumed_from = 0;  ///< checkpointed step rolled back to
+  std::string what;      ///< the exception text
+};
+
+struct RecoveryReport {
+  i64 steps = 0;            ///< total steps completed (= requested)
+  int checkpoints = 0;      ///< snapshots written
+  int rollbacks = 0;        ///< failures recovered from
+  double recovery_ms = 0;   ///< total time spent restoring state
+  std::vector<RecoveryEvent> events;
+};
+
+class RecoveryDriver {
+ public:
+  RecoveryDriver(ParallelLbm& sim, RecoveryConfig cfg);
+
+  /// Advances `steps` steps with periodic checkpoints, rolling back and
+  /// resuming on CommError / RankCrashError / DivergenceError. Rethrows
+  /// the last failure once max_rollbacks is exceeded; any other
+  /// exception propagates immediately.
+  RecoveryReport run(i64 steps);
+
+ private:
+  void rollback(RecoveryReport& report, i64 done, const std::string& what);
+
+  ParallelLbm& sim_;
+  RecoveryConfig cfg_;
+};
+
+}  // namespace gc::core

@@ -1,90 +1,168 @@
 #include "io/checkpoint.hpp"
 
+#include <cstdio>
 #include <cstring>
 #include <fstream>
+
+#include "util/checksum.hpp"
 
 namespace gc::io {
 
 namespace {
 constexpr char kMagic[4] = {'G', 'C', 'L', 'B'};
-constexpr u32 kVersion = 1;
+constexpr u32 kVersion = 2;
+constexpr char kManifestMagic[4] = {'G', 'C', 'M', 'F'};
+constexpr u32 kManifestVersion = 1;
 
-template <typename T>
-void write_pod(std::ofstream& out, const T& v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+/// Serializes the body into memory so the envelope can carry its exact
+/// size and CRC32 up front.
+class BodyWriter {
+ public:
+  template <typename T>
+  void pod(const T& v) {
+    bytes(&v, sizeof(T));
+  }
+  void bytes(const void* p, std::size_t n) {
+    buf_.append(static_cast<const char*>(p), n);
+  }
+  const std::string& str() const { return buf_; }
+
+ private:
+  std::string buf_;
+};
+
+/// Cursor over a fully validated body; every read is bounds-checked so a
+/// malformed length field cannot run off the end.
+class BodyReader {
+ public:
+  explicit BodyReader(const std::string& buf) : buf_(buf) {}
+  template <typename T>
+  void pod(T& v) {
+    bytes(&v, sizeof(T));
+  }
+  void bytes(void* p, std::size_t n) {
+    GC_CHECK_MSG(pos_ + n <= buf_.size(), "truncated checkpoint body");
+    std::memcpy(p, buf_.data() + pos_, n);
+    pos_ += n;
+  }
+  bool at_end() const { return pos_ == buf_.size(); }
+
+ private:
+  const std::string& buf_;
+  std::size_t pos_ = 0;
+};
+
+/// Writes [magic][version][body_size][crc][body] to `path + ".tmp"` and
+/// commits with an atomic rename.
+void write_envelope(const std::string& path, const char magic[4], u32 version,
+                    const std::string& body) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    GC_CHECK_MSG(out.good(), "cannot open " << tmp << " for writing");
+    out.write(magic, 4);
+    out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+    const u64 size = body.size();
+    out.write(reinterpret_cast<const char*>(&size), sizeof(size));
+    const u32 crc = crc32(body.data(), body.size());
+    out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+    out.write(body.data(), static_cast<std::streamsize>(body.size()));
+    out.flush();
+    if (!out.good()) {
+      out.close();
+      std::remove(tmp.c_str());
+      GC_CHECK_MSG(false, "write failure on " << tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    GC_CHECK_MSG(false, "cannot rename " << tmp << " to " << path);
+  }
 }
 
-template <typename T>
-void read_pod(std::ifstream& in, T& v) {
-  in.read(reinterpret_cast<char*>(&v), sizeof(T));
-  GC_CHECK_MSG(in.good(), "truncated checkpoint");
+/// Reads and fully validates an envelope: magic, version, exact body
+/// size, CRC32. Returns the body.
+std::string read_envelope(const std::string& path, const char magic[4],
+                          u32 expected_version, const char* what) {
+  std::ifstream in(path, std::ios::binary);
+  GC_CHECK_MSG(in.good(), "cannot open " << path);
+
+  char m[4];
+  in.read(m, sizeof(m));
+  GC_CHECK_MSG(in.good() && std::memcmp(m, magic, 4) == 0,
+               path << " is not a gpucluster " << what);
+  u32 version = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  GC_CHECK_MSG(in.good() && version == expected_version,
+               "unsupported " << what << " version " << version);
+  u64 size = 0;
+  u32 crc = 0;
+  in.read(reinterpret_cast<char*>(&size), sizeof(size));
+  in.read(reinterpret_cast<char*>(&crc), sizeof(crc));
+  GC_CHECK_MSG(in.good(), "truncated " << what << " header in " << path);
+
+  std::string body(static_cast<std::size_t>(size), '\0');
+  in.read(body.data(), static_cast<std::streamsize>(size));
+  GC_CHECK_MSG(static_cast<u64>(in.gcount()) == size,
+               path << " is truncated: body has " << in.gcount()
+                    << " of " << size << " bytes");
+  in.get();
+  GC_CHECK_MSG(in.eof(), path << " has trailing bytes after the body");
+  GC_CHECK_MSG(crc32(body.data(), body.size()) == crc,
+               path << " failed its CRC32 check (corrupted " << what << ")");
+  return body;
 }
 }  // namespace
 
 void save_checkpoint(const std::string& path, const lbm::Lattice& lat) {
-  std::ofstream out(path, std::ios::binary);
-  GC_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
-
-  out.write(kMagic, sizeof(kMagic));
-  write_pod(out, kVersion);
+  BodyWriter body;
   const Int3 d = lat.dim();
-  write_pod(out, d.x);
-  write_pod(out, d.y);
-  write_pod(out, d.z);
-  write_pod(out, static_cast<u32>(lbm::Q));
+  body.pod(d.x);
+  body.pod(d.y);
+  body.pod(d.z);
+  body.pod(static_cast<u32>(lbm::Q));
 
   for (int face = 0; face < 6; ++face) {
-    write_pod(out, static_cast<u8>(lat.face_bc(static_cast<lbm::Face>(face))));
+    body.pod(static_cast<u8>(lat.face_bc(static_cast<lbm::Face>(face))));
   }
-  write_pod(out, lat.inlet_density());
+  body.pod(lat.inlet_density());
   const Vec3 uin = lat.inlet_velocity();
-  write_pod(out, uin.x);
-  write_pod(out, uin.y);
-  write_pod(out, uin.z);
+  body.pod(uin.x);
+  body.pod(uin.y);
+  body.pod(uin.z);
 
   const i64 n = lat.num_cells();
-  out.write(reinterpret_cast<const char*>(lat.flags().data()),
-            static_cast<std::streamsize>(n));
+  body.bytes(lat.flags().data(), static_cast<std::size_t>(n));
   for (int i = 0; i < lbm::Q; ++i) {
-    out.write(reinterpret_cast<const char*>(lat.plane_ptr(i)),
-              static_cast<std::streamsize>(n * sizeof(Real)));
+    body.bytes(lat.plane_ptr(i), static_cast<std::size_t>(n) * sizeof(Real));
   }
 
-  const u32 num_links = static_cast<u32>(lat.curved_links().size());
-  write_pod(out, num_links);
+  body.pod(static_cast<u32>(lat.curved_links().size()));
   for (const lbm::CurvedLink& link : lat.curved_links()) {
-    write_pod(out, link.cell);
-    write_pod(out, link.dir);
-    write_pod(out, link.q);
+    body.pod(link.cell);
+    body.pod(link.dir);
+    body.pod(link.q);
   }
-  GC_CHECK_MSG(out.good(), "write failure on " << path);
+  write_envelope(path, kMagic, kVersion, body.str());
 }
 
 lbm::Lattice load_checkpoint(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  GC_CHECK_MSG(in.good(), "cannot open " << path);
+  const std::string raw = read_envelope(path, kMagic, kVersion, "checkpoint");
+  BodyReader body(raw);
 
-  char magic[4];
-  in.read(magic, sizeof(magic));
-  GC_CHECK_MSG(in.good() && std::memcmp(magic, kMagic, 4) == 0,
-               path << " is not a gpucluster checkpoint");
-  u32 version;
-  read_pod(in, version);
-  GC_CHECK_MSG(version == kVersion, "unsupported checkpoint version "
-                                        << version);
   Int3 d;
-  read_pod(in, d.x);
-  read_pod(in, d.y);
-  read_pod(in, d.z);
+  body.pod(d.x);
+  body.pod(d.y);
+  body.pod(d.z);
   u32 q;
-  read_pod(in, q);
+  body.pod(q);
   GC_CHECK_MSG(q == static_cast<u32>(lbm::Q),
                "checkpoint has " << q << " velocities, expected " << lbm::Q);
 
   lbm::Lattice lat(d);
   for (int face = 0; face < 6; ++face) {
     u8 bc;
-    read_pod(in, bc);
+    body.pod(bc);
     GC_CHECK_MSG(bc <= static_cast<u8>(lbm::FaceBc::FreeSlip),
                  "invalid face BC in checkpoint");
     lat.set_face_bc(static_cast<lbm::Face>(face),
@@ -92,17 +170,15 @@ lbm::Lattice load_checkpoint(const std::string& path) {
   }
   Real rho;
   Vec3 uin;
-  read_pod(in, rho);
-  read_pod(in, uin.x);
-  read_pod(in, uin.y);
-  read_pod(in, uin.z);
+  body.pod(rho);
+  body.pod(uin.x);
+  body.pod(uin.y);
+  body.pod(uin.z);
   lat.set_inlet(rho, uin);
 
   const i64 n = lat.num_cells();
   std::vector<u8> flags(static_cast<std::size_t>(n));
-  in.read(reinterpret_cast<char*>(flags.data()),
-          static_cast<std::streamsize>(n));
-  GC_CHECK_MSG(in.good(), "truncated checkpoint (flags)");
+  body.bytes(flags.data(), static_cast<std::size_t>(n));
   for (i64 c = 0; c < n; ++c) {
     const u8 t = flags[static_cast<std::size_t>(c)];
     GC_CHECK_MSG(t <= static_cast<u8>(lbm::CellType::Outflow),
@@ -110,21 +186,64 @@ lbm::Lattice load_checkpoint(const std::string& path) {
     lat.set_flag(c, static_cast<lbm::CellType>(t));
   }
   for (int i = 0; i < lbm::Q; ++i) {
-    in.read(reinterpret_cast<char*>(lat.plane_ptr(i)),
-            static_cast<std::streamsize>(n * sizeof(Real)));
-    GC_CHECK_MSG(in.good(), "truncated checkpoint (plane " << i << ")");
+    body.bytes(lat.plane_ptr(i), static_cast<std::size_t>(n) * sizeof(Real));
   }
 
   u32 num_links;
-  read_pod(in, num_links);
+  body.pod(num_links);
   for (u32 k = 0; k < num_links; ++k) {
     lbm::CurvedLink link;
-    read_pod(in, link.cell);
-    read_pod(in, link.dir);
-    read_pod(in, link.q);
+    body.pod(link.cell);
+    body.pod(link.dir);
+    body.pod(link.q);
     lat.add_curved_link(link);
   }
+  GC_CHECK_MSG(body.at_end(), "checkpoint body has trailing bytes");
   return lat;
+}
+
+void save_manifest(const std::string& path, const ClusterManifest& m) {
+  BodyWriter body;
+  body.pod(m.step);
+  body.pod(m.grid.x);
+  body.pod(m.grid.y);
+  body.pod(m.grid.z);
+  body.pod(m.lattice_dim.x);
+  body.pod(m.lattice_dim.y);
+  body.pod(m.lattice_dim.z);
+  body.pod(static_cast<u32>(m.rank_files.size()));
+  for (const std::string& f : m.rank_files) {
+    body.pod(static_cast<u32>(f.size()));
+    body.bytes(f.data(), f.size());
+  }
+  write_envelope(path, kManifestMagic, kManifestVersion, body.str());
+}
+
+ClusterManifest load_manifest(const std::string& path) {
+  const std::string raw =
+      read_envelope(path, kManifestMagic, kManifestVersion, "manifest");
+  BodyReader body(raw);
+  ClusterManifest m;
+  body.pod(m.step);
+  body.pod(m.grid.x);
+  body.pod(m.grid.y);
+  body.pod(m.grid.z);
+  body.pod(m.lattice_dim.x);
+  body.pod(m.lattice_dim.y);
+  body.pod(m.lattice_dim.z);
+  u32 ranks;
+  body.pod(ranks);
+  GC_CHECK_MSG(ranks >= 1 && ranks <= 1u << 20, "implausible rank count");
+  for (u32 r = 0; r < ranks; ++r) {
+    u32 len;
+    body.pod(len);
+    GC_CHECK_MSG(len <= 4096, "implausible rank file name length");
+    std::string name(len, '\0');
+    body.bytes(name.data(), len);
+    m.rank_files.push_back(std::move(name));
+  }
+  GC_CHECK_MSG(body.at_end(), "manifest body has trailing bytes");
+  return m;
 }
 
 }  // namespace gc::io

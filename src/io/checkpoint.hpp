@@ -2,19 +2,46 @@
 // averages over 500 steps and spins the city flow up for 1000) need
 // restartable state: this stores the full distribution set, flags and
 // boundary configuration, and restores a bit-identical lattice.
+//
+// Integrity (format v2): every file is an envelope of
+//   [magic][u32 version][u64 body_size][u32 body_crc32][body]
+// written to a temporary sibling and committed with an atomic rename, so
+// a crash mid-write leaves either the old file or none. Loading verifies
+// magic, version, exact body size (truncation detection) and CRC32, and
+// throws gc::Error on any mismatch — a flipped byte or a half-written
+// file can never be mistaken for valid state.
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "lbm/lattice.hpp"
 
 namespace gc::io {
 
-/// Writes the lattice (current buffer, flags, face BCs, inlet) to `path`.
+/// Writes the lattice (current buffer, flags, face BCs, inlet) to `path`
+/// via tmp-file + rename; the file carries a CRC32 of its body.
 void save_checkpoint(const std::string& path, const lbm::Lattice& lat);
 
 /// Reads a checkpoint; returns a lattice equal to the saved one
-/// (distributions bit-identical). Throws on malformed files.
+/// (distributions bit-identical). Throws on malformed, truncated or
+/// corrupted files.
 lbm::Lattice load_checkpoint(const std::string& path);
+
+/// The commit record of a distributed (per-rank) checkpoint: written
+/// last, after every rank file landed, so its presence implies a complete
+/// consistent snapshot. `rank_files` are relative to the manifest's
+/// directory, indexed by rank.
+struct ClusterManifest {
+  i64 step = 0;            ///< global step count the snapshot was taken at
+  Int3 grid{1, 1, 1};      ///< node-grid dimensions
+  Int3 lattice_dim{};      ///< global lattice dimensions
+  std::vector<std::string> rank_files;
+};
+
+/// Writes/reads a manifest with the same envelope integrity guarantees
+/// as the lattice checkpoints.
+void save_manifest(const std::string& path, const ClusterManifest& m);
+ClusterManifest load_manifest(const std::string& path);
 
 }  // namespace gc::io

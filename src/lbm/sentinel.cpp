@@ -1,0 +1,58 @@
+#include "lbm/sentinel.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace gc::lbm {
+
+std::string DivergenceReport::describe() const {
+  std::ostringstream os;
+  if (non_finite) {
+    os << "non-finite distribution at cell " << cell;
+  } else {
+    os << "density " << rho << " out of bounds at cell " << cell;
+  }
+  return os.str();
+}
+
+DivergenceError::DivergenceError(const DivergenceReport& report, i64 step,
+                                 int rank)
+    : Error("divergence detected at step " + std::to_string(step) + " rank " +
+            std::to_string(rank) + ": " + report.describe()),
+      report_(report),
+      step_(step),
+      rank_(rank) {}
+
+std::optional<DivergenceReport> scan_divergence(const Lattice& lat, Int3 lo,
+                                                Int3 hi,
+                                                const SentinelThresholds& t) {
+  for (int z = lo.z; z < hi.z; ++z) {
+    for (int y = lo.y; y < hi.y; ++y) {
+      for (int x = lo.x; x < hi.x; ++x) {
+        const i64 c = lat.idx(x, y, z);
+        if (lat.flag(c) == CellType::Solid) continue;
+        Real rho = 0;
+        bool bad = false;
+        for (int i = 0; i < Q; ++i) {
+          const Real fi = lat.f(i, c);
+          if (!std::isfinite(fi)) bad = true;
+          rho += fi;
+        }
+        if (bad || !std::isfinite(rho)) {
+          return DivergenceReport{Int3{x, y, z}, rho, true};
+        }
+        if (rho < t.rho_min || rho > t.rho_max) {
+          return DivergenceReport{Int3{x, y, z}, rho, false};
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<DivergenceReport> scan_divergence(const Lattice& lat,
+                                                const SentinelThresholds& t) {
+  return scan_divergence(lat, Int3{0, 0, 0}, lat.dim(), t);
+}
+
+}  // namespace gc::lbm

@@ -1,0 +1,56 @@
+// Divergence sentinel: cheap per-step health checks of the LBM state.
+// Long cluster runs can silently blow up — a bad boundary setup, an
+// undetected data corruption, an unstable tau — and every step computed
+// after the first NaN is wasted. The sentinel scans a cell region for
+// non-finite distributions and densities outside configured bounds and
+// raises a typed DivergenceError the recovery layer can roll back on.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "lbm/lattice.hpp"
+
+namespace gc::lbm {
+
+struct SentinelThresholds {
+  Real rho_min = Real(0.2);  ///< below this the state is considered lost
+  Real rho_max = Real(5.0);
+  int every = 1;  ///< check every Nth step (1 = every step)
+};
+
+/// Where and how the state diverged.
+struct DivergenceReport {
+  Int3 cell{};
+  Real rho = 0;
+  bool non_finite = false;  ///< NaN/Inf distribution (else: rho bounds)
+
+  std::string describe() const;
+};
+
+/// Thrown by the sentinel checks in lbm::Solver / core::ParallelLbm.
+class DivergenceError : public Error {
+ public:
+  DivergenceError(const DivergenceReport& report, i64 step, int rank);
+  const DivergenceReport& report() const { return report_; }
+  i64 step() const { return step_; }
+  int rank() const { return rank_; }
+
+ private:
+  DivergenceReport report_;
+  i64 step_;
+  int rank_;
+};
+
+/// Scans fluid cells of [lo, hi) and returns the first divergence found
+/// (nullopt when healthy). Solid cells are skipped: their distributions
+/// are not evolved.
+std::optional<DivergenceReport> scan_divergence(const Lattice& lat, Int3 lo,
+                                                Int3 hi,
+                                                const SentinelThresholds& t);
+
+/// Whole-lattice convenience overload.
+std::optional<DivergenceReport> scan_divergence(const Lattice& lat,
+                                                const SentinelThresholds& t);
+
+}  // namespace gc::lbm

@@ -1,5 +1,7 @@
 #include "lbm/solver.hpp"
 
+#include <algorithm>
+
 #include "lbm/macroscopic.hpp"
 #include "lbm/stream.hpp"
 #include "util/timer.hpp"
@@ -76,6 +78,14 @@ void Solver::step() {
     stream(lat_, ctx);
   }
   ++steps_;
+
+  if (cfg_.sentinel && steps_ % std::max(1, cfg_.sentinel->every) == 0) {
+    obs::ScopedSpan span(rec, "sentinel", 0, "ft");
+    if (auto report = scan_divergence(lat_, *cfg_.sentinel)) {
+      if (rec) rec->add_counter("ft.divergences", 0, 1);
+      throw DivergenceError(*report, steps_, 0);
+    }
+  }
 
   if (rec) {
     const double t_end = rec->now_us();

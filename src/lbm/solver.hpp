@@ -10,6 +10,7 @@
 #include "lbm/collision.hpp"
 #include "lbm/lattice.hpp"
 #include "lbm/mrt.hpp"
+#include "lbm/sentinel.hpp"
 #include "lbm/thermal.hpp"
 #include "obs/trace.hpp"
 
@@ -30,6 +31,10 @@ struct SolverConfig {
   /// When set, step() emits collide/stream/thermal/finish spans and a
   /// per-step StepStats record here. Null = zero instrumentation cost.
   obs::TraceRecorder* trace = nullptr;
+  /// When set, every `sentinel->every`-th step() ends with a divergence
+  /// scan (NaN / density bounds) and throws DivergenceError on failure.
+  /// Unset = zero cost.
+  std::optional<SentinelThresholds> sentinel;
 };
 
 class Solver {

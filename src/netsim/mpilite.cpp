@@ -1,7 +1,11 @@
 #include "netsim/mpilite.hpp"
 
+#include <chrono>
+#include <cmath>
 #include <exception>
 #include <thread>
+
+#include "util/checksum.hpp"
 
 namespace gc::netsim {
 
@@ -58,8 +62,24 @@ double Comm::allreduce_sum(double value) {
 }
 
 MpiLite::MpiLite(int ranks)
-    : ranks_(ranks), rank_traffic_(static_cast<std::size_t>(ranks)) {
+    : ranks_(ranks),
+      rank_traffic_(static_cast<std::size_t>(ranks)),
+      rel_stats_(static_cast<std::size_t>(ranks)) {
   GC_CHECK_MSG(ranks >= 1, "MpiLite needs at least one rank");
+}
+
+void MpiLite::set_fault_spec(FaultSpec* spec) {
+  // Both locks: do_barrier reads faults_ under barrier_mu_ only.
+  std::scoped_lock lock(mu_, barrier_mu_);
+  faults_ = spec;
+}
+
+void MpiLite::set_reliability(const ReliabilityConfig& cfg) {
+  GC_CHECK_MSG(cfg.recv_timeout_ms > 0 && cfg.max_retries >= 1 &&
+                   cfg.backoff >= 1 && cfg.max_backoff >= 1,
+               "invalid reliability config");
+  std::lock_guard<std::mutex> lock(mu_);
+  rel_ = cfg;
 }
 
 RankTraffic MpiLite::rank_traffic(int rank) const {
@@ -68,7 +88,50 @@ RankTraffic MpiLite::rank_traffic(int rank) const {
   return rank_traffic_[static_cast<std::size_t>(rank)];
 }
 
+ReliabilityStats MpiLite::reliability_stats(int rank) const {
+  GC_CHECK_MSG(rank >= 0 && rank < ranks_, "invalid rank " << rank);
+  std::lock_guard<std::mutex> lock(mu_);
+  return rel_stats_[static_cast<std::size_t>(rank)];
+}
+
+ReliabilityStats MpiLite::reliability_totals() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ReliabilityStats total;
+  for (const ReliabilityStats& s : rel_stats_) {
+    total.retransmits += s.retransmits;
+    total.corrupt_detected += s.corrupt_detected;
+    total.duplicates_dropped += s.duplicates_dropped;
+    total.timeouts += s.timeouts;
+  }
+  return total;
+}
+
+void MpiLite::reset() {
+  std::scoped_lock lock(mu_, barrier_mu_);
+  mailboxes_.clear();
+  send_seq_.clear();
+  recv_next_.clear();
+  send_log_.clear();
+  ooo_.clear();
+  delayed_.clear();
+  barrier_waiting_ = 0;
+  abort_.store(false, std::memory_order_release);
+}
+
+void MpiLite::abort_world() {
+  abort_.store(true, std::memory_order_release);
+  // Lock-then-notify so a rank between checking the predicate and
+  // blocking cannot miss the wakeup.
+  { std::lock_guard<std::mutex> lock(mu_); }
+  cv_.notify_all();
+  { std::lock_guard<std::mutex> lock(barrier_mu_); }
+  barrier_cv_.notify_all();
+}
+
 void MpiLite::run(const std::function<void(Comm&)>& node_main) {
+  GC_CHECK_MSG(!aborted(),
+               "MpiLite world is aborted from a previous failure; call "
+               "reset() before running again");
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(ranks_));
   std::mutex err_mu;
@@ -80,13 +143,71 @@ void MpiLite::run(const std::function<void(Comm&)>& node_main) {
         Comm comm(this, r);
         node_main(comm);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(err_mu);
-        if (!first_error) first_error = std::current_exception();
+        // Record before aborting: ranks woken by the abort throw
+        // CommAborted only after this store, so the root cause wins.
+        {
+          std::lock_guard<std::mutex> lock(err_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        abort_world();
       }
     });
   }
   for (auto& t : threads) t.join();
   if (first_error) std::rethrow_exception(first_error);
+}
+
+void MpiLite::push_msg(const Key& key, Msg m) {
+  mailboxes_[key].push(std::move(m));
+}
+
+void MpiLite::inject(const Key& key, u64 seq, const Payload& data) {
+  FaultSpec* f = faults_;
+  if (f->blackholed(key.src, key.dst, key.tag)) return;
+  if (f->roll(FaultKind::Drop, key.src, key.dst, key.tag, seq)) return;
+
+  Msg m;
+  m.seq = seq;
+  m.crc = crc32(data.data(), data.size() * sizeof(Real));
+  m.data = data;
+  if (f->roll(FaultKind::Corrupt, key.src, key.dst, key.tag, seq) &&
+      !m.data.empty()) {
+    const u64 bit = f->corrupt_bit(key.src, key.dst, key.tag, seq,
+                                   static_cast<u64>(m.data.size()) *
+                                       sizeof(Real) * 8);
+    auto* bytes = reinterpret_cast<unsigned char*>(m.data.data());
+    bytes[bit / 8] ^= static_cast<unsigned char>(1u << (bit % 8));
+  }
+  const bool dup = f->roll(FaultKind::Duplicate, key.src, key.dst, key.tag,
+                           seq);
+  if (f->roll(FaultKind::Delay, key.src, key.dst, key.tag, seq) &&
+      delayed_.find(key) == delayed_.end()) {
+    // Held back until the channel's next message passes it (reorder); a
+    // receive timeout retransmit covers the no-next-message case.
+    delayed_.emplace(key, std::move(m));
+    return;
+  }
+  if (dup) push_msg(key, m);
+  push_msg(key, std::move(m));
+  auto dit = delayed_.find(key);
+  if (dit != delayed_.end()) {
+    push_msg(key, std::move(dit->second));
+    delayed_.erase(dit);
+  }
+}
+
+void MpiLite::retransmit(const Key& key, u64 seq) {
+  auto lit = send_log_.find(key);
+  if (lit == send_log_.end()) return;
+  auto it = lit->second.find(seq);
+  if (it == lit->second.end()) return;  // not sent yet, or already acked
+  if (faults_ && faults_->blackholed(key.src, key.dst, key.tag)) return;
+  Msg m;
+  m.seq = seq;
+  m.crc = crc32(it->second.data(), it->second.size() * sizeof(Real));
+  m.data = it->second;
+  push_msg(key, std::move(m));
+  ++rel_stats_[static_cast<std::size_t>(key.dst)].retransmits;
 }
 
 void MpiLite::do_send(int src, int dst, int tag, Payload data) {
@@ -98,7 +219,17 @@ void MpiLite::do_send(int src, int dst, int tag, Payload data) {
     RankTraffic& rt = rank_traffic_[static_cast<std::size_t>(src)];
     rt.messages += 1;
     rt.payload_values += static_cast<i64>(data.size());
-    mailboxes_[Key{src, dst, tag}].push(std::move(data));
+    const Key key{src, dst, tag};
+    if (!faults_) {
+      Msg m;
+      m.data = std::move(data);
+      mailboxes_[key].push(std::move(m));
+    } else {
+      const u64 seq = send_seq_[key]++;
+      // Retained until the receiver delivers it (delivery is the ack).
+      send_log_[key].emplace(seq, data);
+      inject(key, seq, data);
+    }
   }
   cv_.notify_all();
 }
@@ -107,26 +238,118 @@ Payload MpiLite::do_recv(int src, int dst, int tag) {
   GC_CHECK_MSG(src >= 0 && src < ranks_, "recv from invalid rank " << src);
   std::unique_lock<std::mutex> lock(mu_);
   const Key key{src, dst, tag};
+  if (faults_) return recv_reliable(key, lock);
+
   cv_.wait(lock, [this, &key] {
+    if (aborted()) return true;
     auto it = mailboxes_.find(key);
     return it != mailboxes_.end() && !it->second.empty();
   });
-  auto& q = mailboxes_[key];
-  Payload data = std::move(q.front());
-  q.pop();
-  return data;
+  auto it = mailboxes_.find(key);
+  if (it == mailboxes_.end() || it->second.empty()) {
+    GC_CHECK(aborted());
+    throw CommAborted("recv aborted: another rank failed");
+  }
+  Msg m = std::move(it->second.front());
+  it->second.pop();
+  return std::move(m.data);
+}
+
+Payload MpiLite::recv_reliable(const Key& key,
+                               std::unique_lock<std::mutex>& lock) {
+  const u64 expect = recv_next_[key];
+  ReliabilityStats& st = rel_stats_[static_cast<std::size_t>(key.dst)];
+  int attempts = 0;
+
+  auto deliver = [this, &key, expect](Payload data) {
+    recv_next_[key] = expect + 1;
+    // Ack: purge the sender-side retained copies up to this point.
+    auto lit = send_log_.find(key);
+    if (lit != send_log_.end()) {
+      lit->second.erase(lit->second.begin(), lit->second.upper_bound(expect));
+    }
+    return data;
+  };
+
+  for (;;) {
+    auto& ooo = ooo_[key];
+    auto oit = ooo.find(expect);
+    if (oit != ooo.end()) {
+      Payload data = std::move(oit->second);
+      ooo.erase(oit);
+      return deliver(std::move(data));
+    }
+    auto mit = mailboxes_.find(key);
+    if (mit != mailboxes_.end() && !mit->second.empty()) {
+      Msg m = std::move(mit->second.front());
+      mit->second.pop();
+      if (m.seq < expect || ooo.count(m.seq)) {
+        ++st.duplicates_dropped;
+        continue;
+      }
+      if (crc32(m.data.data(), m.data.size() * sizeof(Real)) != m.crc) {
+        ++st.corrupt_detected;
+        retransmit(key, m.seq);  // NACK: re-inject the clean retained copy
+        continue;
+      }
+      if (m.seq > expect) {
+        ooo.emplace(m.seq, std::move(m.data));
+        continue;
+      }
+      return deliver(std::move(m.data));
+    }
+    if (aborted()) {
+      throw CommAborted("recv aborted: another rank failed");
+    }
+    const double mult =
+        std::min(std::pow(rel_.backoff, attempts), rel_.max_backoff);
+    const auto wait =
+        std::chrono::duration<double, std::milli>(rel_.recv_timeout_ms * mult);
+    const bool woke = cv_.wait_for(lock, wait, [this, &key] {
+      if (aborted()) return true;
+      auto it = mailboxes_.find(key);
+      return it != mailboxes_.end() && !it->second.empty();
+    });
+    if (!woke) {
+      ++st.timeouts;
+      ++attempts;
+      if (attempts > rel_.max_retries) {
+        throw CommTimeout("recv timeout: no intact message from rank " +
+                          std::to_string(key.src) + " tag " +
+                          std::to_string(key.tag) + " seq " +
+                          std::to_string(expect) + " after " +
+                          std::to_string(attempts) + " attempts");
+      }
+      retransmit(key, expect);  // no-op while the sender hasn't sent yet
+    }
+  }
 }
 
 void MpiLite::do_barrier(int rank) {
+  double stall = 0;
+  {
+    std::lock_guard<std::mutex> lock(barrier_mu_);
+    RankTraffic& rt = rank_traffic_[static_cast<std::size_t>(rank)];
+    if (faults_) stall = faults_->stall_ms(rank, rt.barrier_waits);
+    rt.barrier_waits += 1;
+  }
+  if (stall > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(stall));
+  }
   std::unique_lock<std::mutex> lock(barrier_mu_);
-  rank_traffic_[static_cast<std::size_t>(rank)].barrier_waits += 1;
   const u64 gen = barrier_generation_;
   if (++barrier_waiting_ == ranks_) {
     barrier_waiting_ = 0;
     ++barrier_generation_;
     barrier_cv_.notify_all();
   } else {
-    barrier_cv_.wait(lock, [this, gen] { return barrier_generation_ != gen; });
+    barrier_cv_.wait(lock, [this, gen] {
+      return barrier_generation_ != gen || aborted();
+    });
+    if (barrier_generation_ == gen && aborted()) {
+      throw CommAborted("barrier aborted: another rank failed");
+    }
   }
 }
 

@@ -3,6 +3,17 @@
 // cluster node runs as a thread; mailboxes are keyed by (src, dst, tag).
 // This layer provides the *functional* data movement of the distributed
 // LBM; the *timing* of the same traffic comes from netsim::SwitchModel.
+//
+// Fault tolerance: attaching a netsim::FaultSpec switches every channel
+// to a reliable envelope protocol — sequence-numbered, CRC32-checksummed
+// messages with receive timeouts and bounded retransmit from a sender-side
+// retained copy (the in-process stand-in for an ack/retransmit protocol:
+// delivery purges the retained copy, which is exactly what an ack
+// achieves). Exhausted retries raise CommTimeout instead of hanging, and
+// any rank failure flips a world-wide abort flag that wakes every rank
+// blocked in recv/barrier with CommAborted, so one failure never
+// deadlocks the world. Without a FaultSpec the legacy zero-overhead path
+// is used (no CRC, no retained copies, no timeouts).
 #pragma once
 
 #include <condition_variable>
@@ -13,6 +24,7 @@
 #include <queue>
 #include <vector>
 
+#include "netsim/fault.hpp"
 #include "util/common.hpp"
 
 namespace gc::netsim {
@@ -31,12 +43,15 @@ class Comm {
   void send(int dst, int tag, Payload data);
 
   /// Blocking receive of the next message from (src, tag), FIFO order.
+  /// Under a FaultSpec this waits at most the configured timeout/retry
+  /// budget and throws CommTimeout; a world abort throws CommAborted.
   Payload recv(int src, int tag);
 
   /// Combined exchange with a partner (both sides must call it).
   Payload sendrecv(int partner, int tag, Payload data);
 
-  /// Synchronizes all ranks.
+  /// Synchronizes all ranks. Throws CommAborted if the world aborts
+  /// while waiting.
   void barrier();
 
   /// Global sum across ranks; every rank receives the result (naive
@@ -59,23 +74,67 @@ struct RankTraffic {
   i64 barrier_waits = 0;
 };
 
+/// Receiver-side tallies of the reliable-exchange protocol, per receiving
+/// rank. All zero when no FaultSpec is attached.
+struct ReliabilityStats {
+  i64 retransmits = 0;         ///< retained copies re-injected
+  i64 corrupt_detected = 0;    ///< CRC mismatches discarded
+  i64 duplicates_dropped = 0;  ///< stale sequence numbers discarded
+  i64 timeouts = 0;            ///< receive waits that expired
+};
+
+/// Retransmit policy of the reliable exchange (used only with a
+/// FaultSpec attached).
+struct ReliabilityConfig {
+  double recv_timeout_ms = 250;  ///< base per-attempt receive wait
+  int max_retries = 10;          ///< timeout attempts before CommTimeout
+  double backoff = 1.5;          ///< wait multiplier per attempt
+  double max_backoff = 8.0;      ///< cap, as a multiple of the base wait
+};
+
 class MpiLite {
  public:
   explicit MpiLite(int ranks);
 
   int size() const { return ranks_; }
 
+  /// Attaches (or detaches, with nullptr) a fault specification. Enables
+  /// the reliable envelope protocol on every channel. Not owned; must
+  /// outlive the runs it is attached for. Call between runs only.
+  void set_fault_spec(FaultSpec* spec);
+  FaultSpec* fault_spec() const { return faults_; }
+
+  void set_reliability(const ReliabilityConfig& cfg);
+  const ReliabilityConfig& reliability() const { return rel_; }
+
   /// Runs `node_main(comm)` on `ranks` threads and joins them. Exceptions
-  /// thrown by any rank are captured and rethrown (first one wins).
+  /// thrown by any rank are captured and rethrown (first one wins); the
+  /// first failure aborts the world so that ranks blocked in recv or
+  /// barrier wake with CommAborted instead of hanging forever.
   void run(const std::function<void(Comm&)>& node_main);
 
+  /// True after a failed run() until reset() is called.
+  bool aborted() const { return abort_.load(std::memory_order_acquire); }
+
+  /// Clears the abort flag and all in-flight protocol state (mailboxes,
+  /// retained copies, sequence numbers) so the world can run again after
+  /// a failure — the communicator half of a checkpoint rollback.
+  /// Traffic and reliability counters are cumulative and survive.
+  void reset();
+
   /// Total messages and bytes that passed through the mailboxes (for
-  /// traffic accounting and tests).
+  /// traffic accounting and tests). Application sends only; protocol
+  /// retransmits are tallied in ReliabilityStats instead.
   i64 total_messages() const { return total_messages_; }
   i64 total_payload_values() const { return total_values_; }
 
   /// Cumulative per-rank traffic (snapshot; copy to diff across runs).
   RankTraffic rank_traffic(int rank) const;
+
+  /// Cumulative reliable-exchange tallies for one receiving rank / the
+  /// whole world.
+  ReliabilityStats reliability_stats(int rank) const;
+  ReliabilityStats reliability_totals() const;
 
  private:
   friend class Comm;
@@ -89,15 +148,47 @@ class MpiLite {
     }
   };
 
+  /// The envelope: sequence number + CRC32 of the payload bytes. In the
+  /// legacy (no-fault) path seq/crc stay zero and are never checked.
+  struct Msg {
+    u64 seq = 0;
+    u32 crc = 0;
+    Payload data;
+  };
+
   void do_send(int src, int dst, int tag, Payload data);
   Payload do_recv(int src, int dst, int tag);
+  Payload recv_reliable(const Key& key, std::unique_lock<std::mutex>& lock);
   void do_barrier(int rank);
 
+  /// Delivers one first-transmission envelope through the fault filter
+  /// (drop/duplicate/delay/corrupt). Caller holds mu_.
+  void inject(const Key& key, u64 seq, const Payload& data);
+  /// Re-injects the retained copy of (key, seq) verbatim (blackholes
+  /// still swallow it). Caller holds mu_.
+  void retransmit(const Key& key, u64 seq);
+  void push_msg(const Key& key, Msg m);
+
+  /// Sets the abort flag and wakes every blocked rank.
+  void abort_world();
+
   int ranks_;
+  FaultSpec* faults_ = nullptr;
+  ReliabilityConfig rel_;
+  std::atomic<bool> abort_{false};
+
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::map<Key, std::queue<Payload>> mailboxes_;
+  std::map<Key, std::queue<Msg>> mailboxes_;
   std::vector<RankTraffic> rank_traffic_;
+  std::vector<ReliabilityStats> rel_stats_;
+
+  // Reliable-exchange state (all empty in the legacy path).
+  std::map<Key, u64> send_seq_;                    ///< next seq to assign
+  std::map<Key, u64> recv_next_;                   ///< next seq expected
+  std::map<Key, std::map<u64, Payload>> send_log_; ///< unacked retained copies
+  std::map<Key, std::map<u64, Payload>> ooo_;      ///< received out of order
+  std::map<Key, Msg> delayed_;                     ///< held-back envelopes
 
   // Generation-counting barrier.
   mutable std::mutex barrier_mu_;

@@ -1,0 +1,31 @@
+#include "util/checksum.hpp"
+
+#include <array>
+
+namespace gc {
+
+namespace {
+std::array<u32, 256> build_table() {
+  std::array<u32, 256> table{};
+  for (u32 i = 0; i < 256; ++i) {
+    u32 c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+}  // namespace
+
+u32 crc32(const void* data, std::size_t n, u32 seed) {
+  static const std::array<u32, 256> table = build_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  u32 c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace gc

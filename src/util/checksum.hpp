@@ -1,0 +1,17 @@
+// CRC32 (the zlib/IEEE 802.3 polynomial) for integrity checking of
+// checkpoint files and message envelopes. Table-driven, byte-at-a-time:
+// plenty fast for payloads that are copied anyway, with zero setup cost
+// beyond a lazily built 1 KiB table.
+#pragma once
+
+#include <cstddef>
+
+#include "util/common.hpp"
+
+namespace gc {
+
+/// CRC32 of `n` bytes starting at `data`. Pass a previous result as
+/// `seed` to checksum a stream in chunks: crc32(b, nb, crc32(a, na)).
+u32 crc32(const void* data, std::size_t n, u32 seed = 0);
+
+}  // namespace gc

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 
 #include "io/checkpoint.hpp"
@@ -110,6 +111,95 @@ TEST(Checkpoint, RejectsTruncatedFile) {
 
 TEST(Checkpoint, RejectsMissingFile) {
   EXPECT_THROW(load_checkpoint("/nonexistent/dir/x.gclb"), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Format v2: envelope integrity (CRC, exact size, atomic commit).
+
+namespace {
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void spit(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+}
+}  // namespace
+
+TEST(CheckpointV2, RejectsFlippedBodyByte) {
+  TempFile f("flip.gclb");
+  save_checkpoint(f.path(), make_state());
+  std::string content = slurp(f.path());
+  content[content.size() / 2] ^= 0x10;  // one bit, deep in the body
+  spit(f.path(), content);
+  EXPECT_THROW(load_checkpoint(f.path()), Error);
+}
+
+TEST(CheckpointV2, RejectsWrongVersion) {
+  TempFile f("ver.gclb");
+  save_checkpoint(f.path(), make_state());
+  std::string content = slurp(f.path());
+  content[4] ^= 0x7f;  // the version word follows the 4-byte magic
+  spit(f.path(), content);
+  EXPECT_THROW(load_checkpoint(f.path()), Error);
+}
+
+TEST(CheckpointV2, RejectsTruncatedTail) {
+  // A single missing byte must be caught (the header records the exact
+  // body size), not just gross truncation.
+  TempFile f("tail.gclb");
+  save_checkpoint(f.path(), make_state());
+  const std::string content = slurp(f.path());
+  spit(f.path(), content.substr(0, content.size() - 1));
+  EXPECT_THROW(load_checkpoint(f.path()), Error);
+}
+
+TEST(CheckpointV2, RejectsTrailingGarbage) {
+  TempFile f("tail2.gclb");
+  save_checkpoint(f.path(), make_state());
+  spit(f.path(), slurp(f.path()) + 'x');
+  EXPECT_THROW(load_checkpoint(f.path()), Error);
+}
+
+TEST(CheckpointV2, CommitsAtomicallyWithoutTmpResidue) {
+  TempFile f("clean.gclb");
+  save_checkpoint(f.path(), make_state());
+  EXPECT_FALSE(std::filesystem::exists(f.path() + ".tmp"));
+  // Overwriting an existing checkpoint is also a tmp+rename commit.
+  save_checkpoint(f.path(), make_state());
+  EXPECT_FALSE(std::filesystem::exists(f.path() + ".tmp"));
+  EXPECT_NO_THROW(load_checkpoint(f.path()));
+}
+
+TEST(CheckpointV2, ManifestRoundTrips) {
+  TempFile f("m.gcmf");
+  ClusterManifest m;
+  m.step = 123;
+  m.grid = Int3{2, 2, 1};
+  m.lattice_dim = Int3{16, 16, 8};
+  m.rank_files = {"rank_0000.gclb", "rank_0001.gclb", "rank_0002.gclb",
+                  "rank_0003.gclb"};
+  save_manifest(f.path(), m);
+  const ClusterManifest r = load_manifest(f.path());
+  EXPECT_EQ(r.step, m.step);
+  EXPECT_EQ(r.grid, m.grid);
+  EXPECT_EQ(r.lattice_dim, m.lattice_dim);
+  EXPECT_EQ(r.rank_files, m.rank_files);
+}
+
+TEST(CheckpointV2, ManifestRejectsCorruption) {
+  TempFile f("mbad.gcmf");
+  ClusterManifest m;
+  m.step = 5;
+  m.rank_files = {"rank_0000.gclb"};
+  save_manifest(f.path(), m);
+  std::string content = slurp(f.path());
+  content[content.size() - 3] ^= 0x01;
+  spit(f.path(), content);
+  EXPECT_THROW(load_manifest(f.path()), Error);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <string>
 
 #include "netsim/mpilite.hpp"
 
@@ -117,6 +118,55 @@ TEST(MpiLite, SendToInvalidRankThrows) {
                  if (comm.rank() == 0) comm.send(5, 0, Payload{});
                }),
                Error);
+}
+
+TEST(MpiLite, RankFailureWakesBlockedRecv) {
+  // Regression: a rank blocked in recv used to wait forever when another
+  // rank died, deadlocking run(). The abort flag must wake it, and the
+  // root-cause exception (not the secondary CommAborted) must surface.
+  MpiLite world(2);
+  try {
+    world.run([](Comm& comm) {
+      if (comm.rank() == 0) throw Error("rank 0 died");
+      comm.recv(0, 3);  // no sender exists; would block forever
+    });
+    FAIL() << "run() swallowed the failure";
+  } catch (const CommAborted&) {
+    FAIL() << "root cause lost to the secondary abort";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("rank 0 died"), std::string::npos);
+  }
+  EXPECT_TRUE(world.aborted());
+}
+
+TEST(MpiLite, RankFailureWakesBlockedBarrier) {
+  MpiLite world(3);
+  EXPECT_THROW(world.run([](Comm& comm) {
+                 if (comm.rank() == 2) throw Error("boom");
+                 comm.barrier();  // never completes: rank 2 is gone
+               }),
+               Error);
+  EXPECT_TRUE(world.aborted());
+}
+
+TEST(MpiLite, AbortedWorldRequiresResetThenRunsAgain) {
+  MpiLite world(2);
+  EXPECT_THROW(world.run([](Comm& comm) {
+                 if (comm.rank() == 0) throw Error("x");
+                 comm.recv(0, 1);
+               }),
+               Error);
+  // Refuses to run while the abort flag is up...
+  EXPECT_THROW(world.run([](Comm&) {}), Error);
+  // ...and is fully usable after reset().
+  world.reset();
+  EXPECT_FALSE(world.aborted());
+  world.run([](Comm& comm) {
+    if (comm.rank() == 0) comm.send(1, 1, Payload{Real(7)});
+    if (comm.rank() == 1) {
+      EXPECT_FLOAT_EQ(comm.recv(0, 1)[0], Real(7));
+    }
+  });
 }
 
 TEST(MpiLite, SingleRankWorldWorks) {
