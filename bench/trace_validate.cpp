@@ -1,15 +1,25 @@
 // Artifact validator behind the trace_smoke ctest: for every JSON path
 // given, parses the Chrome trace back (strict), requires at least one
-// span, and checks the CSV sibling exists with a header plus data rows.
-// Exits non-zero with a diagnostic on the first violation.
+// span, checks overlap pipeline spans use the canonical vocabulary (the
+// modeled timeline and the executed overlap engine must stay diffable in
+// one viewer), and checks the CSV sibling exists with a header plus data
+// rows. Exits non-zero with a diagnostic on the first violation.
 #include <cstdio>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 
 #include "obs/export.hpp"
 
 namespace {
+
+/// The only span names allowed under the "overlap." prefix — shared by
+/// core::OverlapTimeline::export_trace and the executed overlap paths of
+/// ParallelLbm / GpuClusterLbm.
+const std::set<std::string> kOverlapSpans = {
+    "overlap.pack", "overlap.inner", "overlap.wait", "overlap.unpack",
+    "overlap.outer"};
 
 std::string slurp(const std::string& path) {
   std::ifstream in(path);
@@ -48,6 +58,14 @@ int main(int argc, char** argv) {
       if (e.name.empty() || e.t1_us < e.t0_us) {
         std::fprintf(stderr, "trace_validate: %s: bad span '%s' [%f, %f]\n",
                      json_path.c_str(), e.name.c_str(), e.t0_us, e.t1_us);
+        return 1;
+      }
+      if (e.name.rfind("overlap.", 0) == 0 &&
+          (!kOverlapSpans.count(e.name) || e.cat != "overlap")) {
+        std::fprintf(stderr,
+                     "trace_validate: %s: non-canonical overlap span "
+                     "'%s' (cat '%s')\n",
+                     json_path.c_str(), e.name.c_str(), e.cat.c_str());
         return 1;
       }
     }

@@ -35,6 +35,28 @@ int dir_slot(Face face, int dir) {
   GC_CHECK_MSG(false, "direction " << dir << " does not leave face " << face);
   return -1;
 }
+
+/// Diagonal chunk for grid offset `off`, cut from the already-read x-face
+/// border payload (the corner line is part of the x-face border).
+Payload extract_edge_chunk(const LocalDomain& ld, int dz,
+                           const std::map<int, Payload>& face_payload,
+                           Int3 off) {
+  const int fx = off.x > 0 ? lbm::FACE_XMAX : lbm::FACE_XMIN;
+  const auto it = face_payload.find(fx);
+  GC_CHECK(it != face_payload.end());
+  const int t0 = ld.own_lo().y;
+  const int bw = ld.own_hi().y - t0;
+  const int t = (off.y > 0 ? ld.own_hi().y - 1 : ld.own_lo().y) - t0;
+  const int k = dir_slot(static_cast<Face>(fx), lbm::direction_index(off));
+  Payload chunk;
+  chunk.reserve(static_cast<std::size_t>(dz));
+  for (int z = 0; z < dz; ++z) {
+    chunk.push_back(
+        it->second[(static_cast<std::size_t>(z) * bw + t) * 5 +
+                   static_cast<std::size_t>(k)]);
+  }
+  return chunk;
+}
 }  // namespace
 
 GpuClusterLbm::GpuClusterLbm(const lbm::Lattice& global, GpuClusterConfig cfg)
@@ -58,6 +80,7 @@ GpuClusterLbm::GpuClusterLbm(const lbm::Lattice& global, GpuClusterConfig cfg)
 
   const int n = decomp_.num_nodes();
   forward_store_.resize(static_cast<std::size_t>(n));
+  hidden_ms_.assign(static_cast<std::size_t>(n), 0.0);
   for (int node = 0; node < n; ++node) {
     const LocalDomain ld = LocalDomain::make(decomp_, node);
     domains_.push_back(ld);
@@ -117,26 +140,6 @@ void GpuClusterLbm::node_step(Comm& comm, int node) {
         ld.own_lo()[t_axis], ld.own_hi()[t_axis], 0, dz);
   }
 
-  // Extracts the diagonal chunk for grid offset `off` from the already
-  // read face payload (the corner line is part of the x-face border).
-  auto extract_edge = [&](Int3 off) {
-    const int fx = off.x > 0 ? lbm::FACE_XMAX : lbm::FACE_XMIN;
-    const auto it = face_payload.find(fx);
-    GC_CHECK(it != face_payload.end());
-    const int t0 = ld.own_lo().y;
-    const int bw = ld.own_hi().y - t0;
-    const int t = (off.y > 0 ? ld.own_hi().y - 1 : ld.own_lo().y) - t0;
-    const int k = dir_slot(static_cast<Face>(fx), lbm::direction_index(off));
-    Payload chunk;
-    chunk.reserve(static_cast<std::size_t>(dz));
-    for (int z = 0; z < dz; ++z) {
-      chunk.push_back(
-          it->second[(static_cast<std::size_t>(z) * bw + t) * 5 +
-                     static_cast<std::size_t>(k)]);
-    }
-    return chunk;
-  };
-
   auto& store = forward_store_[static_cast<std::size_t>(node)];
 
   for (int k = 0; k < sched_.num_steps(); ++k) {
@@ -158,7 +161,8 @@ void GpuClusterLbm::node_step(Comm& comm, int node) {
     for (const netsim::IndirectRoute& r : routes_) {
       if (r.src == node && r.first_step == k) {
         comm.send(r.via, TAG_HOP1_BASE + r.dst,
-                  extract_edge(grid.coords(r.dst) - myc));
+                  extract_edge_chunk(ld, dz, face_payload,
+                                     grid.coords(r.dst) - myc));
       }
       if (r.via == node && r.second_step == k) {
         auto it = store.find({r.src, r.dst});
@@ -194,10 +198,160 @@ void GpuClusterLbm::node_step(Comm& comm, int node) {
   gpu.stream_pass();
 }
 
+void GpuClusterLbm::node_step_overlap(Comm& comm, int node) {
+  gpulbm::GpuLbmSolver& gpu = *gpus_[static_cast<std::size_t>(node)];
+  const LocalDomain& ld = domains_[static_cast<std::size_t>(node)];
+  const netsim::NodeGrid& grid = cfg_.grid;
+  const Int3 myc = grid.coords(node);
+  const int dz = ld.local_dim().z;
+  obs::TraceRecorder* rec = cfg_.trace;
+
+  gpu.collide_pass();
+
+  std::map<int, Payload> face_payload;
+  for (const auto& [face, nb] : decomp_.axial_neighbors(node)) {
+    (void)nb;
+    const int axis = face / 2;
+    const int t_axis = axis == 0 ? 1 : 0;
+    face_payload[face] = gpu.read_border_plane(
+        static_cast<Face>(face), own_border_coord(ld, face),
+        ld.own_lo()[t_axis], ld.own_hi()[t_axis], 0, dz);
+  }
+
+  // Inner streaming rectangle: inset two texels (ghost layer + the shell
+  // that reads it) on every side that has a neighbor; z is undecomposed.
+  const Int3 dl = ld.local_dim();
+  gpusim::Rect inner;
+  inner.x0 = ld.ghost_lo.x ? 2 : 0;
+  inner.y0 = ld.ghost_lo.y ? 2 : 0;
+  inner.x1 = dl.x - (ld.ghost_hi.x ? 2 : 0);
+  inner.y1 = dl.y - (ld.ghost_hi.y ? 2 : 0);
+
+  // Wire-compatible with node_step: same payloads, same channels, one
+  // message per channel per step.
+  struct FaceRecv {
+    int face;
+    netsim::Request req;
+  };
+  struct EdgeRecv {
+    Int3 off;
+    netsim::Request req;
+  };
+  struct Hop1Recv {
+    const netsim::IndirectRoute* route;
+    netsim::Request req;
+  };
+  std::vector<FaceRecv> face_recvs;
+  std::vector<EdgeRecv> edge_recvs;
+  std::vector<Hop1Recv> hop1_recvs;
+
+  {
+    obs::ScopedSpan pack(rec, "overlap.pack", node, "overlap");
+    for (const auto& [face, nb] : decomp_.axial_neighbors(node)) {
+      comm.isend(nb, TAG_FACE, face_payload.at(face));
+    }
+    for (const netsim::IndirectRoute& r : routes_) {
+      if (r.src == node) {
+        comm.isend(r.via, TAG_HOP1_BASE + r.dst,
+                   extract_edge_chunk(ld, dz, face_payload,
+                                      grid.coords(r.dst) - myc));
+      }
+    }
+    for (const auto& [face, nb] : decomp_.axial_neighbors(node)) {
+      face_recvs.push_back({face, comm.irecv(nb, TAG_FACE)});
+    }
+    for (const netsim::IndirectRoute& r : routes_) {
+      if (r.via == node) {
+        hop1_recvs.push_back({&r, comm.irecv(r.src, TAG_HOP1_BASE + r.dst)});
+      }
+      if (r.dst == node) {
+        edge_recvs.push_back({grid.coords(r.src) - myc,
+                              comm.irecv(r.via, TAG_HOP2_BASE + r.src)});
+      }
+    }
+  }
+
+  const double t_post_us = world_.now_us();
+  {
+    obs::ScopedSpan span(rec, "overlap.inner", node, "overlap");
+    gpu.stream_pass_inner(inner);
+  }
+  const double t_window_us = world_.now_us();
+
+  double t_arrival_us = t_post_us;
+  {
+    obs::ScopedSpan span(rec, "overlap.wait", node, "overlap");
+    std::vector<netsim::Request> batch;
+    for (const FaceRecv& fr : face_recvs) batch.push_back(fr.req);
+    for (const Hop1Recv& hr : hop1_recvs) batch.push_back(hr.req);
+    comm.wait_all(batch);
+    // Forward the second hop of the diagonal routes through this node.
+    for (Hop1Recv& hr : hop1_recvs) {
+      comm.send(hr.route->dst, TAG_HOP2_BASE + hr.route->src,
+                comm.wait(hr.req));
+    }
+    std::vector<netsim::Request> batch2;
+    for (const EdgeRecv& er : edge_recvs) batch2.push_back(er.req);
+    comm.wait_all(batch2);
+
+    for (const FaceRecv& fr : face_recvs) {
+      t_arrival_us = std::max(t_arrival_us, fr.req.complete_time_us());
+    }
+    for (const Hop1Recv& hr : hop1_recvs) {
+      t_arrival_us = std::max(t_arrival_us, hr.req.complete_time_us());
+    }
+    for (const EdgeRecv& er : edge_recvs) {
+      t_arrival_us = std::max(t_arrival_us, er.req.complete_time_us());
+    }
+  }
+  hidden_ms_[static_cast<std::size_t>(node)] +=
+      std::max(0.0, std::min(t_arrival_us, t_window_us) - t_post_us) * 1e-3;
+
+  {
+    obs::ScopedSpan span(rec, "overlap.unpack", node, "overlap");
+    for (FaceRecv& fr : face_recvs) {
+      const int axis = fr.face / 2;
+      const int t_axis = axis == 0 ? 1 : 0;
+      gpu.write_ghost_plane(static_cast<Face>(fr.face),
+                            ghost_coord(ld, fr.face), ld.own_lo()[t_axis],
+                            ld.own_hi()[t_axis], 0, dz, comm.wait(fr.req));
+    }
+    for (EdgeRecv& er : edge_recvs) {
+      const int gx = er.off.x > 0 ? ld.own_hi().x : ld.own_lo().x - 1;
+      const int gy = er.off.y > 0 ? ld.own_hi().y : ld.own_lo().y - 1;
+      const int dir = lbm::direction_index(Int3{-er.off.x, -er.off.y, 0});
+      gpu.write_ghost_line_z(gx, gy, dir, 0, dz, comm.wait(er.req));
+    }
+  }
+
+  {
+    obs::ScopedSpan span(rec, "overlap.outer", node, "overlap");
+    gpu.stream_pass_outer(inner);
+  }
+}
+
 void GpuClusterLbm::run(int steps) {
   world_.run([this, steps](Comm& comm) {
-    for (int s = 0; s < steps; ++s) node_step(comm, comm.rank());
+    for (int s = 0; s < steps; ++s) {
+      if (cfg_.overlap) {
+        node_step_overlap(comm, comm.rank());
+      } else {
+        node_step(comm, comm.rank());
+      }
+    }
   });
+  if (cfg_.trace && cfg_.overlap) {
+    for (int r = 0; r < world_.size(); ++r) {
+      cfg_.trace->set_gauge("mpi.overlap_hidden_ms", r,
+                            hidden_ms_[static_cast<std::size_t>(r)]);
+    }
+  }
+}
+
+double GpuClusterLbm::overlap_hidden_ms(int node) const {
+  GC_CHECK_MSG(node >= 0 && node < decomp_.num_nodes(),
+               "invalid node " << node);
+  return cfg_.overlap ? hidden_ms_[static_cast<std::size_t>(node)] : 0.0;
 }
 
 void GpuClusterLbm::gather(lbm::Lattice& out) const {

@@ -18,6 +18,7 @@
 #include "gpulbm/gpu_solver.hpp"
 #include "netsim/mpilite.hpp"
 #include "netsim/schedule.hpp"
+#include "obs/trace.hpp"
 
 namespace gc::core {
 
@@ -27,6 +28,16 @@ struct GpuClusterConfig {
   netsim::NodeGrid grid;
   gpusim::GpuSpec gpu = gpusim::GpuSpec::geforce_fx5800_ultra();
   gpusim::BusSpec bus = gpusim::BusSpec::agp8x();
+  /// Executed §4.4 overlap: post border isend/irecvs, render the inner
+  /// streaming rectangle while messages are in flight, wait, write
+  /// ghosts, render the outer strips. Bit-identical to the synchronous
+  /// path (same per-texel programs, each texel rendered exactly once)
+  /// and wire-compatible with it.
+  bool overlap = false;
+  /// When set, overlap mode emits overlap.pack / overlap.inner /
+  /// overlap.wait / overlap.unpack / overlap.outer spans (tid = node)
+  /// and run() publishes the mpi.overlap_hidden_ms gauge. Not owned.
+  obs::TraceRecorder* trace = nullptr;
 };
 
 class GpuClusterLbm {
@@ -46,8 +57,13 @@ class GpuClusterLbm {
   /// Sum of all nodes' simulated-GPU time ledgers.
   gpusim::GpuTimeLedger total_ledger() const;
 
+  /// Cumulative network time node `node` hid under its inner streaming
+  /// render (overlap mode only; 0 otherwise).
+  double overlap_hidden_ms(int node) const;
+
  private:
   void node_step(netsim::Comm& comm, int node);
+  void node_step_overlap(netsim::Comm& comm, int node);
 
   GpuClusterConfig cfg_;
   Decomposition3 decomp_;
@@ -58,6 +74,8 @@ class GpuClusterLbm {
   std::vector<std::unique_ptr<gpulbm::GpuLbmSolver>> gpus_;
   netsim::MpiLite world_;
   std::vector<std::map<std::pair<int, int>, netsim::Payload>> forward_store_;
+  /// Per-node cumulative hidden network time (overlap mode only).
+  std::vector<double> hidden_ms_;
 };
 
 }  // namespace gc::core

@@ -34,7 +34,8 @@ std::string OverlapTimeline::gantt(int width) const {
 
 void OverlapTimeline::export_trace(obs::TraceRecorder& rec, int rank) const {
   for (const TimelineTask& t : tasks) {
-    rec.record_span(t.name, "model", rank, t.start_ms * 1e3, t.end_ms * 1e3);
+    rec.record_span(t.span.empty() ? t.name : t.span, "overlap", rank,
+                    t.start_ms * 1e3, t.end_ms * 1e3);
   }
   rec.set_gauge("model.makespan_ms", rank, makespan_ms);
   rec.set_gauge("model.network_hidden_ms", rank, network_hidden_ms);
@@ -96,17 +97,23 @@ OverlapTimeline simulate_overlapped_step(const ClusterScenario& sc) {
   // the network; the rest of the GPU step needs both the window and the
   // write-back done.
   OverlapTimeline tl;
-  auto add_task = [&tl](const std::string& name, double start, double dur) {
-    tl.tasks.push_back(TimelineTask{name, start, start + dur});
+  auto add_task = [&tl](const std::string& name, const std::string& span,
+                        double start, double dur) {
+    tl.tasks.push_back(TimelineTask{name, span, start, start + dur});
     return start + dur;
   };
 
-  const double t_read = add_task("border gather+readback", 0.0, readback_ms);
-  const double t_net = add_task("network exchange", t_read, network_ms);
-  const double t_window = add_task("inner-cell collision", t_read, window_ms);
-  const double t_write = add_task("ghost write-back", t_net, writeback_ms);
-  const double t_rest = add_task("border collide + stream",
-                                 std::max(t_window, t_write), rest_gpu_ms);
+  const double t_read =
+      add_task("border gather+readback", "overlap.pack", 0.0, readback_ms);
+  const double t_net =
+      add_task("network exchange", "overlap.wait", t_read, network_ms);
+  const double t_window =
+      add_task("inner-cell collision", "overlap.inner", t_read, window_ms);
+  const double t_write =
+      add_task("ghost write-back", "overlap.unpack", t_net, writeback_ms);
+  const double t_rest =
+      add_task("border collide + stream", "overlap.outer",
+               std::max(t_window, t_write), rest_gpu_ms);
   tl.makespan_ms = t_rest;
   tl.network_hidden_ms = std::min(network_ms, window_ms);
   return tl;

@@ -17,6 +17,11 @@ namespace gc::core {
 
 struct TimelineTask {
   std::string name;
+  /// Canonical span name shared with the *executed* overlap engine
+  /// (overlap.pack / overlap.inner / overlap.wait / overlap.unpack /
+  /// overlap.outer), so modeled and measured traces diff cleanly in one
+  /// Chrome-trace viewer. `name` stays the human Gantt label.
+  std::string span;
   double start_ms = 0;
   double end_ms = 0;
   double duration_ms() const { return end_ms - start_ms; }
@@ -32,9 +37,11 @@ struct OverlapTimeline {
   /// ASCII Gantt rendering for the benches.
   std::string gantt(int width = 60) const;
 
-  /// Records every task as a span (cat "model", tid = `rank`) so the
-  /// modeled timeline lands in the same Chrome-trace file as measured
-  /// (functional) runs and the two can be overlaid in one viewer.
+  /// Records every task as a span under its canonical overlap.* name
+  /// (cat "overlap", tid = `rank`) — the same names/categories the
+  /// executed overlap engine emits, so the modeled timeline lands in the
+  /// same Chrome-trace file as measured runs and the two diff cleanly in
+  /// one viewer.
   void export_trace(obs::TraceRecorder& rec, int rank = 0) const;
 };
 

@@ -37,6 +37,16 @@ struct ParallelConfig {
   /// nearest neighbors instead of the paper's two-hop indirect routing
   /// (functional results are identical; used by the schedule ablation).
   bool indirect_diagonals = true;
+  /// Executes the paper's §4.4 compute–communication overlap for real:
+  /// each step posts the border isend/irecvs first, streams the inner
+  /// cells (those that cannot read a ghost texel) while the messages are
+  /// in flight, then wait_all + ghost unpack + outer-shell streaming.
+  /// Bit-identical to the synchronous path and the serial reference —
+  /// the pull pattern writes each cell exactly once, so phase order
+  /// cannot change a value. Emits overlap.pack / overlap.inner /
+  /// overlap.wait / overlap.unpack / overlap.outer spans and the
+  /// mpi.overlap_hidden_ms gauge when a recorder is attached.
+  bool overlap = false;
   /// When set, every rank emits collide / pack / unpack / exchange /
   /// stream spans here (tid = rank), and run() publishes per-rank
   /// mpi.messages / mpi.bytes / mpi.barrier_waits counters. Null = zero
@@ -111,8 +121,24 @@ class ParallelLbm {
   /// Total payload values routed through MpiLite so far.
   i64 total_payload_values() const { return world_.total_payload_values(); }
 
+  /// The underlying communicator world (read-only): per-rank traffic and
+  /// reliability tallies for the determinism/equivalence harnesses.
+  const netsim::MpiLite& world() const { return world_; }
+
+  /// Cumulative network time node `node` hid under its inner-cell
+  /// streaming window (overlap mode only; 0 otherwise). Measured from
+  /// message enqueue stamps, not modeled: the overlap of the
+  /// comm-in-flight interval with the inner-compute window.
+  double overlap_hidden_ms(int node) const;
+
  private:
   void node_step(netsim::Comm& comm, int node, i64 global_step);
+  /// The paper's synchronous ordering: schedule-step exchange loop, then
+  /// a full-lattice stream.
+  void sync_exchange_and_stream(netsim::Comm& comm, int node);
+  /// The overlap-mode border exchange + partitioned streaming (replaces
+  /// the synchronous schedule loop + full-lattice stream).
+  void overlap_exchange_and_stream(netsim::Comm& comm, int node);
 
   ParallelConfig cfg_;
   Decomposition3 decomp_;
@@ -120,6 +146,11 @@ class ParallelLbm {
   std::vector<netsim::IndirectRoute> routes_;
   std::vector<LocalDomain> domains_;
   std::vector<std::unique_ptr<lbm::Lattice>> locals_;
+  /// Per-node inner/outer split of the bulk spans (overlap mode only;
+  /// built once in the ctor — node flags never change afterwards).
+  std::vector<lbm::InnerOuterClass> splits_;
+  /// Per-node cumulative hidden network time (overlap mode only).
+  std::vector<double> hidden_ms_;
   std::vector<std::unique_ptr<lbm::ThermalField>> thermals_;
   std::vector<std::vector<Vec3>> scratch_u_;
   std::vector<std::vector<Vec3>> scratch_force_;

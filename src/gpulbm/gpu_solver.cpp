@@ -116,20 +116,46 @@ void GpuLbmSolver::collide_pass() {
   }
 }
 
-void GpuLbmSolver::stream_pass() {
+void GpuLbmSolver::stream_pass_rects(const std::vector<Rect>& rects) {
   const Int3 d = params_.dim;
   const Uniforms no_uniforms;
-  const Rect full{0, 0, d.x, d.y};
 
   // Streaming: read other (post-collision), write back into cur_.
   for (int z = 0; z < d.z; ++z) {
     const std::vector<TextureId> bound = bound_for_stream(z);
     for (int s = 0; s < NUM_STACKS; ++s) {
       StreamProgram prog(params_, s, z);
-      dev_.render(prog, f_[cur_][s][static_cast<std::size_t>(z)], full, bound,
-                  no_uniforms);
+      for (const Rect& r : rects) {
+        dev_.render(prog, f_[cur_][s][static_cast<std::size_t>(z)], r, bound,
+                    no_uniforms);
+      }
     }
   }
+}
+
+void GpuLbmSolver::stream_pass() {
+  const Int3 d = params_.dim;
+  stream_pass_rects({Rect{0, 0, d.x, d.y}});
+  ++steps_;
+}
+
+void GpuLbmSolver::stream_pass_inner(const Rect& inner) {
+  if (inner.x1 <= inner.x0 || inner.y1 <= inner.y0) return;
+  stream_pass_rects({inner});
+}
+
+void GpuLbmSolver::stream_pass_outer(const Rect& inner) {
+  const Int3 d = params_.dim;
+  std::vector<Rect> rects;
+  if (inner.x1 <= inner.x0 || inner.y1 <= inner.y0) {
+    rects.push_back(Rect{0, 0, d.x, d.y});  // empty inner: all outer
+  } else {
+    if (inner.y0 > 0) rects.push_back(Rect{0, 0, d.x, inner.y0});
+    if (inner.y1 < d.y) rects.push_back(Rect{0, inner.y1, d.x, d.y});
+    if (inner.x0 > 0) rects.push_back(Rect{0, inner.y0, inner.x0, inner.y1});
+    if (inner.x1 < d.x) rects.push_back(Rect{inner.x1, inner.y0, d.x, inner.y1});
+  }
+  if (!rects.empty()) stream_pass_rects(rects);
   ++steps_;
 }
 

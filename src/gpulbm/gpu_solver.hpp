@@ -40,6 +40,19 @@ class GpuLbmSolver {
   /// into the current one. step() == collide_pass(); stream_pass().
   void stream_pass();
 
+  /// Streaming restricted to `inner` (per slice): texels whose pull
+  /// sources avoid the ghost margins, renderable while border messages
+  /// are in flight. Does not advance the step counter; always pair with
+  /// stream_pass_outer(). No-op for an empty rectangle.
+  void stream_pass_inner(const gpusim::Rect& inner);
+
+  /// Streams the complement of `inner` as up to four strip rectangles
+  /// (the paper's "multiple small rectangles" boundary covering) and
+  /// advances the step counter. stream_pass_inner + stream_pass_outer
+  /// renders every texel exactly once with the same programs as
+  /// stream_pass() — bit-identical, whatever the split.
+  void stream_pass_outer(const gpusim::Rect& inner);
+
   /// Gathers the 5 outgoing post-collision distributions of `face` on the
   /// in-slice plane coordinate `coord` (own border layer, possibly inset
   /// past a ghost layer), tangent range [t0,t1), slices [z0,z1), into two
@@ -85,6 +98,9 @@ class GpuLbmSolver {
  private:
   int wrap_slice(int z) const;
   std::vector<gpusim::TextureId> bound_for_stream(int z) const;
+  /// Streaming render passes over an explicit rectangle cover of each
+  /// slice (shared by the full and the inner/outer partitioned passes).
+  void stream_pass_rects(const std::vector<gpusim::Rect>& rects);
 
   gpusim::GpuDevice& dev_;
   LbmShaderParams params_;

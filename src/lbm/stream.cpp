@@ -99,11 +99,14 @@ bool is_interior_fluid(const Lattice& lat, Int3 p) {
 
 namespace {
 
-/// Streams slices [z0, z1) from the current into the back buffer, driven
-/// by the precomputed classification: solid cells are zeroed, bulk-fast
-/// spans are branch-free shifted copies, and only the slow minority walks
-/// the general pull_value path. No per-cell flag scanning.
-void stream_z_range(Lattice& lat, const CellClass& cc, int z0, int z1) {
+/// Streams an explicit cell selection from the current into the back
+/// buffer: solid cells are zeroed, bulk-fast spans are branch-free
+/// shifted copies, and only the slow minority walks the general
+/// pull_value path. No per-cell flag scanning. The unit both the
+/// z-sliced full-lattice pass and the inner/outer partitioned passes
+/// are built on.
+void stream_cells(Lattice& lat, const CellSpan* spans, i64 nspans,
+                  const i64* slow, i64 nslow, const i64* solid, i64 nsolid) {
   const Int3 d = lat.dim();
   const i64 sx = 1, sy = d.x, sz = i64(d.x) * d.y;
 
@@ -120,13 +123,13 @@ void stream_z_range(Lattice& lat, const CellClass& cc, int z0, int z1) {
     dst[i] = lat.back_plane_ptr(i);
   }
 
-  for (i64 k = cc.solid_z[z0]; k < cc.solid_z[z1]; ++k) {
-    const i64 cell = cc.solid[static_cast<std::size_t>(k)];
+  for (i64 k = 0; k < nsolid; ++k) {
+    const i64 cell = solid[k];
     for (int i = 0; i < Q; ++i) dst[i][cell] = Real(0);
   }
 
-  for (i64 s = cc.span_z[z0]; s < cc.span_z[z1]; ++s) {
-    const CellSpan sp = cc.spans[static_cast<std::size_t>(s)];
+  for (i64 s = 0; s < nspans; ++s) {
+    const CellSpan sp = spans[s];
     for (int i = 0; i < Q; ++i) {
       Real* GC_RESTRICT out = dst[i] + sp.begin;
       const Real* GC_RESTRICT in = src[i] + sp.begin + shift[i];
@@ -134,13 +137,23 @@ void stream_z_range(Lattice& lat, const CellClass& cc, int z0, int z1) {
     }
   }
 
-  for (i64 k = cc.slow_z[z0]; k < cc.slow_z[z1]; ++k) {
-    const i64 cell = cc.slow[static_cast<std::size_t>(k)];
+  for (i64 k = 0; k < nslow; ++k) {
+    const i64 cell = slow[k];
     const Int3 p = lat.coords(cell);
     for (int i = 0; i < Q; ++i) {
       dst[i][cell] = detail::pull_value(lat, p, i);
     }
   }
+}
+
+/// Streams slices [z0, z1), driven by the precomputed classification's
+/// per-z offsets.
+void stream_z_range(Lattice& lat, const CellClass& cc, int z0, int z1) {
+  stream_cells(lat, cc.spans.data() + cc.span_z[z0],
+               cc.span_z[z1] - cc.span_z[z0],
+               cc.slow.data() + cc.slow_z[z0], cc.slow_z[z1] - cc.slow_z[z0],
+               cc.solid.data() + cc.solid_z[z0],
+               cc.solid_z[z1] - cc.solid_z[z0]);
 }
 
 /// Buffer swap + inlet re-imposition + curved-boundary corrections.
@@ -189,6 +202,25 @@ void stream(Lattice& lat, ThreadPool& pool) {
         stream_z_range(lat, cc, static_cast<int>(z0), static_cast<int>(z1));
       },
       ThreadPool::min_chunk_indices(i64(d.x) * d.y));
+  finish_stream(lat);
+}
+
+void stream_inner(Lattice& lat, const InnerOuterClass& split) {
+  stream_cells(lat, split.inner_spans.data(),
+               static_cast<i64>(split.inner_spans.size()),
+               split.inner_slow.data(),
+               static_cast<i64>(split.inner_slow.size()),
+               split.inner_solid.data(),
+               static_cast<i64>(split.inner_solid.size()));
+}
+
+void stream_outer(Lattice& lat, const InnerOuterClass& split) {
+  stream_cells(lat, split.outer_spans.data(),
+               static_cast<i64>(split.outer_spans.size()),
+               split.outer_slow.data(),
+               static_cast<i64>(split.outer_slow.size()),
+               split.outer_solid.data(),
+               static_cast<i64>(split.outer_solid.size()));
   finish_stream(lat);
 }
 

@@ -26,6 +26,20 @@ void stream(Lattice& lat, ThreadPool& pool);
 /// ctx.trace when attached. Bit-identical to stream().
 void stream(Lattice& lat, const StepContext& ctx);
 
+/// Streams only the inner partition of `split` into the back buffer —
+/// cells guaranteed not to read any ghost-margin texel — so it can run
+/// while border messages are still in flight. No buffer swap, no
+/// boundary finishing: always pair with stream_outer() afterwards.
+/// stream_inner + stream_outer is bit-identical to stream(): the pull
+/// pattern writes each cell exactly once, so phase order cannot change
+/// any value.
+void stream_inner(Lattice& lat, const InnerOuterClass& split);
+
+/// Streams the outer partition (ghost margins plus the one-cell shell
+/// inside them) after the ghost layers are written, then swaps buffers
+/// and applies inlet re-imposition and curved-boundary corrections.
+void stream_outer(Lattice& lat, const InnerOuterClass& split);
+
 namespace detail {
 
 /// Value pulled for direction i at cell position p, with all boundary

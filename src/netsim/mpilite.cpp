@@ -26,6 +26,74 @@ Payload Comm::sendrecv(int partner, int tag, Payload data) {
 
 void Comm::barrier() { world_->do_barrier(rank_); }
 
+Request Comm::isend(int dst, int tag, Payload data) {
+  auto st = std::make_shared<Request::State>();
+  st->is_send = true;
+  st->peer = dst;
+  st->tag = tag;
+  world_->do_send(rank_, dst, tag, std::move(data));
+  st->done = true;
+  st->complete_us = world_->now_us();
+  return Request(std::move(st));
+}
+
+Request Comm::irecv(int src, int tag) {
+  GC_CHECK_MSG(src >= 0 && src < world_->size(),
+               "irecv from invalid rank " << src);
+  auto st = std::make_shared<Request::State>();
+  st->peer = src;
+  st->tag = tag;
+  pending_[{src, tag}].push_back(st);
+  return Request(std::move(st));
+}
+
+void Comm::fulfil_oldest(int src, int tag, Payload data, double t_us) {
+  auto& q = pending_[{src, tag}];
+  GC_CHECK_MSG(!q.empty(), "message on (src " << src << ", tag " << tag
+                               << ") with no outstanding irecv");
+  std::shared_ptr<Request::State> st = std::move(q.front());
+  q.pop_front();
+  st->data = std::move(data);
+  st->complete_us = t_us;
+  st->done = true;
+}
+
+Payload Comm::wait(Request& r) {
+  GC_CHECK_MSG(r.valid(), "wait on an invalid request");
+  const std::shared_ptr<Request::State>& st = r.st_;
+  while (!st->done) {
+    double t_us = 0.0;
+    Payload p = world_->do_recv(st->peer, rank_, st->tag, &t_us);
+    fulfil_oldest(st->peer, st->tag, std::move(p), t_us);
+  }
+  return std::move(st->data);
+}
+
+bool Comm::test(Request& r) {
+  GC_CHECK_MSG(r.valid(), "test on an invalid request");
+  const std::shared_ptr<Request::State>& st = r.st_;
+  while (!st->done) {
+    double t_us = 0.0;
+    std::optional<Payload> p =
+        world_->try_recv(st->peer, rank_, st->tag, &t_us);
+    if (!p) return false;
+    fulfil_oldest(st->peer, st->tag, std::move(*p), t_us);
+  }
+  return true;
+}
+
+void Comm::wait_all(std::vector<Request>& rs) {
+  for (Request& r : rs) {
+    if (!r.valid() || r.st_->is_send) continue;
+    const std::shared_ptr<Request::State>& st = r.st_;
+    while (!st->done) {
+      double t_us = 0.0;
+      Payload p = world_->do_recv(st->peer, rank_, st->tag, &t_us);
+      fulfil_oldest(st->peer, st->tag, std::move(p), t_us);
+    }
+  }
+}
+
 double Comm::allreduce_sum(double value) {
   // Payload carries the double split into two Reals? No — encode via a
   // single-element payload per 32-bit half would lose precision; instead
@@ -169,6 +237,7 @@ void MpiLite::inject(const Key& key, u64 seq, const Payload& data) {
   Msg m;
   m.seq = seq;
   m.crc = crc32(data.data(), data.size() * sizeof(Real));
+  m.t_us = now_us();
   m.data = data;
   if (f->roll(FaultKind::Corrupt, key.src, key.dst, key.tag, seq) &&
       !m.data.empty()) {
@@ -205,6 +274,7 @@ void MpiLite::retransmit(const Key& key, u64 seq) {
   Msg m;
   m.seq = seq;
   m.crc = crc32(it->second.data(), it->second.size() * sizeof(Real));
+  m.t_us = now_us();
   m.data = it->second;
   push_msg(key, std::move(m));
   ++rel_stats_[static_cast<std::size_t>(key.dst)].retransmits;
@@ -222,6 +292,7 @@ void MpiLite::do_send(int src, int dst, int tag, Payload data) {
     const Key key{src, dst, tag};
     if (!faults_) {
       Msg m;
+      m.t_us = now_us();
       m.data = std::move(data);
       mailboxes_[key].push(std::move(m));
     } else {
@@ -234,11 +305,11 @@ void MpiLite::do_send(int src, int dst, int tag, Payload data) {
   cv_.notify_all();
 }
 
-Payload MpiLite::do_recv(int src, int dst, int tag) {
+Payload MpiLite::do_recv(int src, int dst, int tag, double* enqueue_us) {
   GC_CHECK_MSG(src >= 0 && src < ranks_, "recv from invalid rank " << src);
   std::unique_lock<std::mutex> lock(mu_);
   const Key key{src, dst, tag};
-  if (faults_) return recv_reliable(key, lock);
+  if (faults_) return recv_reliable(key, lock, enqueue_us);
 
   cv_.wait(lock, [this, &key] {
     if (aborted()) return true;
@@ -252,51 +323,87 @@ Payload MpiLite::do_recv(int src, int dst, int tag) {
   }
   Msg m = std::move(it->second.front());
   it->second.pop();
+  if (enqueue_us) *enqueue_us = m.t_us;
+  return std::move(m.data);
+}
+
+std::optional<Payload> MpiLite::try_recv(int src, int dst, int tag,
+                                         double* enqueue_us) {
+  GC_CHECK_MSG(src >= 0 && src < ranks_, "recv from invalid rank " << src);
+  std::lock_guard<std::mutex> lock(mu_);
+  const Key key{src, dst, tag};
+  if (faults_) {
+    if (std::optional<Msg> m = poll_reliable(key)) {
+      return deliver_reliable(key, std::move(*m), enqueue_us);
+    }
+    if (aborted()) throw CommAborted("recv aborted: another rank failed");
+    return std::nullopt;
+  }
+  auto it = mailboxes_.find(key);
+  if (it == mailboxes_.end() || it->second.empty()) {
+    if (aborted()) throw CommAborted("recv aborted: another rank failed");
+    return std::nullopt;
+  }
+  Msg m = std::move(it->second.front());
+  it->second.pop();
+  if (enqueue_us) *enqueue_us = m.t_us;
+  return std::move(m.data);
+}
+
+std::optional<MpiLite::Msg> MpiLite::poll_reliable(const Key& key) {
+  const u64 expect = recv_next_[key];
+  ReliabilityStats& st = rel_stats_[static_cast<std::size_t>(key.dst)];
+  auto& ooo = ooo_[key];
+  for (;;) {
+    auto oit = ooo.find(expect);
+    if (oit != ooo.end()) {
+      Msg m = std::move(oit->second);
+      ooo.erase(oit);
+      return m;
+    }
+    auto mit = mailboxes_.find(key);
+    if (mit == mailboxes_.end() || mit->second.empty()) return std::nullopt;
+    Msg m = std::move(mit->second.front());
+    mit->second.pop();
+    if (m.seq < expect || ooo.count(m.seq)) {
+      ++st.duplicates_dropped;
+      continue;
+    }
+    if (crc32(m.data.data(), m.data.size() * sizeof(Real)) != m.crc) {
+      ++st.corrupt_detected;
+      retransmit(key, m.seq);  // NACK: re-inject the clean retained copy
+      continue;
+    }
+    if (m.seq > expect) {
+      ooo.emplace(m.seq, std::move(m));
+      continue;
+    }
+    return m;
+  }
+}
+
+Payload MpiLite::deliver_reliable(const Key& key, Msg m, double* enqueue_us) {
+  const u64 expect = recv_next_[key];
+  recv_next_[key] = expect + 1;
+  // Ack: purge the sender-side retained copies up to this point.
+  auto lit = send_log_.find(key);
+  if (lit != send_log_.end()) {
+    lit->second.erase(lit->second.begin(), lit->second.upper_bound(expect));
+  }
+  if (enqueue_us) *enqueue_us = m.t_us;
   return std::move(m.data);
 }
 
 Payload MpiLite::recv_reliable(const Key& key,
-                               std::unique_lock<std::mutex>& lock) {
+                               std::unique_lock<std::mutex>& lock,
+                               double* enqueue_us) {
   const u64 expect = recv_next_[key];
   ReliabilityStats& st = rel_stats_[static_cast<std::size_t>(key.dst)];
   int attempts = 0;
 
-  auto deliver = [this, &key, expect](Payload data) {
-    recv_next_[key] = expect + 1;
-    // Ack: purge the sender-side retained copies up to this point.
-    auto lit = send_log_.find(key);
-    if (lit != send_log_.end()) {
-      lit->second.erase(lit->second.begin(), lit->second.upper_bound(expect));
-    }
-    return data;
-  };
-
   for (;;) {
-    auto& ooo = ooo_[key];
-    auto oit = ooo.find(expect);
-    if (oit != ooo.end()) {
-      Payload data = std::move(oit->second);
-      ooo.erase(oit);
-      return deliver(std::move(data));
-    }
-    auto mit = mailboxes_.find(key);
-    if (mit != mailboxes_.end() && !mit->second.empty()) {
-      Msg m = std::move(mit->second.front());
-      mit->second.pop();
-      if (m.seq < expect || ooo.count(m.seq)) {
-        ++st.duplicates_dropped;
-        continue;
-      }
-      if (crc32(m.data.data(), m.data.size() * sizeof(Real)) != m.crc) {
-        ++st.corrupt_detected;
-        retransmit(key, m.seq);  // NACK: re-inject the clean retained copy
-        continue;
-      }
-      if (m.seq > expect) {
-        ooo.emplace(m.seq, std::move(m.data));
-        continue;
-      }
-      return deliver(std::move(m.data));
+    if (std::optional<Msg> m = poll_reliable(key)) {
+      return deliver_reliable(key, std::move(*m), enqueue_us);
     }
     if (aborted()) {
       throw CommAborted("recv aborted: another rank failed");

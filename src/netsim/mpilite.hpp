@@ -18,20 +18,64 @@
 
 #include <condition_variable>
 #include <cstring>
+#include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <queue>
+#include <utility>
 #include <vector>
 
 #include "netsim/fault.hpp"
 #include "util/common.hpp"
+#include "util/timer.hpp"
 
 namespace gc::netsim {
 
 using Payload = std::vector<Real>;
 
 class MpiLite;
+class Comm;
+
+/// Handle for a nonblocking operation (isend/irecv). Copyable: copies
+/// share the operation's state, so a request can sit in several
+/// wait_all batches (completion is idempotent). Completion only
+/// advances inside wait/test/wait_all on the owning Comm — there is no
+/// background progress thread, matching how MPI progress is typically
+/// driven from the host loop.
+class Request {
+ public:
+  Request() = default;
+
+  /// False for a default-constructed handle (a valid no-op in wait_all).
+  bool valid() const { return st_ != nullptr; }
+
+  /// True once the operation completed: the send was accepted, or a
+  /// matching message was delivered into this handle.
+  bool done() const { return st_ && st_->done; }
+
+  /// World-clock stamp (MpiLite::now_us) of the matched message's
+  /// *enqueue* by the sender (recv) or of the send's acceptance (send).
+  /// The raw material for the executed overlap-hidden-time gauge: a
+  /// message whose enqueue stamp falls inside the inner-compute window
+  /// cost the receiver nothing. Meaningful only once done().
+  double complete_time_us() const { return st_ ? st_->complete_us : 0.0; }
+
+ private:
+  friend class Comm;
+  struct State {
+    bool is_send = false;
+    int peer = -1;
+    int tag = 0;
+    bool done = false;
+    Payload data;
+    double complete_us = 0.0;
+  };
+  explicit Request(std::shared_ptr<State> st) : st_(std::move(st)) {}
+  std::shared_ptr<State> st_;
+};
 
 /// Per-rank communicator handle (valid only inside run()).
 class Comm {
@@ -58,11 +102,53 @@ class Comm {
   /// gather-to-root + broadcast, which is all the paper's solvers need).
   double allreduce_sum(double value);
 
+  // --- nonblocking operations -------------------------------------------
+  // Matching is FIFO per (src, tag) channel: the channel's next message
+  // always completes the *oldest* outstanding irecv, regardless of which
+  // handle wait/test is called on. Do not mix blocking recv() with
+  // outstanding irecv()s on the same channel — the blocking call would
+  // steal a message the posted request is owed.
+
+  /// Nonblocking send. MpiLite mailboxes are unbounded, so the send
+  /// buffers immediately: the returned request is already complete and
+  /// traffic/reliability accounting is identical to send(). Kept as a
+  /// request so the overlap engine can treat both directions uniformly.
+  Request isend(int dst, int tag, Payload data);
+
+  /// Posts a receive for the next unclaimed message on (src, tag) and
+  /// returns immediately. Complete it with wait / test / wait_all.
+  Request irecv(int src, int tag);
+
+  /// Blocks until `r` completes and returns its payload (moved out; a
+  /// second wait on the same handle returns an empty payload). Send
+  /// requests return an empty payload. Under a FaultSpec this obeys the
+  /// reliable-exchange timeout/retry budget; a world abort throws
+  /// CommAborted instead of hanging — same contract as recv().
+  Payload wait(Request& r);
+
+  /// Drives progress without blocking; true once `r` is complete (its
+  /// payload is then retrievable with wait). Never throws CommTimeout;
+  /// throws CommAborted if the world aborted and nothing is deliverable.
+  bool test(Request& r);
+
+  /// Completes every request in `rs` (payloads stay in the handles).
+  /// Invalid (default-constructed) entries and duplicates of an already
+  /// completed request are no-ops. Throws CommAborted on a world abort.
+  void wait_all(std::vector<Request>& rs);
+
  private:
   friend class MpiLite;
   Comm(MpiLite* world, int rank) : world_(world), rank_(rank) {}
+
+  /// Hands a delivered message to the oldest outstanding irecv on
+  /// (src, tag). `t_us` is the message's enqueue stamp.
+  void fulfil_oldest(int src, int tag, Payload data, double t_us);
+
   MpiLite* world_;
   int rank_;
+  /// Outstanding irecvs per (src, tag), in posting order.
+  std::map<std::pair<int, int>, std::deque<std::shared_ptr<Request::State>>>
+      pending_;
 };
 
 /// Per-rank traffic counters: messages/payload values *sent* by the rank
@@ -136,6 +222,10 @@ class MpiLite {
   ReliabilityStats reliability_stats(int rank) const;
   ReliabilityStats reliability_totals() const;
 
+  /// Monotonic world clock (µs since construction). Message enqueue
+  /// stamps and Request::complete_time_us share this timebase.
+  double now_us() const { return clock_.seconds() * 1e6; }
+
  private:
   friend class Comm;
 
@@ -148,17 +238,36 @@ class MpiLite {
     }
   };
 
-  /// The envelope: sequence number + CRC32 of the payload bytes. In the
-  /// legacy (no-fault) path seq/crc stay zero and are never checked.
+  /// The envelope: sequence number + CRC32 of the payload bytes plus the
+  /// world-clock enqueue stamp. In the legacy (no-fault) path seq/crc
+  /// stay zero and are never checked.
   struct Msg {
     u64 seq = 0;
     u32 crc = 0;
+    double t_us = 0.0;
     Payload data;
   };
 
   void do_send(int src, int dst, int tag, Payload data);
-  Payload do_recv(int src, int dst, int tag);
-  Payload recv_reliable(const Key& key, std::unique_lock<std::mutex>& lock);
+  Payload do_recv(int src, int dst, int tag, double* enqueue_us = nullptr);
+  Payload recv_reliable(const Key& key, std::unique_lock<std::mutex>& lock,
+                        double* enqueue_us);
+  /// Nonblocking receive: delivers the channel's next message if one is
+  /// immediately available (under a FaultSpec this drains whatever
+  /// envelopes are present, handling duplicates / CRC NACKs / reordering
+  /// exactly like the blocking path, but never waits and never counts a
+  /// timeout). Returns nullopt when nothing is deliverable; throws
+  /// CommAborted when the world aborted and nothing is deliverable.
+  std::optional<Payload> try_recv(int src, int dst, int tag,
+                                  double* enqueue_us = nullptr);
+  /// Drains immediately-available envelopes on `key` until the expected
+  /// sequence number is deliverable or the mailbox runs dry (handling
+  /// duplicates, CRC-failure NACKs and out-of-order arrivals). Does not
+  /// advance recv_next_. Caller holds mu_.
+  std::optional<Msg> poll_reliable(const Key& key);
+  /// Commits a message poll_reliable matched: advances recv_next_ and
+  /// purges acked retained copies. Caller holds mu_.
+  Payload deliver_reliable(const Key& key, Msg m, double* enqueue_us);
   void do_barrier(int rank);
 
   /// Delivers one first-transmission envelope through the fault filter
@@ -173,6 +282,7 @@ class MpiLite {
   void abort_world();
 
   int ranks_;
+  Timer clock_;
   FaultSpec* faults_ = nullptr;
   ReliabilityConfig rel_;
   std::atomic<bool> abort_{false};
@@ -187,7 +297,7 @@ class MpiLite {
   std::map<Key, u64> send_seq_;                    ///< next seq to assign
   std::map<Key, u64> recv_next_;                   ///< next seq expected
   std::map<Key, std::map<u64, Payload>> send_log_; ///< unacked retained copies
-  std::map<Key, std::map<u64, Payload>> ooo_;      ///< received out of order
+  std::map<Key, std::map<u64, Msg>> ooo_;          ///< received out of order
   std::map<Key, Msg> delayed_;                     ///< held-back envelopes
 
   // Generation-counting barrier.

@@ -3,6 +3,10 @@
 // against the serial split passes, and the rebuild-on-dirty contract.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cmath>
+#include <limits>
+#include <utility>
 #include <vector>
 
 #include "lbm/cell_class.hpp"
@@ -238,6 +242,155 @@ TEST(CellClass, RebuildsExactlyOncePerMutation) {
   lat.set_flag(Int3{1, 1, 1}, CellType::Solid);
   lat.cell_class();
   EXPECT_EQ(lat.cell_class_rebuilds(), before + 2);
+}
+
+// ---------------------------------------------------------------------------
+// InnerOuterClass: the inner/outer split driving the executed
+// compute–communication overlap (stream_inner / stream_outer).
+
+/// Reference predicate: a cell is outer iff, along any ghosted axis, it
+/// lies in the ghost margin or within one cell of it (one-cell shell —
+/// the pull pattern reads Chebyshev distance <= 1).
+bool reference_outer(const Lattice& lat, i64 cell, Int3 gl, Int3 gh) {
+  const Int3 p = lat.coords(cell);
+  const Int3 d = lat.dim();
+  const int pv[3] = {p.x, p.y, p.z};
+  const int dv[3] = {d.x, d.y, d.z};
+  const int glv[3] = {gl.x, gl.y, gl.z};
+  const int ghv[3] = {gh.x, gh.y, gh.z};
+  for (int a = 0; a < 3; ++a) {
+    if (glv[a] > 0 && pv[a] <= glv[a]) return true;
+    if (ghv[a] > 0 && pv[a] >= dv[a] - ghv[a] - 1) return true;
+  }
+  return false;
+}
+
+TEST(InnerOuterClass, PartitionsClassificationExactly) {
+  // Random flag fields x random ghost widths 0..2 per side: the split
+  // must cover every cell of the parent classification exactly once,
+  // keep inner/outer disjoint, preserve each cell's category, and agree
+  // with the brute-force outer predicate.
+  Rng rng(2024);
+  for (int it = 0; it < 10; ++it) {
+    Lattice lat(Int3{9, 8, 7});
+    randomize_flags(lat, 500 + static_cast<u64>(it));
+    const Int3 gl{static_cast<int>(rng.uniform_int(0, 2)),
+                  static_cast<int>(rng.uniform_int(0, 2)),
+                  static_cast<int>(rng.uniform_int(0, 2))};
+    const Int3 gh{static_cast<int>(rng.uniform_int(0, 2)),
+                  static_cast<int>(rng.uniform_int(0, 2)),
+                  static_cast<int>(rng.uniform_int(0, 2))};
+    InnerOuterClass io;
+    io.build(lat, gl, gh);
+
+    // -1 = unseen, 0 = inner, 1 = outer. put() enforces disjointness.
+    std::vector<int> got(static_cast<std::size_t>(lat.num_cells()), -1);
+    auto put = [&](i64 cell, int side, int cat) {
+      ASSERT_EQ(got[static_cast<std::size_t>(cell)], -1)
+          << "cell " << cell << " split twice (it " << it << ")";
+      got[static_cast<std::size_t>(cell)] = side;
+      ASSERT_EQ(reference_category(lat, cell), cat)
+          << "cell " << cell << " changed category (it " << it << ")";
+    };
+    i64 inner_n = 0, outer_n = 0;
+    for (const CellSpan& sp : io.inner_spans) {
+      for (i32 k = 0; k < sp.len; ++k) put(sp.begin + k, 0, 0);
+      inner_n += sp.len;
+    }
+    for (const CellSpan& sp : io.outer_spans) {
+      for (i32 k = 0; k < sp.len; ++k) put(sp.begin + k, 1, 0);
+      outer_n += sp.len;
+    }
+    for (const i64 c : io.inner_slow) put(c, 0, 1);
+    for (const i64 c : io.outer_slow) put(c, 1, 1);
+    for (const i64 c : io.inner_solid) put(c, 0, 2);
+    for (const i64 c : io.outer_solid) put(c, 1, 2);
+    inner_n += static_cast<i64>(io.inner_slow.size() + io.inner_solid.size());
+    outer_n += static_cast<i64>(io.outer_slow.size() + io.outer_solid.size());
+
+    EXPECT_EQ(inner_n, io.inner_cells);
+    EXPECT_EQ(outer_n, io.outer_cells);
+    EXPECT_EQ(inner_n + outer_n, lat.num_cells());
+    for (i64 c = 0; c < lat.num_cells(); ++c) {
+      ASSERT_EQ(got[static_cast<std::size_t>(c)],
+                reference_outer(lat, c, gl, gh) ? 1 : 0)
+          << "cell " << c << " at " << lat.coords(c) << " gl " << gl << " gh "
+          << gh << " (it " << it << ")";
+    }
+  }
+}
+
+TEST(InnerOuterClass, InnerStreamNeverReadsGhostCells) {
+  // The sentinel proof behind the overlap engine: poison every ghost
+  // cell with NaN, stream the inner region, restore the ghosts, stream
+  // the outer region — the result must be bit-identical to a plain
+  // stream() of the clean lattice. One inner cell pulling one poisoned
+  // ghost value would leave a NaN and fail the comparison.
+  const Int3 dim{12, 10, 9};
+  const Int3 gl{1, 1, 0};
+  const Int3 gh{1, 0, 0};
+  auto make = [&] {
+    Lattice lat(dim);
+    // Ghosted axes are never periodic in the distributed solver (the
+    // decomposed-axis precondition); periodic wrap would let a boundary
+    // cell legitimately pull from the opposite margin.
+    lat.set_face_bc(FACE_XMIN, FaceBc::Wall);
+    lat.set_face_bc(FACE_XMAX, FaceBc::Outflow);
+    lat.set_face_bc(FACE_YMIN, FaceBc::Wall);
+    lat.set_face_bc(FACE_YMAX, FaceBc::Wall);
+    lat.set_face_bc(FACE_ZMIN, FaceBc::Wall);
+    lat.set_face_bc(FACE_ZMAX, FaceBc::FreeSlip);
+    lat.init_equilibrium(Real(1), Vec3{Real(0.03), 0, 0});
+    for (i64 c = 0; c < lat.num_cells(); ++c) {
+      const Int3 p = lat.coords(c);
+      lat.set_f(3, c, lat.f(3, c) + Real(0.001) * Real((p.x + p.y + p.z) % 7));
+    }
+    lat.fill_solid_box(Int3{5, 4, 3}, Int3{8, 7, 6});
+    return lat;
+  };
+
+  Lattice clean = make();
+  Lattice split = make();
+  InnerOuterClass io;
+  io.build(split, gl, gh);
+
+  auto is_ghost = [&](Int3 p) {
+    return (gl.x > 0 && p.x < gl.x) || (gh.x > 0 && p.x >= dim.x - gh.x) ||
+           (gl.y > 0 && p.y < gl.y) || (gh.y > 0 && p.y >= dim.y - gh.y) ||
+           (gl.z > 0 && p.z < gl.z) || (gh.z > 0 && p.z >= dim.z - gh.z);
+  };
+  const Real nan = std::numeric_limits<Real>::quiet_NaN();
+  std::vector<std::pair<i64, std::array<Real, Q>>> saved;
+  for (i64 c = 0; c < split.num_cells(); ++c) {
+    if (!is_ghost(split.coords(c))) continue;
+    std::array<Real, Q> vals;
+    for (int i = 0; i < Q; ++i) {
+      vals[static_cast<std::size_t>(i)] = split.f(i, c);
+      split.set_f(i, c, nan);
+    }
+    saved.emplace_back(c, vals);
+  }
+  ASSERT_FALSE(saved.empty());
+
+  stream_inner(split, io);
+  // Restore the ghosts (the overlap engine's unpack), then the outer
+  // pass — which legitimately reads them — completes the step.
+  for (const auto& [c, vals] : saved) {
+    for (int i = 0; i < Q; ++i) {
+      split.set_f(i, c, vals[static_cast<std::size_t>(i)]);
+    }
+  }
+  stream_outer(split, io);
+
+  stream(clean);
+  for (int i = 0; i < Q; ++i) {
+    for (i64 c = 0; c < clean.num_cells(); ++c) {
+      ASSERT_FALSE(std::isnan(split.f(i, c)))
+          << "i=" << i << " cell=" << c << " at " << clean.coords(c);
+      ASSERT_EQ(clean.f(i, c), split.f(i, c))
+          << "i=" << i << " cell=" << c << " at " << clean.coords(c);
+    }
+  }
 }
 
 }  // namespace

@@ -180,5 +180,122 @@ TEST(MpiLite, SingleRankWorldWorks) {
   EXPECT_EQ(visits, 1);
 }
 
+// ---------------------------------------------------------------------------
+// MpiLiteRequest: the nonblocking isend/irecv layer driving the executed
+// compute–communication overlap.
+
+TEST(MpiLiteRequest, OutOfOrderWaitMatchesPostingOrder) {
+  // Matching is FIFO per channel: waiting on the *last* posted handle
+  // first must still hand message k to the k-th posted irecv.
+  MpiLite world(2);
+  world.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int k = 0; k < 3; ++k) comm.send(1, 0, Payload{Real(10 + k)});
+    } else {
+      Request r0 = comm.irecv(0, 0);
+      Request r1 = comm.irecv(0, 0);
+      Request r2 = comm.irecv(0, 0);
+      // Completing r2 forces delivery of the two older messages into
+      // r0/r1 along the way.
+      EXPECT_EQ(comm.wait(r2), Payload{Real(12)});
+      EXPECT_TRUE(r0.done());
+      EXPECT_TRUE(r1.done());
+      EXPECT_EQ(comm.wait(r0), Payload{Real(10)});
+      EXPECT_EQ(comm.wait(r1), Payload{Real(11)});
+    }
+  });
+}
+
+TEST(MpiLiteRequest, TestPollsWithoutBlocking) {
+  MpiLite world(2);
+  world.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      Request s = comm.isend(1, 3, Payload{Real(5)});
+      // Buffered send: complete the moment it is posted.
+      EXPECT_TRUE(s.done());
+      comm.barrier();
+    } else {
+      Request r = comm.irecv(0, 3);
+      EXPECT_FALSE(r.done());
+      comm.barrier();  // now the message is certainly in the mailbox
+      while (!comm.test(r)) {
+      }
+      EXPECT_TRUE(r.done());
+      EXPECT_EQ(comm.wait(r), Payload{Real(5)});
+    }
+  });
+}
+
+TEST(MpiLiteRequest, WaitAllSkipsInvalidAndDuplicateHandles) {
+  MpiLite world(2);
+  world.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 0, Payload{Real(1)});
+      comm.send(1, 1, Payload{Real(2)});
+    } else {
+      Request a = comm.irecv(0, 0);
+      Request b = comm.irecv(0, 1);
+      // Invalid handle + the same request twice: both legal no-ops.
+      std::vector<Request> batch{a, Request{}, b, a};
+      comm.wait_all(batch);
+      EXPECT_TRUE(a.done());
+      EXPECT_TRUE(b.done());
+      EXPECT_EQ(comm.wait(a), Payload{Real(1)});
+      EXPECT_EQ(comm.wait(b), Payload{Real(2)});
+      // The payload moves out on first wait; a second wait is empty.
+      EXPECT_TRUE(comm.wait(a).empty());
+    }
+  });
+}
+
+TEST(MpiLiteRequest, ReliableDeliveryUnderDropsAndCorruption) {
+  // isend/irecv ride the same envelope protocol as send/recv: every
+  // payload arrives intact and in order despite injected faults.
+  MpiLite world(2);
+  FaultSpec faults(404);
+  faults.rates.drop = 0.2;
+  faults.rates.corrupt = 0.2;
+  world.set_fault_spec(&faults);
+  world.set_reliability({5.0, 50, 1.5, 8.0});
+  const int n = 40;
+  world.run([n](Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int k = 0; k < n; ++k) {
+        comm.isend(1, 0, Payload{Real(k), Real(3 * k)});
+      }
+    } else {
+      std::vector<Request> rs;
+      for (int k = 0; k < n; ++k) rs.push_back(comm.irecv(0, 0));
+      comm.wait_all(rs);
+      for (int k = 0; k < n; ++k) {
+        ASSERT_EQ(comm.wait(rs[static_cast<std::size_t>(k)]),
+                  (Payload{Real(k), Real(3 * k)}))
+            << "k=" << k;
+      }
+    }
+  });
+  EXPECT_GT(faults.counters().drops + faults.counters().corruptions, 0);
+  EXPECT_GT(world.reliability_totals().retransmits, 0);
+}
+
+TEST(MpiLiteRequest, WaitOnAbortedWorldRaisesCommAborted) {
+  // A rank blocked in wait() must be woken by a world abort exactly like
+  // a blocking recv — the root-cause exception surfaces from run().
+  MpiLite world(2);
+  try {
+    world.run([](Comm& comm) {
+      if (comm.rank() == 0) throw Error("rank 0 died");
+      Request r = comm.irecv(0, 9);  // no sender exists
+      comm.wait(r);                  // would block forever without the abort
+    });
+    FAIL() << "run() swallowed the failure";
+  } catch (const CommAborted&) {
+    FAIL() << "root cause lost to the secondary abort";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("rank 0 died"), std::string::npos);
+  }
+  EXPECT_TRUE(world.aborted());
+}
+
 }  // namespace
 }  // namespace gc::netsim

@@ -305,9 +305,13 @@ TEST(Obs, OverlapTimelineExportsToTrace) {
   ASSERT_EQ(rec.events().size(), tl.tasks.size());
   const obs::ParsedTrace parsed =
       obs::parse_chrome_trace(obs::chrome_trace_json(rec));
+  // Modeled tasks export under the canonical overlap.* span names the
+  // executed overlap engine shares, with cat "overlap".
   const obs::TraceEvent* net = nullptr;
   for (const obs::TraceEvent& e : parsed.spans) {
-    if (e.name == "network exchange") net = &e;
+    if (e.name == "overlap.wait") net = &e;
+    EXPECT_EQ(e.cat, "overlap") << e.name;
+    EXPECT_EQ(e.name.rfind("overlap.", 0), 0u) << e.name;
   }
   ASSERT_NE(net, nullptr);
   const core::TimelineTask* task = tl.find("network exchange");
