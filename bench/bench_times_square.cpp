@@ -122,7 +122,7 @@ int main(int argc, char** argv) {
   tracer::TracerCloud cloud;
   cloud.release(Int3{dim.x * 3 / 4, dim.y * 3 / 4, 2}, 2000);
   {
-    obs::ScopedSpan span(rec, "tracer advection", 0, "tracer");
+    obs::ScopedSpan span(rec, "tracer.advect", 0, "tracer");
     for (int s = 0; s < 100; ++s) cloud.step(lat);
   }
 

@@ -6,20 +6,13 @@
 // rows. Exits non-zero with a diagnostic on the first violation.
 #include <cstdio>
 #include <fstream>
-#include <set>
 #include <sstream>
 #include <string>
 
 #include "obs/export.hpp"
+#include "obs/span_canon.hpp"
 
 namespace {
-
-/// The only span names allowed under the "overlap." prefix — shared by
-/// core::OverlapTimeline::export_trace and the executed overlap paths of
-/// ParallelLbm / GpuClusterLbm.
-const std::set<std::string> kOverlapSpans = {
-    "overlap.pack", "overlap.inner", "overlap.wait", "overlap.unpack",
-    "overlap.outer"};
 
 std::string slurp(const std::string& path) {
   std::ifstream in(path);
@@ -60,8 +53,13 @@ int main(int argc, char** argv) {
                      json_path.c_str(), e.name.c_str(), e.t0_us, e.t1_us);
         return 1;
       }
+      // The overlap vocabulary is closed: the modeled timeline and the
+      // executed overlap engine must stay diffable in one viewer, so any
+      // "overlap."-prefixed span must match the shared canon (name + cat)
+      // in src/obs/span_canon.cpp — the same table gc_lint checks
+      // statically at every call site.
       if (e.name.rfind("overlap.", 0) == 0 &&
-          (!kOverlapSpans.count(e.name) || e.cat != "overlap")) {
+          !gc::obs::is_canonical_span(e.name, e.cat)) {
         std::fprintf(stderr,
                      "trace_validate: %s: non-canonical overlap span "
                      "'%s' (cat '%s')\n",

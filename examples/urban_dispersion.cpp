@@ -118,7 +118,7 @@ int main(int argc, char** argv) {
       lbm::stream(lat);
     }
     {
-      obs::ScopedSpan span(rec, "tracer", 0, "tracer");
+      obs::ScopedSpan span(rec, "tracer.advect", 0, "tracer");
       cloud.step(lat);
     }
   }

@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# The repo check matrix: builds and tests under each sanitizer, runs the
+# invariant linter, and (when installed) clang-tidy. This is the pre-PR
+# gate — run it from the repo root:
+#
+#   scripts/check.sh              # full matrix: plain, asan, ubsan, tsan,
+#                                 # gc_lint, clang-tidy (if available)
+#   scripts/check.sh plain lint   # just those stages
+#   JOBS=8 scripts/check.sh       # override build parallelism
+#
+# Each stage gets its own build tree under build-check/ so sanitizer
+# flags never mix. Exits nonzero if any stage fails; prints a summary
+# table either way.
+set -u
+
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
+STAGES=("$@")
+if [ ${#STAGES[@]} -eq 0 ]; then
+  STAGES=(plain asan ubsan tsan lint tidy)
+fi
+
+declare -A RESULT
+FAILED=0
+
+note() { printf '\n=== check.sh: %s ===\n' "$*"; }
+
+# build_and_test NAME CMAKE_ARGS... -- CTEST_ARGS...
+build_and_test() {
+  local name="$1"; shift
+  local cmake_args=() ctest_args=()
+  local in_ctest=0
+  for a in "$@"; do
+    if [ "$a" = "--" ]; then in_ctest=1; continue; fi
+    if [ $in_ctest -eq 1 ]; then ctest_args+=("$a"); else cmake_args+=("$a"); fi
+  done
+  local bdir="build-check/$name"
+  note "$name: configure + build"
+  if ! cmake -B "$bdir" -S . "${cmake_args[@]}" > "$bdir.cfg.log" 2>&1; then
+    RESULT[$name]="FAIL (configure, see $bdir.cfg.log)"; FAILED=1; return
+  fi
+  if ! cmake --build "$bdir" -j "$JOBS" > "$bdir.build.log" 2>&1; then
+    RESULT[$name]="FAIL (build, see $bdir.build.log)"; FAILED=1; return
+  fi
+  note "$name: ctest ${ctest_args[*]}"
+  if (cd "$bdir" && ctest --output-on-failure "${ctest_args[@]}"); then
+    RESULT[$name]="ok"
+  else
+    RESULT[$name]="FAIL (ctest)"; FAILED=1
+  fi
+}
+
+mkdir -p build-check
+
+for stage in "${STAGES[@]}"; do
+  case "$stage" in
+    plain)
+      build_and_test plain -- ;;
+    asan)
+      build_and_test asan -DGC_SANITIZE=address -- -L asan ;;
+    ubsan)
+      # halt_on_error makes UBSan failures fail the test run instead of
+      # only printing runtime warnings.
+      UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
+        build_and_test ubsan -DGC_SANITIZE=undefined -- -L ubsan ;;
+    tsan)
+      build_and_test tsan -DGC_SANITIZE=thread -- -L tsan ;;
+    lint)
+      note "lint: gc_lint self-scan"
+      bdir=build-check/lint
+      if cmake -B "$bdir" -S . > "$bdir.cfg.log" 2>&1 \
+          && cmake --build "$bdir" -j "$JOBS" --target gc_lint > "$bdir.build.log" 2>&1 \
+          && "$bdir/tools/gc_lint/gc_lint" --root .; then
+        RESULT[lint]="ok"
+      else
+        RESULT[lint]="FAIL"; FAILED=1
+      fi ;;
+    tidy)
+      if ! command -v clang-tidy > /dev/null 2>&1; then
+        RESULT[tidy]="skipped (clang-tidy not installed)"
+        continue
+      fi
+      note "tidy: clang-tidy over src/"
+      bdir=build-check/tidy
+      if ! cmake -B "$bdir" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+          > "$bdir.cfg.log" 2>&1; then
+        RESULT[tidy]="FAIL (configure)"; FAILED=1; continue
+      fi
+      if find src tools -name '*.cpp' -print0 \
+          | xargs -0 -n 1 -P "$JOBS" clang-tidy -p "$bdir" --quiet \
+          > build-check/tidy.log 2>&1; then
+        RESULT[tidy]="ok"
+      else
+        RESULT[tidy]="FAIL (see build-check/tidy.log)"; FAILED=1
+      fi ;;
+    *)
+      echo "check.sh: unknown stage '$stage'" >&2
+      echo "stages: plain asan ubsan tsan lint tidy" >&2
+      exit 2 ;;
+  esac
+done
+
+printf '\n%-8s %s\n' "stage" "result"
+printf '%-8s %s\n' "-----" "------"
+for stage in "${STAGES[@]}"; do
+  printf '%-8s %s\n' "$stage" "${RESULT[$stage]:-not run}"
+done
+exit $FAILED

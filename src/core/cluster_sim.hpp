@@ -53,13 +53,6 @@ class ClusterSimulator {
   static netsim::TrafficMatrix traffic_bytes_per_step(
       const Decomposition3& decomp, const netsim::CommSchedule& sched,
       bool indirect_diagonals);
-
-  /// Deprecated pre-alignment name; use traffic_bytes_per_step.
-  [[deprecated("use traffic_bytes_per_step")]] static netsim::TrafficMatrix
-  traffic_bytes(const Decomposition3& decomp,
-                const netsim::CommSchedule& sched, bool indirect_diagonals) {
-    return traffic_bytes_per_step(decomp, sched, indirect_diagonals);
-  }
 };
 
 }  // namespace gc::core

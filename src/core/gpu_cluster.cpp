@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "netsim/tags.hpp"
+
 namespace gc::core {
 
 using gpulbm::outgoing_directions;
@@ -11,9 +13,6 @@ using netsim::Comm;
 using netsim::Payload;
 
 namespace {
-constexpr int TAG_FACE = 1;
-constexpr int TAG_HOP1_BASE = 1000;
-constexpr int TAG_HOP2_BASE = 2000;
 
 /// Local in-slice coordinate of a node's own border layer at `face`.
 int own_border_coord(const LocalDomain& ld, int face) {
@@ -155,25 +154,25 @@ void GpuClusterLbm::node_step(Comm& comm, int node) {
       for (int a = 0; a < 3; ++a) {
         if (off[a] != 0) face = 2 * a + (off[a] > 0 ? 1 : 0);
       }
-      comm.send(partner, TAG_FACE, face_payload.at(face));
+      comm.send(partner, netsim::kFace, face_payload.at(face));
     }
 
     for (const netsim::IndirectRoute& r : routes_) {
       if (r.src == node && r.first_step == k) {
-        comm.send(r.via, TAG_HOP1_BASE + r.dst,
+        comm.send(r.via, netsim::kHop1Base + r.dst,
                   extract_edge_chunk(ld, dz, face_payload,
                                      grid.coords(r.dst) - myc));
       }
       if (r.via == node && r.second_step == k) {
         auto it = store.find({r.src, r.dst});
         GC_CHECK(it != store.end());
-        comm.send(r.dst, TAG_HOP2_BASE + r.src, std::move(it->second));
+        comm.send(r.dst, netsim::kHop2Base + r.src, std::move(it->second));
         store.erase(it);
       }
     }
 
     if (partner >= 0) {
-      const Payload data = comm.recv(partner, TAG_FACE);
+      const Payload data = comm.recv(partner, netsim::kFace);
       const int axis = face / 2;
       const int t_axis = axis == 0 ? 1 : 0;
       gpu.write_ghost_plane(static_cast<Face>(face), ghost_coord(ld, face),
@@ -182,10 +181,10 @@ void GpuClusterLbm::node_step(Comm& comm, int node) {
     }
     for (const netsim::IndirectRoute& r : routes_) {
       if (r.via == node && r.first_step == k) {
-        store[{r.src, r.dst}] = comm.recv(r.src, TAG_HOP1_BASE + r.dst);
+        store[{r.src, r.dst}] = comm.recv(r.src, netsim::kHop1Base + r.dst);
       }
       if (r.dst == node && r.second_step == k) {
-        const Payload data = comm.recv(r.via, TAG_HOP2_BASE + r.src);
+        const Payload data = comm.recv(r.via, netsim::kHop2Base + r.src);
         const Int3 off = grid.coords(r.src) - myc;
         const int gx = off.x > 0 ? ld.own_hi().x : ld.own_lo().x - 1;
         const int gy = off.y > 0 ? ld.own_hi().y : ld.own_lo().y - 1;
@@ -248,25 +247,25 @@ void GpuClusterLbm::node_step_overlap(Comm& comm, int node) {
   {
     obs::ScopedSpan pack(rec, "overlap.pack", node, "overlap");
     for (const auto& [face, nb] : decomp_.axial_neighbors(node)) {
-      comm.isend(nb, TAG_FACE, face_payload.at(face));
+      comm.isend(nb, netsim::kFace, face_payload.at(face));
     }
     for (const netsim::IndirectRoute& r : routes_) {
       if (r.src == node) {
-        comm.isend(r.via, TAG_HOP1_BASE + r.dst,
+        comm.isend(r.via, netsim::kHop1Base + r.dst,
                    extract_edge_chunk(ld, dz, face_payload,
                                       grid.coords(r.dst) - myc));
       }
     }
     for (const auto& [face, nb] : decomp_.axial_neighbors(node)) {
-      face_recvs.push_back({face, comm.irecv(nb, TAG_FACE)});
+      face_recvs.push_back({face, comm.irecv(nb, netsim::kFace)});
     }
     for (const netsim::IndirectRoute& r : routes_) {
       if (r.via == node) {
-        hop1_recvs.push_back({&r, comm.irecv(r.src, TAG_HOP1_BASE + r.dst)});
+        hop1_recvs.push_back({&r, comm.irecv(r.src, netsim::kHop1Base + r.dst)});
       }
       if (r.dst == node) {
         edge_recvs.push_back({grid.coords(r.src) - myc,
-                              comm.irecv(r.via, TAG_HOP2_BASE + r.src)});
+                              comm.irecv(r.via, netsim::kHop2Base + r.src)});
       }
     }
   }
@@ -287,7 +286,7 @@ void GpuClusterLbm::node_step_overlap(Comm& comm, int node) {
     comm.wait_all(batch);
     // Forward the second hop of the diagonal routes through this node.
     for (Hop1Recv& hr : hop1_recvs) {
-      comm.send(hr.route->dst, TAG_HOP2_BASE + hr.route->src,
+      comm.send(hr.route->dst, netsim::kHop2Base + hr.route->src,
                 comm.wait(hr.req));
     }
     std::vector<netsim::Request> batch2;

@@ -1,10 +1,10 @@
 #include "core/parallel_lbm.hpp"
 
 #include <algorithm>
-#include <cstring>
 
 #include "lbm/mrt.hpp"
 #include "lbm/stream.hpp"
+#include "netsim/tags.hpp"
 #include "util/timer.hpp"
 
 namespace gc::core {
@@ -13,14 +13,6 @@ using lbm::CellType;
 using lbm::FaceBc;
 using netsim::Comm;
 using netsim::Payload;
-
-namespace {
-constexpr int TAG_FACE = 1;
-constexpr int TAG_HOP1_BASE = 1000;  // + ultimate destination node
-constexpr int TAG_HOP2_BASE = 2000;  // + origin node
-constexpr int TAG_DIRECT_BASE = 3000;  // + sender node (direct-diag mode)
-constexpr int TAG_TEMP = 4000;        // thermal ghost exchange
-}  // namespace
 
 ParallelLbm::ParallelLbm(const lbm::Lattice& global, ParallelConfig cfg)
     : cfg_(cfg),
@@ -179,8 +171,8 @@ void ParallelLbm::node_step(Comm& comm, int node, i64 global_step) {
         for (int a = 0; a < 3; ++a) {
           if (off[a] != 0) face = 2 * a + (off[a] > 0 ? 1 : 0);
         }
-        comm.send(partner, TAG_TEMP, pack_face_scalar(T, lat, ld, face));
-        unpack_face_scalar(T, lat, ld, face, comm.recv(partner, TAG_TEMP));
+        comm.send(partner, netsim::kThermalFace, pack_face_scalar(T, lat, ld, face));
+        unpack_face_scalar(T, lat, ld, face, comm.recv(partner, netsim::kThermalFace));
       }
     }
     obs::ScopedSpan collide_span(rec, "collide", node, "lbm");
@@ -250,38 +242,38 @@ void ParallelLbm::sync_exchange_and_stream(Comm& comm, int node) {
         obs::ScopedSpan pack(rec, "pack", node, "net");
         payload = pack_face(lat, ld, face);
       }
-      comm.send(partner, TAG_FACE, std::move(payload));
+      comm.send(partner, netsim::kFace, std::move(payload));
     }
 
     if (cfg_.indirect_diagonals) {
       for (const netsim::IndirectRoute& r : routes_) {
         if (r.src == node && r.first_step == k) {
           const Int3 off = grid.coords(r.dst) - myc;
-          comm.send(r.via, TAG_HOP1_BASE + r.dst, pack_edge(lat, ld, off));
+          comm.send(r.via, netsim::kHop1Base + r.dst, pack_edge(lat, ld, off));
         }
         if (r.via == node && r.second_step == k) {
           auto it = store.find({r.src, r.dst});
           GC_CHECK_MSG(it != store.end(),
                        "missing forwarded chunk " << r.src << "->" << r.dst);
-          comm.send(r.dst, TAG_HOP2_BASE + r.src, std::move(it->second));
+          comm.send(r.dst, netsim::kHop2Base + r.src, std::move(it->second));
           store.erase(it);
         }
       }
     }
 
     if (partner >= 0) {
-      const netsim::Payload payload = comm.recv(partner, TAG_FACE);
+      const netsim::Payload payload = comm.recv(partner, netsim::kFace);
       obs::ScopedSpan unpack(rec, "unpack", node, "net");
       unpack_face(lat, ld, face, payload);
     }
     if (cfg_.indirect_diagonals) {
       for (const netsim::IndirectRoute& r : routes_) {
         if (r.via == node && r.first_step == k) {
-          store[{r.src, r.dst}] = comm.recv(r.src, TAG_HOP1_BASE + r.dst);
+          store[{r.src, r.dst}] = comm.recv(r.src, netsim::kHop1Base + r.dst);
         }
         if (r.dst == node && r.second_step == k) {
           const Int3 off = grid.coords(r.src) - myc;
-          unpack_edge(lat, ld, off, comm.recv(r.via, TAG_HOP2_BASE + r.src));
+          unpack_edge(lat, ld, off, comm.recv(r.via, netsim::kHop2Base + r.src));
         }
       }
     }
@@ -298,7 +290,7 @@ void ParallelLbm::sync_exchange_and_stream(Comm& comm, int node) {
             off[b] = sb;
             const int nb = decomp_.neighbor(node, off);
             if (nb < 0) continue;
-            comm.send(nb, TAG_DIRECT_BASE + node, pack_edge(lat, ld, off));
+            comm.send(nb, netsim::kDirectBase + node, pack_edge(lat, ld, off));
           }
         }
       }
@@ -312,7 +304,7 @@ void ParallelLbm::sync_exchange_and_stream(Comm& comm, int node) {
             off[b] = sb;
             const int nb = decomp_.neighbor(node, off);
             if (nb < 0) continue;
-            unpack_edge(lat, ld, off, comm.recv(nb, TAG_DIRECT_BASE + nb));
+            unpack_edge(lat, ld, off, comm.recv(nb, netsim::kDirectBase + nb));
           }
         }
       }
@@ -355,12 +347,12 @@ void ParallelLbm::overlap_exchange_and_stream(Comm& comm, int node) {
   {
     obs::ScopedSpan pack(rec, "overlap.pack", node, "overlap");
     for (const auto& [face, nb] : decomp_.axial_neighbors(node)) {
-      comm.isend(nb, TAG_FACE, pack_face(lat, ld, face));
+      comm.isend(nb, netsim::kFace, pack_face(lat, ld, face));
     }
     if (cfg_.indirect_diagonals) {
       for (const netsim::IndirectRoute& r : routes_) {
         if (r.src == node) {
-          comm.isend(r.via, TAG_HOP1_BASE + r.dst,
+          comm.isend(r.via, netsim::kHop1Base + r.dst,
                      pack_edge(lat, ld, grid.coords(r.dst) - myc));
         }
       }
@@ -374,7 +366,7 @@ void ParallelLbm::overlap_exchange_and_stream(Comm& comm, int node) {
               off[b] = sb;
               const int nb = decomp_.neighbor(node, off);
               if (nb < 0) continue;
-              comm.isend(nb, TAG_DIRECT_BASE + node, pack_edge(lat, ld, off));
+              comm.isend(nb, netsim::kDirectBase + node, pack_edge(lat, ld, off));
             }
           }
         }
@@ -382,16 +374,16 @@ void ParallelLbm::overlap_exchange_and_stream(Comm& comm, int node) {
     }
 
     for (const auto& [face, nb] : decomp_.axial_neighbors(node)) {
-      face_recvs.push_back({face, comm.irecv(nb, TAG_FACE)});
+      face_recvs.push_back({face, comm.irecv(nb, netsim::kFace)});
     }
     if (cfg_.indirect_diagonals) {
       for (const netsim::IndirectRoute& r : routes_) {
         if (r.via == node) {
-          hop1_recvs.push_back({&r, comm.irecv(r.src, TAG_HOP1_BASE + r.dst)});
+          hop1_recvs.push_back({&r, comm.irecv(r.src, netsim::kHop1Base + r.dst)});
         }
         if (r.dst == node) {
           edge_recvs.push_back({grid.coords(r.src) - myc,
-                                comm.irecv(r.via, TAG_HOP2_BASE + r.src)});
+                                comm.irecv(r.via, netsim::kHop2Base + r.src)});
         }
       }
     } else {
@@ -404,7 +396,7 @@ void ParallelLbm::overlap_exchange_and_stream(Comm& comm, int node) {
               off[b] = sb;
               const int nb = decomp_.neighbor(node, off);
               if (nb < 0) continue;
-              edge_recvs.push_back({off, comm.irecv(nb, TAG_DIRECT_BASE + nb)});
+              edge_recvs.push_back({off, comm.irecv(nb, netsim::kDirectBase + nb)});
             }
           }
         }
@@ -430,7 +422,7 @@ void ParallelLbm::overlap_exchange_and_stream(Comm& comm, int node) {
     // Second hop of the indirect diagonal routes: forward the chunks
     // this node carries for others before waiting on its own.
     for (Hop1Recv& hr : hop1_recvs) {
-      comm.send(hr.route->dst, TAG_HOP2_BASE + hr.route->src,
+      comm.send(hr.route->dst, netsim::kHop2Base + hr.route->src,
                 comm.wait(hr.req));
     }
     std::vector<netsim::Request> batch2;
@@ -532,11 +524,7 @@ void ParallelLbm::restore_local(int node, const lbm::Lattice& saved) {
                "checkpoint dimensions " << saved.dim()
                                         << " do not match local lattice "
                                         << lat.dim());
-  const i64 n = lat.num_cells();
-  for (int i = 0; i < lbm::Q; ++i) {
-    std::memcpy(lat.plane_ptr(i), saved.plane_ptr(i),
-                static_cast<std::size_t>(n) * sizeof(Real));
-  }
+  lat.copy_distributions_from(saved);
 }
 
 void ParallelLbm::reset_comm() {

@@ -48,16 +48,4 @@ void collide_bgk_forced(Lattice& lat, Real tau, const Vec3* force,
 void fused_stream_collide(Lattice& lat, const BgkParams& p,
                           const StepContext& ctx = {});
 
-/// Deprecated pool-overload shims (PR-1 API); use the StepContext forms.
-[[deprecated("pass StepContext{&pool} instead")]] inline void
-collide_bgk_forced(Lattice& lat, Real tau, const Vec3* force,
-                   ThreadPool& pool) {
-  collide_bgk_forced(lat, tau, force, StepContext{&pool, nullptr, 0});
-}
-
-[[deprecated("pass StepContext{&pool} instead")]] inline void
-fused_stream_collide(Lattice& lat, const BgkParams& p, ThreadPool& pool) {
-  fused_stream_collide(lat, p, StepContext{&pool, nullptr, 0});
-}
-
 }  // namespace gc::lbm

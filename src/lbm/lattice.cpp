@@ -103,4 +103,14 @@ i64 Lattice::count(CellType t) const {
   return std::count(flags_.begin(), flags_.end(), static_cast<u8>(t));
 }
 
+void Lattice::copy_distributions_from(const Lattice& src) {
+  GC_CHECK_MSG(src.dim() == dim_, "lattice dimensions "
+                                      << src.dim() << " do not match "
+                                      << dim_);
+  for (int i = 0; i < Q; ++i) {
+    const Real* from = src.plane_ptr(i);
+    std::copy(from, from + n_, plane_ptr(i));
+  }
+}
+
 }  // namespace gc::lbm

@@ -83,6 +83,11 @@ class Lattice {
   /// Swap current and back buffers (after a streaming pass).
   void swap_buffers() { cur_ = 1 - cur_; }
 
+  /// Copies the 19 current-buffer distribution planes from `src` (same
+  /// dimensions required). The supported way to restore distribution
+  /// state wholesale — gc_lint bans naked memcpy into plane storage.
+  void copy_distributions_from(const Lattice& src);
+
   // --- cell flags ---
   CellType flag(i64 cell) const { return static_cast<CellType>(flags_[cell]); }
   CellType flag(Int3 p) const { return flag(idx(p)); }

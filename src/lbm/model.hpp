@@ -84,3 +84,7 @@ int mirror_direction(int i, int axis);
 bool model_tables_consistent();
 
 }  // namespace gc::lbm
+
+// Compile-time proofs over C/W/OPP — any edit to the tables above that
+// breaks a model invariant fails to compile here (see model_audit.hpp).
+#include "lbm/model_audit.hpp"

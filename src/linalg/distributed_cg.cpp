@@ -6,14 +6,14 @@
 #include <mutex>
 #include <set>
 
+#include "netsim/tags.hpp"
+
 namespace gc::linalg {
 
 using netsim::Comm;
 using netsim::Payload;
 
 namespace {
-
-constexpr int TAG_PROXY = 7000;  // + sender rank
 
 struct RankPlan {
   int lo = 0;
@@ -143,10 +143,10 @@ DistributedCgStats distributed_cg_solve(const CsrMatrix& a,
         for (int g : globals) {
           out.push_back(v[static_cast<std::size_t>(g - plan.lo)]);
         }
-        comm.send(dst, TAG_PROXY + comm.rank(), std::move(out));
+        comm.send(dst, netsim::kCgProxyBase + comm.rank(), std::move(out));
       }
       for (const auto& [src, proxy_slots] : plan.recv_from) {
-        const Payload in = comm.recv(src, TAG_PROXY + src);
+        const Payload in = comm.recv(src, netsim::kCgProxyBase + src);
         GC_CHECK(in.size() == proxy_slots.size());
         for (std::size_t i = 0; i < in.size(); ++i) {
           p_full[static_cast<std::size_t>(proxy_slots[i])] = in[i];

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "netsim/fault.hpp"
+#include "netsim/tags.hpp"
 #include "util/common.hpp"
 #include "util/timer.hpp"
 

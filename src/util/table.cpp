@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cstdio>
 #include <iomanip>
-#include <iostream>
 #include <sstream>
 
 #include "util/common.hpp"
@@ -78,6 +77,10 @@ std::string Table::csv() const {
   return os.str();
 }
 
-void Table::print() const { std::cout << str() << std::flush; }
+void Table::print() const {
+  const std::string s = str();
+  std::fwrite(s.data(), 1, s.size(), stdout);
+  std::fflush(stdout);
+}
 
 }  // namespace gc

@@ -182,11 +182,11 @@ TEST(ReliableExchange, DeliversInOrderUnderDrops) {
   world.run([n](Comm& comm) {
     if (comm.rank() == 0) {
       for (int k = 0; k < n; ++k) {
-        comm.send(1, 0, Payload{Real(k), Real(2 * k)});
+        comm.send(1, netsim::kTest0, Payload{Real(k), Real(2 * k)});
       }
     } else {
       for (int k = 0; k < n; ++k) {
-        const Payload p = comm.recv(0, 0);
+        const Payload p = comm.recv(0, netsim::kTest0);
         ASSERT_EQ(p, (Payload{Real(k), Real(2 * k)})) << "k=" << k;
       }
     }
@@ -205,10 +205,10 @@ TEST(ReliableExchange, SurvivesDuplicatesAndReorders) {
   const int n = 60;
   world.run([n](Comm& comm) {
     if (comm.rank() == 0) {
-      for (int k = 0; k < n; ++k) comm.send(1, 2, Payload{Real(k)});
+      for (int k = 0; k < n; ++k) comm.send(1, netsim::kTest2, Payload{Real(k)});
     } else {
       for (int k = 0; k < n; ++k) {
-        ASSERT_EQ(comm.recv(0, 2), Payload{Real(k)}) << "k=" << k;
+        ASSERT_EQ(comm.recv(0, netsim::kTest2), Payload{Real(k)}) << "k=" << k;
       }
     }
   });
@@ -227,13 +227,13 @@ TEST(ReliableExchange, DetectsAndRepairsCorruption) {
   world.run([n](Comm& comm) {
     if (comm.rank() == 0) {
       for (int k = 0; k < n; ++k) {
-        comm.send(1, 0, Payload{Real(k), Real(k) / 3, Real(-k)});
+        comm.send(1, netsim::kTest0, Payload{Real(k), Real(k) / 3, Real(-k)});
       }
     } else {
       for (int k = 0; k < n; ++k) {
         // The CRC must catch every flipped bit; only clean retransmitted
         // payloads may be delivered.
-        ASSERT_EQ(comm.recv(0, 0), (Payload{Real(k), Real(k) / 3, Real(-k)}))
+        ASSERT_EQ(comm.recv(0, netsim::kTest0), (Payload{Real(k), Real(k) / 3, Real(-k)}))
             << "k=" << k;
       }
     }
@@ -249,8 +249,8 @@ TEST(ReliableExchange, BlackholeRaisesTypedTimeoutNotHang) {
   world.set_fault_spec(&faults);
   world.set_reliability({2.0, 3, 1.0, 1.0});
   EXPECT_THROW(world.run([](Comm& comm) {
-                 if (comm.rank() == 0) comm.send(1, 4, Payload{Real(1)});
-                 if (comm.rank() == 1) comm.recv(0, 4);
+                 if (comm.rank() == 0) comm.send(1, netsim::kTest4, Payload{Real(1)});
+                 if (comm.rank() == 1) comm.recv(0, netsim::kTest4);
                }),
                netsim::CommTimeout);
   EXPECT_TRUE(world.aborted());
@@ -261,9 +261,9 @@ TEST(ReliableExchange, BlackholeRaisesTypedTimeoutNotHang) {
   world.reset();
   world.set_fault_spec(nullptr);
   world.run([](Comm& comm) {
-    if (comm.rank() == 0) comm.send(1, 4, Payload{Real(5)});
+    if (comm.rank() == 0) comm.send(1, netsim::kTest4, Payload{Real(5)});
     if (comm.rank() == 1) {
-      EXPECT_FLOAT_EQ(comm.recv(0, 4)[0], Real(5));
+      EXPECT_FLOAT_EQ(comm.recv(0, netsim::kTest4)[0], Real(5));
     }
   });
   EXPECT_FALSE(world.aborted());

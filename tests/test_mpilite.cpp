@@ -15,9 +15,9 @@ TEST(MpiLite, PointToPointDelivers) {
   MpiLite world(2);
   world.run([](Comm& comm) {
     if (comm.rank() == 0) {
-      comm.send(1, 7, Payload{1.0f, 2.0f, 3.0f});
+      comm.send(1, netsim::kTest7, Payload{1.0f, 2.0f, 3.0f});
     } else {
-      const Payload p = comm.recv(0, 7);
+      const Payload p = comm.recv(0, netsim::kTest7);
       EXPECT_EQ(p, (Payload{1.0f, 2.0f, 3.0f}));
     }
   });
@@ -27,10 +27,10 @@ TEST(MpiLite, FifoOrderPerChannel) {
   MpiLite world(2);
   world.run([](Comm& comm) {
     if (comm.rank() == 0) {
-      for (int k = 0; k < 10; ++k) comm.send(1, 0, Payload{Real(k)});
+      for (int k = 0; k < 10; ++k) comm.send(1, netsim::kTest0, Payload{Real(k)});
     } else {
       for (int k = 0; k < 10; ++k) {
-        const Payload p = comm.recv(0, 0);
+        const Payload p = comm.recv(0, netsim::kTest0);
         EXPECT_FLOAT_EQ(p[0], Real(k));
       }
     }
@@ -41,12 +41,12 @@ TEST(MpiLite, TagsAreIndependentChannels) {
   MpiLite world(2);
   world.run([](Comm& comm) {
     if (comm.rank() == 0) {
-      comm.send(1, 1, Payload{Real(11)});
-      comm.send(1, 2, Payload{Real(22)});
+      comm.send(1, netsim::kTest1, Payload{Real(11)});
+      comm.send(1, netsim::kTest2, Payload{Real(22)});
     } else {
       // Receive in the opposite order of sending.
-      EXPECT_FLOAT_EQ(comm.recv(0, 2)[0], Real(22));
-      EXPECT_FLOAT_EQ(comm.recv(0, 1)[0], Real(11));
+      EXPECT_FLOAT_EQ(comm.recv(0, netsim::kTest2)[0], Real(22));
+      EXPECT_FLOAT_EQ(comm.recv(0, netsim::kTest1)[0], Real(11));
     }
   });
 }
@@ -56,7 +56,7 @@ TEST(MpiLite, SendRecvExchanges) {
   world.run([](Comm& comm) {
     const int partner = 1 - comm.rank();
     const Payload got =
-        comm.sendrecv(partner, 5, Payload{Real(comm.rank())});
+        comm.sendrecv(partner, netsim::kTest5, Payload{Real(comm.rank())});
     EXPECT_FLOAT_EQ(got[0], Real(partner));
   });
 }
@@ -83,13 +83,13 @@ TEST(MpiLite, RingPassAccumulates) {
     const int next = (comm.rank() + 1) % ranks;
     const int prev = (comm.rank() + ranks - 1) % ranks;
     if (comm.rank() == 0) {
-      comm.send(next, 0, Payload{Real(0)});
-      const Payload p = comm.recv(prev, 0);
+      comm.send(next, netsim::kTest0, Payload{Real(0)});
+      const Payload p = comm.recv(prev, netsim::kTest0);
       EXPECT_FLOAT_EQ(p[0], Real(ranks - 1));
     } else {
-      Payload p = comm.recv(prev, 0);
+      Payload p = comm.recv(prev, netsim::kTest0);
       p[0] += Real(1);
-      comm.send(next, 0, std::move(p));
+      comm.send(next, netsim::kTest0, std::move(p));
     }
   });
 }
@@ -97,8 +97,8 @@ TEST(MpiLite, RingPassAccumulates) {
 TEST(MpiLite, CountsTraffic) {
   MpiLite world(2);
   world.run([](Comm& comm) {
-    if (comm.rank() == 0) comm.send(1, 0, Payload(100, Real(1)));
-    if (comm.rank() == 1) comm.recv(0, 0);
+    if (comm.rank() == 0) comm.send(1, netsim::kTest0, Payload(100, Real(1)));
+    if (comm.rank() == 1) comm.recv(0, netsim::kTest0);
   });
   EXPECT_EQ(world.total_messages(), 1);
   EXPECT_EQ(world.total_payload_values(), 100);
@@ -115,7 +115,7 @@ TEST(MpiLite, ExceptionsPropagateToCaller) {
 TEST(MpiLite, SendToInvalidRankThrows) {
   MpiLite world(2);
   EXPECT_THROW(world.run([](Comm& comm) {
-                 if (comm.rank() == 0) comm.send(5, 0, Payload{});
+                 if (comm.rank() == 0) comm.send(5, netsim::kTest0, Payload{});
                }),
                Error);
 }
@@ -128,7 +128,7 @@ TEST(MpiLite, RankFailureWakesBlockedRecv) {
   try {
     world.run([](Comm& comm) {
       if (comm.rank() == 0) throw Error("rank 0 died");
-      comm.recv(0, 3);  // no sender exists; would block forever
+      comm.recv(0, netsim::kTest3);  // no sender exists; would block forever
     });
     FAIL() << "run() swallowed the failure";
   } catch (const CommAborted&) {
@@ -153,7 +153,7 @@ TEST(MpiLite, AbortedWorldRequiresResetThenRunsAgain) {
   MpiLite world(2);
   EXPECT_THROW(world.run([](Comm& comm) {
                  if (comm.rank() == 0) throw Error("x");
-                 comm.recv(0, 1);
+                 comm.recv(0, netsim::kTest1);
                }),
                Error);
   // Refuses to run while the abort flag is up...
@@ -162,9 +162,9 @@ TEST(MpiLite, AbortedWorldRequiresResetThenRunsAgain) {
   world.reset();
   EXPECT_FALSE(world.aborted());
   world.run([](Comm& comm) {
-    if (comm.rank() == 0) comm.send(1, 1, Payload{Real(7)});
+    if (comm.rank() == 0) comm.send(1, netsim::kTest1, Payload{Real(7)});
     if (comm.rank() == 1) {
-      EXPECT_FLOAT_EQ(comm.recv(0, 1)[0], Real(7));
+      EXPECT_FLOAT_EQ(comm.recv(0, netsim::kTest1)[0], Real(7));
     }
   });
 }
@@ -190,11 +190,11 @@ TEST(MpiLiteRequest, OutOfOrderWaitMatchesPostingOrder) {
   MpiLite world(2);
   world.run([](Comm& comm) {
     if (comm.rank() == 0) {
-      for (int k = 0; k < 3; ++k) comm.send(1, 0, Payload{Real(10 + k)});
+      for (int k = 0; k < 3; ++k) comm.send(1, netsim::kTest0, Payload{Real(10 + k)});
     } else {
-      Request r0 = comm.irecv(0, 0);
-      Request r1 = comm.irecv(0, 0);
-      Request r2 = comm.irecv(0, 0);
+      Request r0 = comm.irecv(0, netsim::kTest0);
+      Request r1 = comm.irecv(0, netsim::kTest0);
+      Request r2 = comm.irecv(0, netsim::kTest0);
       // Completing r2 forces delivery of the two older messages into
       // r0/r1 along the way.
       EXPECT_EQ(comm.wait(r2), Payload{Real(12)});
@@ -210,12 +210,12 @@ TEST(MpiLiteRequest, TestPollsWithoutBlocking) {
   MpiLite world(2);
   world.run([](Comm& comm) {
     if (comm.rank() == 0) {
-      Request s = comm.isend(1, 3, Payload{Real(5)});
+      Request s = comm.isend(1, netsim::kTest3, Payload{Real(5)});
       // Buffered send: complete the moment it is posted.
       EXPECT_TRUE(s.done());
       comm.barrier();
     } else {
-      Request r = comm.irecv(0, 3);
+      Request r = comm.irecv(0, netsim::kTest3);
       EXPECT_FALSE(r.done());
       comm.barrier();  // now the message is certainly in the mailbox
       while (!comm.test(r)) {
@@ -230,11 +230,11 @@ TEST(MpiLiteRequest, WaitAllSkipsInvalidAndDuplicateHandles) {
   MpiLite world(2);
   world.run([](Comm& comm) {
     if (comm.rank() == 0) {
-      comm.send(1, 0, Payload{Real(1)});
-      comm.send(1, 1, Payload{Real(2)});
+      comm.send(1, netsim::kTest0, Payload{Real(1)});
+      comm.send(1, netsim::kTest1, Payload{Real(2)});
     } else {
-      Request a = comm.irecv(0, 0);
-      Request b = comm.irecv(0, 1);
+      Request a = comm.irecv(0, netsim::kTest0);
+      Request b = comm.irecv(0, netsim::kTest1);
       // Invalid handle + the same request twice: both legal no-ops.
       std::vector<Request> batch{a, Request{}, b, a};
       comm.wait_all(batch);
@@ -261,11 +261,11 @@ TEST(MpiLiteRequest, ReliableDeliveryUnderDropsAndCorruption) {
   world.run([n](Comm& comm) {
     if (comm.rank() == 0) {
       for (int k = 0; k < n; ++k) {
-        comm.isend(1, 0, Payload{Real(k), Real(3 * k)});
+        comm.isend(1, netsim::kTest0, Payload{Real(k), Real(3 * k)});
       }
     } else {
       std::vector<Request> rs;
-      for (int k = 0; k < n; ++k) rs.push_back(comm.irecv(0, 0));
+      for (int k = 0; k < n; ++k) rs.push_back(comm.irecv(0, netsim::kTest0));
       comm.wait_all(rs);
       for (int k = 0; k < n; ++k) {
         ASSERT_EQ(comm.wait(rs[static_cast<std::size_t>(k)]),
@@ -285,7 +285,7 @@ TEST(MpiLiteRequest, WaitOnAbortedWorldRaisesCommAborted) {
   try {
     world.run([](Comm& comm) {
       if (comm.rank() == 0) throw Error("rank 0 died");
-      Request r = comm.irecv(0, 9);  // no sender exists
+      Request r = comm.irecv(0, netsim::kTest9);  // no sender exists
       comm.wait(r);                  // would block forever without the abort
     });
     FAIL() << "run() swallowed the failure";

@@ -25,22 +25,34 @@ namespace {
 std::atomic<long> g_allocations{0};
 }  // namespace
 
-void* operator new(std::size_t size) {
+// noinline keeps GCC from inlining the malloc/free pairs into callers'
+// new-expressions, where -Wmismatched-new-delete mis-pairs them.
+__attribute__((noinline)) void* operator new(std::size_t size) {
   g_allocations.fetch_add(1, std::memory_order_relaxed);
   if (void* p = std::malloc(size)) return p;
   throw std::bad_alloc();
 }
 
-void* operator new[](std::size_t size) {
+__attribute__((noinline)) void* operator new[](std::size_t size) {
   g_allocations.fetch_add(1, std::memory_order_relaxed);
   if (void* p = std::malloc(size)) return p;
   throw std::bad_alloc();
 }
 
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+__attribute__((noinline)) void operator delete(void* p) noexcept {
+  std::free(p);
+}
+__attribute__((noinline)) void operator delete[](void* p) noexcept {
+  std::free(p);
+}
+__attribute__((noinline)) void operator delete(void* p,
+                                               std::size_t) noexcept {
+  std::free(p);
+}
+__attribute__((noinline)) void operator delete[](void* p,
+                                                 std::size_t) noexcept {
+  std::free(p);
+}
 
 namespace gc {
 namespace {
@@ -107,11 +119,11 @@ TEST(Obs, CountersAggregateAcrossMpiLiteRanks) {
   world.run([n](netsim::Comm& comm) {
     const int r = comm.rank();
     for (int m = 0; m <= r; ++m) {
-      comm.send((r + 1) % n, 7, netsim::Payload(3, Real(r)));
+      comm.send((r + 1) % n, netsim::kTest7, netsim::Payload(3, Real(r)));
     }
     comm.barrier();
     const int prev = (r + n - 1) % n;
-    for (int m = 0; m <= prev; ++m) comm.recv(prev, 7);
+    for (int m = 0; m <= prev; ++m) comm.recv(prev, netsim::kTest7);
   });
 
   obs::TraceRecorder rec;

@@ -1,0 +1,595 @@
+#include "rules.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "obs/span_canon.hpp"
+
+namespace gc::lint {
+
+namespace {
+
+const std::vector<Rule> kRules = {
+    {"GCL001", "deprecated-shim-call", Severity::kError,
+     "call site of a deleted compatibility shim",
+     "use the StepContext kernel entry points / traffic_bytes_per_step"},
+    {"GCL002", "non-canonical-trace-name", Severity::kError,
+     "trace name not in the span/counter/gauge canon",
+     "add the name to src/obs/span_canon.cpp or use a canonical one"},
+    {"GCL003", "raw-mpi-tag", Severity::kError,
+     "integer literal used as an MPI tag",
+     "use a netsim::Tag registry entry (src/netsim/tags.hpp)"},
+    {"GCL004", "include-hygiene", Severity::kError,
+     "include violates repo layout rules",
+     "include subsystem-relative (\"lbm/model.hpp\"); keep <iostream> "
+     "out of src/ except io/ and viz/"},
+    {"GCL005", "lattice-memcpy", Severity::kError,
+     "naked memcpy into Lattice plane storage",
+     "use Lattice::copy_distributions_from (checked, and the single "
+     "place allowed to touch raw planes)"},
+    {"GCL006", "unbounded-cv-wait", Severity::kError,
+     "condition_variable wait without predicate can hang forever",
+     "wait with an abort-aware predicate, or use wait_for"},
+};
+
+const Rule* rule_by_id(const char* id) {
+  for (const Rule& r : kRules) {
+    if (std::string_view(r.id) == id) return &r;
+  }
+  return nullptr;
+}
+
+// --- source preprocessing -------------------------------------------------
+
+/// Per-line views of a file with comments and literals neutralized.
+/// Column positions are preserved (stripped characters become spaces):
+///   raw   exactly as read (used for allow-comment suppression)
+///   lit   comments blanked; string/char literals intact
+///   code  comments blanked; literal *contents* blanked, quotes kept
+struct SourceView {
+  std::vector<std::string> raw;
+  std::vector<std::string> lit;
+  std::vector<std::string> code;
+};
+
+SourceView preprocess(const std::string& content) {
+  SourceView v;
+  enum State { kNormal, kString, kChar, kLineComment, kBlockComment };
+  State st = kNormal;
+  std::string raw, lit, code;
+  auto flush = [&] {
+    v.raw.push_back(raw);
+    v.lit.push_back(lit);
+    v.code.push_back(code);
+    raw.clear();
+    lit.clear();
+    code.clear();
+  };
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    if (c == '\n') {
+      if (st == kLineComment) st = kNormal;
+      flush();
+      continue;
+    }
+    raw.push_back(c);
+    switch (st) {
+      case kNormal:
+        if (c == '/' && next == '/') {
+          st = kLineComment;
+          lit.push_back(' ');
+          code.push_back(' ');
+        } else if (c == '/' && next == '*') {
+          st = kBlockComment;
+          lit.push_back(' ');
+          code.push_back(' ');
+          raw.push_back(next);
+          lit.push_back(' ');
+          code.push_back(' ');
+          ++i;
+        } else if (c == '"') {
+          st = kString;
+          lit.push_back(c);
+          code.push_back(c);
+        } else if (c == '\'') {
+          st = kChar;
+          lit.push_back(c);
+          code.push_back(c);
+        } else {
+          lit.push_back(c);
+          code.push_back(c);
+        }
+        break;
+      case kString:
+      case kChar:
+        lit.push_back(c);
+        code.push_back(' ');
+        if (c == '\\' && next != '\0' && next != '\n') {
+          raw.push_back(next);
+          lit.push_back(next);
+          code.push_back(' ');
+          ++i;
+        } else if ((st == kString && c == '"') ||
+                   (st == kChar && c == '\'')) {
+          code.back() = c;  // keep the closing quote in the code view
+          st = kNormal;
+        }
+        break;
+      case kLineComment:
+        lit.push_back(' ');
+        code.push_back(' ');
+        break;
+      case kBlockComment:
+        lit.push_back(' ');
+        code.push_back(' ');
+        if (c == '*' && next == '/') {
+          raw.push_back(next);
+          lit.push_back(' ');
+          code.push_back(' ');
+          ++i;
+          st = kNormal;
+        }
+        break;
+    }
+  }
+  flush();
+  return v;
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Finds `name` as a whole identifier in `s` at or after `from`; returns
+/// the match position or npos.
+std::size_t find_ident(const std::string& s, const std::string& name,
+                       std::size_t from = 0) {
+  for (std::size_t p = s.find(name, from); p != std::string::npos;
+       p = s.find(name, p + 1)) {
+    const bool left_ok = p == 0 || !ident_char(s[p - 1]);
+    const std::size_t end = p + name.size();
+    const bool right_ok = end >= s.size() || !ident_char(s[end]);
+    if (left_ok && right_ok) return p;
+  }
+  return std::string::npos;
+}
+
+std::size_t skip_spaces(const std::string& s, std::size_t p) {
+  while (p < s.size() && (s[p] == ' ' || s[p] == '\t')) ++p;
+  return p;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t a = 0, b = s.size();
+  while (a < b && std::isspace(static_cast<unsigned char>(s[a]))) ++a;
+  while (b > a && std::isspace(static_cast<unsigned char>(s[b - 1]))) --b;
+  return s.substr(a, b - a);
+}
+
+/// Extracts the top-level argument list of a call whose opening paren is
+/// at (line, col) in the code view. Arguments are read from the
+/// literal-preserving view so string contents survive. Returns false when
+/// the call does not close within a reasonable window.
+bool extract_call_args(const SourceView& v, std::size_t line, std::size_t col,
+                       std::vector<std::string>* args) {
+  args->clear();
+  std::string cur;
+  int paren = 0, brace = 0, bracket = 0;
+  const std::size_t max_lines = 24;
+  for (std::size_t l = line; l < v.code.size() && l < line + max_lines; ++l) {
+    const std::string& code = v.code[l];
+    const std::string& lit = v.lit[l];
+    for (std::size_t p = (l == line ? col : 0); p < code.size(); ++p) {
+      const char c = code[p];
+      if (c == '(') {
+        ++paren;
+        if (paren == 1) continue;  // the call's own opening paren
+      } else if (c == ')') {
+        --paren;
+        if (paren == 0) {
+          if (!trim(cur).empty() || !args->empty()) {
+            args->push_back(trim(cur));
+          }
+          return true;
+        }
+      } else if (c == '{') {
+        ++brace;
+      } else if (c == '}') {
+        --brace;
+      } else if (c == '[') {
+        ++bracket;
+      } else if (c == ']') {
+        --bracket;
+      } else if (c == ',' && paren == 1 && brace == 0 && bracket == 0) {
+        args->push_back(trim(cur));
+        cur.clear();
+        continue;
+      }
+      if (paren >= 1) cur.push_back(lit[p]);
+    }
+    cur.push_back(' ');  // line break inside the call
+  }
+  return false;
+}
+
+/// If `arg` is a plain string literal ("..."), returns its contents.
+bool string_literal(const std::string& arg, std::string* out) {
+  const std::string t = trim(arg);
+  if (t.size() < 2 || t.front() != '"' || t.back() != '"') return false;
+  *out = t.substr(1, t.size() - 2);
+  return true;
+}
+
+bool bare_identifier(const std::string& arg) {
+  const std::string t = trim(arg);
+  if (t.empty() || !ident_char(t[0]) ||
+      std::isdigit(static_cast<unsigned char>(t[0]))) {
+    return false;
+  }
+  return std::all_of(t.begin(), t.end(), ident_char);
+}
+
+bool contains_ci(const std::string& hay, const std::string& needle) {
+  auto it = std::search(hay.begin(), hay.end(), needle.begin(), needle.end(),
+                        [](char a, char b) {
+                          return std::tolower(static_cast<unsigned char>(a)) ==
+                                 std::tolower(static_cast<unsigned char>(b));
+                        });
+  return it != hay.end();
+}
+
+/// Path classification driving per-rule scoping.
+struct PathClass {
+  bool in_src = false;
+  bool in_tests = false;
+  bool iostream_exempt = false;  ///< src/io, src/viz
+  bool is_lattice_impl = false;  ///< src/lbm/lattice.cpp (blessed memcpy home)
+};
+
+PathClass classify(const std::string& path) {
+  PathClass pc;
+  pc.in_src = path.rfind("src/", 0) == 0;
+  pc.in_tests = path.rfind("tests/", 0) == 0;
+  pc.iostream_exempt = path.rfind("src/io/", 0) == 0 ||
+                       path.rfind("src/viz/", 0) == 0;
+  pc.is_lattice_impl = path == "src/lbm/lattice.cpp";
+  return pc;
+}
+
+/// True when the raw line carries an inline suppression for `rule`.
+bool suppressed(const SourceView& v, std::size_t line, const Rule* rule) {
+  const std::string needle = std::string("gc_lint: allow(") + rule->id + ")";
+  return v.raw[line].find(needle) != std::string::npos;
+}
+
+struct Ctx {
+  const std::string& path;
+  PathClass pc;
+  const SourceView& v;
+  std::vector<Finding>* out;
+
+  void report(const char* rule_id, std::size_t line, std::size_t col,
+              std::string message) {
+    const Rule* r = rule_by_id(rule_id);
+    if (suppressed(v, line, r)) return;
+    out->push_back(Finding{r, path, static_cast<int>(line + 1),
+                           static_cast<int>(col + 1), std::move(message)});
+  }
+};
+
+// --- GCL001: deprecated shim calls ----------------------------------------
+
+void check_deprecated_shims(Ctx& ctx) {
+  for (std::size_t l = 0; l < ctx.v.code.size(); ++l) {
+    const std::string& code = ctx.v.code[l];
+    // traffic_bytes( — exact name; traffic_bytes_per_step never matches
+    // because the identifier continues past "bytes".
+    for (std::size_t p = find_ident(code, "traffic_bytes");
+         p != std::string::npos; p = find_ident(code, "traffic_bytes", p + 1)) {
+      const std::size_t after = skip_spaces(code, p + 13);
+      if (after < code.size() && code[after] == '(') {
+        ctx.report("GCL001", l, p,
+                   "ClusterSimulator::traffic_bytes was removed; call "
+                   "traffic_bytes_per_step");
+      }
+    }
+    // Kernel entry points with a bare ThreadPool argument (the deleted
+    // pool-overload shims): any top-level argument that is a lone
+    // identifier containing "pool".
+    for (const char* fn : {"fused_stream_collide", "collide_bgk_forced"}) {
+      for (std::size_t p = find_ident(code, fn); p != std::string::npos;
+           p = find_ident(code, fn, p + 1)) {
+        const std::size_t open = skip_spaces(code, p + std::strlen(fn));
+        if (open >= code.size() || code[open] != '(') continue;
+        std::vector<std::string> args;
+        if (!extract_call_args(ctx.v, l, open, &args)) continue;
+        // The shims took the pool as a trailing argument; the first
+        // argument is always the lattice, so skip it (it may legitimately
+        // be *named* something pool-ish, e.g. `pooled`).
+        for (std::size_t a = 1; a < args.size(); ++a) {
+          if (bare_identifier(args[a]) && contains_ci(args[a], "pool")) {
+            ctx.report("GCL001", l, p,
+                       std::string(fn) + " no longer takes ThreadPool&; "
+                       "pass StepContext{&" + trim(args[a]) + "}");
+          }
+        }
+      }
+    }
+  }
+}
+
+// --- GCL002: trace name canon ---------------------------------------------
+
+void check_trace_names(Ctx& ctx) {
+  if (ctx.pc.in_tests) return;  // tests exercise the recorder machinery
+                                // with synthetic names by design
+  for (std::size_t l = 0; l < ctx.v.code.size(); ++l) {
+    const std::string& code = ctx.v.code[l];
+
+    // ScopedSpan [var] (rec, "name", rank, "cat")
+    for (std::size_t p = find_ident(code, "ScopedSpan");
+         p != std::string::npos; p = find_ident(code, "ScopedSpan", p + 1)) {
+      std::size_t q = skip_spaces(code, p + 10);
+      // optional variable name (declaration form)
+      if (q < code.size() && ident_char(code[q]) &&
+          !std::isdigit(static_cast<unsigned char>(code[q]))) {
+        while (q < code.size() && ident_char(code[q])) ++q;
+        q = skip_spaces(code, q);
+      }
+      if (q >= code.size() || code[q] != '(') continue;
+      std::vector<std::string> args;
+      if (!extract_call_args(ctx.v, l, q, &args) || args.size() < 2) continue;
+      std::string name;
+      if (!string_literal(args[1], &name)) continue;  // dynamic name
+      if (!obs::is_canonical_span(name)) {
+        ctx.report("GCL002", l, p,
+                   "span '" + name + "' is not in the span canon");
+        continue;
+      }
+      std::string cat;
+      if (args.size() >= 4 && string_literal(args[3], &cat) &&
+          !obs::is_canonical_span(name, cat)) {
+        ctx.report("GCL002", l, p,
+                   "span '" + name + "' emitted under category '" + cat +
+                       "', which does not match the canon");
+      }
+    }
+
+    // record_span("name", "cat", ...)
+    for (std::size_t p = find_ident(code, "record_span");
+         p != std::string::npos; p = find_ident(code, "record_span", p + 1)) {
+      const std::size_t open = skip_spaces(code, p + 11);
+      if (open >= code.size() || code[open] != '(') continue;
+      std::vector<std::string> args;
+      if (!extract_call_args(ctx.v, l, open, &args) || args.empty()) continue;
+      std::string name;
+      if (!string_literal(args[0], &name)) continue;
+      if (!obs::is_canonical_span(name)) {
+        ctx.report("GCL002", l, p,
+                   "span '" + name + "' is not in the span canon");
+      } else {
+        std::string cat;
+        if (args.size() >= 2 && string_literal(args[1], &cat) &&
+            !obs::is_canonical_span(name, cat)) {
+          ctx.report("GCL002", l, p,
+                     "span '" + name + "' emitted under category '" + cat +
+                         "', which does not match the canon");
+        }
+      }
+    }
+
+    // add_counter("name", ...) / set_gauge("name", ...)
+    struct MetricFn {
+      const char* fn;
+      bool (*ok)(std::string_view);
+      const char* kind;
+    };
+    const MetricFn metric_fns[] = {
+        {"add_counter", &obs::is_canonical_counter, "counter"},
+        {"set_gauge", &obs::is_canonical_gauge, "gauge"},
+    };
+    for (const MetricFn& m : metric_fns) {
+      for (std::size_t p = find_ident(code, m.fn); p != std::string::npos;
+           p = find_ident(code, m.fn, p + 1)) {
+        const std::size_t open = skip_spaces(code, p + std::strlen(m.fn));
+        if (open >= code.size() || code[open] != '(') continue;
+        std::vector<std::string> args;
+        if (!extract_call_args(ctx.v, l, open, &args) || args.empty()) {
+          continue;
+        }
+        std::string name;
+        if (!string_literal(args[0], &name)) continue;
+        if (!m.ok(name)) {
+          ctx.report("GCL002", l, p,
+                     std::string(m.kind) + " '" + name +
+                         "' is not in the metric canon");
+        }
+      }
+    }
+  }
+}
+
+// --- GCL003: raw MPI tags -------------------------------------------------
+
+void check_raw_tags(Ctx& ctx) {
+  const char* comm_fns[] = {"send", "isend", "irecv", "recv", "sendrecv"};
+  for (std::size_t l = 0; l < ctx.v.code.size(); ++l) {
+    const std::string& code = ctx.v.code[l];
+    for (const char* fn : comm_fns) {
+      for (std::size_t p = find_ident(code, fn); p != std::string::npos;
+           p = find_ident(code, fn, p + 1)) {
+        // Must be a member call: preceded by '.' or '->'.
+        const bool member =
+            (p >= 1 && code[p - 1] == '.') ||
+            (p >= 2 && code[p - 2] == '-' && code[p - 1] == '>');
+        if (!member) continue;
+        const std::size_t open = skip_spaces(code, p + std::strlen(fn));
+        if (open >= code.size() || code[open] != '(') continue;
+        std::vector<std::string> args;
+        if (!extract_call_args(ctx.v, l, open, &args) || args.size() < 2) {
+          continue;
+        }
+        const std::string tag = trim(args[1]);
+        if (!tag.empty() && std::isdigit(static_cast<unsigned char>(tag[0]))) {
+          ctx.report("GCL003", l, p,
+                     std::string(fn) + " called with raw integer tag " + tag);
+        }
+      }
+    }
+  }
+}
+
+// --- GCL004: include hygiene ----------------------------------------------
+
+void check_includes(Ctx& ctx) {
+  for (std::size_t l = 0; l < ctx.v.code.size(); ++l) {
+    const std::string& lit = ctx.v.lit[l];
+    const std::size_t h = skip_spaces(lit, 0);
+    if (lit.compare(h, 8, "#include") != 0) continue;
+    if (lit.find("#include \"src/") != std::string::npos) {
+      ctx.report("GCL004", l, h,
+                 "include paths are subsystem-relative; drop the src/ "
+                 "prefix");
+    }
+    if (ctx.pc.in_src && !ctx.pc.iostream_exempt &&
+        lit.find("<iostream>") != std::string::npos) {
+      ctx.report("GCL004", l, h,
+                 "<iostream> in src/ is limited to io/ and viz/ (iostream "
+                 "statics bloat every TU; use <cstdio> or util/table)");
+    }
+  }
+}
+
+// --- GCL005: memcpy into lattice storage ----------------------------------
+
+void check_lattice_memcpy(Ctx& ctx) {
+  if (ctx.pc.is_lattice_impl) return;  // the one blessed implementation
+  for (std::size_t l = 0; l < ctx.v.code.size(); ++l) {
+    const std::string& code = ctx.v.code[l];
+    for (std::size_t p = find_ident(code, "memcpy"); p != std::string::npos;
+         p = find_ident(code, "memcpy", p + 1)) {
+      const std::size_t open = skip_spaces(code, p + 6);
+      if (open >= code.size() || code[open] != '(') continue;
+      std::vector<std::string> args;
+      if (!extract_call_args(ctx.v, l, open, &args) || args.empty()) continue;
+      if (args[0].find("plane_ptr") != std::string::npos) {
+        ctx.report("GCL005", l, p,
+                   "memcpy into Lattice plane storage (destination '" +
+                       trim(args[0]) + "')");
+      }
+    }
+  }
+}
+
+// --- GCL006: unbounded condition_variable waits ---------------------------
+
+void check_unbounded_waits(Ctx& ctx) {
+  if (!ctx.pc.in_src) return;
+  for (std::size_t l = 0; l < ctx.v.code.size(); ++l) {
+    const std::string& code = ctx.v.code[l];
+    for (std::size_t p = find_ident(code, "wait"); p != std::string::npos;
+         p = find_ident(code, "wait", p + 1)) {
+      const bool member =
+          (p >= 1 && code[p - 1] == '.') ||
+          (p >= 2 && code[p - 2] == '-' && code[p - 1] == '>');
+      if (!member) continue;
+      // Receiver must look like a condition variable ("cv" in the name).
+      std::size_t r = p - 1;
+      if (code[r] == '>') --r;  // '->'
+      std::size_t e = r;  // one past the receiver identifier's end
+      std::size_t b = e;
+      while (b > 0 && ident_char(code[b - 1])) --b;
+      const std::string recv_name = code.substr(b, e - b);
+      if (!contains_ci(recv_name, "cv") &&
+          !contains_ci(recv_name, "cond")) {
+        continue;
+      }
+      const std::size_t open = skip_spaces(code, p + 4);
+      if (open >= code.size() || code[open] != '(') continue;
+      std::vector<std::string> args;
+      if (!extract_call_args(ctx.v, l, open, &args)) continue;
+      if (args.size() == 1) {
+        ctx.report("GCL006", l, p,
+                   "'" + recv_name + ".wait(lock)' has no predicate — a "
+                   "lost notify or world abort hangs this thread forever");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<Rule>& rules() { return kRules; }
+
+std::vector<Finding> lint_source(const std::string& path,
+                                 const std::string& content) {
+  std::vector<Finding> out;
+  const SourceView v = preprocess(content);
+  Ctx ctx{path, classify(path), v, &out};
+  check_deprecated_shims(ctx);
+  check_trace_names(ctx);
+  check_raw_tags(ctx);
+  check_includes(ctx);
+  check_lattice_memcpy(ctx);
+  check_unbounded_waits(ctx);
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    if (a.line != b.line) return a.line < b.line;
+    return a.col < b.col;
+  });
+  return out;
+}
+
+const std::vector<std::string>& default_dirs() {
+  static const std::vector<std::string> dirs = {"src", "bench", "examples",
+                                                "tests", "tools"};
+  return dirs;
+}
+
+std::vector<Finding> lint_tree(const std::string& root,
+                               const std::vector<std::string>& dirs,
+                               std::size_t* files_scanned) {
+  namespace fs = std::filesystem;
+  std::vector<Finding> all;
+  std::size_t n = 0;
+  std::vector<std::string> files;
+  for (const std::string& dir : dirs) {
+    const fs::path base = fs::path(root) / dir;
+    if (!fs::exists(base)) continue;
+    for (const auto& ent : fs::recursive_directory_iterator(base)) {
+      if (!ent.is_regular_file()) continue;
+      const std::string ext = ent.path().extension().string();
+      if (ext != ".cpp" && ext != ".hpp" && ext != ".h") continue;
+      files.push_back(ent.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const std::string& f : files) {
+    std::ifstream in(f);
+    if (!in.good()) continue;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string rel =
+        fs::relative(fs::path(f), fs::path(root)).generic_string();
+    std::vector<Finding> fnd = lint_source(rel, ss.str());
+    all.insert(all.end(), fnd.begin(), fnd.end());
+    ++n;
+  }
+  if (files_scanned) *files_scanned = n;
+  return all;
+}
+
+std::string format_gcc(const Finding& f) {
+  std::ostringstream os;
+  os << f.file << ":" << f.line << ":" << f.col << ": "
+     << (f.rule->severity == Severity::kError ? "error" : "warning")
+     << ": [" << f.rule->id << " " << f.rule->name << "] " << f.message
+     << " (fix: " << f.rule->fixit << ")";
+  return os.str();
+}
+
+}  // namespace gc::lint

@@ -1,0 +1,79 @@
+// gc_lint: the repo's invariant linter. A token/regex-level checker (no
+// libclang dependency) that enforces the conventions the runtime layers
+// assume but cannot themselves verify statically:
+//
+//   GCL001 deprecated-shim-call    no resurrecting deleted compat shims
+//                                  (ThreadPool& kernel overloads,
+//                                  ClusterSimulator::traffic_bytes)
+//   GCL002 non-canonical-trace-name span/counter/gauge string literals at
+//                                  instrumentation sites must come from
+//                                  the canon in src/obs/span_canon.cpp
+//   GCL003 raw-mpi-tag             send/isend/irecv/recv/sendrecv tag
+//                                  arguments must come from netsim::Tag,
+//                                  never integer literals
+//   GCL004 include-hygiene         no "src/..."-relative includes; no
+//                                  <iostream> in src/ outside io/ and viz/
+//   GCL005 lattice-memcpy          no naked memcpy into Lattice plane
+//                                  storage (use copy_distributions_from)
+//   GCL006 unbounded-cv-wait       no condition_variable wait without a
+//                                  predicate in src/ — every blocking wait
+//                                  must be abort-aware (the "recv without
+//                                  timeout" class of hang)
+//
+// The engine is a small library so tests can feed synthetic sources
+// through it; the gc_lint binary (main.cpp) adds file walking and the
+// GCC-style report. A finding on a line carrying the comment
+// `gc_lint: allow(GCLnnn)` is suppressed — used to document intentional
+// exceptions inline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gc::lint {
+
+enum class Severity { kWarning, kError };
+
+/// Static description of one rule.
+struct Rule {
+  const char* id;       ///< "GCL001"
+  const char* name;     ///< short kebab-case name
+  Severity severity;
+  const char* summary;  ///< one-line description of the invariant
+  const char* fixit;    ///< editor hint appended to each finding
+};
+
+/// One violation, anchored to a file position (1-based line/col).
+struct Finding {
+  const Rule* rule = nullptr;
+  std::string file;
+  int line = 0;
+  int col = 0;
+  std::string message;  ///< specific detail (offending name / argument)
+};
+
+/// The rule catalog, in id order.
+const std::vector<Rule>& rules();
+
+/// Lints one file. `path` must be repo-relative with forward slashes —
+/// per-rule scoping (src/ vs tests/, the io/viz iostream exemption)
+/// derives from it. `content` is the file's full text.
+std::vector<Finding> lint_source(const std::string& path,
+                                 const std::string& content);
+
+/// Walks `root` and lints every .cpp/.hpp under the given repo-relative
+/// directories (default: src bench examples tests tools). Returns
+/// findings sorted by file/line; `files_scanned` (optional) receives the
+/// number of files visited.
+std::vector<Finding> lint_tree(const std::string& root,
+                               const std::vector<std::string>& dirs,
+                               std::size_t* files_scanned = nullptr);
+
+/// Default directory set for lint_tree.
+const std::vector<std::string>& default_dirs();
+
+/// "file:line:col: error: [GCL003] message (fix: hint)" — GCC-style so
+/// editors can jump to the finding.
+std::string format_gcc(const Finding& f);
+
+}  // namespace gc::lint
