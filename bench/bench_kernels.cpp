@@ -1,8 +1,12 @@
 // Kernel microbenchmarks (google-benchmark): host LBM collision,
 // streaming, fused step, MRT, thermal update, GPU-simulated step, tracer
-// hop, and the pack/unpack paths of the border exchange. `--trace out.json`
-// additionally runs a short instrumented Solver + ParallelLbm session and
-// writes the Chrome-trace JSON plus its CSV sibling.
+// hop, and the pack/unpack paths of the border exchange — the memory-bound
+// hot paths in both storage modes (double-buffered and in-place AA).
+// `--trace out.json` additionally runs a short instrumented Solver +
+// ParallelLbm session and writes the Chrome-trace JSON plus its CSV
+// sibling; `--json out.json` writes machine-readable measured records
+// (ms/step, MLUPS, analytic bytes/step, storage mode, dims) for both
+// storage modes — the BENCH_kernels.json snapshot is produced this way.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -12,7 +16,9 @@
 
 #include "core/border_exchange.hpp"
 #include "core/parallel_lbm.hpp"
+#include "core/scaling_study.hpp"
 #include "gpulbm/gpu_solver.hpp"
+#include "io/bench_json.hpp"
 #include "io/csv.hpp"
 #include "lbm/collision.hpp"
 #include "lbm/macroscopic.hpp"
@@ -27,8 +33,9 @@ namespace {
 
 using namespace gc;
 
-lbm::Lattice make_lattice(int n) {
-  lbm::Lattice lat(Int3{n, n, n});
+lbm::Lattice make_lattice(
+    int n, lbm::StorageMode mode = lbm::StorageMode::DoubleBuffer) {
+  lbm::Lattice lat(Int3{n, n, n}, mode);
   lat.init_equilibrium(Real(1), Vec3{0.05f, 0.02f, 0.01f});
   return lat;
 }
@@ -66,6 +73,30 @@ BENCHMARK(BM_FusedStreamCollide)->Arg(32)->Arg(64)->Arg(80);
 // Span-path streaming on a mixed domain: inlet/outflow faces plus solid
 // obstacles, so the precomputed classification carries bulk spans, a slow
 // boundary minority, and solid runs (the realistic urban-lattice shape).
+// Split path on the in-place AA lattice: the advancing collision performs
+// the slot swap, streaming is a parity flip + boundary fixups — half the
+// distribution traffic and half the footprint of the DB split path.
+void BM_CollideBgkAa(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  lbm::Lattice lat = make_lattice(n, lbm::StorageMode::AA);
+  for (auto _ : state) {
+    lbm::collide_bgk(lat, lbm::BgkParams{Real(0.8), Vec3{}});
+    lbm::stream(lat);  // keep the collide/stream alternation valid
+  }
+  state.SetItemsProcessed(state.iterations() * lat.num_cells());
+}
+BENCHMARK(BM_CollideBgkAa)->Arg(32)->Arg(64)->Arg(80);
+
+void BM_FusedStreamCollideAa(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  lbm::Lattice lat = make_lattice(n, lbm::StorageMode::AA);
+  for (auto _ : state) {
+    lbm::fused_stream_collide(lat, lbm::BgkParams{Real(0.8), Vec3{}});
+  }
+  state.SetItemsProcessed(state.iterations() * lat.num_cells());
+}
+BENCHMARK(BM_FusedStreamCollideAa)->Arg(32)->Arg(64)->Arg(80);
+
 void BM_StreamSpans(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   lbm::Lattice lat = make_lattice(n);
@@ -231,18 +262,60 @@ void run_traced_session(const std::string& trace_path) {
       csv_path.c_str());
 }
 
+// Measured-mode comparison of the two storage backends on the real host
+// kernels, written as machine-readable records. The 100^3 AA record is
+// the footprint headline: ~2x the cells of the 80^3 sub-domain in less
+// distribution memory than the 80^3 double-buffered lattice.
+void run_json_report(const std::string& json_path) {
+  ThreadPool& pool = ThreadPool::global();
+  std::vector<io::BenchRecord> records;
+  auto measure = [&](const char* name, Int3 dim, lbm::StorageMode mode,
+                     bool fused, ThreadPool* p) {
+    core::MeasureOptions opt;
+    opt.fused = fused;
+    opt.pool = p;
+    opt.storage = mode;
+    const double ms = core::measure_host_step_ms(dim, 3, opt);
+    lbm::Lattice probe(dim, mode);
+    io::BenchRecord r;
+    r.name = name;
+    r.storage = mode;
+    r.dim = dim;
+    r.ms_per_step = ms;
+    r.mlups = static_cast<double>(probe.num_cells()) / ms / 1000.0;
+    r.bytes_per_step = fused ? io::fused_step_traffic_bytes(probe)
+                             : io::split_step_traffic_bytes(probe);
+    r.storage_bytes = static_cast<double>(probe.storage_bytes());
+    records.push_back(r);
+  };
+  const Int3 sub{80, 80, 80};  // the paper's per-node sub-domain
+  measure("split_serial", sub, lbm::StorageMode::DoubleBuffer, false, nullptr);
+  measure("split_serial", sub, lbm::StorageMode::AA, false, nullptr);
+  measure("fused_pooled", sub, lbm::StorageMode::DoubleBuffer, true, &pool);
+  measure("fused_pooled", sub, lbm::StorageMode::AA, true, &pool);
+  measure("fused_pooled_2x_cells", Int3{100, 100, 100}, lbm::StorageMode::AA,
+          true, &pool);
+  io::write_bench_json(json_path, records);
+  std::printf("wrote %s (%zu records)\n", json_path.c_str(), records.size());
+}
+
 }  // namespace
 
-// benchmark::Initialize rejects flags it does not know, so --trace is
-// extracted from argv before handing over.
+// benchmark::Initialize rejects flags it does not know, so --trace and
+// --json are extracted from argv before handing over.
 int main(int argc, char** argv) {
   std::string trace_path;
+  std::string json_path;
   std::vector<char*> kept;
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
     } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       trace_path = argv[i] + 8;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
     } else {
       kept.push_back(argv[i]);
     }
@@ -253,5 +326,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   if (!trace_path.empty()) run_traced_session(trace_path);
+  if (!json_path.empty()) run_json_report(json_path);
   return 0;
 }

@@ -4,7 +4,7 @@
 # gate — run it from the repo root:
 #
 #   scripts/check.sh              # full matrix: plain, asan, ubsan, tsan,
-#                                 # gc_lint, clang-tidy (if available)
+#                                 # equiv, gc_lint, clang-tidy (if available)
 #   scripts/check.sh plain lint   # just those stages
 #   JOBS=8 scripts/check.sh       # override build parallelism
 #
@@ -17,7 +17,7 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
 STAGES=("$@")
 if [ ${#STAGES[@]} -eq 0 ]; then
-  STAGES=(plain asan ubsan tsan lint tidy)
+  STAGES=(plain asan ubsan tsan equiv lint tidy)
 fi
 
 declare -A RESULT
@@ -65,6 +65,22 @@ for stage in "${STAGES[@]}"; do
         build_and_test ubsan -DGC_SANITIZE=undefined -- -L ubsan ;;
     tsan)
       build_and_test tsan -DGC_SANITIZE=thread -- -L tsan ;;
+    equiv)
+      # The randomized overlap/serial equivalence harness, which sweeps
+      # BOTH lattice storage modes (double-buffered and in-place AA) per
+      # seeded config, plus the dedicated AA storage suite. Bit-exactness
+      # across storage modes is a merge gate.
+      note "equiv: equivalence harness across storage modes"
+      bdir=build-check/equiv
+      if cmake -B "$bdir" -S . > "$bdir.cfg.log" 2>&1 \
+          && cmake --build "$bdir" -j "$JOBS" --target gc_tests \
+              > "$bdir.build.log" 2>&1 \
+          && "$bdir/tests/gc_tests" \
+              --gtest_filter='OverlapExec.*:*/OverlapExec.*:StorageAA.*'; then
+        RESULT[equiv]="ok"
+      else
+        RESULT[equiv]="FAIL"; FAILED=1
+      fi ;;
     lint)
       note "lint: gc_lint self-scan"
       bdir=build-check/lint
@@ -95,7 +111,7 @@ for stage in "${STAGES[@]}"; do
       fi ;;
     *)
       echo "check.sh: unknown stage '$stage'" >&2
-      echo "stages: plain asan ubsan tsan lint tidy" >&2
+      echo "stages: plain asan ubsan tsan equiv lint tidy" >&2
       exit 2 ;;
   esac
 done

@@ -50,7 +50,7 @@ ParallelLbm::ParallelLbm(const lbm::Lattice& global, ParallelConfig cfg)
   for (int node = 0; node < n; ++node) {
     const LocalDomain ld = LocalDomain::make(decomp_, node);
     domains_.push_back(ld);
-    auto lat = std::make_unique<lbm::Lattice>(ld.local_dim());
+    auto lat = std::make_unique<lbm::Lattice>(ld.local_dim(), cfg.storage);
 
     // Face boundary conditions: global faces keep the global BC; faces
     // toward neighbors are covered by the ghost layer and never consulted
@@ -511,6 +511,10 @@ obs::RunStats ParallelLbm::run(int steps) {
         rec->set_gauge("mpi.overlap_hidden_ms", r,
                        hidden_ms_[static_cast<std::size_t>(r)]);
       }
+      rec->set_gauge(
+          "lattice.bytes_allocated", r,
+          static_cast<double>(
+              locals_[static_cast<std::size_t>(r)]->storage_bytes()));
     }
   }
   return rs;

@@ -53,8 +53,11 @@ i64 load_cluster_checkpoint(const std::string& dir, ParallelLbm& sim) {
                "checkpoint has " << m.rank_files.size() << " ranks, expected "
                                  << sim.decomposition().num_nodes());
   for (int node = 0; node < sim.decomposition().num_nodes(); ++node) {
+    // Materialize each rank file in the simulation's storage mode so the
+    // restore is a same-mode copy.
     const lbm::Lattice saved = io::load_checkpoint(
-        dir + "/" + m.rank_files[static_cast<std::size_t>(node)]);
+        dir + "/" + m.rank_files[static_cast<std::size_t>(node)],
+        sim.local(node).storage_mode());
     sim.restore_local(node, saved);
   }
   sim.set_current_step(m.step);

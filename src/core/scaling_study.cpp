@@ -71,6 +71,7 @@ double measure_host_step_ms(Int3 dim, int steps, const MeasureOptions& opt) {
   cfg.tau = Real(0.8);
   cfg.fused = opt.fused;
   cfg.pool = opt.pool;
+  cfg.storage = opt.storage;
   lbm::Solver solver(dim, cfg);
   solver.lattice().init_equilibrium(Real(1), Vec3{Real(0.05), 0, 0});
   solver.step();  // warm-up

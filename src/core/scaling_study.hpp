@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/cluster_sim.hpp"
+#include "lbm/lattice.hpp"
 #include "util/thread_pool.hpp"
 
 namespace gc::core {
@@ -43,6 +44,7 @@ std::vector<ThroughputRow> throughput_rows(
 struct MeasureOptions {
   bool fused = false;          ///< fused stream+collide instead of split
   ThreadPool* pool = nullptr;  ///< run kernels on this pool (not owned)
+  lbm::StorageMode storage = lbm::StorageMode::DoubleBuffer;
 };
 
 /// Measured mode: actually steps a periodic 3D lattice on this host and

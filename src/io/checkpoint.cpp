@@ -133,8 +133,21 @@ void save_checkpoint(const std::string& path, const lbm::Lattice& lat) {
 
   const i64 n = lat.num_cells();
   body.bytes(lat.flags().data(), static_cast<std::size_t>(n));
-  for (int i = 0; i < lbm::Q; ++i) {
-    body.bytes(lat.plane_ptr(i), static_cast<std::size_t>(n) * sizeof(Real));
+  if (lat.plane_layout_natural()) {
+    for (int i = 0; i < lbm::Q; ++i) {
+      body.bytes(lat.plane_ptr(i), static_cast<std::size_t>(n) * sizeof(Real));
+    }
+  } else {
+    // AA lattice in a relocated phase (e.g. a snapshot at odd parity):
+    // gather each plane through the accessors so the file stays in the
+    // canonical natural order — the on-disk format is storage-agnostic.
+    std::vector<Real> plane(static_cast<std::size_t>(n));
+    for (int i = 0; i < lbm::Q; ++i) {
+      for (i64 c = 0; c < n; ++c) {
+        plane[static_cast<std::size_t>(c)] = lat.f(i, c);
+      }
+      body.bytes(plane.data(), static_cast<std::size_t>(n) * sizeof(Real));
+    }
   }
 
   body.pod(static_cast<u32>(lat.curved_links().size()));
@@ -147,6 +160,10 @@ void save_checkpoint(const std::string& path, const lbm::Lattice& lat) {
 }
 
 lbm::Lattice load_checkpoint(const std::string& path) {
+  return load_checkpoint(path, lbm::StorageMode::DoubleBuffer);
+}
+
+lbm::Lattice load_checkpoint(const std::string& path, lbm::StorageMode mode) {
   const std::string raw = read_envelope(path, kMagic, kVersion, "checkpoint");
   BodyReader body(raw);
 
@@ -159,7 +176,9 @@ lbm::Lattice load_checkpoint(const std::string& path) {
   GC_CHECK_MSG(q == static_cast<u32>(lbm::Q),
                "checkpoint has " << q << " velocities, expected " << lbm::Q);
 
-  lbm::Lattice lat(d);
+  // A fresh lattice is in the natural layout in either mode (AA phase 0),
+  // so the planes can be read straight into plane_ptr.
+  lbm::Lattice lat(d, mode);
   for (int face = 0; face < 6; ++face) {
     u8 bc;
     body.pod(bc);

@@ -25,8 +25,12 @@ void save_checkpoint(const std::string& path, const lbm::Lattice& lat);
 
 /// Reads a checkpoint; returns a lattice equal to the saved one
 /// (distributions bit-identical). Throws on malformed, truncated or
-/// corrupted files.
+/// corrupted files. The on-disk format is storage-agnostic (planes are
+/// always in the canonical natural order); the overload with a
+/// StorageMode materializes the lattice in that backend so it can be
+/// restored straight into an AA-mode simulation.
 lbm::Lattice load_checkpoint(const std::string& path);
+lbm::Lattice load_checkpoint(const std::string& path, lbm::StorageMode mode);
 
 /// The commit record of a distributed (per-rank) checkpoint: written
 /// last, after every rank file landed, so its presence implies a complete

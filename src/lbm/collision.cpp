@@ -73,15 +73,86 @@ void collide_z_range(Lattice& lat, const CellClass& cc, const BgkParams& p,
   }
 }
 
+// ---- AA-pattern advancing collision ---------------------------------
+// In AA mode the collision pass is what moves data between the phase
+// machine's slot mappings: it reads each cell's 19 logical values
+// through the current (post-stream) mapping and writes the results into
+// the slots the post-collide mapping assigns, so the following parity
+// flip streams them for free. Two consequences differ from the
+// double-buffered pass:
+//
+//   * EVERY cell must be advanced, not just fluid ones — inlet, outflow
+//     and solid cells copy their values through unchanged (solid border
+//     cells hold the init equilibrium until first streamed, and the
+//     exchange pack sends border values of any flag, so dropping them
+//     would diverge from the double-buffered trajectory).
+//   * The bulk span loop must NOT use GC_RESTRICT: at odd parity the
+//     read pointer for direction i and the write pointer for OPP[i] are
+//     the same pointer by construction.
+//
+// In-place safety: each cell's read-slot set equals its write-slot set
+// (the slot group is owned by the cell under every phase), so cells can
+// be advanced in any order and in parallel.
+
+void aa_collide_cells(Lattice& lat, const CellClass& cc, const BgkParams& p,
+                      int z0, int z1) {
+  const Real* rd[Q];
+  Real* wr[Q];
+  for (int i = 0; i < Q; ++i) {
+    rd[i] = lat.aa_bulk_read_ptr(i);
+    wr[i] = lat.aa_bulk_write_ptr(i);
+  }
+  const auto& flags = lat.flags();
+  Real f[Q];
+  for (i64 s = cc.span_z[z0]; s < cc.span_z[z1]; ++s) {
+    const CellSpan sp = cc.spans[static_cast<std::size_t>(s)];
+    for (i32 k = 0; k < sp.len; ++k) {
+      const i64 c = sp.begin + k;
+      for (int i = 0; i < Q; ++i) f[i] = rd[i][c];
+      collide_bgk_cell(f, p.tau, p.force);
+      for (int i = 0; i < Q; ++i) wr[i][c] = f[i];
+    }
+  }
+  for (i64 k = cc.slow_z[z0]; k < cc.slow_z[z1]; ++k) {
+    const i64 c = cc.slow[static_cast<std::size_t>(k)];
+    lat.gather_cell(c, f);
+    if (static_cast<CellType>(flags[c]) == CellType::Fluid) {
+      collide_bgk_cell(f, p.tau, p.force);
+    }
+    lat.scatter_cell_collided(c, f);
+  }
+  for (i64 k = cc.solid_z[z0]; k < cc.solid_z[z1]; ++k) {
+    const i64 c = cc.solid[static_cast<std::size_t>(k)];
+    lat.gather_cell(c, f);
+    lat.scatter_cell_collided(c, f);
+  }
+}
+
 }  // namespace
 
 void collide_bgk(Lattice& lat, const BgkParams& p) {
+  if (lat.storage_mode() == StorageMode::AA) {
+    aa_collide_cells(lat, lat.cell_class(), p, 0, lat.dim().z);
+    lat.aa_mark_collided();
+    return;
+  }
   collide_z_range(lat, lat.cell_class(), p, 0, lat.dim().z);
 }
 
 void collide_bgk(Lattice& lat, const BgkParams& p, ThreadPool& pool) {
   const CellClass& cc = lat.cell_class();  // build before dispatch
   const Int3 d = lat.dim();
+  if (lat.storage_mode() == StorageMode::AA) {
+    pool.parallel_for_chunks(
+        0, d.z,
+        [&lat, &cc, &p](i64 z0, i64 z1) {
+          aa_collide_cells(lat, cc, p, static_cast<int>(z0),
+                           static_cast<int>(z1));
+        },
+        ThreadPool::min_chunk_indices(i64(d.x) * d.y));
+    lat.aa_mark_collided();
+    return;
+  }
   pool.parallel_for_chunks(
       0, d.z,
       [&lat, &cc, &p](i64 z0, i64 z1) {
@@ -91,7 +162,68 @@ void collide_bgk(Lattice& lat, const BgkParams& p, ThreadPool& pool) {
       ThreadPool::min_chunk_indices(i64(d.x) * d.y));
 }
 
+namespace {
+
+/// AA advancing collide clipped to [lo, hi) (the parallel own-region
+/// pass). Unlike the double-buffered region pass, non-fluid cells inside
+/// the box are advanced too (copy-through); ghost cells outside the box
+/// stay un-advanced, which is safe because nothing reads their logical
+/// values until unpack rewrites them under the post-collide mapping.
+void aa_collide_region(Lattice& lat, const BgkParams& p, Int3 lo, Int3 hi) {
+  const CellClass& cc = lat.cell_class();
+  const Int3 d = lat.dim();
+  const Real* rd[Q];
+  Real* wr[Q];
+  for (int i = 0; i < Q; ++i) {
+    rd[i] = lat.aa_bulk_read_ptr(i);
+    wr[i] = lat.aa_bulk_write_ptr(i);
+  }
+  const auto& flags = lat.flags();
+  Real f[Q];
+  auto in_box = [&](Int3 pos) {
+    return pos.x >= lo.x && pos.x < hi.x && pos.y >= lo.y && pos.y < hi.y;
+  };
+  for (int z = lo.z; z < hi.z; ++z) {
+    for (i64 s = cc.span_z[z]; s < cc.span_z[z + 1]; ++s) {
+      const CellSpan sp = cc.spans[static_cast<std::size_t>(s)];
+      const int y = static_cast<int>((sp.begin / d.x) % d.y);
+      if (y < lo.y || y >= hi.y) continue;
+      const int x0 = static_cast<int>(sp.begin % d.x);
+      const int xb = std::max(x0, lo.x);
+      const int xe = std::min(x0 + sp.len, hi.x);
+      if (xb >= xe) continue;
+      for (i64 c = sp.begin + (xb - x0); c < sp.begin + (xe - x0); ++c) {
+        for (int i = 0; i < Q; ++i) f[i] = rd[i][c];
+        collide_bgk_cell(f, p.tau, p.force);
+        for (int i = 0; i < Q; ++i) wr[i][c] = f[i];
+      }
+    }
+    for (i64 k = cc.slow_z[z]; k < cc.slow_z[z + 1]; ++k) {
+      const i64 c = cc.slow[static_cast<std::size_t>(k)];
+      if (!in_box(lat.coords(c))) continue;
+      lat.gather_cell(c, f);
+      if (static_cast<CellType>(flags[c]) == CellType::Fluid) {
+        collide_bgk_cell(f, p.tau, p.force);
+      }
+      lat.scatter_cell_collided(c, f);
+    }
+    for (i64 k = cc.solid_z[z]; k < cc.solid_z[z + 1]; ++k) {
+      const i64 c = cc.solid[static_cast<std::size_t>(k)];
+      if (!in_box(lat.coords(c))) continue;
+      lat.gather_cell(c, f);
+      lat.scatter_cell_collided(c, f);
+    }
+  }
+  lat.aa_mark_collided();
+}
+
+}  // namespace
+
 void collide_bgk_region(Lattice& lat, const BgkParams& p, Int3 lo, Int3 hi) {
+  if (lat.storage_mode() == StorageMode::AA) {
+    aa_collide_region(lat, p, lo, hi);
+    return;
+  }
   const CellClass& cc = lat.cell_class();
   const Int3 d = lat.dim();
   Real* planes[Q];
@@ -148,6 +280,42 @@ void collide_forced_z_range(Lattice& lat, const CellClass& cc, Real tau,
   }
 }
 
+/// AA advancing collide with a per-cell force field (see aa_collide_cells
+/// for the all-cells / no-restrict contract).
+void aa_collide_forced_cells(Lattice& lat, const CellClass& cc, Real tau,
+                             const Vec3* force, int z0, int z1) {
+  const Real* rd[Q];
+  Real* wr[Q];
+  for (int i = 0; i < Q; ++i) {
+    rd[i] = lat.aa_bulk_read_ptr(i);
+    wr[i] = lat.aa_bulk_write_ptr(i);
+  }
+  const auto& flags = lat.flags();
+  Real f[Q];
+  for (i64 s = cc.span_z[z0]; s < cc.span_z[z1]; ++s) {
+    const CellSpan sp = cc.spans[static_cast<std::size_t>(s)];
+    for (i32 k = 0; k < sp.len; ++k) {
+      const i64 c = sp.begin + k;
+      for (int i = 0; i < Q; ++i) f[i] = rd[i][c];
+      collide_bgk_cell(f, tau, force[c]);
+      for (int i = 0; i < Q; ++i) wr[i][c] = f[i];
+    }
+  }
+  for (i64 k = cc.slow_z[z0]; k < cc.slow_z[z1]; ++k) {
+    const i64 c = cc.slow[static_cast<std::size_t>(k)];
+    lat.gather_cell(c, f);
+    if (static_cast<CellType>(flags[c]) == CellType::Fluid) {
+      collide_bgk_cell(f, tau, force[c]);
+    }
+    lat.scatter_cell_collided(c, f);
+  }
+  for (i64 k = cc.solid_z[z0]; k < cc.solid_z[z1]; ++k) {
+    const i64 c = cc.solid[static_cast<std::size_t>(k)];
+    lat.gather_cell(c, f);
+    lat.scatter_cell_collided(c, f);
+  }
+}
+
 }  // namespace
 
 void collide_bgk_forced(Lattice& lat, Real tau, const Vec3* force,
@@ -155,17 +323,26 @@ void collide_bgk_forced(Lattice& lat, Real tau, const Vec3* force,
   obs::ScopedSpan span(ctx.trace, "collide", ctx.rank, "lbm");
   const CellClass& cc = lat.cell_class();  // build before dispatch
   const Int3 d = lat.dim();
+  const bool aa = lat.storage_mode() == StorageMode::AA;
   if (ctx.pool) {
     ctx.pool->parallel_for_chunks(
         0, d.z,
-        [&lat, &cc, tau, force](i64 z0, i64 z1) {
-          collide_forced_z_range(lat, cc, tau, force, static_cast<int>(z0),
-                                 static_cast<int>(z1));
+        [&lat, &cc, tau, force, aa](i64 z0, i64 z1) {
+          if (aa) {
+            aa_collide_forced_cells(lat, cc, tau, force, static_cast<int>(z0),
+                                    static_cast<int>(z1));
+          } else {
+            collide_forced_z_range(lat, cc, tau, force, static_cast<int>(z0),
+                                   static_cast<int>(z1));
+          }
         },
         ThreadPool::min_chunk_indices(i64(d.x) * d.y));
+  } else if (aa) {
+    aa_collide_forced_cells(lat, cc, tau, force, 0, d.z);
   } else {
     collide_forced_z_range(lat, cc, tau, force, 0, d.z);
   }
+  if (aa) lat.aa_mark_collided();
 }
 
 namespace {
@@ -233,12 +410,101 @@ void check_fused_supported(const Lattice& lat) {
                "fused_stream_collide does not support curved links");
 }
 
+/// AA fused bulk pass: in-place advancing collide of the classified
+/// bulk spans at the current (post-flip) parity. The pulled values are
+/// already in place — the flip put them there — so this reads and
+/// rewrites each cell's own slot group only. No GC_RESTRICT (see
+/// aa_collide_cells).
+void aa_fused_bulk(Lattice& lat, const CellClass& cc, const BgkParams& p,
+                   int z0, int z1) {
+  const Real* rd[Q];
+  Real* wr[Q];
+  for (int i = 0; i < Q; ++i) {
+    rd[i] = lat.aa_bulk_read_ptr(i);
+    wr[i] = lat.aa_bulk_write_ptr(i);
+  }
+  Real f[Q];
+  for (i64 s = cc.span_z[z0]; s < cc.span_z[z1]; ++s) {
+    const CellSpan sp = cc.spans[static_cast<std::size_t>(s)];
+    for (i32 k = 0; k < sp.len; ++k) {
+      const i64 c = sp.begin + k;
+      for (int i = 0; i < Q; ++i) f[i] = rd[i][c];
+      collide_bgk_cell(f, p.tau, p.force);
+      for (int i = 0; i < Q; ++i) wr[i][c] = f[i];
+    }
+  }
+}
+
+/// AA fused step. The slow cells' fused values (pull + per-flag
+/// handling, exactly the double-buffered slow path) are computed BEFORE
+/// the parity flip into scratch; the flip then streams the bulk for
+/// free; the bulk is collided in place and the slow/solid results are
+/// scattered through the post-collide mapping. The lattice ends the
+/// step collided — the next fused call flips first.
+void aa_fused(Lattice& lat, const BgkParams& p, const StepContext& ctx) {
+  if (!lat.aa_collided()) lat.aa_adopt_collided_layout();
+  const CellClass& cc = lat.cell_class();  // build before dispatch
+  const Int3 d = lat.dim();
+  const i64 nslow = static_cast<i64>(cc.slow.size());
+  auto& fix = lat.aa_fix_scratch();
+  fix.resize(static_cast<std::size_t>(nslow * Q));
+
+  auto slow_values = [&lat, &cc, &p, &fix](i64 k0, i64 k1) {
+    const auto& flags = lat.flags();
+    Real f[Q];
+    for (i64 k = k0; k < k1; ++k) {
+      const i64 cell = cc.slow[static_cast<std::size_t>(k)];
+      const Int3 pos = lat.coords(cell);
+      for (int i = 0; i < Q; ++i) f[i] = detail::pull_value(lat, pos, i);
+      const CellType t = static_cast<CellType>(flags[cell]);
+      if (t == CellType::Fluid) {
+        collide_bgk_cell(f, p.tau, p.force);
+      } else if (t == CellType::Inlet) {
+        equilibrium_all(lat.inlet_density(), lat.inlet_velocity_at(pos), f);
+      }
+      std::copy(f, f + Q, fix.begin() + k * Q);
+    }
+  };
+  if (ctx.pool) {
+    ctx.pool->parallel_for_chunks(0, nslow, slow_values,
+                                  ThreadPool::min_chunk_indices(256));
+  } else {
+    slow_values(0, nslow);
+  }
+
+  lat.swap_buffers();  // flip parity: the zero-copy bulk stream
+
+  if (ctx.pool) {
+    ctx.pool->parallel_for_chunks(
+        0, d.z,
+        [&lat, &cc, &p](i64 z0, i64 z1) {
+          aa_fused_bulk(lat, cc, p, static_cast<int>(z0),
+                        static_cast<int>(z1));
+        },
+        ThreadPool::min_chunk_indices(i64(d.x) * d.y));
+  } else {
+    aa_fused_bulk(lat, cc, p, 0, d.z);
+  }
+
+  for (i64 k = 0; k < nslow; ++k) {
+    lat.scatter_cell_collided(cc.slow[static_cast<std::size_t>(k)],
+                              fix.data() + k * Q);
+  }
+  const Real zeros[Q] = {};
+  for (const i64 c : cc.solid) lat.scatter_cell_collided(c, zeros);
+  lat.aa_mark_collided();
+}
+
 }  // namespace
 
 void fused_stream_collide(Lattice& lat, const BgkParams& p,
                           const StepContext& ctx) {
   check_fused_supported(lat);
   obs::ScopedSpan span(ctx.trace, "fused", ctx.rank, "lbm");
+  if (lat.storage_mode() == StorageMode::AA) {
+    aa_fused(lat, p, ctx);
+    return;
+  }
   const CellClass& cc = lat.cell_class();  // build before dispatch
   const Int3 d = lat.dim();
   if (ctx.pool) {

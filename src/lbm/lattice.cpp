@@ -5,10 +5,13 @@
 
 namespace gc::lbm {
 
-Lattice::Lattice(Int3 dim) : dim_(dim), n_(dim.volume()) {
+Lattice::Lattice(Int3 dim, StorageMode mode)
+    : dim_(dim), n_(dim.volume()), mode_(mode) {
   GC_CHECK_MSG(dim.x > 0 && dim.y > 0 && dim.z > 0,
                "lattice dimensions must be positive, got " << dim);
-  for (auto& b : buf_) b.assign(static_cast<std::size_t>(Q * n_), Real(0));
+  buf_[0].assign(static_cast<std::size_t>(Q * n_), Real(0));
+  if (mode_ == StorageMode::DoubleBuffer)
+    buf_[1].assign(static_cast<std::size_t>(Q * n_), Real(0));
   flags_.assign(static_cast<std::size_t>(n_), static_cast<u8>(CellType::Fluid));
   face_bc_.fill(FaceBc::Periodic);
 }
@@ -21,7 +24,109 @@ Int3 Lattice::coords(i64 cell) const {
   return {x, y, z};
 }
 
+i64 Lattice::dir_offset(int i) const {
+  return C[i].x + i64(dim_.x) * (C[i].y + i64(dim_.y) * C[i].z);
+}
+
+i64 Lattice::wrapped_neighbor(i64 cell, int i, int sign) const {
+  // Per-axis periodic index wrap; C components are in {-1, 0, 1} so one
+  // correction step per axis suffices.
+  Int3 p = coords(cell);
+  p.x += sign * C[i].x;
+  p.y += sign * C[i].y;
+  p.z += sign * C[i].z;
+  if (p.x < 0) p.x += dim_.x; else if (p.x >= dim_.x) p.x -= dim_.x;
+  if (p.y < 0) p.y += dim_.y; else if (p.y >= dim_.y) p.y -= dim_.y;
+  if (p.z < 0) p.z += dim_.z; else if (p.z >= dim_.z) p.z -= dim_.z;
+  return idx(p);
+}
+
+i64 Lattice::mapped_slot(int i, i64 cell) const {
+  switch (phase_) {
+    case 1:  // even, post-collide: (OPP[i], x)
+      return plane(OPP[i]) + cell;
+    case 2:  // odd, post-stream: (OPP[i], wrap(x - c_i))
+      return plane(OPP[i]) + wrapped_neighbor(cell, i, -1);
+    default:  // 3: odd, post-collide: (i, wrap(x + c_i))
+      return plane(i) + wrapped_neighbor(cell, i, +1);
+  }
+}
+
+const Real* Lattice::aa_bulk_read_ptr(int i) const {
+  GC_CHECK(mode_ == StorageMode::AA);
+  const Real* base = buf_[cur_].data();
+  switch (phase_) {
+    case 0: return base + plane(i);
+    case 1: return base + plane(OPP[i]);
+    case 2: return base + plane(OPP[i]) - dir_offset(i);
+    default: return base + plane(i) + dir_offset(i);
+  }
+}
+
+Real* Lattice::aa_bulk_write_ptr(int i) {
+  GC_CHECK_MSG(mode_ == StorageMode::AA && !aa_collided(),
+               "AA collide write pointers require an un-collided lattice");
+  Real* base = buf_[cur_].data();
+  // Post-collide mapping at the current parity: 0->1 or 2->3.
+  return phase_ == 0 ? base + plane(OPP[i]) : base + plane(i) + dir_offset(i);
+}
+
+void Lattice::scatter_cell_collided(i64 cell, const Real* in) {
+  GC_CHECK(mode_ == StorageMode::AA && !aa_collided());
+  Real* base = buf_[cur_].data();
+  if (phase_ == 0) {
+    for (int i = 0; i < Q; ++i) base[plane(OPP[i]) + cell] = in[i];
+  } else {
+    for (int i = 0; i < Q; ++i)
+      base[plane(i) + wrapped_neighbor(cell, i, +1)] = in[i];
+  }
+}
+
+void Lattice::aa_adopt_collided_layout() {
+  GC_CHECK_MSG(mode_ == StorageMode::AA && phase_ == 0,
+               "fused-cycle entry conversion starts from AA phase 0");
+  // Phase 1 stores f_i in plane OPP[i]: swapping each opposing plane pair
+  // relabels the storage without touching the logical field.
+  Real* base = buf_[cur_].data();
+  for (int i = 1; i < Q; ++i) {
+    if (OPP[i] < i) continue;
+    std::swap_ranges(base + plane(i), base + plane(i) + n_,
+                     base + plane(OPP[i]));
+  }
+  phase_ = 1;
+}
+
+void Lattice::convert_storage(StorageMode mode) {
+  if (mode == mode_) return;
+  if (mode == StorageMode::AA) {
+    GC_CHECK_MSG(curved_links_.empty(),
+                 "AA storage does not support curved boundary links");
+    // The current buffer is already the natural layout (DB keeps phase 0).
+    if (cur_ == 1) std::swap(buf_[0], buf_[1]);
+    cur_ = 0;
+    buf_[1].clear();
+    buf_[1].shrink_to_fit();
+    mode_ = StorageMode::AA;
+    phase_ = 0;
+    return;
+  }
+  // AA -> DoubleBuffer: materialize the natural plane order.
+  if (phase_ != 0) {
+    std::vector<Real> natural(static_cast<std::size_t>(Q * n_));
+    for (int i = 0; i < Q; ++i)
+      for (i64 c = 0; c < n_; ++c)
+        natural[plane(i) + c] = buf_[cur_][slot(i, c)];
+    buf_[0] = std::move(natural);
+  }
+  cur_ = 0;
+  phase_ = 0;
+  buf_[1].assign(static_cast<std::size_t>(Q * n_), Real(0));
+  mode_ = StorageMode::DoubleBuffer;
+}
+
 void Lattice::add_curved_link(CurvedLink link) {
+  GC_CHECK_MSG(mode_ == StorageMode::DoubleBuffer,
+               "curved boundary links require double-buffered storage");
   GC_CHECK_MSG(link.q > Real(0) && link.q <= Real(1),
                "curved link fraction must be in (0,1], got " << link.q);
   GC_CHECK(link.dir >= 1 && link.dir < Q);
@@ -32,11 +137,14 @@ void Lattice::add_curved_link(CurvedLink link) {
 void Lattice::init_equilibrium(Real rho, Vec3 u) {
   Real feq[Q];
   equilibrium_all(rho, u, feq);
+  phase_ = 0;  // canonical post-stream state in AA mode; no-op in DB mode
   for (int i = 0; i < Q; ++i) {
     Real* p = plane_ptr(i);
-    Real* pb = back_plane_ptr(i);
     std::fill(p, p + n_, feq[i]);
-    std::fill(pb, pb + n_, feq[i]);
+    if (mode_ == StorageMode::DoubleBuffer) {
+      Real* pb = back_plane_ptr(i);
+      std::fill(pb, pb + n_, feq[i]);
+    }
   }
 }
 
@@ -107,6 +215,20 @@ void Lattice::copy_distributions_from(const Lattice& src) {
   GC_CHECK_MSG(src.dim() == dim_, "lattice dimensions "
                                       << src.dim() << " do not match "
                                       << dim_);
+  if (src.mode_ != mode_) {
+    std::ostringstream os;
+    os << "copy_distributions_from: storage modes differ (src "
+       << (src.mode_ == StorageMode::AA ? "AA" : "DoubleBuffer") << ", dst "
+       << (mode_ == StorageMode::AA ? "AA" : "DoubleBuffer")
+       << ") — convert_storage first";
+    throw StorageMismatchError(os.str());
+  }
+  if (mode_ == StorageMode::AA) {
+    // Same mode: adopt the source's buffer and phase wholesale.
+    buf_[cur_] = src.buf_[src.cur_];
+    phase_ = src.phase_;
+    return;
+  }
   for (int i = 0; i < Q; ++i) {
     const Real* from = src.plane_ptr(i);
     std::copy(from, from + n_, plane_ptr(i));

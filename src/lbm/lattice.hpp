@@ -1,8 +1,37 @@
 // The LBM lattice container: a structured 3D grid of D3Q19 distribution
-// values stored as 19 contiguous planes (structure-of-arrays), double
-// buffered (A/B pattern) so streaming can pull from the previous step.
-// Mirrors the texture-stack layout of Section 4.2: one "volume" per
-// distribution, packed 4-at-a-time on the simulated GPU (see src/gpulbm).
+// values stored as 19 contiguous planes (structure-of-arrays), in one of
+// two storage modes:
+//
+//   DoubleBuffer — the classic A/B pattern: streaming pulls from the
+//     current buffer into the back buffer and swaps. Mirrors the
+//     texture-stack layout of Section 4.2 (one "volume" per distribution,
+//     packed 4-at-a-time on the simulated GPU, see src/gpulbm).
+//
+//   AA — the in-place AA-pattern (Bailey et al.): ONE buffer, half the
+//     footprint and half the main-memory traffic on the split
+//     collide+stream path. The logical field f_i(x) is related to the
+//     stored values by a per-phase affine bijection; bulk streaming is a
+//     zero-copy reinterpretation (parity flip) and the collision pass
+//     absorbs the slot swap by writing each cell's post-collision values
+//     into the slots the next flip expects. The phase cycles through
+//     four storage mappings (slot of logical f_i at cell x):
+//
+//       phase 0  even, post-stream   (i, x)              "natural"
+//       phase 1  even, post-collide  (OPP[i], x)
+//       phase 2  odd,  post-stream   (OPP[i], wrap(x - c_i))
+//       phase 3  odd,  post-collide  (i, wrap(x + c_i))
+//
+//     collide advances 0->1 / 2->3 (in place: each cell's read-slot set
+//     equals its write-slot set), swap_buffers() flips 1->2 / 3->0 (pure
+//     parity flip: for bulk cells the post-flip logical value IS the
+//     streamed value; only boundary cells need explicit fixups).
+//     `wrap` is a per-axis periodic index wrap — an internal address
+//     bijection, independent of the face boundary conditions.
+//
+// All observation (f()/set_f, pack/unpack, gather, checkpoints) goes
+// through the phase-transparent accessors, so the two modes are
+// bit-exact. All raw slot arithmetic lives in this header and
+// lattice.cpp — gc_lint rule GCL007 keeps it that way.
 #pragma once
 
 #include <array>
@@ -49,9 +78,23 @@ struct CurvedLink {
   Real q;    ///< intersection fraction along the link, in (0, 1]
 };
 
+/// How the distribution planes are stored (see the file header).
+enum class StorageMode : u8 {
+  DoubleBuffer = 0,  ///< two buffers, stream A->B then swap
+  AA = 1,            ///< one buffer, in-place AA-pattern phase machine
+};
+
+/// Thrown when distribution state is copied wholesale between lattices of
+/// different storage modes — the layouts are not interchangeable; convert
+/// with Lattice::convert_storage first.
+class StorageMismatchError : public Error {
+ public:
+  explicit StorageMismatchError(const std::string& what) : Error(what) {}
+};
+
 class Lattice {
  public:
-  explicit Lattice(Int3 dim);
+  explicit Lattice(Int3 dim, StorageMode mode = StorageMode::DoubleBuffer);
 
   Int3 dim() const { return dim_; }
   i64 num_cells() const { return n_; }
@@ -68,25 +111,104 @@ class Lattice {
            p.z >= 0 && p.z < dim_.z;
   }
 
-  // --- distribution access (current buffer) ---
-  Real f(int i, i64 cell) const { return buf_[cur_][plane(i) + cell]; }
-  void set_f(int i, i64 cell, Real v) { buf_[cur_][plane(i) + cell] = v; }
+  // --- storage mode and AA phase machine ---
+  StorageMode storage_mode() const { return mode_; }
+  /// AA phase in [0, 4): bit 0 = collided, bit 1 = odd parity. Always 0
+  /// in double-buffered mode.
+  int aa_phase() const { return phase_; }
+  bool aa_collided() const { return (phase_ & 1) != 0; }
+  /// True when slot (i, cell) is simply plane(i) + cell — double-buffered
+  /// mode, or AA at phase 0. Kernels with layout-dependent fast paths
+  /// branch on this; everything else uses f()/set_f and never needs to.
+  bool plane_layout_natural() const { return phase_ == 0; }
 
-  /// Raw plane pointers for kernels. `other` selects the back buffer.
-  Real* plane_ptr(int i) { return buf_[cur_].data() + plane(i); }
-  const Real* plane_ptr(int i) const { return buf_[cur_].data() + plane(i); }
-  Real* back_plane_ptr(int i) { return buf_[1 - cur_].data() + plane(i); }
+  /// Marks the AA lattice collided (phase 0->1 or 2->3) after an
+  /// advancing collision pass has rewritten every cell through
+  /// collide_write_ptr / scatter_cell_collided.
+  void aa_mark_collided() {
+    GC_CHECK_MSG(mode_ == StorageMode::AA && !aa_collided(),
+                 "aa_mark_collided requires an un-collided AA lattice");
+    phase_ |= 1;
+  }
+
+  /// Rebuilds the lattice in the given storage mode, preserving the
+  /// logical distribution field, flags and boundary state bit-exactly.
+  void convert_storage(StorageMode mode);
+
+  /// One-time entry into the fused-kernel cycle from the canonical
+  /// post-stream state: relabels phase 0 as phase 1 by swapping opposing
+  /// plane pairs (the logical field is unchanged).
+  void aa_adopt_collided_layout();
+
+  // --- distribution access (phase-transparent) ---
+  Real f(int i, i64 cell) const { return buf_[cur_][slot(i, cell)]; }
+  void set_f(int i, i64 cell, Real v) { buf_[cur_][slot(i, cell)] = v; }
+
+  /// All 19 logical values of one cell, via the current mapping.
+  void gather_cell(i64 cell, Real* out) const {
+    for (int i = 0; i < Q; ++i) out[i] = buf_[cur_][slot(i, cell)];
+  }
+  void scatter_cell(i64 cell, const Real* in) {
+    for (int i = 0; i < Q; ++i) buf_[cur_][slot(i, cell)] = in[i];
+  }
+  /// Writes one cell's 19 values into the slots the post-collide mapping
+  /// at the current parity assigns — the per-cell form of what an
+  /// advancing AA collision pass does (AA mode, un-collided only).
+  void scatter_cell_collided(i64 cell, const Real* in);
+
+  /// Raw plane pointers for kernels that assume the natural layout
+  /// (double-buffered kernels, checkpoint fast path). Guarded: only
+  /// valid when plane_layout_natural().
+  Real* plane_ptr(int i) {
+    GC_CHECK(plane_layout_natural());
+    return buf_[cur_].data() + plane(i);
+  }
+  const Real* plane_ptr(int i) const {
+    GC_CHECK(plane_layout_natural());
+    return buf_[cur_].data() + plane(i);
+  }
+  Real* back_plane_ptr(int i) {
+    GC_CHECK(mode_ == StorageMode::DoubleBuffer);
+    return buf_[1 - cur_].data() + plane(i);
+  }
   const Real* back_plane_ptr(int i) const {
+    GC_CHECK(mode_ == StorageMode::DoubleBuffer);
     return buf_[1 - cur_].data() + plane(i);
   }
 
-  /// Swap current and back buffers (after a streaming pass).
-  void swap_buffers() { cur_ = 1 - cur_; }
+  /// AA bulk base pointers: base[cell] is logical f_i(cell) under the
+  /// current mapping (read) or the slot the advancing collide writes for
+  /// f_i(cell) (write). The affine form only holds where the mapping
+  /// needs no wrap — interior/bulk-span cells; boundary cells must go
+  /// through gather_cell/scatter_cell_collided.
+  const Real* aa_bulk_read_ptr(int i) const;
+  Real* aa_bulk_write_ptr(int i);
 
-  /// Copies the 19 current-buffer distribution planes from `src` (same
-  /// dimensions required). The supported way to restore distribution
-  /// state wholesale — gc_lint bans naked memcpy into plane storage.
+  /// DoubleBuffer: swap current and back buffers (after a streaming
+  /// pass). AA: flip parity (phase 1->2 or 3->0) — the zero-copy bulk
+  /// stream; requires a collided lattice.
+  void swap_buffers() {
+    if (mode_ == StorageMode::DoubleBuffer) {
+      cur_ = 1 - cur_;
+      return;
+    }
+    GC_CHECK_MSG(aa_collided(), "AA parity flip requires a collided lattice");
+    phase_ = (phase_ + 1) & 3;
+  }
+
+  /// Copies the distribution state from `src` (same dimensions and same
+  /// storage mode required; mismatched modes throw StorageMismatchError).
+  /// The supported way to restore distribution state wholesale — gc_lint
+  /// bans naked memcpy into plane storage.
   void copy_distributions_from(const Lattice& src);
+
+  /// Reusable scratch for the AA stream's boundary fixups (sized by the
+  /// stream kernels; kept on the lattice so the hot loop does not
+  /// reallocate every step).
+  std::vector<Real>& aa_fix_scratch() { return aa_fix_; }
+  /// Scratch holding the inner-region fixups between stream_inner and
+  /// stream_outer on the overlap path.
+  std::vector<Real>& aa_pending_scratch() { return aa_pending_; }
 
   // --- cell flags ---
   CellType flag(i64 cell) const { return static_cast<CellType>(flags_[cell]); }
@@ -165,19 +287,37 @@ class Lattice {
   /// Number of cells with the given flag.
   i64 count(CellType t) const;
 
-  /// Bytes of distribution storage (both buffers), as the texture-memory
-  /// footprint of Section 2 would account for them.
+  /// Bytes of distribution storage (both buffers in double-buffered
+  /// mode, one buffer plus fixup scratch in AA mode), as the
+  /// texture-memory footprint of Section 2 would account for them.
   i64 storage_bytes() const {
-    return i64(2) * Q * n_ * static_cast<i64>(sizeof(Real));
+    const i64 nbufs = mode_ == StorageMode::AA ? 1 : 2;
+    return nbufs * Q * n_ * static_cast<i64>(sizeof(Real)) +
+           static_cast<i64>((aa_fix_.capacity() + aa_pending_.capacity()) *
+                            sizeof(Real));
   }
 
  private:
   i64 plane(int i) const { return i64(i) * n_; }
 
+  /// Storage slot of logical f_i(cell) under the current phase mapping.
+  i64 slot(int i, i64 cell) const {
+    return phase_ == 0 ? plane(i) + cell : mapped_slot(i, cell);
+  }
+  i64 mapped_slot(int i, i64 cell) const;  // phases 1-3 (AA only)
+  /// Linear offset of one hop along C[i] (no wrap).
+  i64 dir_offset(int i) const;
+  /// Cell index one hop along sign*C[i] with per-axis periodic wrap.
+  i64 wrapped_neighbor(i64 cell, int i, int sign) const;
+
   Int3 dim_;
   i64 n_;
+  StorageMode mode_ = StorageMode::DoubleBuffer;
+  int phase_ = 0;
   std::array<std::vector<Real>, 2> buf_;
   int cur_ = 0;
+  std::vector<Real> aa_fix_;
+  std::vector<Real> aa_pending_;
   std::vector<u8> flags_;
   std::array<FaceBc, 6> face_bc_;
   Real inlet_density_ = Real(1);

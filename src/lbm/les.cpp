@@ -46,6 +46,8 @@ Real smagorinsky_tau(const Real f[Q], const SmagorinskyParams& p) {
 }
 
 void collide_bgk_les(Lattice& lat, const SmagorinskyParams& p) {
+  GC_CHECK_MSG(lat.storage_mode() == StorageMode::DoubleBuffer,
+               "LES collision is implemented for double-buffered storage");
   Real* planes[Q];
   for (int i = 0; i < Q; ++i) planes[i] = lat.plane_ptr(i);
   Real f[Q];

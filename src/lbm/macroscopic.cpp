@@ -42,6 +42,17 @@ void compute_velocity_field(const Lattice& lat, std::vector<Vec3>& u) {
 double total_mass(const Lattice& lat) {
   double sum = 0.0;
   const i64 n = lat.num_cells();
+  if (!lat.plane_layout_natural()) {
+    // Keep the fast path's i-major accumulation order so the sum is
+    // bit-identical across storage modes.
+    for (int i = 0; i < Q; ++i) {
+      for (i64 c = 0; c < n; ++c) {
+        if (lat.flag(c) == CellType::Solid) continue;
+        sum += static_cast<double>(lat.f(i, c));
+      }
+    }
+    return sum;
+  }
   for (int i = 0; i < Q; ++i) {
     const Real* p = lat.plane_ptr(i);
     for (i64 c = 0; c < n; ++c) {
@@ -55,6 +66,19 @@ double total_mass(const Lattice& lat) {
 void total_momentum(const Lattice& lat, double out[3]) {
   out[0] = out[1] = out[2] = 0.0;
   const i64 n = lat.num_cells();
+  if (!lat.plane_layout_natural()) {
+    for (int i = 1; i < Q; ++i) {
+      double s = 0.0;
+      for (i64 c = 0; c < n; ++c) {
+        if (lat.flag(c) == CellType::Solid) continue;
+        s += static_cast<double>(lat.f(i, c));
+      }
+      out[0] += s * C[i].x;
+      out[1] += s * C[i].y;
+      out[2] += s * C[i].z;
+    }
+    return;
+  }
   for (int i = 1; i < Q; ++i) {
     const Real* p = lat.plane_ptr(i);
     double s = 0.0;

@@ -8,7 +8,7 @@
 
 namespace gc::lbm {
 
-Solver::Solver(Int3 dim, SolverConfig cfg) : cfg_(cfg), lat_(dim) {
+Solver::Solver(Int3 dim, SolverConfig cfg) : cfg_(cfg), lat_(dim, cfg.storage) {
   if (cfg_.thermal) {
     thermal_.emplace(dim, *cfg_.thermal);
     GC_CHECK_MSG(cfg_.collision == CollisionKind::MRT,
@@ -109,6 +109,8 @@ obs::RunStats Solver::run(int steps) {
   if (cfg_.trace) {
     rs.phases = cfg_.trace->phase_totals(ev0);
     cfg_.trace->add_counter("solver.steps", 0, steps);
+    cfg_.trace->set_gauge("lattice.bytes_allocated", 0,
+                          static_cast<double>(lat_.storage_bytes()));
   }
   return rs;
 }

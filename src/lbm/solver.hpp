@@ -23,6 +23,9 @@ struct SolverConfig {
   Real tau = Real(0.8);
   Vec3 body_force{};             ///< uniform force (BGK/Guo only)
   bool fused = false;            ///< use the fused stream+collide kernel
+  /// Distribution storage backend: the double-buffered default or the
+  /// in-place AA pattern (half the footprint and traffic, bit-exact).
+  StorageMode storage = StorageMode::DoubleBuffer;
   std::optional<MrtParams> mrt;  ///< overrides MrtParams::standard(tau)
   std::optional<ThermalParams> thermal;
   /// When set, collision and streaming run on this pool (z-slab

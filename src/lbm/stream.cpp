@@ -156,44 +156,128 @@ void stream_z_range(Lattice& lat, const CellClass& cc, int z0, int z1) {
                cc.solid_z[z1] - cc.solid_z[z0]);
 }
 
-/// Buffer swap + inlet re-imposition + curved-boundary corrections.
-/// Inlet cells come from the precomputed index list; the uniform-inlet
+/// Re-imposes the inlet equilibrium on inlet-flagged cells (the tail of
+/// every streaming pass, both storage modes). The uniform-inlet
 /// equilibrium is computed once outside the loop, and a profiled inlet
 /// recomputes per cell into its own scratch so the two cases never share
 /// (and clobber) one feq buffer.
-void finish_stream(Lattice& lat) {
-  lat.swap_buffers();
-
+void impose_inlets(Lattice& lat) {
   const CellClass& cc = lat.cell_class();
-  if (!cc.inlet.empty()) {
-    if (lat.has_inlet_profile()) {
-      Real feq[Q];
-      for (const i64 c : cc.inlet) {
-        equilibrium_all(lat.inlet_density(),
-                        lat.inlet_velocity_at(lat.coords(c)), feq);
-        for (int i = 0; i < Q; ++i) lat.set_f(i, c, feq[i]);
-      }
-    } else {
-      Real feq[Q];
-      equilibrium_all(lat.inlet_density(), lat.inlet_velocity(), feq);
-      for (const i64 c : cc.inlet) {
-        for (int i = 0; i < Q; ++i) lat.set_f(i, c, feq[i]);
-      }
+  if (cc.inlet.empty()) return;
+  if (lat.has_inlet_profile()) {
+    Real feq[Q];
+    for (const i64 c : cc.inlet) {
+      equilibrium_all(lat.inlet_density(),
+                      lat.inlet_velocity_at(lat.coords(c)), feq);
+      for (int i = 0; i < Q; ++i) lat.set_f(i, c, feq[i]);
+    }
+  } else {
+    Real feq[Q];
+    equilibrium_all(lat.inlet_density(), lat.inlet_velocity(), feq);
+    for (const i64 c : cc.inlet) {
+      for (int i = 0; i < Q; ++i) lat.set_f(i, c, feq[i]);
     }
   }
+}
 
+/// Buffer swap + inlet re-imposition + curved-boundary corrections
+/// (double-buffered mode).
+void finish_stream(Lattice& lat) {
+  lat.swap_buffers();
+  impose_inlets(lat);
   apply_curved_bounce(lat);
+}
+
+// ---- AA-pattern streaming -------------------------------------------
+// The bulk stream is the parity flip inside lat.swap_buffers(): the flip
+// shifts slot ownership by one lattice hop, so after it every bulk
+// cell's logical value already equals the periodic pull from its
+// upwind neighbor — zero bytes moved. Only the classification's slow
+// cells need real work: their 19 pulled values are computed BEFORE the
+// flip (reading the post-collide field through the accessors, exactly
+// what the double-buffered pull reads) and scattered AFTER the flip
+// through the new mapping. Solid cells are zeroed and inlet cells
+// re-imposed, matching the double-buffered pass value-for-value.
+//
+// Thread-safety mirrors the double-buffered pass: the collect phase is
+// read-only, and the scatter/zero phase writes each cell's own slot
+// group (slot ownership is a bijection), so chunks of the slow/solid
+// lists never overlap.
+
+void aa_collect_fixups(const Lattice& lat, const i64* cells, i64 n,
+                       Real* out) {
+  for (i64 k = 0; k < n; ++k) {
+    const Int3 p = lat.coords(cells[k]);
+    Real* v = out + k * Q;
+    for (int i = 0; i < Q; ++i) v[i] = detail::pull_value(lat, p, i);
+  }
+}
+
+void aa_scatter_fixups(Lattice& lat, const i64* cells, i64 n,
+                       const Real* vals) {
+  for (i64 k = 0; k < n; ++k) lat.scatter_cell(cells[k], vals + k * Q);
+}
+
+void aa_zero_solids(Lattice& lat, const i64* cells, i64 n) {
+  const Real zeros[Q] = {};
+  for (i64 k = 0; k < n; ++k) lat.scatter_cell(cells[k], zeros);
+}
+
+void aa_stream(Lattice& lat, ThreadPool* pool) {
+  GC_CHECK_MSG(lat.curved_links().empty(),
+               "AA storage does not support curved boundary links");
+  const CellClass& cc = lat.cell_class();  // build before dispatch
+  const i64 nslow = static_cast<i64>(cc.slow.size());
+  auto& fix = lat.aa_fix_scratch();
+  fix.resize(static_cast<std::size_t>(nslow * Q));
+
+  if (pool) {
+    pool->parallel_for_chunks(
+        0, nslow,
+        [&lat, &cc, &fix](i64 k0, i64 k1) {
+          aa_collect_fixups(lat, cc.slow.data() + k0, k1 - k0,
+                            fix.data() + k0 * Q);
+        },
+        ThreadPool::min_chunk_indices(256));
+  } else {
+    aa_collect_fixups(lat, cc.slow.data(), nslow, fix.data());
+  }
+
+  lat.swap_buffers();  // the zero-copy bulk stream: flip parity
+
+  const i64 nsolid = static_cast<i64>(cc.solid.size());
+  if (pool) {
+    pool->parallel_for_chunks(
+        0, nslow,
+        [&lat, &cc, &fix](i64 k0, i64 k1) {
+          aa_scatter_fixups(lat, cc.slow.data() + k0, k1 - k0,
+                            fix.data() + k0 * Q);
+        },
+        ThreadPool::min_chunk_indices(256));
+  } else {
+    aa_scatter_fixups(lat, cc.slow.data(), nslow, fix.data());
+  }
+  aa_zero_solids(lat, cc.solid.data(), nsolid);
+  impose_inlets(lat);
 }
 
 }  // namespace
 
 void stream(Lattice& lat) {
+  if (lat.storage_mode() == StorageMode::AA) {
+    aa_stream(lat, nullptr);
+    return;
+  }
   const CellClass& cc = lat.cell_class();
   stream_z_range(lat, cc, 0, lat.dim().z);
   finish_stream(lat);
 }
 
 void stream(Lattice& lat, ThreadPool& pool) {
+  if (lat.storage_mode() == StorageMode::AA) {
+    aa_stream(lat, &pool);
+    return;
+  }
   const CellClass& cc = lat.cell_class();  // build before dispatch
   const Int3 d = lat.dim();
   pool.parallel_for_chunks(
@@ -206,6 +290,16 @@ void stream(Lattice& lat, ThreadPool& pool) {
 }
 
 void stream_inner(Lattice& lat, const InnerOuterClass& split) {
+  if (lat.storage_mode() == StorageMode::AA) {
+    // Collect the inner fixups only — no flip, no writes. Inner cells
+    // never pull from ghost layers, so this is safe to run while border
+    // messages are still in flight; stream_outer completes the step.
+    auto& pend = lat.aa_pending_scratch();
+    const i64 n = static_cast<i64>(split.inner_slow.size());
+    pend.resize(static_cast<std::size_t>(n * Q));
+    aa_collect_fixups(lat, split.inner_slow.data(), n, pend.data());
+    return;
+  }
   stream_cells(lat, split.inner_spans.data(),
                static_cast<i64>(split.inner_spans.size()),
                split.inner_slow.data(),
@@ -215,6 +309,27 @@ void stream_inner(Lattice& lat, const InnerOuterClass& split) {
 }
 
 void stream_outer(Lattice& lat, const InnerOuterClass& split) {
+  if (lat.storage_mode() == StorageMode::AA) {
+    GC_CHECK_MSG(lat.curved_links().empty(),
+                 "AA storage does not support curved boundary links");
+    auto& pend = lat.aa_pending_scratch();
+    auto& fix = lat.aa_fix_scratch();
+    const i64 ni = static_cast<i64>(split.inner_slow.size());
+    const i64 no = static_cast<i64>(split.outer_slow.size());
+    GC_CHECK_MSG(pend.size() == static_cast<std::size_t>(ni * Q),
+                 "stream_outer(AA) requires a matching stream_inner first");
+    fix.resize(static_cast<std::size_t>(no * Q));
+    aa_collect_fixups(lat, split.outer_slow.data(), no, fix.data());
+    lat.swap_buffers();
+    aa_scatter_fixups(lat, split.inner_slow.data(), ni, pend.data());
+    aa_scatter_fixups(lat, split.outer_slow.data(), no, fix.data());
+    aa_zero_solids(lat, split.inner_solid.data(),
+                   static_cast<i64>(split.inner_solid.size()));
+    aa_zero_solids(lat, split.outer_solid.data(),
+                   static_cast<i64>(split.outer_solid.size()));
+    impose_inlets(lat);
+    return;
+  }
   stream_cells(lat, split.outer_spans.data(),
                static_cast<i64>(split.outer_spans.size()),
                split.outer_slow.data(),
@@ -225,6 +340,11 @@ void stream_outer(Lattice& lat, const InnerOuterClass& split) {
 }
 
 void stream(Lattice& lat, const StepContext& ctx) {
+  if (lat.storage_mode() == StorageMode::AA) {
+    obs::ScopedSpan span(ctx.trace, "stream", ctx.rank, "lbm");
+    aa_stream(lat, ctx.pool);
+    return;
+  }
   const CellClass& cc = lat.cell_class();  // build before dispatch
   const Int3 d = lat.dim();
   {

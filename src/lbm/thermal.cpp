@@ -98,6 +98,27 @@ void apply_force_first_order_region(Lattice& lat,
                                     const std::vector<Vec3>& force, Int3 lo,
                                     Int3 hi) {
   GC_CHECK(static_cast<i64>(force.size()) == lat.num_cells());
+  if (!lat.plane_layout_natural()) {
+    // AA relocated layout (post-collide): same per-value update through
+    // the accessors, keeping the i-major accumulation order of the fast
+    // path so the two modes stay bit-exact.
+    for (int i = 1; i < Q; ++i) {
+      const Real wx = Real(3) * W[i] * Real(C[i].x);
+      const Real wy = Real(3) * W[i] * Real(C[i].y);
+      const Real wz = Real(3) * W[i] * Real(C[i].z);
+      for (int z = lo.z; z < hi.z; ++z) {
+        for (int y = lo.y; y < hi.y; ++y) {
+          i64 c = lat.idx(lo.x, y, z);
+          for (int x = lo.x; x < hi.x; ++x, ++c) {
+            if (lat.flag(c) != CellType::Fluid) continue;
+            const Vec3& F = force[static_cast<std::size_t>(c)];
+            lat.set_f(i, c, lat.f(i, c) + wx * F.x + wy * F.y + wz * F.z);
+          }
+        }
+      }
+    }
+    return;
+  }
   for (int i = 1; i < Q; ++i) {
     Real* p = lat.plane_ptr(i);
     const Real wx = Real(3) * W[i] * Real(C[i].x);
@@ -146,6 +167,10 @@ void compute_velocity_region(const Lattice& lat, std::vector<Vec3>& u,
 void apply_force_first_order(Lattice& lat, const std::vector<Vec3>& force) {
   const i64 n = lat.num_cells();
   GC_CHECK(static_cast<i64>(force.size()) == n);
+  if (!lat.plane_layout_natural()) {
+    apply_force_first_order_region(lat, force, Int3{0, 0, 0}, lat.dim());
+    return;
+  }
   for (int i = 1; i < Q; ++i) {
     Real* p = lat.plane_ptr(i);
     const Real wx = Real(3) * W[i] * Real(C[i].x);

@@ -45,6 +45,7 @@ constexpr MetricCanon kCounters[] = {
 
 constexpr MetricCanon kGauges[] = {
     {"ft.recovery_ms"},
+    {"lattice.bytes_allocated"},
     {"model.makespan_ms"},
     {"model.network_hidden_ms"},
     {"mpi.overlap_hidden_ms"},

@@ -31,9 +31,9 @@ bool has_rule(const std::vector<Finding>& fs, const std::string& id) {
 
 TEST(Lint, RuleCatalogIsComplete) {
   const std::vector<Rule>& rs = rules();
-  ASSERT_EQ(rs.size(), 6u);
-  const char* expected[] = {"GCL001", "GCL002", "GCL003",
-                            "GCL004", "GCL005", "GCL006"};
+  ASSERT_EQ(rs.size(), 7u);
+  const char* expected[] = {"GCL001", "GCL002", "GCL003", "GCL004",
+                            "GCL005", "GCL006", "GCL007"};
   for (std::size_t i = 0; i < rs.size(); ++i) {
     EXPECT_STREQ(rs[i].id, expected[i]);
     EXPECT_NE(std::string(rs[i].summary), "");
@@ -261,6 +261,55 @@ TEST(Lint, PredicatedAndTimedWaitsAreClean) {
                       "  future.wait();\n"
                       "}\n");
   EXPECT_TRUE(fs.empty());
+}
+
+// --- GCL007 ---------------------------------------------------------------
+
+TEST(Lint, RawBufSubscriptIsFlaggedOutsideLattice) {
+  const auto fs = run("src/lbm/stream.cpp",
+                      "void f() {\n"
+                      "  Real v = buf_[cur_][plane + c];\n"
+                      "}\n");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_STREQ(fs[0].rule->id, "GCL007");
+  EXPECT_EQ(fs[0].line, 2);
+  EXPECT_EQ(fs[0].rule->severity, Severity::kError);
+}
+
+TEST(Lint, PlanePtrArithmeticIsFlaggedOutsideLattice) {
+  const auto fs = run("src/core/x.cpp",
+                      "void f() {\n"
+                      "  const Real* p = lat.plane_ptr(i) + offset;\n"
+                      "  Real* q = lat.back_plane_ptr(i) + cell;\n"
+                      "}\n");
+  ASSERT_EQ(fs.size(), 2u);
+  EXPECT_STREQ(fs[0].rule->id, "GCL007");
+  EXPECT_EQ(fs[0].line, 2);
+  EXPECT_STREQ(fs[1].rule->id, "GCL007");
+  EXPECT_EQ(fs[1].line, 3);
+}
+
+TEST(Lint, PlanePtrWithoutArithmeticIsClean) {
+  // Taking the base pointer (natural layout, runtime-guarded) and
+  // subscripting it are fine; only offset arithmetic bakes the layout in.
+  const auto fs = run("src/lbm/x.cpp",
+                      "void f() {\n"
+                      "  const Real* p = lat.plane_ptr(i);\n"
+                      "  Real v = lat.back_plane_ptr(i)[cell];\n"
+                      "  body.bytes(lat.plane_ptr(i), n * sizeof(Real));\n"
+                      "}\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(Lint, LatticeHomeFilesMayTouchRawStorage) {
+  const std::string body =
+      "void f() {\n"
+      "  Real v = buf_[cur_][slot(i, cell)];\n"
+      "  Real* p = plane_ptr(i) + c;\n"
+      "}\n";
+  EXPECT_TRUE(run("src/lbm/lattice.cpp", body).empty());
+  EXPECT_TRUE(run("src/lbm/lattice.hpp", body).empty());
+  EXPECT_TRUE(has_rule(run("src/lbm/collision.cpp", body), "GCL007"));
 }
 
 // --- engine semantics -----------------------------------------------------

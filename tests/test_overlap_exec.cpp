@@ -165,13 +165,16 @@ struct ParResult {
   double hidden_ms = 0;
 };
 
-ParResult run_parallel(const Sample& s, bool overlap) {
+ParResult run_parallel(
+    const Sample& s, bool overlap,
+    lbm::StorageMode storage = lbm::StorageMode::DoubleBuffer) {
   ParallelConfig cfg;
   cfg.tau = Real(0.8);
   cfg.grid = netsim::NodeGrid{s.grid};
   cfg.collision = s.kind;
   cfg.indirect_diagonals = s.indirect;
   cfg.overlap = overlap;
+  cfg.storage = storage;
   std::vector<Real> T0;
   if (s.thermal) {
     cfg.thermal = thermal_params(s);
@@ -235,6 +238,39 @@ TEST_P(OverlapExec, OverlapMatchesSyncAndSerialBitExact) {
   // the same channels, so the value volume must match exactly.
   EXPECT_EQ(sync.payload_values, ovl.payload_values);
   EXPECT_GE(ovl.hidden_ms, 0.0);
+
+  // Storage sweep: the same configuration on the single-lattice AA
+  // backend — serial, synchronous and overlapped — must stay bit-identical
+  // to the double-buffered reference, and wire-compatible (the border
+  // payloads are read through the accessors, so the storage mode never
+  // reaches the wire).
+  lbm::Solver aa_serial(s.dim, scfg);
+  aa_serial.lattice() = make_global(s);
+  aa_serial.lattice().convert_storage(lbm::StorageMode::AA);
+  if (s.thermal) {
+    seed_temperature(s, [&aa_serial](int x, int y, int z, Real v) {
+      aa_serial.thermal()->set_t(aa_serial.lattice().idx(x, y, z), v);
+    });
+  }
+  aa_serial.run(s.steps);
+  expect_lattices_equal(serial.lattice(), aa_serial.lattice(),
+                        "AA serial vs DB serial");
+
+  const ParResult sync_aa = run_parallel(s, false, lbm::StorageMode::AA);
+  const ParResult ovl_aa = run_parallel(s, true, lbm::StorageMode::AA);
+  expect_lattices_equal(serial.lattice(), sync_aa.gathered,
+                        "AA sync vs serial");
+  expect_lattices_equal(serial.lattice(), ovl_aa.gathered,
+                        "AA overlap vs serial");
+  EXPECT_EQ(sync.payload_values, sync_aa.payload_values);
+  EXPECT_EQ(ovl.payload_values, ovl_aa.payload_values);
+  if (s.thermal) {
+    for (i64 c = 0; c < serial.lattice().num_cells(); ++c) {
+      ASSERT_EQ(ovl_aa.temperature[static_cast<std::size_t>(c)],
+                serial.thermal()->t(c))
+          << "AA T at " << serial.lattice().coords(c);
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomConfigs, OverlapExec, ::testing::Range(0, 20));
@@ -248,7 +284,9 @@ TEST(OverlapExec, SameSeedScheduleIsDeterministicUnderFaults) {
   const Sample s = draw_sample(3);
   auto run_once = [&](Lattice& out, netsim::FaultCounters& fc,
                       netsim::ReliabilityStats& rs,
-                      std::vector<netsim::RankTraffic>& traffic) {
+                      std::vector<netsim::RankTraffic>& traffic,
+                      lbm::StorageMode storage =
+                          lbm::StorageMode::DoubleBuffer) {
     netsim::FaultSpec faults(909);
     faults.rates.corrupt = 0.15;
     ParallelConfig cfg;
@@ -259,6 +297,7 @@ TEST(OverlapExec, SameSeedScheduleIsDeterministicUnderFaults) {
     cfg.overlap = true;
     cfg.faults = &faults;
     cfg.reliability = netsim::ReliabilityConfig{250.0, 10, 1.5, 8.0};
+    cfg.storage = storage;
     ParallelLbm par(make_global(s), cfg);
     par.run(s.steps);
     par.gather(out);
@@ -270,25 +309,35 @@ TEST(OverlapExec, SameSeedScheduleIsDeterministicUnderFaults) {
     }
   };
 
-  Lattice a(s.dim), b(s.dim);
-  netsim::FaultCounters fa, fb;
-  netsim::ReliabilityStats ra, rb;
-  std::vector<netsim::RankTraffic> ta, tb;
+  Lattice a(s.dim), b(s.dim), c(s.dim);
+  netsim::FaultCounters fa, fb, fc2;
+  netsim::ReliabilityStats ra, rb, rc;
+  std::vector<netsim::RankTraffic> ta, tb, tc;
   run_once(a, fa, ra, ta);
   run_once(b, fb, rb, tb);
+  // The AA backend sends byte-identical payloads, so the fault schedule,
+  // CRC detections and retransmits replay exactly.
+  run_once(c, fc2, rc, tc, lbm::StorageMode::AA);
 
   expect_lattices_equal(a, b, "run 1 vs run 2");
+  expect_lattices_equal(a, c, "AA vs double-buffered under faults");
   EXPECT_GT(fa.corruptions, 0);
   EXPECT_EQ(fa.corruptions, fb.corruptions);
+  EXPECT_EQ(fa.corruptions, fc2.corruptions);
   EXPECT_EQ(fa.drops, fb.drops);
   EXPECT_GT(ra.retransmits, 0);
   EXPECT_EQ(ra.retransmits, rb.retransmits);
+  EXPECT_EQ(ra.retransmits, rc.retransmits);
   EXPECT_EQ(ra.corrupt_detected, rb.corrupt_detected);
+  EXPECT_EQ(ra.corrupt_detected, rc.corrupt_detected);
   EXPECT_EQ(ra.duplicates_dropped, rb.duplicates_dropped);
   ASSERT_EQ(ta.size(), tb.size());
+  ASSERT_EQ(ta.size(), tc.size());
   for (std::size_t r = 0; r < ta.size(); ++r) {
     EXPECT_EQ(ta[r].messages, tb[r].messages) << "rank " << r;
     EXPECT_EQ(ta[r].payload_values, tb[r].payload_values) << "rank " << r;
+    EXPECT_EQ(ta[r].messages, tc[r].messages) << "AA rank " << r;
+    EXPECT_EQ(ta[r].payload_values, tc[r].payload_values) << "AA rank " << r;
   }
 }
 
@@ -342,6 +391,22 @@ TEST(OverlapExec, GpuClusterOverlapMatchesSync) {
     const double hidden = run_gpu(true, ovl);
     expect_lattices_equal(sync, ovl, "gpu overlap vs sync");
     EXPECT_GE(hidden, 0.0);
+
+    // The interop boundary with AA host storage: the cluster keeps its
+    // own texture-side layout, but seeding from an AA global and
+    // gathering into an AA lattice go through the phase-aware
+    // accessors, so the result is bit-exact vs the double-buffered run.
+    Lattice aa_global = make_gpu_global();
+    aa_global.convert_storage(lbm::StorageMode::AA);
+    GpuClusterConfig cfg;
+    cfg.tau = Real(0.8);
+    cfg.grid = netsim::NodeGrid{s.grid};
+    cfg.overlap = true;
+    GpuClusterLbm cluster(aa_global, cfg);
+    cluster.run(s.steps);
+    Lattice aa_out(s.dim, lbm::StorageMode::AA);
+    cluster.gather(aa_out);
+    expect_lattices_equal(sync, aa_out, "gpu seeded from / gathered into AA");
   }
 }
 

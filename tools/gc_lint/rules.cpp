@@ -34,6 +34,11 @@ const std::vector<Rule> kRules = {
     {"GCL006", "unbounded-cv-wait", Severity::kError,
      "condition_variable wait without predicate can hang forever",
      "wait with an abort-aware predicate, or use wait_for"},
+    {"GCL007", "raw-distribution-access", Severity::kError,
+     "raw distribution storage access outside the lattice implementation",
+     "use Lattice::f/set_f/gather_cell — the slot mapping is storage-mode "
+     "dependent (AA parity), so offset arithmetic on plane pointers is "
+     "only valid inside src/lbm/lattice.{hpp,cpp}"},
 };
 
 const Rule* rule_by_id(const char* id) {
@@ -249,6 +254,7 @@ struct PathClass {
   bool in_tests = false;
   bool iostream_exempt = false;  ///< src/io, src/viz
   bool is_lattice_impl = false;  ///< src/lbm/lattice.cpp (blessed memcpy home)
+  bool is_lattice_home = false;  ///< lattice.{hpp,cpp}: owns the slot mapping
 };
 
 PathClass classify(const std::string& path) {
@@ -258,6 +264,8 @@ PathClass classify(const std::string& path) {
   pc.iostream_exempt = path.rfind("src/io/", 0) == 0 ||
                        path.rfind("src/viz/", 0) == 0;
   pc.is_lattice_impl = path == "src/lbm/lattice.cpp";
+  pc.is_lattice_home =
+      pc.is_lattice_impl || path == "src/lbm/lattice.hpp";
   return pc;
 }
 
@@ -522,6 +530,62 @@ void check_unbounded_waits(Ctx& ctx) {
   }
 }
 
+// --- GCL007: raw distribution storage access ------------------------------
+
+/// Position of the ')' closing the paren at `open` on the same line, or
+/// npos if it does not close there (multi-line index expressions are
+/// rare enough that same-line matching keeps the rule simple).
+std::size_t matching_close(const std::string& code, std::size_t open) {
+  int depth = 0;
+  for (std::size_t p = open; p < code.size(); ++p) {
+    if (code[p] == '(') ++depth;
+    if (code[p] == ')' && --depth == 0) return p;
+  }
+  return std::string::npos;
+}
+
+void check_raw_distribution_access(Ctx& ctx) {
+  if (ctx.pc.is_lattice_home) return;  // owns the slot mapping by definition
+  for (std::size_t l = 0; l < ctx.v.code.size(); ++l) {
+    const std::string& code = ctx.v.code[l];
+
+    // Direct subscripting of the storage member: `buf_[...]`. Only the
+    // lattice knows which of buf_[0]/buf_[1] is current and how slots are
+    // laid out in the AA phases.
+    for (std::size_t p = find_ident(code, "buf_"); p != std::string::npos;
+         p = find_ident(code, "buf_", p + 1)) {
+      const std::size_t after = skip_spaces(code, p + 4);
+      if (after < code.size() && code[after] == '[') {
+        ctx.report("GCL007", l, p,
+                   "direct buf_[...] access to distribution storage");
+      }
+    }
+
+    // Pointer arithmetic on a plane pointer: `plane_ptr(i) + off` bakes in
+    // the natural layout and silently reads the wrong slot on an AA
+    // lattice at odd parity.
+    for (const char* fn : {"plane_ptr", "back_plane_ptr"}) {
+      for (std::size_t p = find_ident(code, fn); p != std::string::npos;
+           p = find_ident(code, fn, p + 1)) {
+        const std::size_t open = skip_spaces(code, p + std::strlen(fn));
+        if (open >= code.size() || code[open] != '(') continue;
+        const std::size_t close = matching_close(code, open);
+        if (close == std::string::npos) continue;
+        const std::size_t next = skip_spaces(code, close + 1);
+        if (next >= code.size()) continue;
+        const char c = code[next];
+        const char c2 = next + 1 < code.size() ? code[next + 1] : '\0';
+        // `+`/`-` (including `+=` chains) but not `->` member access.
+        if ((c == '+' || (c == '-' && c2 != '>'))) {
+          ctx.report("GCL007", l, p,
+                     std::string("pointer arithmetic on ") + fn +
+                         "(...) outside the lattice implementation");
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 
 const std::vector<Rule>& rules() { return kRules; }
@@ -537,6 +601,7 @@ std::vector<Finding> lint_source(const std::string& path,
   check_includes(ctx);
   check_lattice_memcpy(ctx);
   check_unbounded_waits(ctx);
+  check_raw_distribution_access(ctx);
   std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
     if (a.line != b.line) return a.line < b.line;
     return a.col < b.col;

@@ -19,6 +19,12 @@
 //                                  predicate in src/ — every blocking wait
 //                                  must be abort-aware (the "recv without
 //                                  timeout" class of hang)
+//   GCL007 raw-distribution-access no `buf_[...]` access or distribution
+//                                  pointer arithmetic (`plane_ptr(i) + k`)
+//                                  outside src/lbm/lattice.{hpp,cpp} — the
+//                                  slot mapping depends on the storage mode
+//                                  (AA parity), so only the accessors know
+//                                  where a distribution lives
 //
 // The engine is a small library so tests can feed synthetic sources
 // through it; the gc_lint binary (main.cpp) adds file walking and the
