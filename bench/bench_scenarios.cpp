@@ -1,0 +1,158 @@
+// Many-query dispersion throughput: what the flow-field cache buys.
+//
+// The paper's Section 5 protocol spins the city flow up for 1000 steps
+// before releasing tracers; an emergency-response ensemble re-asks the
+// same flow hundreds of times with different release points. This bench
+// measures three things on one scenario geometry:
+//
+//   cold      — first query: LBM spin-up on a cluster partition, cache
+//               commit, tracer phase.
+//   cached    — the same query again: checkpoint restore + tracer only.
+//               The headline number is cached speedup vs cold (target
+//               >10x: the spin-up dominates end-to-end latency).
+//   ensemble  — a batch of queries (several release points per wind)
+//               through the service, reported as scenarios/hour.
+//
+//   ./bench_scenarios [--spin-up N] [--queries N] [--winds N]
+//                     [--json out.json]  (--help for all)
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "io/bench_json.hpp"
+#include "service/scenario_service.hpp"
+#include "util/args.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gc;
+  ArgParser args("bench_scenarios",
+                 "cold vs cached scenario latency and ensemble throughput");
+  args.add_int("spin-up", 300, "LBM steps to steady state per flow");
+  args.add_int("tracer-steps", 100, "dispersion steps per query");
+  args.add_int("particles", 4000, "tracer particles per release");
+  args.add_int("queries", 12, "ensemble size for the throughput phase");
+  args.add_int("winds", 2, "distinct winds (= LBM spin-ups) in the ensemble");
+  args.add_int("workers", 2, "service worker threads");
+  args.add_int("partitions", 2, "cluster partitions in the pool");
+  args.add_string("cache", "", "cache dir, wiped at start (default: temp dir)");
+  args.add_string("json", "", "write machine-readable records to this file");
+  if (!args.parse(argc, argv)) return 1;
+
+  std::string cache_dir = args.get_string("cache");
+  if (cache_dir.empty()) {
+    cache_dir = (std::filesystem::temp_directory_path() / "bench_scenarios")
+                    .string();
+  }
+  // The cold phase asserts a miss, so the bench always starts cold.
+  std::filesystem::remove_all(cache_dir);
+
+  service::ServiceConfig cfg;
+  cfg.cache_dir = cache_dir;
+  cfg.workers = static_cast<int>(args.get_int("workers"));
+  cfg.partitions = static_cast<int>(args.get_int("partitions"));
+  cfg.partition.grid = netsim::NodeGrid::arrange_2d(4);
+
+  service::ScenarioRequest base;
+  base.dim = Int3{96, 64, 24};
+  base.city.extent_x_m = Real(300);
+  base.city.extent_y_m = Real(200);
+  base.city.avenues = 4;
+  base.city.streets = 5;
+  base.voxel.meters_per_cell = Real(4);
+  base.voxel.origin_cells = Int3{10, 8, 0};
+  base.wind.velocity = Vec3{Real(0.05), Real(0), Real(0)};
+  base.spin_up_steps = static_cast<int>(args.get_int("spin-up"));
+  base.tracer_steps = static_cast<int>(args.get_int("tracer-steps"));
+  base.releases.push_back(
+      service::Release{Int3{20, 30, 2},
+                       static_cast<int>(args.get_int("particles"))});
+
+  std::vector<io::BenchRecord> records;
+
+  // --- cold vs cached latency (one service, one key) ---
+  double cold_ms = 0, cached_ms = 0;
+  {
+    service::ScenarioService svc(cfg);
+    Timer t;
+    const service::ScenarioResult cold = svc.submit(base).get();
+    cold_ms = t.millis();
+    GC_CHECK_MSG(!cold.cache_hit, "cold query must miss a fresh cache");
+
+    t.reset();
+    const service::ScenarioResult warm = svc.submit(base).get();
+    cached_ms = t.millis();
+    GC_CHECK_MSG(warm.cache_hit, "second identical query must hit");
+  }
+  const double speedup = cold_ms / cached_ms;
+  std::printf("cold   %9.1f ms  (spin-up %d steps on %dx%dx%d)\n", cold_ms,
+              base.spin_up_steps, base.dim.x, base.dim.y, base.dim.z);
+  std::printf("cached %9.1f ms  -> %.1fx speedup vs cold\n", cached_ms,
+              speedup);
+
+  io::BenchRecord cold_rec;
+  cold_rec.name = "scenario_cold";
+  cold_rec.dim = base.dim;
+  cold_rec.storage = base.params.storage;
+  cold_rec.ms_per_step = cold_ms / base.spin_up_steps;
+  cold_rec.extras.emplace_back("total_ms", cold_ms);
+  records.push_back(cold_rec);
+
+  io::BenchRecord cached_rec;
+  cached_rec.name = "scenario_cached";
+  cached_rec.dim = base.dim;
+  cached_rec.storage = base.params.storage;
+  cached_rec.extras.emplace_back("total_ms", cached_ms);
+  cached_rec.extras.emplace_back("speedup_vs_cold", speedup);
+  records.push_back(cached_rec);
+
+  // --- ensemble throughput (fresh cache, several winds) ---
+  std::filesystem::remove_all(cache_dir);
+  const int queries = static_cast<int>(args.get_int("queries"));
+  const int winds = static_cast<int>(args.get_int("winds"));
+  double ensemble_s = 0;
+  i64 hits = 0, computes = 0;
+  {
+    service::ScenarioService svc(cfg);
+    Timer t;
+    std::vector<std::future<service::ScenarioResult>> futs;
+    for (int q = 0; q < queries; ++q) {
+      service::ScenarioRequest req = base;
+      req.wind.velocity.x = Real(0.05) + Real(0.01) * Real(q % winds);
+      req.tracer_seed = static_cast<u64>(1000 + q);
+      req.releases[0].site = Int3{12 + 6 * (q % 8), 10 + 5 * (q % 6), 2};
+      futs.push_back(svc.submit(std::move(req)));
+    }
+    for (std::future<service::ScenarioResult>& f : futs) f.get();
+    ensemble_s = t.seconds();
+    hits = svc.cache().stats().hits;
+    computes = svc.cache().stats().computes;
+  }
+  const double per_hour = queries * 3600.0 / ensemble_s;
+  std::printf(
+      "ensemble: %d queries / %d wind(s) in %.2f s -> %.0f scenarios/hour "
+      "(%lld spin-ups, %lld hits)\n",
+      queries, winds, ensemble_s, per_hour, static_cast<long long>(computes),
+      static_cast<long long>(hits));
+
+  io::BenchRecord ens;
+  ens.name = "scenario_ensemble";
+  ens.dim = base.dim;
+  ens.storage = base.params.storage;
+  ens.extras.emplace_back("queries", queries);
+  ens.extras.emplace_back("winds", winds);
+  ens.extras.emplace_back("total_s", ensemble_s);
+  ens.extras.emplace_back("scenarios_per_hour", per_hour);
+  ens.extras.emplace_back("cache_hits", static_cast<double>(hits));
+  ens.extras.emplace_back("lbm_spin_ups", static_cast<double>(computes));
+  records.push_back(ens);
+
+  const std::string json = args.get_string("json");
+  if (!json.empty()) {
+    io::write_bench_json(json, records);
+    std::printf("wrote %s\n", json.c_str());
+  }
+  std::filesystem::remove_all(cache_dir);
+  return 0;
+}

@@ -4,12 +4,13 @@
 // simulated GPU (ping-pong textures, gather-only neighborhood reads) and
 // cross-checks every generation against a host implementation.
 //
-//   ./cellular_automata [width] [height] [generations]
+//   ./cellular_automata [--width N] [--height N] [--generations N]
+//                       (--help for all)
 #include <cstdio>
-#include <cstdlib>
 #include <vector>
 
 #include "gpusim/device.hpp"
+#include "util/args.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -71,9 +72,15 @@ int host_step(std::vector<int>& grid, int w, int h) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int w = argc > 1 ? std::atoi(argv[1]) : 96;
-  const int h = argc > 2 ? std::atoi(argv[2]) : 64;
-  const int generations = argc > 3 ? std::atoi(argv[3]) : 50;
+  gc::ArgParser args("cellular_automata",
+                     "Game of Life as a fragment program, host-verified");
+  args.add_int("width", 96, "grid width in cells");
+  args.add_int("height", 64, "grid height in cells");
+  args.add_int("generations", 50, "generations to run and cross-check");
+  if (!args.parse(argc, argv)) return 1;
+  const int w = static_cast<int>(args.get_int("width"));
+  const int h = static_cast<int>(args.get_int("height"));
+  const int generations = static_cast<int>(args.get_int("generations"));
 
   // Random soup plus a glider, seeded for reproducibility.
   Rng rng(1970);

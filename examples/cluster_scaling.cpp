@@ -3,15 +3,13 @@
 // plus a real distributed run (ParallelLbm, one thread per logical node)
 // verified against the serial solver.
 //
-//   ./cluster_scaling [nodes] [per_node_edge] [--overlap]
+//   ./cluster_scaling [--nodes N] [--edge N] [--overlap] (--help for all)
 //
 // With --overlap the distributed run executes the paper's §4.4
 // compute–communication overlap (nonblocking border exchange hidden
 // under inner-cell streaming) — same bits, and the run reports how much
 // network time was hidden.
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 
 #include "core/gpu_cluster.hpp"
 #include "core/parallel_lbm.hpp"
@@ -19,23 +17,21 @@
 #include "lbm/collision.hpp"
 #include "lbm/macroscopic.hpp"
 #include "lbm/stream.hpp"
+#include "util/args.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
 int main(int argc, char** argv) {
   using namespace gc;
-  bool overlap = false;
-  int positional[2] = {8, 80};
-  int npos = 0;
-  for (int a = 1; a < argc; ++a) {
-    if (std::strcmp(argv[a], "--overlap") == 0) {
-      overlap = true;
-    } else if (npos < 2) {
-      positional[npos++] = std::atoi(argv[a]);
-    }
-  }
-  const int nodes = positional[0];
-  const int edge = positional[1];
+  ArgParser args("cluster_scaling",
+                 "modeled + functional GPU-cluster scaling on one machine");
+  args.add_int("nodes", 8, "logical cluster nodes");
+  args.add_int("edge", 80, "modeled per-node lattice edge length");
+  args.add_flag("overlap", "run the distributed pass in §4.4 overlap mode");
+  if (!args.parse(argc, argv)) return 1;
+  const bool overlap = args.get_flag("overlap");
+  const int nodes = static_cast<int>(args.get_int("nodes"));
+  const int edge = static_cast<int>(args.get_int("edge"));
 
   // --- Modeled timing on the paper's hardware --------------------------
   core::ClusterSimulator sim;

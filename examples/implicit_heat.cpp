@@ -5,20 +5,24 @@
 // proxy-point distributed CG across logical cluster nodes, at a time step
 // far beyond the explicit stability limit.
 //
-//   ./implicit_heat [nodes] [dt]
+//   ./implicit_heat [--nodes N] [--dt T] (--help for all)
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
 #include <vector>
 
 #include "linalg/distributed_cg.hpp"
+#include "util/args.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace gc;
-  const int nodes = argc > 1 ? std::atoi(argv[1]) : 4;
-  const double dt = argc > 2 ? std::atof(argv[2]) : 2.0;  // explicit limit
-                                                          // is 1/(6k)
+  ArgParser args("implicit_heat",
+                 "backward-Euler heat equation via distributed CG");
+  args.add_int("nodes", 4, "logical cluster nodes for the CG solve");
+  args.add_real("dt", 2.0, "time step (explicit limit is 1/(6 kappa))");
+  if (!args.parse(argc, argv)) return 1;
+  const int nodes = static_cast<int>(args.get_int("nodes"));
+  const double dt = args.get_real("dt");
   const Int3 dim{16, 16, 16};
   const double kappa = 0.5;
   const int n = static_cast<int>(dim.volume());

@@ -3,19 +3,24 @@
 // sphere packing, drives flow with a body force, and measures the
 // permeability via Darcy's law: k = nu * <u> / g.
 //
-//   ./porous_media [porosity_percent] [seed]
+//   ./porous_media [--porosity PERCENT] [--seed S] (--help for all)
 #include <cstdio>
-#include <cstdlib>
 
 #include "lbm/macroscopic.hpp"
 #include "lbm/solver.hpp"
+#include "util/args.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace gc;
-  const double target_porosity = argc > 1 ? std::atof(argv[1]) / 100.0 : 0.72;
-  const u64 seed = argc > 2 ? static_cast<u64>(std::atoll(argv[2])) : 42;
+  ArgParser args("porous_media",
+                 "permeability of random sphere packings via Darcy's law");
+  args.add_real("porosity", 72.0, "target porosity of the packing, percent");
+  args.add_int("seed", 42, "sphere-packing RNG seed");
+  if (!args.parse(argc, argv)) return 1;
+  const double target_porosity = args.get_real("porosity") / 100.0;
+  const u64 seed = static_cast<u64>(args.get_int("seed"));
 
   const Int3 dim{48, 48, 48};
   const Real g = Real(1e-5);

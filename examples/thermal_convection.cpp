@@ -4,20 +4,25 @@
 // Boussinesq buoyancy. Prints the Nusselt-like convective flux and
 // writes VTK fields.
 //
-//   ./thermal_convection [output_dir] [steps]
+//   ./thermal_convection [--out DIR] [--steps N] (--help for all)
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 
 #include "io/vtk_writer.hpp"
 #include "lbm/macroscopic.hpp"
 #include "lbm/solver.hpp"
+#include "util/args.hpp"
 
 int main(int argc, char** argv) {
   using namespace gc;
-  const std::string out_dir = argc > 1 ? argv[1] : ".";
-  const int steps = argc > 2 ? std::atoi(argv[2]) : 3000;
+  ArgParser args("thermal_convection",
+                 "Rayleigh-Benard convection with the hybrid thermal LBM");
+  args.add_string("out", ".", "output directory for VTK fields");
+  args.add_int("steps", 3000, "total LBM steps (run in 10 blocks)");
+  if (!args.parse(argc, argv)) return 1;
+  const std::string out_dir = args.get_string("out");
+  const int steps = static_cast<int>(args.get_int("steps"));
 
   const Int3 dim{96, 4, 32};
 

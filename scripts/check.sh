@@ -4,7 +4,8 @@
 # gate — run it from the repo root:
 #
 #   scripts/check.sh              # full matrix: plain, asan, ubsan, tsan,
-#                                 # equiv, gc_lint, clang-tidy (if available)
+#                                 # equiv, service, gc_lint, clang-tidy
+#                                 # (if available)
 #   scripts/check.sh plain lint   # just those stages
 #   JOBS=8 scripts/check.sh       # override build parallelism
 #
@@ -17,7 +18,7 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
 STAGES=("$@")
 if [ ${#STAGES[@]} -eq 0 ]; then
-  STAGES=(plain asan ubsan tsan equiv lint tidy)
+  STAGES=(plain asan ubsan tsan equiv service lint tidy)
 fi
 
 declare -A RESULT
@@ -81,6 +82,24 @@ for stage in "${STAGES[@]}"; do
       else
         RESULT[equiv]="FAIL"; FAILED=1
       fi ;;
+    service)
+      # The scenario-service suite (flow cache, partition leasing,
+      # bounded queue) plus an end-to-end cold/cached bench smoke: the
+      # cache-hit path must stay bit-exact and actually faster.
+      note "service: scenario service suite + bench smoke"
+      bdir=build-check/service
+      if cmake -B "$bdir" -S . > "$bdir.cfg.log" 2>&1 \
+          && cmake --build "$bdir" -j "$JOBS" \
+              --target gc_tests bench_scenarios > "$bdir.build.log" 2>&1 \
+          && "$bdir/tests/gc_tests" \
+              --gtest_filter='FlowKeyTest.*:PartitionPoolTest.*:ScenarioServiceTest.*' \
+          && "$bdir/bench/bench_scenarios" --spin-up 20 --tracer-steps 10 \
+              --particles 500 --queries 4 \
+              --cache "$bdir/bench_scenarios_cache"; then
+        RESULT[service]="ok"
+      else
+        RESULT[service]="FAIL"; FAILED=1
+      fi ;;
     lint)
       note "lint: gc_lint self-scan"
       bdir=build-check/lint
@@ -111,7 +130,7 @@ for stage in "${STAGES[@]}"; do
       fi ;;
     *)
       echo "check.sh: unknown stage '$stage'" >&2
-      echo "stages: plain asan ubsan tsan equiv lint tidy" >&2
+      echo "stages: plain asan ubsan tsan equiv service lint tidy" >&2
       exit 2 ;;
   esac
 done

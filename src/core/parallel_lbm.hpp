@@ -21,16 +21,13 @@
 
 namespace gc::core {
 
-struct ParallelConfig {
-  Real tau = Real(0.8);
+/// Embeds lbm::RunParams (tau / collision / storage — see run_params.hpp);
+/// `storage` selects the per-node backend: double-buffered or the
+/// in-place AA pattern (half the footprint per rank, bit-exact,
+/// wire-compatible — pack/unpack go through the phase-transparent
+/// accessors).
+struct ParallelConfig : lbm::RunParams {
   netsim::NodeGrid grid;
-  /// Collision operator: BGK (the paper's cluster application) or the
-  /// MRT operator of the hybrid thermal model.
-  lbm::CollisionKind collision = lbm::CollisionKind::BGK;
-  /// Per-node distribution storage: double-buffered or the in-place AA
-  /// pattern (half the footprint per rank, bit-exact, wire-compatible —
-  /// pack/unpack go through the phase-transparent accessors).
-  lbm::StorageMode storage = lbm::StorageMode::DoubleBuffer;
   /// Hybrid thermal model (forces MRT): the finite-difference temperature
   /// field runs distributed too, exchanging one ghost value per border
   /// cell per step (the 7-point stencil needs axial faces only).

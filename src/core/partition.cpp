@@ -1,0 +1,90 @@
+#include "core/partition.hpp"
+
+#include "core/gpu_cluster.hpp"
+#include "core/parallel_lbm.hpp"
+#include "util/timer.hpp"
+
+namespace gc::core {
+
+PartitionPool::PartitionPool(int partitions, PartitionSpec spec)
+    : spec_(spec), busy_(static_cast<std::size_t>(partitions), 0) {
+  GC_CHECK_MSG(partitions >= 1, "a partition pool needs at least one slot");
+  GC_CHECK_MSG(spec_.grid.num_nodes() >= 1, "empty partition node grid");
+}
+
+PartitionPool::Lease::Lease(Lease&& other) noexcept
+    : pool_(other.pool_), slot_(other.slot_) {
+  other.pool_ = nullptr;
+}
+
+PartitionPool::Lease::~Lease() {
+  if (pool_) pool_->release(slot_);
+}
+
+PartitionPool::Lease PartitionPool::acquire() {
+  std::unique_lock<std::mutex> lock(mu_);
+  int slot = -1;
+  cv_.wait(lock, [this, &slot] {
+    for (std::size_t s = 0; s < busy_.size(); ++s) {
+      if (!busy_[s]) {
+        slot = static_cast<int>(s);
+        return true;
+      }
+    }
+    return false;
+  });
+  busy_[static_cast<std::size_t>(slot)] = 1;
+  return Lease(this, slot);
+}
+
+int PartitionPool::idle() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  int n = 0;
+  for (const char b : busy_) n += b ? 0 : 1;
+  return n;
+}
+
+void PartitionPool::release(int slot) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    busy_[static_cast<std::size_t>(slot)] = 0;
+  }
+  cv_.notify_one();
+}
+
+obs::RunStats PartitionPool::Lease::run(lbm::Lattice& state, int steps,
+                                        const lbm::RunParams& params) const {
+  GC_CHECK_MSG(pool_, "run() on a moved-from lease");
+  const PartitionSpec& spec = pool_->spec();
+  if (spec.backend == ClusterBackend::SimulatedGpu) {
+    GC_CHECK_MSG(params.collision == lbm::CollisionKind::BGK,
+                 "the simulated-GPU partition backend runs BGK only");
+    GC_CHECK_MSG(params.storage == lbm::StorageMode::DoubleBuffer,
+                 "the simulated-GPU partition backend owns its own texture "
+                 "storage; request DoubleBuffer");
+    GpuClusterConfig cfg;
+    cfg.tau = params.tau;
+    cfg.grid = spec.grid;
+    cfg.overlap = spec.overlap;
+    cfg.trace = spec.trace;
+    GpuClusterLbm sim(state, cfg);
+    Timer t;
+    sim.run(steps);
+    obs::RunStats stats;
+    stats.steps = steps;
+    stats.wall_ms = t.millis();
+    sim.gather(state);
+    return stats;
+  }
+  ParallelConfig cfg;
+  static_cast<lbm::RunParams&>(cfg) = params;
+  cfg.grid = spec.grid;
+  cfg.overlap = spec.overlap;
+  cfg.trace = spec.trace;
+  ParallelLbm sim(state, cfg);
+  const obs::RunStats stats = sim.run(steps);
+  sim.gather(state);
+  return stats;
+}
+
+}  // namespace gc::core

@@ -1,0 +1,94 @@
+// Partition leasing for many-query workloads: the cluster is a shared
+// resource (Feichtinger et al.'s patch-based GPU-CPU design and Calore et
+// al.'s large-cluster scaling study both schedule many independent jobs
+// onto one machine), so independent scenarios must be able to borrow a
+// slice of it, run to completion, and hand it back. A PartitionPool owns
+// a fixed number of partition slots; acquiring one yields a Lease whose
+// run() executes a global lattice on that partition — core::ParallelLbm
+// (one MpiLite world per run) on the host backend, core::GpuClusterLbm on
+// the simulated-GPU backend — and gathers the result back in place.
+// Bit-exactness is inherited: both backends are validated against the
+// serial reference, so *which* partition serves a request can never
+// change the answer.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+#include "lbm/lattice.hpp"
+#include "lbm/run_params.hpp"
+#include "netsim/schedule.hpp"
+#include "obs/trace.hpp"
+
+namespace gc::core {
+
+/// Which cluster implementation a partition runs.
+enum class ClusterBackend {
+  Host,          ///< core::ParallelLbm (one thread per logical node)
+  SimulatedGpu,  ///< core::GpuClusterLbm (one simulated GPU per node)
+};
+
+/// Shape shared by every partition in a pool.
+struct PartitionSpec {
+  /// Node grid *per partition* — each leased run decomposes its lattice
+  /// across this many logical cluster nodes.
+  netsim::NodeGrid grid{};
+  ClusterBackend backend = ClusterBackend::Host;
+  /// Execute the §4.4 compute–communication overlap inside each run.
+  bool overlap = false;
+  /// Per-rank spans/counters from leased runs land here (tid = rank
+  /// within the partition). Not owned; may be null.
+  obs::TraceRecorder* trace = nullptr;
+};
+
+/// A fixed pool of cluster partitions. acquire() blocks until a slot is
+/// free; the returned Lease releases it on destruction (RAII), so a
+/// worker that throws mid-scenario can never leak a partition.
+class PartitionPool {
+ public:
+  PartitionPool(int partitions, PartitionSpec spec);
+
+  class Lease {
+   public:
+    Lease(Lease&& other) noexcept;
+    Lease& operator=(Lease&&) = delete;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease();
+
+    /// The leased slot index in [0, pool size).
+    int partition() const { return slot_; }
+
+    /// Runs `steps` LBM steps of `state` on the leased partition and
+    /// gathers the result back into `state`. The wall time always lands
+    /// in the returned stats; per-phase spans require a recorder on the
+    /// pool spec. SimulatedGpu requires BGK + DoubleBuffer (the texture
+    /// pipeline owns its own storage).
+    obs::RunStats run(lbm::Lattice& state, int steps,
+                      const lbm::RunParams& params) const;
+
+   private:
+    friend class PartitionPool;
+    Lease(PartitionPool* pool, int slot) : pool_(pool), slot_(slot) {}
+    PartitionPool* pool_;
+    int slot_;
+  };
+
+  Lease acquire();
+
+  int size() const { return static_cast<int>(busy_.size()); }
+  /// Slots currently free (snapshot; racy by nature).
+  int idle() const;
+  const PartitionSpec& spec() const { return spec_; }
+
+ private:
+  void release(int slot);
+
+  PartitionSpec spec_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<char> busy_;
+};
+
+}  // namespace gc::core

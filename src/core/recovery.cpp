@@ -53,11 +53,14 @@ i64 load_cluster_checkpoint(const std::string& dir, ParallelLbm& sim) {
                "checkpoint has " << m.rank_files.size() << " ranks, expected "
                                  << sim.decomposition().num_nodes());
   for (int node = 0; node < sim.decomposition().num_nodes(); ++node) {
-    // Materialize each rank file in the simulation's storage mode so the
-    // restore is a same-mode copy.
-    const lbm::Lattice saved = io::load_checkpoint(
-        dir + "/" + m.rank_files[static_cast<std::size_t>(node)],
-        sim.local(node).storage_mode());
+    // The v3 header records the storage mode the snapshot was taken in,
+    // so the load auto-detects; converting covers a restore across modes
+    // (e.g. an old DoubleBuffer snapshot into an AA simulation).
+    lbm::Lattice saved = io::load_checkpoint(
+        dir + "/" + m.rank_files[static_cast<std::size_t>(node)]);
+    if (saved.storage_mode() != sim.local(node).storage_mode()) {
+      saved.convert_storage(sim.local(node).storage_mode());
+    }
     sim.restore_local(node, saved);
   }
   sim.set_current_step(m.step);

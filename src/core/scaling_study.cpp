@@ -68,10 +68,9 @@ std::vector<ThroughputRow> throughput_rows(
 double measure_host_step_ms(Int3 dim, int steps, const MeasureOptions& opt) {
   GC_CHECK(steps > 0);
   lbm::SolverConfig cfg;
-  cfg.tau = Real(0.8);
+  static_cast<lbm::RunParams&>(cfg) = opt;  // tau / collision / storage
   cfg.fused = opt.fused;
   cfg.pool = opt.pool;
-  cfg.storage = opt.storage;
   lbm::Solver solver(dim, cfg);
   solver.lattice().init_equilibrium(Real(1), Vec3{Real(0.05), 0, 0});
   solver.step();  // warm-up

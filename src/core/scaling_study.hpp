@@ -7,7 +7,7 @@
 #include <vector>
 
 #include "core/cluster_sim.hpp"
-#include "lbm/lattice.hpp"
+#include "lbm/run_params.hpp"
 #include "util/thread_pool.hpp"
 
 namespace gc::core {
@@ -40,11 +40,11 @@ std::vector<ThroughputRow> throughput_rows(
 
 /// Knobs for measured mode: which host hot path to time. The default is
 /// the serial split collide+stream reference; the fastest configuration is
-/// the fused span kernel on a thread pool.
-struct MeasureOptions {
+/// the fused span kernel on a thread pool. Embeds lbm::RunParams
+/// (tau / collision / storage — see run_params.hpp).
+struct MeasureOptions : lbm::RunParams {
   bool fused = false;          ///< fused stream+collide instead of split
   ThreadPool* pool = nullptr;  ///< run kernels on this pool (not owned)
-  lbm::StorageMode storage = lbm::StorageMode::DoubleBuffer;
 };
 
 /// Measured mode: actually steps a periodic 3D lattice on this host and

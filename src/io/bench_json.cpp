@@ -52,8 +52,11 @@ void write_bench_json(const std::string& path,
         << "    \"ms_per_step\": " << r.ms_per_step << ",\n"
         << "    \"mlups\": " << r.mlups << ",\n"
         << "    \"bytes_per_step\": " << r.bytes_per_step << ",\n"
-        << "    \"storage_bytes\": " << r.storage_bytes << "\n"
-        << "  }" << (k + 1 < records.size() ? "," : "") << "\n";
+        << "    \"storage_bytes\": " << r.storage_bytes;
+    for (const auto& extra : r.extras) {
+      out << ",\n    \"" << extra.first << "\": " << extra.second;
+    }
+    out << "\n  }" << (k + 1 < records.size() ? "," : "") << "\n";
   }
   out << "]\n";
   GC_CHECK_MSG(out.good(), "write failure on " << path);

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "lbm/lattice.hpp"
@@ -25,6 +26,9 @@ struct BenchRecord {
   double mlups = 0.0;          ///< million lattice-cell updates per second
   double bytes_per_step = 0.0; ///< analytic f-plane traffic per step
   double storage_bytes = 0.0;  ///< resident distribution storage
+  /// Bench-specific scalar metrics appended verbatim to the record
+  /// (e.g. bench_scenarios' "scenarios_per_hour", "speedup_vs_cold").
+  std::vector<std::pair<std::string, double>> extras;
 };
 
 /// "aa" / "double_buffer" — the spelling used in the JSON reports.

@@ -10,7 +10,11 @@ namespace gc::io {
 
 namespace {
 constexpr char kMagic[4] = {'G', 'C', 'L', 'B'};
-constexpr u32 kVersion = 2;
+// v2: storage-agnostic body, no storage-mode field (pre-dates the AA
+// backend reaching the header). v3: u8 StorageMode after the velocity
+// count. Both load; v2 is detected as DoubleBuffer.
+constexpr u32 kMinVersion = 2;
+constexpr u32 kVersion = 3;
 constexpr char kManifestMagic[4] = {'G', 'C', 'M', 'F'};
 constexpr u32 kManifestVersion = 1;
 
@@ -80,10 +84,12 @@ void write_envelope(const std::string& path, const char magic[4], u32 version,
   }
 }
 
-/// Reads and fully validates an envelope: magic, version, exact body
-/// size, CRC32. Returns the body.
+/// Reads and fully validates an envelope: magic, version (within
+/// [min_version, max_version]), exact body size, CRC32. Returns the body
+/// and, via `version_out`, the version actually found.
 std::string read_envelope(const std::string& path, const char magic[4],
-                          u32 expected_version, const char* what) {
+                          u32 min_version, u32 max_version,
+                          const char* what, u32* version_out = nullptr) {
   std::ifstream in(path, std::ios::binary);
   GC_CHECK_MSG(in.good(), "cannot open " << path);
 
@@ -93,8 +99,9 @@ std::string read_envelope(const std::string& path, const char magic[4],
                path << " is not a gpucluster " << what);
   u32 version = 0;
   in.read(reinterpret_cast<char*>(&version), sizeof(version));
-  GC_CHECK_MSG(in.good() && version == expected_version,
+  GC_CHECK_MSG(in.good() && version >= min_version && version <= max_version,
                "unsupported " << what << " version " << version);
+  if (version_out) *version_out = version;
   u64 size = 0;
   u32 crc = 0;
   in.read(reinterpret_cast<char*>(&size), sizeof(size));
@@ -121,6 +128,9 @@ void save_checkpoint(const std::string& path, const lbm::Lattice& lat) {
   body.pod(d.y);
   body.pod(d.z);
   body.pod(static_cast<u32>(lbm::Q));
+  // v3: the storage backend the saved simulation was running. The planes
+  // below stay in the canonical natural order regardless.
+  body.pod(static_cast<u8>(lat.storage_mode()));
 
   for (int face = 0; face < 6; ++face) {
     body.pod(static_cast<u8>(lat.face_bc(static_cast<lbm::Face>(face))));
@@ -159,22 +169,37 @@ void save_checkpoint(const std::string& path, const lbm::Lattice& lat) {
   write_envelope(path, kMagic, kVersion, body.str());
 }
 
-lbm::Lattice load_checkpoint(const std::string& path) {
-  return load_checkpoint(path, lbm::StorageMode::DoubleBuffer);
-}
+namespace {
 
-lbm::Lattice load_checkpoint(const std::string& path, lbm::StorageMode mode) {
-  const std::string raw = read_envelope(path, kMagic, kVersion, "checkpoint");
-  BodyReader body(raw);
-
-  Int3 d;
-  body.pod(d.x);
-  body.pod(d.y);
-  body.pod(d.z);
+/// Reads the dims / velocity-count / storage-mode header prefix shared by
+/// v2 and v3 bodies (v2 has no storage byte: DoubleBuffer).
+lbm::StorageMode read_header_prefix(BodyReader& body, u32 version, Int3* d) {
+  body.pod(d->x);
+  body.pod(d->y);
+  body.pod(d->z);
   u32 q;
   body.pod(q);
   GC_CHECK_MSG(q == static_cast<u32>(lbm::Q),
                "checkpoint has " << q << " velocities, expected " << lbm::Q);
+  if (version < 3) return lbm::StorageMode::DoubleBuffer;
+  u8 mode;
+  body.pod(mode);
+  GC_CHECK_MSG(mode <= static_cast<u8>(lbm::StorageMode::AA),
+               "invalid storage mode in checkpoint");
+  return static_cast<lbm::StorageMode>(mode);
+}
+
+lbm::Lattice load_checkpoint_impl(const std::string& path,
+                                  const lbm::StorageMode* forced_mode) {
+  u32 version = 0;
+  const std::string raw =
+      read_envelope(path, kMagic, kMinVersion, kVersion, "checkpoint",
+                    &version);
+  BodyReader body(raw);
+
+  Int3 d;
+  const lbm::StorageMode recorded = read_header_prefix(body, version, &d);
+  const lbm::StorageMode mode = forced_mode ? *forced_mode : recorded;
 
   // A fresh lattice is in the natural layout in either mode (AA phase 0),
   // so the planes can be read straight into plane_ptr.
@@ -221,6 +246,26 @@ lbm::Lattice load_checkpoint(const std::string& path, lbm::StorageMode mode) {
   return lat;
 }
 
+}  // namespace
+
+lbm::Lattice load_checkpoint(const std::string& path) {
+  return load_checkpoint_impl(path, nullptr);
+}
+
+lbm::Lattice load_checkpoint(const std::string& path, lbm::StorageMode mode) {
+  return load_checkpoint_impl(path, &mode);
+}
+
+CheckpointInfo read_checkpoint_info(const std::string& path) {
+  CheckpointInfo info;
+  const std::string raw =
+      read_envelope(path, kMagic, kMinVersion, kVersion, "checkpoint",
+                    &info.version);
+  BodyReader body(raw);
+  info.storage = read_header_prefix(body, info.version, &info.dim);
+  return info;
+}
+
 void save_manifest(const std::string& path, const ClusterManifest& m) {
   BodyWriter body;
   body.pod(m.step);
@@ -239,8 +284,9 @@ void save_manifest(const std::string& path, const ClusterManifest& m) {
 }
 
 ClusterManifest load_manifest(const std::string& path) {
-  const std::string raw =
-      read_envelope(path, kManifestMagic, kManifestVersion, "manifest");
+  const std::string raw = read_envelope(path, kManifestMagic,
+                                        kManifestVersion, kManifestVersion,
+                                        "manifest");
   BodyReader body(raw);
   ClusterManifest m;
   body.pod(m.step);

@@ -3,13 +3,19 @@
 // restartable state: this stores the full distribution set, flags and
 // boundary configuration, and restores a bit-identical lattice.
 //
-// Integrity (format v2): every file is an envelope of
+// Integrity (format v3): every file is an envelope of
 //   [magic][u32 version][u64 body_size][u32 body_crc32][body]
 // written to a temporary sibling and committed with an atomic rename, so
 // a crash mid-write leaves either the old file or none. Loading verifies
 // magic, version, exact body size (truncation detection) and CRC32, and
 // throws gc::Error on any mismatch — a flipped byte or a half-written
 // file can never be mistaken for valid state.
+//
+// v3 additionally records the StorageMode the saved simulation was
+// running (the distribution planes themselves are always serialized in
+// the canonical natural order, so the payload is storage-agnostic).
+// v2 files — which predate the header field — still load, detected as
+// DoubleBuffer, the only mode that existed when they were written.
 #pragma once
 
 #include <string>
@@ -26,11 +32,23 @@ void save_checkpoint(const std::string& path, const lbm::Lattice& lat);
 /// Reads a checkpoint; returns a lattice equal to the saved one
 /// (distributions bit-identical). Throws on malformed, truncated or
 /// corrupted files. The on-disk format is storage-agnostic (planes are
-/// always in the canonical natural order); the overload with a
-/// StorageMode materializes the lattice in that backend so it can be
-/// restored straight into an AA-mode simulation.
+/// always in the canonical natural order). The single-argument form
+/// materializes the lattice in the StorageMode recorded in the header —
+/// callers no longer guess the mode; the overload forces a specific
+/// backend (e.g. to restore a DoubleBuffer file straight into an AA
+/// simulation).
 lbm::Lattice load_checkpoint(const std::string& path);
 lbm::Lattice load_checkpoint(const std::string& path, lbm::StorageMode mode);
+
+/// Header facts of a checkpoint, without materializing the lattice.
+/// (The envelope is still fully CRC-validated — a checkpoint is small
+/// next to the simulation it snapshots.)
+struct CheckpointInfo {
+  Int3 dim{};
+  lbm::StorageMode storage = lbm::StorageMode::DoubleBuffer;
+  u32 version = 0;
+};
+CheckpointInfo read_checkpoint_info(const std::string& path);
 
 /// The commit record of a distributed (per-rank) checkpoint: written
 /// last, after every rank file landed, so its presence implies a complete

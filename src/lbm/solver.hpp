@@ -10,22 +10,18 @@
 #include "lbm/collision.hpp"
 #include "lbm/lattice.hpp"
 #include "lbm/mrt.hpp"
+#include "lbm/run_params.hpp"
 #include "lbm/sentinel.hpp"
 #include "lbm/thermal.hpp"
 #include "obs/trace.hpp"
 
 namespace gc::lbm {
 
-enum class CollisionKind { BGK, MRT };
-
-struct SolverConfig {
-  CollisionKind collision = CollisionKind::BGK;
-  Real tau = Real(0.8);
+/// Embeds RunParams (tau / collision / storage — see run_params.hpp) so
+/// one params object can be splatted across every stepping front-end.
+struct SolverConfig : RunParams {
   Vec3 body_force{};             ///< uniform force (BGK/Guo only)
   bool fused = false;            ///< use the fused stream+collide kernel
-  /// Distribution storage backend: the double-buffered default or the
-  /// in-place AA pattern (half the footprint and traffic, bit-exact).
-  StorageMode storage = StorageMode::DoubleBuffer;
   std::optional<MrtParams> mrt;  ///< overrides MrtParams::standard(tau)
   std::optional<ThermalParams> thermal;
   /// When set, collision and streaming run on this pool (z-slab

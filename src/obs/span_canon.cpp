@@ -5,7 +5,8 @@ namespace gc::obs {
 namespace {
 
 // Sorted by name. Grouped by subsystem: lbm kernels, net exchange, the
-// executed/modeled overlap pipeline, fault tolerance, tracer transport.
+// executed/modeled overlap pipeline, fault tolerance, the scenario
+// service, tracer transport.
 constexpr SpanCanon kSpans[] = {
     {"checkpoint", "ft"},
     {"collide", "lbm"},
@@ -20,6 +21,9 @@ constexpr SpanCanon kSpans[] = {
     {"pack", "net"},
     {"rollback", "ft"},
     {"sentinel", "ft"},
+    {"service.flow", "service"},
+    {"service.scenario", "service"},
+    {"service.tracer", "service"},
     {"stream", "lbm"},
     {"thermal", "lbm"},
     {"tracer.advect", "tracer"},
@@ -38,6 +42,9 @@ constexpr MetricCanon kCounters[] = {
     {"mpi.barrier_waits"},
     {"mpi.bytes"},
     {"mpi.messages"},
+    {"service.cache_hits"},
+    {"service.cache_misses"},
+    {"service.requests"},
     {"solver.steps"},
     {"urban.spin_up_steps"},
     {"urban.tracer_steps"},
@@ -49,6 +56,7 @@ constexpr MetricCanon kGauges[] = {
     {"model.makespan_ms"},
     {"model.network_hidden_ms"},
     {"mpi.overlap_hidden_ms"},
+    {"service.queue_depth"},
     {"urban.ms_per_step"},
 };
 

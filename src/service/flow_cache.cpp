@@ -1,0 +1,174 @@
+#include "service/flow_cache.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <utility>
+
+#include "io/checkpoint.hpp"
+#include "util/checksum.hpp"
+
+namespace gc::service {
+
+namespace {
+
+// Incremental two-seed CRC digest. crc32 is 32 bits; hashing the same
+// byte stream under two different seeds and packing the results yields
+// the u64 digests the cache keys on. Not cryptographic — the cache is a
+// performance layer over trusted local state, and a (vanishingly rare)
+// collision costs correctness of one entry name, which the bit-exact
+// service tests would catch.
+struct Digest64 {
+  u32 lo = 0;
+  u32 hi = 0x9e3779b9u;  // any fixed second seed works; this is 2^32/phi
+
+  void bytes(const void* p, std::size_t n) {
+    lo = crc32(p, n, lo);
+    hi = crc32(p, n, hi);
+  }
+  template <typename T>
+  void pod(const T& v) {
+    bytes(&v, sizeof(T));
+  }
+  u64 value() const { return (static_cast<u64>(hi) << 32) | lo; }
+};
+
+}  // namespace
+
+u64 geometry_hash(const lbm::Lattice& lat) {
+  Digest64 d;
+  const Int3 dim = lat.dim();
+  d.pod(dim.x);
+  d.pod(dim.y);
+  d.pod(dim.z);
+  if (!lat.flags().empty()) {
+    d.bytes(lat.flags().data(), lat.flags().size());
+  }
+  for (int face = 0; face < 6; ++face) {
+    d.pod(static_cast<u8>(lat.face_bc(static_cast<lbm::Face>(face))));
+  }
+  d.pod(lat.inlet_density());
+  const Vec3 uin = lat.inlet_velocity();
+  d.pod(uin.x);
+  d.pod(uin.y);
+  d.pod(uin.z);
+  // The profile callback itself is opaque; record only its presence and
+  // let the key's profile_exponent distinguish parameterized profiles.
+  d.pod(static_cast<u8>(lat.has_inlet_profile() ? 1 : 0));
+  for (const lbm::CurvedLink& link : lat.curved_links()) {
+    d.pod(link.cell);
+    d.pod(link.dir);
+    d.pod(link.q);
+  }
+  return d.value();
+}
+
+std::string flow_key_stem(const FlowKey& key) {
+  Digest64 d;
+  d.pod(key.geometry_hash);
+  d.pod(key.dim.x);
+  d.pod(key.dim.y);
+  d.pod(key.dim.z);
+  d.pod(key.wind.x);
+  d.pod(key.wind.y);
+  d.pod(key.wind.z);
+  d.pod(key.profile_exponent);
+  d.pod(key.params.tau);
+  d.pod(static_cast<u8>(key.params.collision));
+  d.pod(static_cast<u8>(key.params.storage));
+  d.pod(key.spin_up_steps);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "flow_%016llx",
+                static_cast<unsigned long long>(d.value()));
+  return std::string(buf);
+}
+
+FlowCache::FlowCache(std::string dir) : dir_(std::move(dir)) {
+  std::filesystem::create_directories(dir_);
+}
+
+std::string FlowCache::checkpoint_path(const FlowKey& key) const {
+  return dir_ + "/" + flow_key_stem(key) + ".gclb";
+}
+
+std::string FlowCache::manifest_path(const FlowKey& key) const {
+  return dir_ + "/" + flow_key_stem(key) + ".gcmf";
+}
+
+bool FlowCache::contains(const FlowKey& key) const {
+  return std::filesystem::exists(manifest_path(key));
+}
+
+FlowCache::Stats FlowCache::stats() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return stats_;
+}
+
+FlowCache::Entry FlowCache::get_or_compute(
+    const FlowKey& key, const std::function<lbm::Lattice()>& compute) {
+  const std::string stem = flow_key_stem(key);
+  const std::string ckpt = checkpoint_path(key);
+  const std::string mani = manifest_path(key);
+
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      // Someone is computing this key right now: wait for the commit (or
+      // for the computer to fail, in which case we take over below).
+      cv_.wait(lock, [this, &stem] { return in_flight_.count(stem) == 0; });
+      if (std::filesystem::exists(mani)) {
+        stats_.hits += 1;
+        lock.unlock();
+        try {
+          io::ClusterManifest m = io::load_manifest(mani);
+          return Entry{io::load_checkpoint(dir_ + "/" + m.rank_files.at(0)),
+                       /*hit=*/true, /*steady_step=*/m.step};
+        } catch (const Error&) {
+          // Torn or corrupted entry: drop it and fall through to a
+          // fresh compute. The hit we just counted becomes a miss.
+          std::unique_lock<std::mutex> relock(mu_);
+          stats_.hits -= 1;
+          std::filesystem::remove(mani);
+          std::filesystem::remove(ckpt);
+        }
+      }
+      // Claim the compute. Re-take the lock state we hold from the wait
+      // above (or from the relock path we only reach unlocked).
+    }
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (in_flight_.count(stem) != 0) continue;  // lost the race; re-wait
+      if (std::filesystem::exists(mani)) continue;  // committed meanwhile
+      in_flight_.insert(stem);
+      stats_.misses += 1;
+      stats_.computes += 1;
+    }
+    try {
+      Entry entry{compute(), /*hit=*/false, /*steady_step=*/key.spin_up_steps};
+      // Commit protocol: checkpoint first, manifest last. Each write is
+      // itself tmp+rename-atomic, so a crash between the two leaves a
+      // checkpoint without a manifest — an entry that does not exist.
+      io::save_checkpoint(ckpt, entry.flow);
+      io::ClusterManifest m;
+      m.step = key.spin_up_steps;
+      m.grid = Int3{1, 1, 1};
+      m.lattice_dim = entry.flow.dim();
+      m.rank_files.push_back(stem + ".gclb");
+      io::save_manifest(mani, m);
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        in_flight_.erase(stem);
+      }
+      cv_.notify_all();
+      return entry;
+    } catch (...) {
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        in_flight_.erase(stem);
+      }
+      cv_.notify_all();
+      throw;
+    }
+  }
+}
+
+}  // namespace gc::service

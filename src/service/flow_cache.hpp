@@ -1,0 +1,106 @@
+// The steady-state flow-field cache at the heart of the scenario service.
+//
+// The urban-dispersion workload is many-query: release points × wind
+// directions × city variants. The expensive part of a query is spinning
+// the LBM flow up to steady state; the cheap part is the Lowe–Succi
+// tracer walk, which only *reads* the frozen distributions. Queries that
+// share (geometry, wind, resolution, run params) therefore share a flow:
+// the first request runs the LBM and commits the steady field as a
+// checkpoint-v2 file plus a manifest, and every later request restores
+// the frozen flow and runs tracers only.
+//
+// Entry format: one storage-agnostic lattice checkpoint (io/checkpoint,
+// CRC-enveloped, atomic-rename commit) plus a ClusterManifest written
+// LAST — manifest presence implies a complete entry, exactly the commit
+// protocol the recovery layer uses. A torn or corrupted entry fails its
+// CRC on load and is silently invalidated and recomputed.
+//
+// Concurrency: get_or_compute is single-flight per key. Concurrent
+// requests for the same key block until the one compute commits, then
+// load the committed entry — the LBM runs once no matter how many
+// identical requests race in.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "lbm/lattice.hpp"
+#include "lbm/run_params.hpp"
+
+namespace gc::service {
+
+/// Everything that determines a steady flow field. Two requests with
+/// equal keys may share a cached flow; any differing field forces a
+/// separate entry. The geometry hash covers flags, face BCs, inlet
+/// state and curved links of the built lattice (see geometry_hash);
+/// wind velocity and boundary-layer exponent are carried explicitly so
+/// the key is self-describing.
+struct FlowKey {
+  u64 geometry_hash = 0;
+  Int3 dim{};                       ///< resolution
+  Vec3 wind{};                      ///< inflow velocity (lattice units)
+  Real profile_exponent = Real(0);  ///< atmospheric boundary-layer power
+  lbm::RunParams params;            ///< tau / collision / storage mode
+  int spin_up_steps = 0;            ///< steps defining "steady state"
+};
+
+/// Configuration digest of a lattice: dims, flags, face BCs, inlet
+/// density/velocity and curved links — NOT the distribution values. Two
+/// lattices with equal hashes impose identical geometry on a flow.
+/// (Inlet *profiles* are callbacks and cannot be hashed; key them via
+/// FlowKey::profile_exponent instead.)
+u64 geometry_hash(const lbm::Lattice& lat);
+
+/// Deterministic file stem for a key ("flow_<16 hex digits>"); every
+/// field feeds the digest, so distinct keys get distinct entries.
+std::string flow_key_stem(const FlowKey& key);
+
+class FlowCache {
+ public:
+  /// Entries live in `dir` (created if missing) as <stem>.gclb +
+  /// <stem>.gcmf pairs; a cache directory survives process restarts.
+  explicit FlowCache(std::string dir);
+
+  struct Stats {
+    i64 hits = 0;      ///< requests served from a committed entry
+    i64 misses = 0;    ///< requests that had to compute
+    i64 computes = 0;  ///< LBM spin-ups actually executed (== misses)
+  };
+
+  struct Entry {
+    lbm::Lattice flow;    ///< steady flow, in the storage mode it ran in
+    bool hit = false;     ///< true when served without computing
+    i64 steady_step = 0;  ///< spin-up steps behind the field
+  };
+
+  /// Returns the steady flow for `key`, invoking `compute` exactly once
+  /// across all concurrent callers on the first request (or after an
+  /// entry was invalidated by corruption). `compute` must return the
+  /// steady lattice for the key; its result is committed before any
+  /// waiting caller is released. Exceptions from `compute` propagate to
+  /// the computing caller; waiting callers then retry (one of them
+  /// becomes the new computer).
+  Entry get_or_compute(const FlowKey& key,
+                       const std::function<lbm::Lattice()>& compute);
+
+  /// True when a committed entry for `key` is on disk (no validation
+  /// beyond manifest presence — load still CRC-checks).
+  bool contains(const FlowKey& key) const;
+
+  Stats stats() const;
+  const std::string& dir() const { return dir_; }
+  std::string checkpoint_path(const FlowKey& key) const;
+  std::string manifest_path(const FlowKey& key) const;
+
+ private:
+  std::string dir_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::set<std::string> in_flight_;  ///< stems being computed right now
+  Stats stats_;
+};
+
+}  // namespace gc::service

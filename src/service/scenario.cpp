@@ -1,0 +1,26 @@
+#include "service/scenario.hpp"
+
+namespace gc::service {
+
+lbm::Lattice build_scenario_lattice(const ScenarioRequest& req) {
+  lbm::Lattice lat(req.dim, req.params.storage);
+  city::apply_wind_boundaries(lat, req.wind);
+  lat.init_equilibrium(Real(1), req.wind.velocity);
+  const city::CityModel model(req.city);
+  city::voxelize(model, lat, req.voxel);
+  return lat;
+}
+
+FlowKey scenario_flow_key(const ScenarioRequest& req,
+                          const lbm::Lattice& lat) {
+  FlowKey key;
+  key.geometry_hash = geometry_hash(lat);
+  key.dim = req.dim;
+  key.wind = req.wind.velocity;
+  key.profile_exponent = req.wind.profile_exponent;
+  key.params = req.params;
+  key.spin_up_steps = req.spin_up_steps;
+  return key;
+}
+
+}  // namespace gc::service

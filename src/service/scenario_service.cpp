@@ -1,0 +1,176 @@
+#include "service/scenario_service.hpp"
+
+#include <utility>
+
+#include "tracer/tracer.hpp"
+#include "util/timer.hpp"
+
+namespace gc::service {
+
+ScenarioService::ScenarioService(ServiceConfig cfg)
+    : cfg_(std::move(cfg)),
+      cache_(cfg_.cache_dir),
+      pool_(cfg_.partitions, cfg_.partition),
+      paused_(cfg_.start_paused) {
+  GC_CHECK_MSG(cfg_.queue_capacity >= 1, "service queue capacity must be >= 1");
+  GC_CHECK_MSG(cfg_.workers >= 1, "the service needs at least one worker");
+  workers_.reserve(static_cast<std::size_t>(cfg_.workers));
+  for (int w = 0; w < cfg_.workers; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ScenarioService::~ScenarioService() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+    paused_ = false;
+  }
+  cv_work_.notify_all();
+  cv_space_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  // Workers are gone; whatever is still queued can never run.
+  for (Job& job : queue_) {
+    job.promise.set_exception(std::make_exception_ptr(
+        Error("scenario service shut down before this request ran")));
+  }
+  queue_.clear();
+}
+
+void ScenarioService::set_queue_gauge(int depth) {
+  if (cfg_.trace) cfg_.trace->set_gauge("service.queue_depth", 0, depth);
+}
+
+std::future<ScenarioResult> ScenarioService::submit(ScenarioRequest req) {
+  Job job;
+  job.req = std::move(req);
+  std::future<ScenarioResult> fut = job.promise.get_future();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_space_.wait(lock, [this] {
+      return stop_ || static_cast<int>(queue_.size()) < cfg_.queue_capacity;
+    });
+    GC_CHECK_MSG(!stop_, "submit() on a stopping scenario service");
+    queue_.push_back(std::move(job));
+    if (cfg_.trace) cfg_.trace->add_counter("service.requests", 0, 1);
+    set_queue_gauge(static_cast<int>(queue_.size()));
+  }
+  cv_work_.notify_one();
+  return fut;
+}
+
+bool ScenarioService::try_submit(ScenarioRequest req,
+                                 std::future<ScenarioResult>* out) {
+  Job job;
+  job.req = std::move(req);
+  std::future<ScenarioResult> fut = job.promise.get_future();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stop_ || static_cast<int>(queue_.size()) >= cfg_.queue_capacity) {
+      return false;
+    }
+    queue_.push_back(std::move(job));
+    if (cfg_.trace) cfg_.trace->add_counter("service.requests", 0, 1);
+    set_queue_gauge(static_cast<int>(queue_.size()));
+  }
+  cv_work_.notify_one();
+  if (out) *out = std::move(fut);
+  return true;
+}
+
+void ScenarioService::start() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  cv_work_.notify_all();
+}
+
+void ScenarioService::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+int ScenarioService::queue_depth() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return static_cast<int>(queue_.size());
+}
+
+void ScenarioService::worker_loop(int worker) {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [this] {
+        return stop_ || (!paused_ && !queue_.empty());
+      });
+      if (stop_) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      in_flight_ += 1;
+      set_queue_gauge(static_cast<int>(queue_.size()));
+    }
+    cv_space_.notify_one();
+    try {
+      job.promise.set_value(run_scenario(job.req, worker));
+    } catch (...) {
+      job.promise.set_exception(std::current_exception());
+    }
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      in_flight_ -= 1;
+      if (queue_.empty() && in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+ScenarioResult ScenarioService::run_scenario(const ScenarioRequest& req,
+                                             int worker) {
+  obs::ScopedSpan span(cfg_.trace, "service.scenario", worker, "service");
+  ScenarioResult res;
+
+  lbm::Lattice lat = build_scenario_lattice(req);
+  const FlowKey key = scenario_flow_key(req, lat);
+
+  Timer flow_timer;
+  FlowCache::Entry entry = cache_.get_or_compute(key, [&]() -> lbm::Lattice {
+    // Cache miss: lease a cluster partition and spin the flow up. The
+    // lease is acquired only inside the compute closure, so cache hits
+    // never occupy a partition and hit latency is independent of
+    // cluster load.
+    obs::ScopedSpan flow_span(cfg_.trace, "service.flow", worker, "service");
+    core::PartitionPool::Lease lease = pool_.acquire();
+    res.partition = lease.partition();
+    res.flow_stats = lease.run(lat, req.spin_up_steps, req.params);
+    return std::move(lat);
+  });
+  res.flow_ms = flow_timer.millis();
+  res.cache_hit = entry.hit;
+  if (cfg_.trace) {
+    cfg_.trace->add_counter(
+        entry.hit ? "service.cache_hits" : "service.cache_misses", 0, 1);
+  }
+
+  Timer tracer_timer;
+  {
+    obs::ScopedSpan tracer_span(cfg_.trace, "service.tracer", worker,
+                                "service");
+    tracer::TracerParams tp;
+    tp.seed = req.tracer_seed;
+    tracer::TracerCloud cloud(tp);
+    for (const Release& r : req.releases) {
+      cloud.release(r.site, r.count);
+      res.particles_released += r.count;
+    }
+    for (int s = 0; s < req.tracer_steps; ++s) cloud.step(entry.flow);
+    res.particles_escaped = cloud.num_escaped();
+    res.particles_alive = cloud.num_particles();
+    if (req.deposit_concentration) {
+      cloud.deposit(entry.flow, res.concentration);
+    }
+  }
+  res.tracer_ms = tracer_timer.millis();
+  return res;
+}
+
+}  // namespace gc::service

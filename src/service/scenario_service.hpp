@@ -1,0 +1,114 @@
+// The ensemble scenario service: the paper's Section 6 vision of the
+// cluster as a *dispersion calculation appliance* — emergency-response
+// queries ("release at X under wind W, where does the plume go?") arrive
+// as requests, not as hand-written simulation drivers. The service owns
+// a PartitionPool (the cluster), a bounded request queue, a small worker
+// pool, and the steady-state FlowCache. Each worker takes one request,
+// resolves its flow field (cache hit: restore the frozen checkpoint;
+// miss: lease a cluster partition and spin the LBM up), then runs the
+// Lowe–Succi tracer phase against the frozen flow and fulfils the
+// request's future.
+//
+// Determinism: tracers are seeded and the flow they read is frozen, so a
+// cached scenario reproduces a cold scenario bit-exactly — the cache is
+// purely a performance layer (tests assert this).
+//
+// Observability: every scenario runs under a service.scenario span (tid
+// = worker index); cache traffic lands on the service.cache_hits /
+// service.cache_misses counters and queue pressure on the
+// service.queue_depth gauge — all names in the span canon.
+#pragma once
+
+#include <deque>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/partition.hpp"
+#include "service/flow_cache.hpp"
+#include "service/scenario.hpp"
+
+namespace gc::service {
+
+struct ServiceConfig {
+  /// Flow-cache directory; survives service restarts (a warm directory
+  /// makes every first request a hit).
+  std::string cache_dir = "flow_cache";
+  /// Bounded queue: submit() blocks and try_submit() refuses once this
+  /// many requests are waiting (back-pressure instead of OOM).
+  int queue_capacity = 16;
+  /// Worker threads draining the queue. Independent scenarios batch
+  /// across the cluster: each cache-missing worker leases its own
+  /// partition, so up to min(workers, partitions) flows run at once.
+  int workers = 2;
+  /// Cluster partitions in the pool.
+  int partitions = 2;
+  /// Shape of every partition (node grid, backend, overlap, trace).
+  core::PartitionSpec partition{};
+  /// Service-level spans/counters/gauges land here. Not owned; may be
+  /// null. (Partition-internal tracing is wired via `partition.trace`.)
+  obs::TraceRecorder* trace = nullptr;
+  /// Construct with the workers parked; start() releases them. Lets
+  /// tests fill the bounded queue deterministically.
+  bool start_paused = false;
+};
+
+class ScenarioService {
+ public:
+  explicit ScenarioService(ServiceConfig cfg);
+  /// Stops accepting work, finishes in-flight scenarios, fails still-
+  /// queued requests with gc::Error, joins the workers.
+  ~ScenarioService();
+
+  ScenarioService(const ScenarioService&) = delete;
+  ScenarioService& operator=(const ScenarioService&) = delete;
+
+  /// Enqueues a request; blocks while the queue is full. The returned
+  /// future yields the result or rethrows the scenario's failure.
+  std::future<ScenarioResult> submit(ScenarioRequest req);
+
+  /// Non-blocking submit: false (and no future) when the queue is full
+  /// or the service is shutting down.
+  bool try_submit(ScenarioRequest req, std::future<ScenarioResult>* out);
+
+  /// Releases workers parked by start_paused (no-op otherwise).
+  void start();
+
+  /// Blocks until the queue is empty and no scenario is in flight.
+  void drain();
+
+  /// Requests waiting in the queue right now (excludes in-flight).
+  int queue_depth() const;
+
+  FlowCache& cache() { return cache_; }
+  core::PartitionPool& partitions() { return pool_; }
+  const ServiceConfig& config() const { return cfg_; }
+
+ private:
+  struct Job {
+    ScenarioRequest req;
+    std::promise<ScenarioResult> promise;
+  };
+
+  void worker_loop(int worker);
+  ScenarioResult run_scenario(const ScenarioRequest& req, int worker);
+  void set_queue_gauge(int depth);
+
+  ServiceConfig cfg_;
+  FlowCache cache_;
+  core::PartitionPool pool_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;   ///< queue became non-empty / unpaused
+  std::condition_variable cv_space_;  ///< queue has room again
+  std::condition_variable cv_idle_;   ///< queue empty and nothing in flight
+  std::deque<Job> queue_;
+  int in_flight_ = 0;
+  bool paused_ = false;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace gc::service

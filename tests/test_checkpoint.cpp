@@ -3,12 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 
 #include "io/checkpoint.hpp"
 #include "lbm/collision.hpp"
 #include "lbm/stream.hpp"
+#include "util/checksum.hpp"
 #include "util/rng.hpp"
 
 namespace gc::io {
@@ -188,6 +190,95 @@ TEST(CheckpointV2, ManifestRoundTrips) {
   EXPECT_EQ(r.grid, m.grid);
   EXPECT_EQ(r.lattice_dim, m.lattice_dim);
   EXPECT_EQ(r.rank_files, m.rank_files);
+}
+
+// ---------------------------------------------------------------------------
+// Format v3: the header records the StorageMode; loads auto-detect it,
+// and v2 files (no mode field) still load as DoubleBuffer.
+
+namespace {
+/// Rewrites a saved v3 checkpoint into the v2 wire format: drops the
+/// storage-mode byte from the body, sets the version word to 2 and
+/// re-derives body_size and CRC32 — byte-for-byte what the pre-v3 writer
+/// produced for a DoubleBuffer lattice.
+std::string downgrade_to_v2(const std::string& v3) {
+  // Envelope: [magic 4][version 4][body_size 8][crc 4][body]; the
+  // storage byte sits at body offset 16 (3 x i32 dims + u32 Q).
+  std::string out = v3;
+  const std::size_t header = 4 + 4 + 8 + 4;
+  out.erase(header + 16, 1);
+  const u32 version = 2;
+  std::memcpy(out.data() + 4, &version, sizeof(version));
+  const u64 body_size = out.size() - header;
+  std::memcpy(out.data() + 8, &body_size, sizeof(body_size));
+  const u32 crc = crc32(out.data() + header, out.size() - header);
+  std::memcpy(out.data() + 16, &crc, sizeof(crc));
+  return out;
+}
+}  // namespace
+
+TEST(CheckpointV3, RecordsAndDetectsStorageMode) {
+  TempFile f("mode.gclb");
+  for (const lbm::StorageMode mode :
+       {lbm::StorageMode::DoubleBuffer, lbm::StorageMode::AA}) {
+    Lattice lat(Int3{6, 5, 4}, mode);
+    lat.init_equilibrium(Real(1), Vec3{0.02f, 0, 0});
+    save_checkpoint(f.path(), lat);
+    const CheckpointInfo info = read_checkpoint_info(f.path());
+    EXPECT_EQ(info.version, 3u);
+    EXPECT_EQ(info.storage, mode);
+    EXPECT_EQ(info.dim, lat.dim());
+    // The mode-less load materializes the recorded backend.
+    const Lattice restored = load_checkpoint(f.path());
+    EXPECT_EQ(restored.storage_mode(), mode);
+  }
+}
+
+TEST(CheckpointV3, ExplicitModeOverridesTheHeader) {
+  TempFile f("override.gclb");
+  Lattice lat(Int3{6, 5, 4}, lbm::StorageMode::AA);
+  lat.init_equilibrium(Real(1), Vec3{0.02f, 0, 0});
+  save_checkpoint(f.path(), lat);
+  const Lattice as_db =
+      load_checkpoint(f.path(), lbm::StorageMode::DoubleBuffer);
+  EXPECT_EQ(as_db.storage_mode(), lbm::StorageMode::DoubleBuffer);
+  for (int i = 0; i < lbm::Q; ++i) {
+    for (i64 c = 0; c < lat.num_cells(); ++c) {
+      ASSERT_EQ(as_db.f(i, c), lat.f(i, c));
+    }
+  }
+}
+
+TEST(CheckpointV3, LoadsLegacyV2FilesAsDoubleBuffer) {
+  TempFile f("legacy.gclb");
+  const Lattice original = make_state();
+  save_checkpoint(f.path(), original);
+  spit(f.path(), downgrade_to_v2(slurp(f.path())));
+
+  const CheckpointInfo info = read_checkpoint_info(f.path());
+  EXPECT_EQ(info.version, 2u);
+  EXPECT_EQ(info.storage, lbm::StorageMode::DoubleBuffer);
+
+  const Lattice restored = load_checkpoint(f.path());
+  EXPECT_EQ(restored.storage_mode(), lbm::StorageMode::DoubleBuffer);
+  for (int i = 0; i < lbm::Q; ++i) {
+    for (i64 c = 0; c < original.num_cells(); ++c) {
+      ASSERT_EQ(restored.f(i, c), original.f(i, c));
+    }
+  }
+}
+
+TEST(CheckpointV3, RejectsInvalidStorageModeByte) {
+  TempFile f("badmode.gclb");
+  save_checkpoint(f.path(), make_state());
+  std::string content = slurp(f.path());
+  const std::size_t header = 4 + 4 + 8 + 4;
+  content[header + 16] = 0x7;  // not a StorageMode
+  const u32 crc = crc32(content.data() + header, content.size() - header);
+  std::memcpy(content.data() + 16, &crc, sizeof(crc));
+  spit(f.path(), content);
+  EXPECT_THROW(load_checkpoint(f.path()), Error);
+  EXPECT_THROW(read_checkpoint_info(f.path()), Error);
 }
 
 TEST(CheckpointV2, ManifestRejectsCorruption) {

@@ -1,0 +1,348 @@
+// The ensemble scenario service: flow-cache correctness (bit-exact
+// hits, invalidation, single-flight), partition leasing, and the
+// bounded request queue.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "service/flow_cache.hpp"
+#include "service/scenario.hpp"
+#include "service/scenario_service.hpp"
+
+namespace gc::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempDir {
+ public:
+  explicit TempDir(const char* name)
+      : path_(std::string(::testing::TempDir()) + "/" + name) {
+    fs::remove_all(path_);
+  }
+  ~TempDir() { fs::remove_all(path_); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// A tiny but non-trivial scenario: a handful of small buildings in a
+// 24x16x8 box under an eastward wind, sized so a spin-up runs in
+// milliseconds.
+ScenarioRequest small_request() {
+  ScenarioRequest req;
+  req.dim = Int3{24, 16, 8};
+  req.city.extent_x_m = Real(60);
+  req.city.extent_y_m = Real(40);
+  req.city.avenues = 2;
+  req.city.streets = 2;
+  req.city.mean_height_m = Real(12);
+  req.city.tall_height_m = Real(20);
+  req.voxel.meters_per_cell = Real(3.8);
+  req.voxel.origin_cells = Int3{4, 2, 0};
+  req.wind.velocity = Vec3{Real(0.05), Real(0), Real(0)};
+  req.spin_up_steps = 12;
+  req.releases.push_back(Release{Int3{3, 8, 1}, 500});
+  req.tracer_steps = 25;
+  req.tracer_seed = 99;
+  return req;
+}
+
+ServiceConfig small_config(const std::string& cache_dir) {
+  ServiceConfig cfg;
+  cfg.cache_dir = cache_dir;
+  cfg.workers = 2;
+  cfg.partitions = 2;
+  cfg.partition.grid.dims = Int3{2, 1, 1};
+  return cfg;
+}
+
+TEST(FlowKeyTest, StemIsDeterministicAndSensitiveToEveryField) {
+  const ScenarioRequest req = small_request();
+  const lbm::Lattice lat = build_scenario_lattice(req);
+  const FlowKey base = scenario_flow_key(req, lat);
+  EXPECT_EQ(flow_key_stem(base), flow_key_stem(base));
+
+  FlowKey k = base;
+  k.wind.x += Real(0.01);
+  EXPECT_NE(flow_key_stem(k), flow_key_stem(base));
+  k = base;
+  k.spin_up_steps += 1;
+  EXPECT_NE(flow_key_stem(k), flow_key_stem(base));
+  k = base;
+  k.params.tau += Real(0.05);
+  EXPECT_NE(flow_key_stem(k), flow_key_stem(base));
+  k = base;
+  k.params.storage = lbm::StorageMode::AA;
+  EXPECT_NE(flow_key_stem(k), flow_key_stem(base));
+  k = base;
+  k.geometry_hash ^= 1;
+  EXPECT_NE(flow_key_stem(k), flow_key_stem(base));
+}
+
+TEST(FlowKeyTest, GeometryHashSeesObstaclesAndBoundaries) {
+  const ScenarioRequest req = small_request();
+  lbm::Lattice a = build_scenario_lattice(req);
+  lbm::Lattice b = build_scenario_lattice(req);
+  EXPECT_EQ(geometry_hash(a), geometry_hash(b));
+
+  // ...but NOT the distribution values: geometry is configuration.
+  b.set_f(0, 0, b.f(0, 0) + Real(0.5));
+  EXPECT_EQ(geometry_hash(a), geometry_hash(b));
+
+  b.set_flag(Int3{1, 1, 1}, lbm::CellType::Solid);
+  EXPECT_NE(geometry_hash(a), geometry_hash(b));
+
+  lbm::Lattice c = build_scenario_lattice(req);
+  c.set_face_bc(lbm::FACE_YMIN, lbm::FaceBc::Wall);
+  EXPECT_NE(geometry_hash(a), geometry_hash(c));
+
+  lbm::Lattice d = build_scenario_lattice(req);
+  d.add_curved_link({d.idx(2, 2, 1), 3, Real(0.4)});
+  EXPECT_NE(geometry_hash(a), geometry_hash(d));
+}
+
+TEST(PartitionPoolTest, LeasesAreExclusiveAndReleasedOnDestruction) {
+  core::PartitionSpec spec;
+  spec.grid.dims = Int3{2, 1, 1};
+  core::PartitionPool pool(2, spec);
+  EXPECT_EQ(pool.size(), 2);
+  EXPECT_EQ(pool.idle(), 2);
+  {
+    core::PartitionPool::Lease a = pool.acquire();
+    core::PartitionPool::Lease b = pool.acquire();
+    EXPECT_NE(a.partition(), b.partition());
+    EXPECT_EQ(pool.idle(), 0);
+
+    // A third acquire must block until a lease is returned.
+    std::promise<int> got;
+    std::future<int> got_fut = got.get_future();
+    std::thread waiter([&pool, &got] {
+      core::PartitionPool::Lease c = pool.acquire();
+      got.set_value(c.partition());
+    });
+    EXPECT_EQ(got_fut.wait_for(std::chrono::milliseconds(50)),
+              std::future_status::timeout);
+    {
+      core::PartitionPool::Lease dropped = std::move(a);
+    }
+    EXPECT_EQ(got_fut.wait_for(std::chrono::seconds(10)),
+              std::future_status::ready);
+    waiter.join();
+  }
+  EXPECT_EQ(pool.idle(), 2);
+}
+
+TEST(ScenarioServiceTest, CachedScenarioIsBitExactVsCold) {
+  TempDir dir("svc_bitexact");
+  ServiceConfig cfg = small_config(dir.path());
+  ScenarioService svc(cfg);
+
+  const ScenarioRequest req = small_request();
+  const ScenarioResult cold = svc.submit(req).get();
+  EXPECT_FALSE(cold.cache_hit);
+  EXPECT_GE(cold.partition, 0);
+  EXPECT_EQ(cold.flow_stats.steps, req.spin_up_steps);
+  EXPECT_EQ(cold.particles_released, 500);
+  EXPECT_EQ(cold.particles_alive + cold.particles_escaped,
+            cold.particles_released);
+
+  const ScenarioResult warm = svc.submit(req).get();
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(warm.partition, -1);  // hits never lease a partition
+  EXPECT_EQ(warm.flow_stats.steps, 0);
+
+  // The tracer walk is seeded and the flow is frozen: the cached run
+  // reproduces the cold run exactly, concentration field included.
+  EXPECT_EQ(warm.particles_escaped, cold.particles_escaped);
+  EXPECT_EQ(warm.particles_alive, cold.particles_alive);
+  ASSERT_EQ(warm.concentration.size(), cold.concentration.size());
+  EXPECT_EQ(warm.concentration, cold.concentration);
+
+  const FlowCache::Stats stats = svc.cache().stats();
+  EXPECT_EQ(stats.computes, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.hits, 1);
+}
+
+TEST(ScenarioServiceTest, CacheSurvivesServiceRestart) {
+  TempDir dir("svc_restart");
+  const ScenarioRequest req = small_request();
+  ScenarioResult cold{};
+  {
+    ScenarioService svc(small_config(dir.path()));
+    cold = svc.submit(req).get();
+    EXPECT_FALSE(cold.cache_hit);
+  }
+  {
+    ScenarioService svc(small_config(dir.path()));
+    const ScenarioResult warm = svc.submit(req).get();
+    EXPECT_TRUE(warm.cache_hit);
+    EXPECT_EQ(warm.concentration, cold.concentration);
+    EXPECT_EQ(svc.cache().stats().computes, 0);
+  }
+}
+
+TEST(ScenarioServiceTest, GeometryChangeInvalidatesTheCacheEntry) {
+  TempDir dir("svc_invalidate");
+  ScenarioService svc(small_config(dir.path()));
+
+  const ScenarioRequest req = small_request();
+  EXPECT_FALSE(svc.submit(req).get().cache_hit);
+
+  // A different city seed voxelizes different buildings -> different
+  // geometry hash -> a different entry, not a stale hit.
+  ScenarioRequest variant = req;
+  variant.city.seed += 1;
+  const ScenarioResult miss = svc.submit(variant).get();
+  EXPECT_FALSE(miss.cache_hit);
+  EXPECT_EQ(svc.cache().stats().computes, 2);
+
+  // Each variant is independently cached.
+  EXPECT_TRUE(svc.submit(req).get().cache_hit);
+  EXPECT_TRUE(svc.submit(variant).get().cache_hit);
+  EXPECT_EQ(svc.cache().stats().computes, 2);
+}
+
+TEST(ScenarioServiceTest, ConcurrentSameKeyRequestsRunTheLbmOnce) {
+  TempDir dir("svc_singleflight");
+  ServiceConfig cfg = small_config(dir.path());
+  cfg.workers = 4;
+  cfg.partitions = 4;
+  cfg.start_paused = true;
+  ScenarioService svc(cfg);
+
+  const ScenarioRequest req = small_request();
+  std::vector<std::future<ScenarioResult>> futs;
+  for (int i = 0; i < 4; ++i) futs.push_back(svc.submit(req));
+  EXPECT_EQ(svc.queue_depth(), 4);
+  svc.start();
+
+  std::vector<ScenarioResult> results;
+  for (std::future<ScenarioResult>& f : futs) results.push_back(f.get());
+
+  // All four requests raced in together; exactly one computed the flow
+  // and everyone's answer is identical.
+  EXPECT_EQ(svc.cache().stats().computes, 1);
+  int hits = 0;
+  for (const ScenarioResult& r : results) {
+    hits += r.cache_hit ? 1 : 0;
+    EXPECT_EQ(r.concentration, results.front().concentration);
+  }
+  EXPECT_EQ(hits, 3);
+}
+
+TEST(ScenarioServiceTest, BoundedQueueRefusesWhenFullAndRecovers) {
+  TempDir dir("svc_queue");
+  ServiceConfig cfg = small_config(dir.path());
+  cfg.queue_capacity = 2;
+  cfg.workers = 1;
+  cfg.partitions = 1;
+  cfg.start_paused = true;
+  ScenarioService svc(cfg);
+
+  const ScenarioRequest req = small_request();
+  std::future<ScenarioResult> f1, f2, f3;
+  EXPECT_TRUE(svc.try_submit(req, &f1));
+  EXPECT_TRUE(svc.try_submit(req, &f2));
+  EXPECT_EQ(svc.queue_depth(), 2);
+  EXPECT_FALSE(svc.try_submit(req, &f3));  // full: back-pressure
+
+  svc.start();
+  EXPECT_NO_THROW(f1.get());
+  EXPECT_NO_THROW(f2.get());
+  svc.drain();
+  EXPECT_EQ(svc.queue_depth(), 0);
+  EXPECT_TRUE(svc.try_submit(req, &f3));  // room again
+  EXPECT_TRUE(f3.get().cache_hit);
+}
+
+TEST(ScenarioServiceTest, CorruptedCacheEntryIsRecomputedNotServed) {
+  TempDir dir("svc_corrupt");
+  const ScenarioRequest req = small_request();
+  ScenarioResult cold{};
+  std::string ckpt_path;
+  {
+    ScenarioService svc(small_config(dir.path()));
+    cold = svc.submit(req).get();
+    const lbm::Lattice lat = build_scenario_lattice(req);
+    ckpt_path = svc.cache().checkpoint_path(scenario_flow_key(req, lat));
+  }
+  ASSERT_TRUE(fs::exists(ckpt_path));
+
+  // Flip one byte in the checkpoint body: the CRC envelope must reject
+  // it and the cache must transparently recompute.
+  {
+    std::fstream f(ckpt_path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(64);
+    char b = 0;
+    f.seekg(64);
+    f.read(&b, 1);
+    b = static_cast<char>(b ^ 0x40);
+    f.seekp(64);
+    f.write(&b, 1);
+  }
+
+  ScenarioService svc(small_config(dir.path()));
+  const ScenarioResult redo = svc.submit(req).get();
+  EXPECT_FALSE(redo.cache_hit);
+  EXPECT_EQ(svc.cache().stats().computes, 1);
+  EXPECT_EQ(redo.concentration, cold.concentration);
+}
+
+TEST(ScenarioServiceTest, ServiceMetricsLandInTheTrace) {
+  TempDir dir("svc_obs");
+  obs::TraceRecorder rec;
+  ServiceConfig cfg = small_config(dir.path());
+  cfg.trace = &rec;
+  ScenarioService svc(cfg);
+
+  const ScenarioRequest req = small_request();
+  svc.submit(req).get();
+  svc.submit(req).get();
+
+  EXPECT_EQ(rec.counter("service.requests"), 2);
+  EXPECT_EQ(rec.counter("service.cache_misses"), 1);
+  EXPECT_EQ(rec.counter("service.cache_hits"), 1);
+
+  int scenario_spans = 0, flow_spans = 0, tracer_spans = 0;
+  for (const obs::TraceEvent& e : rec.events()) {
+    if (e.name == "service.scenario") ++scenario_spans;
+    if (e.name == "service.flow") ++flow_spans;
+    if (e.name == "service.tracer") ++tracer_spans;
+  }
+  EXPECT_EQ(scenario_spans, 2);
+  EXPECT_EQ(flow_spans, 1);  // only the miss ran the LBM
+  EXPECT_EQ(tracer_spans, 2);
+}
+
+TEST(ScenarioServiceTest, DistinctWindsBatchAcrossPartitions) {
+  TempDir dir("svc_batch");
+  ServiceConfig cfg = small_config(dir.path());
+  cfg.workers = 2;
+  cfg.partitions = 2;
+  ScenarioService svc(cfg);
+
+  ScenarioRequest east = small_request();
+  ScenarioRequest slow = small_request();
+  slow.wind.velocity = Vec3{Real(0.03), Real(0), Real(0)};
+
+  std::future<ScenarioResult> fe = svc.submit(east);
+  std::future<ScenarioResult> fs = svc.submit(slow);
+  const ScenarioResult re = fe.get();
+  const ScenarioResult rs = fs.get();
+  EXPECT_FALSE(re.cache_hit);
+  EXPECT_FALSE(rs.cache_hit);
+  EXPECT_EQ(svc.cache().stats().computes, 2);
+  // Different winds must give different plumes (sanity that the key
+  // distinguished them and both flows actually ran).
+  EXPECT_NE(re.concentration, rs.concentration);
+}
+
+}  // namespace
+}  // namespace gc::service

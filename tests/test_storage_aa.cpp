@@ -282,7 +282,12 @@ TEST(StorageAA, CheckpointRoundTripsFromRelocatedPhases) {
     std::filesystem::create_directories(
         std::filesystem::path(path).parent_path());
     io::save_checkpoint(path, lat);
-    const Lattice as_db = io::load_checkpoint(path);
+    // v3 header records the AA mode — the mode-less load auto-detects it.
+    const Lattice detected = io::load_checkpoint(path);
+    EXPECT_EQ(detected.storage_mode(), StorageMode::AA);
+    expect_fields_equal(lat, detected, "restored via detected mode");
+    const Lattice as_db =
+        io::load_checkpoint(path, StorageMode::DoubleBuffer);
     EXPECT_EQ(as_db.storage_mode(), StorageMode::DoubleBuffer);
     expect_fields_equal(lat, as_db, "restored as DB");
     const Lattice as_aa = io::load_checkpoint(path, StorageMode::AA);
