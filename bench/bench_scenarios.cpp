@@ -13,14 +13,22 @@
 //   ensemble  — a batch of queries (several release points per wind)
 //               through the service, reported as scenarios/hour.
 //
+// With --fault-rate R > 0 a fourth phase sweeps {0, R/4, R/2, R} message
+// fault rates across the pool (drop + corrupt, seeded per partition) and
+// reports the throughput degradation curve: how gracefully scenarios/hour
+// decays as the network gets sicker while every result stays bit-exact
+// (recovery + retries absorb the faults).
+//
 //   ./bench_scenarios [--spin-up N] [--queries N] [--winds N]
-//                     [--json out.json]  (--help for all)
+//                     [--fault-rate R] [--json out.json]  (--help for all)
 #include <cstdio>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "io/bench_json.hpp"
+#include "netsim/fault.hpp"
 #include "service/scenario_service.hpp"
 #include "util/args.hpp"
 #include "util/timer.hpp"
@@ -37,6 +45,9 @@ int main(int argc, char** argv) {
   args.add_int("workers", 2, "service worker threads");
   args.add_int("partitions", 2, "cluster partitions in the pool");
   args.add_string("cache", "", "cache dir, wiped at start (default: temp dir)");
+  args.add_real("fault-rate", 0,
+                "top message drop+corrupt rate for the degradation sweep "
+                "(0 skips the sweep)");
   args.add_string("json", "", "write machine-readable records to this file");
   if (!args.parse(argc, argv)) return 1;
 
@@ -147,6 +158,83 @@ int main(int argc, char** argv) {
   ens.extras.emplace_back("cache_hits", static_cast<double>(hits));
   ens.extras.emplace_back("lbm_spin_ups", static_cast<double>(computes));
   records.push_back(ens);
+
+  // --- fault-rate degradation curve (fresh cache per point) ---
+  const double top_rate = args.get_real("fault-rate");
+  if (top_rate > 0) {
+    std::printf("degradation sweep (drop+corrupt, %d queries per point):\n",
+                queries);
+    for (const double frac : {0.0, 0.25, 0.5, 1.0}) {
+      const double rate = top_rate * frac;
+      std::filesystem::remove_all(cache_dir);
+
+      // One seeded FaultSpec per partition; faulted slots run under the
+      // recovery driver with test-grade retransmit timeouts.
+      std::vector<std::unique_ptr<netsim::FaultSpec>> specs;
+      service::ServiceConfig fcfg = cfg;
+      if (rate > 0) {
+        for (int p = 0; p < fcfg.partitions; ++p) {
+          auto spec = std::make_unique<netsim::FaultSpec>(
+              static_cast<u64>(1000 + p));
+          spec->rates.drop = rate;
+          spec->rates.corrupt = rate;
+          fcfg.partition_faults.push_back(spec.get());
+          specs.push_back(std::move(spec));
+        }
+        fcfg.partition.reliability.recv_timeout_ms = 25;
+        fcfg.partition.reliability.max_retries = 6;
+        fcfg.partition.checkpoint_every = 50;
+        fcfg.partition.max_rollbacks = 16;
+        fcfg.retry.max_attempts = 4;
+      }
+
+      double total_s = 0;
+      i64 retries = 0, rollbacks = 0;
+      {
+        obs::TraceRecorder rec;
+        fcfg.trace = &rec;
+        fcfg.partition.trace = &rec;
+        service::ScenarioService svc(fcfg);
+        Timer t;
+        std::vector<std::future<service::ScenarioResult>> futs;
+        for (int q = 0; q < queries; ++q) {
+          service::ScenarioRequest req = base;
+          req.wind.velocity.x = Real(0.05) + Real(0.01) * Real(q % winds);
+          req.tracer_seed = static_cast<u64>(1000 + q);
+          req.releases[0].site = Int3{12 + 6 * (q % 8), 10 + 5 * (q % 6), 2};
+          futs.push_back(svc.submit(std::move(req)));
+        }
+        for (std::future<service::ScenarioResult>& f : futs) f.get();
+        total_s = t.seconds();
+        retries = rec.counter("service.retries");
+        rollbacks = rec.counter("ft.rollbacks");
+      }
+      i64 injected = 0;
+      for (const std::unique_ptr<netsim::FaultSpec>& s : specs) {
+        const netsim::FaultCounters c = s->counters();
+        injected += c.drops + c.duplicates + c.delays + c.corruptions;
+      }
+      const double rate_per_hour = queries * 3600.0 / total_s;
+      std::printf(
+          "  rate %.4f: %.2f s -> %8.0f scenarios/hour  (%lld faults, "
+          "%lld retries, %lld rollbacks)\n",
+          rate, total_s, rate_per_hour, static_cast<long long>(injected),
+          static_cast<long long>(retries), static_cast<long long>(rollbacks));
+
+      io::BenchRecord rec;
+      rec.name = "scenario_faults";
+      rec.dim = base.dim;
+      rec.storage = base.params.storage;
+      rec.extras.emplace_back("fault_rate", rate);
+      rec.extras.emplace_back("queries", queries);
+      rec.extras.emplace_back("total_s", total_s);
+      rec.extras.emplace_back("scenarios_per_hour", rate_per_hour);
+      rec.extras.emplace_back("faults_injected", static_cast<double>(injected));
+      rec.extras.emplace_back("retries", static_cast<double>(retries));
+      rec.extras.emplace_back("rollbacks", static_cast<double>(rollbacks));
+      records.push_back(rec);
+    }
+  }
 
   const std::string json = args.get_string("json");
   if (!json.empty()) {

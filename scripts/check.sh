@@ -4,8 +4,8 @@
 # gate — run it from the repo root:
 #
 #   scripts/check.sh              # full matrix: plain, asan, ubsan, tsan,
-#                                 # equiv, service, gc_lint, clang-tidy
-#                                 # (if available)
+#                                 # equiv, service, chaos, gc_lint,
+#                                 # clang-tidy (if available)
 #   scripts/check.sh plain lint   # just those stages
 #   JOBS=8 scripts/check.sh       # override build parallelism
 #
@@ -18,7 +18,7 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
 STAGES=("$@")
 if [ ${#STAGES[@]} -eq 0 ]; then
-  STAGES=(plain asan ubsan tsan equiv service lint tidy)
+  STAGES=(plain asan ubsan tsan equiv service chaos lint tidy)
 fi
 
 declare -A RESULT
@@ -100,6 +100,24 @@ for stage in "${STAGES[@]}"; do
       else
         RESULT[service]="FAIL"; FAILED=1
       fi ;;
+    chaos)
+      # The resilience matrix: quarantine/probation state machine,
+      # retries, deadlines + watchdog aborts, stop(deadline), the byte-
+      # bounded flow cache, and the seeded chaos ensemble (bit-exact
+      # results under injected faults, eviction pressure and on-disk
+      # tampering). Shares the service stage's plain build flags but
+      # gets its own tree so the stages can run independently.
+      note "chaos: resilience + chaos ensemble suite"
+      bdir=build-check/chaos
+      if cmake -B "$bdir" -S . > "$bdir.cfg.log" 2>&1 \
+          && cmake --build "$bdir" -j "$JOBS" --target gc_tests \
+              > "$bdir.build.log" 2>&1 \
+          && "$bdir/tests/gc_tests" \
+              --gtest_filter='QuarantineTest.*:ResilienceTest.*:FlowCacheBoundTest.*:ChaosTest.*'; then
+        RESULT[chaos]="ok"
+      else
+        RESULT[chaos]="FAIL"; FAILED=1
+      fi ;;
     lint)
       note "lint: gc_lint self-scan"
       bdir=build-check/lint
@@ -130,7 +148,7 @@ for stage in "${STAGES[@]}"; do
       fi ;;
     *)
       echo "check.sh: unknown stage '$stage'" >&2
-      echo "stages: plain asan ubsan tsan equiv service lint tidy" >&2
+      echo "stages: plain asan ubsan tsan equiv service chaos lint tidy" >&2
       exit 2 ;;
   esac
 done

@@ -100,6 +100,12 @@ class ParallelLbm {
   /// so a restored simulation can run again.
   void reset_comm();
 
+  /// Aborts the communicator world from outside the run: every rank
+  /// blocked in recv/barrier wakes with CommAborted and the run() call
+  /// fails promptly. The cancellation hook for deadline watchdogs; pair
+  /// with reset_comm() before running again.
+  void abort_comm() { world_.abort(); }
+
   /// Reassembles the owned regions into a global lattice.
   void gather(lbm::Lattice& out) const;
 

@@ -76,6 +76,10 @@ RecoveryDriver::RecoveryDriver(ParallelLbm& sim, RecoveryConfig cfg)
 
 void RecoveryDriver::rollback(RecoveryReport& report, i64 done,
                               const std::string& what) {
+  // A cancelled run (deadline watchdog, service shutdown) must not be
+  // healed: the abort that killed it would just fire again, and the
+  // caller is waiting for the failure to surface.
+  if (cfg_.cancelled && cfg_.cancelled()) throw;  // rethrow the failure
   ++report.rollbacks;
   if (report.rollbacks > cfg_.max_rollbacks) throw;  // rethrow the failure
   obs::TraceRecorder* rec = cfg_.trace;
@@ -109,6 +113,9 @@ RecoveryReport RecoveryDriver::run(i64 steps) {
 
   snapshot();  // the rollback anchor for the first chunk
   while (sim_.current_step() < target) {
+    if (cfg_.cancelled && cfg_.cancelled()) {
+      throw netsim::CommAborted("recovery cancelled between chunks");
+    }
     const i64 chunk = std::min<i64>(cfg_.checkpoint_every,
                                     target - sim_.current_step());
     try {

@@ -10,6 +10,7 @@
 // bit-identical to an undisturbed one.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -34,6 +35,11 @@ struct RecoveryConfig {
   int max_rollbacks = 8;     ///< give up (rethrow) past this many
   /// Rollback/checkpoint spans and ft.* counters go here. Not owned.
   obs::TraceRecorder* trace = nullptr;
+  /// Cooperative cancellation: checked before every chunk and before
+  /// every rollback. When it returns true the driver stops recovering
+  /// and lets the failure escape — a watchdog-aborted run must surface,
+  /// not be rolled back and resumed forever. Null = never cancelled.
+  std::function<bool()> cancelled;
 };
 
 /// One failure the driver recovered from (or died of).

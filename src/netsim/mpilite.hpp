@@ -203,6 +203,13 @@ class MpiLite {
   /// True after a failed run() until reset() is called.
   bool aborted() const { return abort_.load(std::memory_order_acquire); }
 
+  /// Externally aborts the world: sets the abort flag and wakes every
+  /// rank blocked in recv/barrier with CommAborted — the same mechanism
+  /// a failing rank triggers, exposed so a watchdog can cancel a run
+  /// that is stuck past its deadline instead of waiting forever.
+  /// Safe to call from any thread, including while run() is active.
+  void abort() { abort_world(); }
+
   /// Clears the abort flag and all in-flight protocol state (mailboxes,
   /// retained copies, sequence numbers) so the world can run again after
   /// a failure — the communicator half of a checkpoint rollback.

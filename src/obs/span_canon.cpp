@@ -42,9 +42,13 @@ constexpr MetricCanon kCounters[] = {
     {"mpi.barrier_waits"},
     {"mpi.bytes"},
     {"mpi.messages"},
+    {"service.cache_evictions"},
     {"service.cache_hits"},
     {"service.cache_misses"},
+    {"service.deadline_expired"},
+    {"service.quarantined"},
     {"service.requests"},
+    {"service.retries"},
     {"solver.steps"},
     {"urban.spin_up_steps"},
     {"urban.tracer_steps"},
@@ -56,6 +60,8 @@ constexpr MetricCanon kGauges[] = {
     {"model.makespan_ms"},
     {"model.network_hidden_ms"},
     {"mpi.overlap_hidden_ms"},
+    {"service.cache_bytes"},
+    {"service.degraded"},
     {"service.queue_depth"},
     {"urban.ms_per_step"},
 };

@@ -1,0 +1,49 @@
+// The typed failure vocabulary of the scenario service. Every way a
+// submitted scenario can fail surfaces through its future as one of
+// these — never a hang, never an untyped catch-all — so callers can
+// route on the class: retry later (ScenarioFailed), drop the request
+// (DeadlineExceeded), or shut down cleanly (ServiceStopped).
+//
+//   gc::Error
+//   └── service::ServiceError
+//       ├── ServiceStopped     the service stopped before/while the
+//       │                      request ran (stop(deadline) drained out)
+//       ├── DeadlineExceeded   the request's deadline_ms elapsed, in the
+//       │                      queue or mid-run (watchdog abort)
+//       └── ScenarioFailed     every retry attempt died of a real fault
+//                              (CommTimeout / RankCrashError /
+//                              DivergenceError past the rollback budget)
+#pragma once
+
+#include "util/common.hpp"
+
+namespace gc::service {
+
+/// Base class of all scenario-service failures.
+class ServiceError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// The service stopped (stop(deadline) / destruction) before this
+/// request could run, or aborted it mid-flight past the drain deadline.
+class ServiceStopped : public ServiceError {
+ public:
+  using ServiceError::ServiceError;
+};
+
+/// The request's deadline elapsed — while queued, waiting for a
+/// partition, or mid-run (the watchdog aborted the lease's world).
+class DeadlineExceeded : public ServiceError {
+ public:
+  using ServiceError::ServiceError;
+};
+
+/// Every retry attempt failed on a real fault; the last cause is in the
+/// message. The partitions involved have been reported unhealthy.
+class ScenarioFailed : public ServiceError {
+ public:
+  using ServiceError::ServiceError;
+};
+
+}  // namespace gc::service

@@ -19,16 +19,27 @@
 // requests for the same key block until the one compute commits, then
 // load the committed entry — the LBM runs once no matter how many
 // identical requests race in.
+//
+// Robustness: the directory is byte-bounded (FlowCacheConfig::max_bytes)
+// with LRU eviction that never touches an entry being computed or
+// restored right now and removes the manifest first (a crash mid-evict
+// leaves a checkpoint without a manifest — an entry that does not
+// exist). Construction scavenges the crash debris of earlier processes:
+// orphaned *.tmp files from torn atomic writes and half-committed
+// entries (a checkpoint whose process died before the manifest write,
+// or a manifest whose checkpoint was half-evicted).
 #pragma once
 
 #include <condition_variable>
 #include <functional>
+#include <map>
 #include <mutex>
 #include <set>
 #include <string>
 
 #include "lbm/lattice.hpp"
 #include "lbm/run_params.hpp"
+#include "obs/trace.hpp"
 
 namespace gc::service {
 
@@ -58,16 +69,29 @@ u64 geometry_hash(const lbm::Lattice& lat);
 /// field feeds the digest, so distinct keys get distinct entries.
 std::string flow_key_stem(const FlowKey& key);
 
+struct FlowCacheConfig {
+  /// Byte budget for the entry files in the cache directory; LRU entries
+  /// are evicted after each commit to stay under it. 0 = unbounded.
+  i64 max_bytes = 0;
+  /// service.cache_evictions counter / service.cache_bytes gauge land
+  /// here. Not owned; may be null.
+  obs::TraceRecorder* trace = nullptr;
+};
+
 class FlowCache {
  public:
   /// Entries live in `dir` (created if missing) as <stem>.gclb +
   /// <stem>.gcmf pairs; a cache directory survives process restarts.
-  explicit FlowCache(std::string dir);
+  /// Construction scavenges crash debris (see Stats::scavenged) and
+  /// seeds the LRU order from file modification times.
+  explicit FlowCache(std::string dir, FlowCacheConfig cfg = {});
 
   struct Stats {
-    i64 hits = 0;      ///< requests served from a committed entry
-    i64 misses = 0;    ///< requests that had to compute
-    i64 computes = 0;  ///< LBM spin-ups actually executed (== misses)
+    i64 hits = 0;       ///< requests served from a committed entry
+    i64 misses = 0;     ///< requests that had to compute
+    i64 computes = 0;   ///< LBM spin-ups actually executed (== misses)
+    i64 evictions = 0;  ///< committed entries removed for the byte budget
+    i64 scavenged = 0;  ///< crash-debris files removed at construction
   };
 
   struct Entry {
@@ -78,11 +102,11 @@ class FlowCache {
 
   /// Returns the steady flow for `key`, invoking `compute` exactly once
   /// across all concurrent callers on the first request (or after an
-  /// entry was invalidated by corruption). `compute` must return the
-  /// steady lattice for the key; its result is committed before any
-  /// waiting caller is released. Exceptions from `compute` propagate to
-  /// the computing caller; waiting callers then retry (one of them
-  /// becomes the new computer).
+  /// entry was invalidated by corruption or evicted for space). `compute`
+  /// must return the steady lattice for the key; its result is committed
+  /// before any waiting caller is released. Exceptions from `compute`
+  /// propagate to the computing caller; waiting callers then retry (one
+  /// of them becomes the new computer).
   Entry get_or_compute(const FlowKey& key,
                        const std::function<lbm::Lattice()>& compute);
 
@@ -91,15 +115,42 @@ class FlowCache {
   bool contains(const FlowKey& key) const;
 
   Stats stats() const;
+  /// Bytes of committed entry files on disk right now (always <=
+  /// max_bytes after a commit when a budget is configured).
+  i64 bytes() const;
   const std::string& dir() const { return dir_; }
+  const FlowCacheConfig& config() const { return cfg_; }
   std::string checkpoint_path(const FlowKey& key) const;
   std::string manifest_path(const FlowKey& key) const;
 
  private:
+  /// On-disk bookkeeping for one committed entry.
+  struct DiskEntry {
+    i64 bytes = 0;
+    u64 last_use = 0;  ///< monotonic LRU stamp (higher = more recent)
+  };
+
+  /// Removes crash debris and indexes committed entries. Ctor only.
+  void scavenge_and_index();
+  /// Records a commit / refreshes LRU. Caller holds mu_.
+  void note_entry_locked(const std::string& stem, i64 bytes);
+  /// Forgets a removed/corrupted entry. Caller holds mu_.
+  void drop_entry_locked(const std::string& stem);
+  /// Evicts LRU entries (manifest first, then checkpoint) until the
+  /// budget holds, skipping in-flight and restoring stems. Caller
+  /// holds mu_.
+  void enforce_budget_locked();
+  void publish_bytes_locked();
+
   std::string dir_;
+  FlowCacheConfig cfg_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::set<std::string> in_flight_;  ///< stems being computed right now
+  std::set<std::string> in_flight_;   ///< stems being computed right now
+  std::set<std::string> restoring_;   ///< stems being loaded right now
+  std::map<std::string, DiskEntry> entries_;  ///< committed, on disk
+  u64 use_seq_ = 0;
+  i64 total_bytes_ = 0;
   Stats stats_;
 };
 

@@ -43,6 +43,13 @@ struct ScenarioRequest {
   int tracer_steps = 100;            ///< Lowe–Succi hops after release
   u64 tracer_seed = 7;               ///< tracer RNG seed (determinism)
   bool deposit_concentration = true; ///< fill ScenarioResult::concentration
+
+  // --- service-level fields (not part of the flow key) ---
+  /// Wall-clock budget from submit() to completion, in ms; past it the
+  /// request fails with service::DeadlineExceeded — in the queue, while
+  /// waiting for a partition, or mid-run (the service watchdog aborts
+  /// the lease's communicator world). 0 = no deadline.
+  double deadline_ms = 0;
 };
 
 /// What a scenario hands back.

@@ -31,9 +31,9 @@ bool has_rule(const std::vector<Finding>& fs, const std::string& id) {
 
 TEST(Lint, RuleCatalogIsComplete) {
   const std::vector<Rule>& rs = rules();
-  ASSERT_EQ(rs.size(), 7u);
+  ASSERT_EQ(rs.size(), 8u);
   const char* expected[] = {"GCL001", "GCL002", "GCL003", "GCL004",
-                            "GCL005", "GCL006", "GCL007"};
+                            "GCL005", "GCL006", "GCL007", "GCL008"};
   for (std::size_t i = 0; i < rs.size(); ++i) {
     EXPECT_STREQ(rs[i].id, expected[i]);
     EXPECT_NE(std::string(rs[i].summary), "");
@@ -310,6 +310,32 @@ TEST(Lint, LatticeHomeFilesMayTouchRawStorage) {
   EXPECT_TRUE(run("src/lbm/lattice.cpp", body).empty());
   EXPECT_TRUE(run("src/lbm/lattice.hpp", body).empty());
   EXPECT_TRUE(has_rule(run("src/lbm/collision.cpp", body), "GCL007"));
+}
+
+// --- GCL008 ---------------------------------------------------------------
+
+TEST(Lint, UntypedCatchIsFlaggedInServiceOnly) {
+  const std::string body =
+      "void f() {\n"
+      "  try { g(); } catch (...) { h(); }\n"
+      "}\n";
+  const auto fs = run("src/service/x.cpp", body);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_STREQ(fs[0].rule->id, "GCL008");
+  EXPECT_EQ(fs[0].line, 2);
+  EXPECT_EQ(fs[0].rule->severity, Severity::kError);
+  // Everywhere else catch (...) stays legal (rethrow cleanup idioms).
+  EXPECT_TRUE(run("src/core/x.cpp", body).empty());
+  EXPECT_TRUE(run("tests/x.cpp", body).empty());
+}
+
+TEST(Lint, TypedCatchesInServiceAreClean) {
+  const auto fs = run("src/service/x.cpp",
+                      "void f() {\n"
+                      "  try { g(); } catch (const DeadlineExceeded&) {\n"
+                      "  } catch (const std::exception& e) { h(e); }\n"
+                      "}\n");
+  EXPECT_TRUE(fs.empty());
 }
 
 // --- engine semantics -----------------------------------------------------

@@ -39,6 +39,11 @@ const std::vector<Rule> kRules = {
      "use Lattice::f/set_f/gather_cell — the slot mapping is storage-mode "
      "dependent (AA parity), so offset arithmetic on plane pointers is "
      "only valid inside src/lbm/lattice.{hpp,cpp}"},
+    {"GCL008", "untyped-catch-in-service", Severity::kError,
+     "catch (...) in src/service erases the typed failure taxonomy",
+     "catch a concrete type from service/errors.hpp (or std::exception) "
+     "so callers can tell ServiceStopped from DeadlineExceeded from "
+     "ScenarioFailed"},
 };
 
 const Rule* rule_by_id(const char* id) {
@@ -252,6 +257,7 @@ bool contains_ci(const std::string& hay, const std::string& needle) {
 struct PathClass {
   bool in_src = false;
   bool in_tests = false;
+  bool in_service = false;       ///< src/service: typed-error territory
   bool iostream_exempt = false;  ///< src/io, src/viz
   bool is_lattice_impl = false;  ///< src/lbm/lattice.cpp (blessed memcpy home)
   bool is_lattice_home = false;  ///< lattice.{hpp,cpp}: owns the slot mapping
@@ -261,6 +267,7 @@ PathClass classify(const std::string& path) {
   PathClass pc;
   pc.in_src = path.rfind("src/", 0) == 0;
   pc.in_tests = path.rfind("tests/", 0) == 0;
+  pc.in_service = path.rfind("src/service/", 0) == 0;
   pc.iostream_exempt = path.rfind("src/io/", 0) == 0 ||
                        path.rfind("src/viz/", 0) == 0;
   pc.is_lattice_impl = path == "src/lbm/lattice.cpp";
@@ -586,6 +593,25 @@ void check_raw_distribution_access(Ctx& ctx) {
   }
 }
 
+// --- GCL008: catch (...) in the service layer -----------------------------
+
+void check_untyped_catch(Ctx& ctx) {
+  if (!ctx.pc.in_service) return;
+  for (std::size_t l = 0; l < ctx.v.code.size(); ++l) {
+    const std::string& code = ctx.v.code[l];
+    for (std::size_t p = find_ident(code, "catch"); p != std::string::npos;
+         p = find_ident(code, "catch", p + 1)) {
+      std::size_t q = skip_spaces(code, p + 5);
+      if (q >= code.size() || code[q] != '(') continue;
+      q = skip_spaces(code, q + 1);
+      if (code.compare(q, 3, "...") == 0) {
+        ctx.report("GCL008", l, p,
+                   "catch (...) swallows the service failure taxonomy");
+      }
+    }
+  }
+}
+
 }  // namespace
 
 const std::vector<Rule>& rules() { return kRules; }
@@ -602,6 +628,7 @@ std::vector<Finding> lint_source(const std::string& path,
   check_lattice_memcpy(ctx);
   check_unbounded_waits(ctx);
   check_raw_distribution_access(ctx);
+  check_untyped_catch(ctx);
   std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
     if (a.line != b.line) return a.line < b.line;
     return a.col < b.col;
