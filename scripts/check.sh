@@ -4,7 +4,7 @@
 # gate — run it from the repo root:
 #
 #   scripts/check.sh              # full matrix: plain, asan, ubsan, tsan,
-#                                 # equiv, service, chaos, gc_lint,
+#                                 # equiv, sparse, service, chaos, gc_lint,
 #                                 # clang-tidy (if available)
 #   scripts/check.sh plain lint   # just those stages
 #   JOBS=8 scripts/check.sh       # override build parallelism
@@ -18,7 +18,7 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
 STAGES=("$@")
 if [ ${#STAGES[@]} -eq 0 ]; then
-  STAGES=(plain asan ubsan tsan equiv service chaos lint tidy)
+  STAGES=(plain asan ubsan tsan equiv sparse service chaos lint tidy)
 fi
 
 declare -A RESULT
@@ -68,9 +68,10 @@ for stage in "${STAGES[@]}"; do
       build_and_test tsan -DGC_SANITIZE=thread -- -L tsan ;;
     equiv)
       # The randomized overlap/serial equivalence harness, which sweeps
-      # BOTH lattice storage modes (double-buffered and in-place AA) per
-      # seeded config, plus the dedicated AA storage suite. Bit-exactness
-      # across storage modes is a merge gate.
+      # ALL lattice storage modes (double-buffered, in-place AA and the
+      # sparse fluid-index layout) per seeded config, plus the dedicated
+      # AA storage suite. Bit-exactness across storage modes is a merge
+      # gate.
       note "equiv: equivalence harness across storage modes"
       bdir=build-check/equiv
       if cmake -B "$bdir" -S . > "$bdir.cfg.log" 2>&1 \
@@ -81,6 +82,26 @@ for stage in "${STAGES[@]}"; do
         RESULT[equiv]="ok"
       else
         RESULT[equiv]="FAIL"; FAILED=1
+      fi ;;
+    sparse)
+      # The sparse fluid-index backend: compact layout invariants, sparse
+      # kernel equivalence, sparse checkpoint round trips, the fluid-
+      # balanced partitioner property suite, and the sparse bench smoke
+      # (microbench + measured --json report with the dense-vs-sparse
+      # urban rows).
+      note "sparse: sparse storage + fluid-balanced partition suite"
+      bdir=build-check/sparse
+      if cmake -B "$bdir" -S . > "$bdir.cfg.log" 2>&1 \
+          && cmake --build "$bdir" -j "$JOBS" --target gc_tests bench_kernels \
+              > "$bdir.build.log" 2>&1 \
+          && "$bdir/tests/gc_tests" \
+              --gtest_filter='SparseLattice.*:SparseCheckpoint.*:FluidPartition.*:*/FluidPartition.*' \
+          && "$bdir/bench/bench_kernels" --benchmark_filter=Sparse \
+              --benchmark_min_time=0.01 \
+              --json "$bdir/bench_sparse_smoke.json"; then
+        RESULT[sparse]="ok"
+      else
+        RESULT[sparse]="FAIL"; FAILED=1
       fi ;;
     service)
       # The scenario-service suite (flow cache, partition leasing,
@@ -148,7 +169,7 @@ for stage in "${STAGES[@]}"; do
       fi ;;
     *)
       echo "check.sh: unknown stage '$stage'" >&2
-      echo "stages: plain asan ubsan tsan equiv service chaos lint tidy" >&2
+      echo "stages: plain asan ubsan tsan equiv sparse service chaos lint tidy" >&2
       exit 2 ;;
   esac
 done

@@ -1,6 +1,10 @@
 #include "core/decomposition.hpp"
 
 #include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "lbm/lattice.hpp"
 
 namespace gc::core {
 
@@ -10,6 +14,39 @@ int split_start(int extent, int parts, int k) {
   const int base = extent / parts;
   const int rem = extent % parts;
   return k * base + std::min(k, rem);
+}
+
+/// Cut positions (size parts+1, cuts[0]=0, cuts[parts]=extent) splitting a
+/// per-slab weight profile into `parts` contiguous runs of near-equal
+/// total weight. Each cut lands where the prefix sum is closest to the
+/// ideal k/parts fraction, clamped so every part keeps at least one slab.
+std::vector<int> balanced_cuts(const std::vector<i64>& w, int parts) {
+  const int extent = static_cast<int>(w.size());
+  std::vector<i64> pref(static_cast<std::size_t>(extent) + 1, 0);
+  for (int i = 0; i < extent; ++i) {
+    pref[static_cast<std::size_t>(i) + 1] =
+        pref[static_cast<std::size_t>(i)] + w[static_cast<std::size_t>(i)];
+  }
+  const double total = static_cast<double>(pref[static_cast<std::size_t>(extent)]);
+  std::vector<int> cuts(static_cast<std::size_t>(parts) + 1, 0);
+  cuts[static_cast<std::size_t>(parts)] = extent;
+  for (int k = 1; k < parts; ++k) {
+    const double target = total * k / parts;
+    const int lo = cuts[static_cast<std::size_t>(k) - 1] + 1;
+    const int hi = extent - (parts - k);
+    int best = lo;
+    double best_d = std::abs(static_cast<double>(pref[static_cast<std::size_t>(lo)]) - target);
+    for (int i = lo + 1; i <= hi; ++i) {
+      const double d =
+          std::abs(static_cast<double>(pref[static_cast<std::size_t>(i)]) - target);
+      if (d < best_d) {
+        best = i;
+        best_d = d;
+      }
+    }
+    cuts[static_cast<std::size_t>(k)] = best;
+  }
+  return cuts;
 }
 }  // namespace
 
@@ -27,6 +64,55 @@ Decomposition3::Decomposition3(Int3 lattice_dim, netsim::NodeGrid grid)
     for (int a = 0; a < 3; ++a) {
       b.lo[a] = split_start(dim_[a], grid.dims[a], c[a]);
       b.hi[a] = split_start(dim_[a], grid.dims[a], c[a] + 1);
+    }
+    blocks_[static_cast<std::size_t>(node)] = b;
+  }
+}
+
+Decomposition3::Decomposition3(Int3 lattice_dim, netsim::NodeGrid grid,
+                               const std::vector<u8>& flags)
+    : dim_(lattice_dim), grid_(grid) {
+  GC_CHECK_MSG(dim_.x >= grid.dims.x && dim_.y >= grid.dims.y &&
+                   dim_.z >= grid.dims.z,
+               "lattice " << dim_ << " too small for node grid " << grid.dims);
+  GC_CHECK_MSG(static_cast<i64>(flags.size()) == dim_.volume(),
+               "flag array size " << flags.size()
+                                  << " does not match lattice " << dim_);
+  // Per-axis marginal non-solid counts (the coordinate histograms
+  // hemelb's xyzpart partitions on).
+  std::array<std::vector<i64>, 3> marginal;
+  for (int a = 0; a < 3; ++a) {
+    marginal[static_cast<std::size_t>(a)].assign(
+        static_cast<std::size_t>(dim_[a]), 0);
+  }
+  constexpr u8 kSolid = static_cast<u8>(lbm::CellType::Solid);
+  std::size_t c = 0;
+  for (int z = 0; z < dim_.z; ++z) {
+    for (int y = 0; y < dim_.y; ++y) {
+      for (int x = 0; x < dim_.x; ++x, ++c) {
+        if (flags[c] == kSolid) continue;
+        ++marginal[0][static_cast<std::size_t>(x)];
+        ++marginal[1][static_cast<std::size_t>(y)];
+        ++marginal[2][static_cast<std::size_t>(z)];
+      }
+    }
+  }
+  std::array<std::vector<int>, 3> cuts;
+  for (int a = 0; a < 3; ++a) {
+    cuts[static_cast<std::size_t>(a)] =
+        balanced_cuts(marginal[static_cast<std::size_t>(a)], grid.dims[a]);
+  }
+  const int n = grid.num_nodes();
+  blocks_.resize(static_cast<std::size_t>(n));
+  for (int node = 0; node < n; ++node) {
+    const Int3 gpos = grid.coords(node);
+    SubDomain b;
+    b.node = node;
+    for (int a = 0; a < 3; ++a) {
+      b.lo[a] =
+          cuts[static_cast<std::size_t>(a)][static_cast<std::size_t>(gpos[a])];
+      b.hi[a] =
+          cuts[static_cast<std::size_t>(a)][static_cast<std::size_t>(gpos[a]) + 1];
     }
     blocks_[static_cast<std::size_t>(node)] = b;
   }

@@ -27,6 +27,17 @@ class Decomposition3 {
   /// blocks of each axis so block sizes differ by at most one cell.
   Decomposition3(Int3 lattice_dim, netsim::NodeGrid grid);
 
+  /// Fluid-cell-balanced coordinate partitioning (hemelb's xyzpart idea):
+  /// per-axis cut planes are placed on the marginal non-solid cell counts
+  /// instead of uniformly, so ranks of an urban geometry get near-equal
+  /// fluid loads. `flags` are the global lattice's per-cell flags
+  /// (lbm::CellType as u8, x fastest). The node-grid topology — and with
+  /// it every neighbor/face/exchange relation — is exactly the uniform
+  /// decomposition's; only the cut positions move, so this cannot change
+  /// any simulated value, just who computes it.
+  Decomposition3(Int3 lattice_dim, netsim::NodeGrid grid,
+                 const std::vector<u8>& flags);
+
   Int3 lattice_dim() const { return dim_; }
   const netsim::NodeGrid& grid() const { return grid_; }
   int num_nodes() const { return grid_.num_nodes(); }

@@ -60,7 +60,9 @@ Payload extract_edge_chunk(const LocalDomain& ld, int dz,
 
 GpuClusterLbm::GpuClusterLbm(const lbm::Lattice& global, GpuClusterConfig cfg)
     : cfg_(cfg),
-      decomp_(global.dim(), cfg.grid),
+      decomp_(cfg.fluid_balanced
+                  ? Decomposition3(global.dim(), cfg.grid, global.flags())
+                  : Decomposition3(global.dim(), cfg.grid)),
       sched_(netsim::CommSchedule::pairwise(cfg.grid)),
       world_(cfg.grid.num_nodes()) {
   GC_CHECK_MSG(cfg.grid.dims.z == 1,

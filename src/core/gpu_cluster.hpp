@@ -34,6 +34,11 @@ struct GpuClusterConfig {
   /// path (same per-texel programs, each texel rendered exactly once)
   /// and wire-compatible with it.
   bool overlap = false;
+  /// Fluid-cell-balanced cut placement (same semantics as
+  /// ParallelConfig::fluid_balanced): the cut planes follow the global
+  /// lattice's marginal non-solid histograms instead of uniform splits.
+  /// Topology and results are unchanged; only block extents move.
+  bool fluid_balanced = false;
   /// When set, overlap mode emits overlap.pack / overlap.inner /
   /// overlap.wait / overlap.unpack / overlap.outer spans (tid = node)
   /// and run() publishes the mpi.overlap_hidden_ms gauge. Not owned.

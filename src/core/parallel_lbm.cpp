@@ -14,9 +14,18 @@ using lbm::FaceBc;
 using netsim::Comm;
 using netsim::Payload;
 
+namespace {
+Decomposition3 make_decomposition(const lbm::Lattice& global,
+                                  const ParallelConfig& cfg) {
+  return cfg.fluid_balanced
+             ? Decomposition3(global.dim(), cfg.grid, global.flags())
+             : Decomposition3(global.dim(), cfg.grid);
+}
+}  // namespace
+
 ParallelLbm::ParallelLbm(const lbm::Lattice& global, ParallelConfig cfg)
     : cfg_(cfg),
-      decomp_(global.dim(), cfg.grid),
+      decomp_(make_decomposition(global, cfg)),
       sched_(netsim::CommSchedule::pairwise(cfg.grid)),
       world_(cfg.grid.num_nodes()) {
   GC_CHECK_MSG(global.curved_links().empty(),
@@ -50,7 +59,11 @@ ParallelLbm::ParallelLbm(const lbm::Lattice& global, ParallelConfig cfg)
   for (int node = 0; node < n; ++node) {
     const LocalDomain ld = LocalDomain::make(decomp_, node);
     domains_.push_back(ld);
-    auto lat = std::make_unique<lbm::Lattice>(ld.local_dim(), cfg.storage);
+    // Seed in the natural double-buffered layout — the loop below
+    // interleaves flag and value writes, which would thrash a sparse
+    // remap — and convert to the requested storage once the local
+    // geometry is final.
+    auto lat = std::make_unique<lbm::Lattice>(ld.local_dim());
 
     // Face boundary conditions: global faces keep the global BC; faces
     // toward neighbors are covered by the ghost layer and never consulted
@@ -92,6 +105,9 @@ ParallelLbm::ParallelLbm(const lbm::Lattice& global, ParallelConfig cfg)
           }
         }
       }
+    }
+    if (cfg_.storage != lbm::StorageMode::DoubleBuffer) {
+      lat->convert_storage(cfg_.storage);
     }
     if (cfg_.thermal) {
       auto field = std::make_unique<lbm::ThermalField>(ld.local_dim(),

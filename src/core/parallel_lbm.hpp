@@ -38,6 +38,12 @@ struct ParallelConfig : lbm::RunParams {
   /// nearest neighbors instead of the paper's two-hop indirect routing
   /// (functional results are identical; used by the schedule ablation).
   bool indirect_diagonals = true;
+  /// Places the decomposition's cut planes on per-axis fluid-cell counts
+  /// (hemelb-style coordinate partitioning) instead of uniformly, so
+  /// solid-heavy geometry stops inflating one rank's fluid load. Pure
+  /// load-balance knob: the node-grid topology and every simulated value
+  /// are unchanged.
+  bool fluid_balanced = false;
   /// Executes the paper's §4.4 compute–communication overlap for real:
   /// each step posts the border isend/irecvs first, streams the inner
   /// cells (those that cannot read a ghost texel) while the messages are

@@ -79,4 +79,27 @@ double measure_host_step_ms(Int3 dim, int steps, const MeasureOptions& opt) {
   return t.millis() / steps;
 }
 
+double measure_host_step_ms(const lbm::Lattice& geometry, int steps,
+                            const MeasureOptions& opt) {
+  GC_CHECK(steps > 0);
+  lbm::SolverConfig cfg;
+  static_cast<lbm::RunParams&>(cfg) = opt;
+  cfg.fused = opt.fused;
+  cfg.pool = opt.pool;
+  // The solver constructs its lattice in cfg.storage; seed it in the
+  // geometry's own layout first, then convert, so set_flag/set_f never
+  // interleave with a compact remap.
+  cfg.storage = geometry.storage_mode();
+  lbm::Solver solver(geometry.dim(), cfg);
+  solver.lattice() = geometry;
+  if (opt.storage != geometry.storage_mode()) {
+    solver.lattice().convert_storage(opt.storage);
+  }
+  solver.lattice().cell_class();  // classification outside the clock
+  solver.step();  // warm-up
+  Timer t;
+  solver.run(steps);
+  return t.millis() / steps;
+}
+
 }  // namespace gc::core

@@ -53,4 +53,12 @@ struct MeasureOptions : lbm::RunParams {
 double measure_host_step_ms(Int3 dim, int steps,
                             const MeasureOptions& opt = {});
 
+/// Geometry-aware variant: steps a copy of `geometry` (flags, BCs and
+/// state included) under opt.storage, so solid-laden scenes can be timed
+/// on the backend that actually skips their solid cells. The lattice is
+/// converted after seeding; the kernels see the exact same configuration
+/// in every mode.
+double measure_host_step_ms(const lbm::Lattice& geometry, int steps,
+                            const MeasureOptions& opt = {});
+
 }  // namespace gc::core

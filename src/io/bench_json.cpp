@@ -5,7 +5,12 @@
 namespace gc::io {
 
 const char* storage_mode_name(lbm::StorageMode mode) {
-  return mode == lbm::StorageMode::AA ? "aa" : "double_buffer";
+  switch (mode) {
+    case lbm::StorageMode::AA: return "aa";
+    case lbm::StorageMode::Sparse: return "sparse";
+    case lbm::StorageMode::DoubleBuffer: break;
+  }
+  return "double_buffer";
 }
 
 double split_step_traffic_bytes(const lbm::Lattice& lat) {
@@ -15,6 +20,12 @@ double split_step_traffic_bytes(const lbm::Lattice& lat) {
   if (lat.storage_mode() == lbm::StorageMode::DoubleBuffer) {
     // collide: read + write every plane; stream: read front, write back.
     return 4.0 * plane_set;
+  }
+  if (lat.storage_mode() == lbm::StorageMode::Sparse) {
+    // The dense pattern shrunk to the active cells: solid cells have no
+    // storage, so neither pass ever touches them.
+    return 4.0 * static_cast<double>(lbm::Q) *
+           static_cast<double>(lat.sparse_active_cells()) * sizeof(Real);
   }
   // AA: the advancing collide reads + writes every plane in place; the
   // stream is a parity flip plus per-slow-cell fixups (gather + scatter).
@@ -31,6 +42,10 @@ double fused_step_traffic_bytes(const lbm::Lattice& lat) {
   if (lat.storage_mode() == lbm::StorageMode::DoubleBuffer) {
     return 2.0 * plane_set;
   }
+  if (lat.storage_mode() == lbm::StorageMode::Sparse) {
+    return 2.0 * static_cast<double>(lbm::Q) *
+           static_cast<double>(lat.sparse_active_cells()) * sizeof(Real);
+  }
   const double fixups =
       2.0 * static_cast<double>(lbm::Q) *
       static_cast<double>(lat.cell_class().slow.size()) * sizeof(Real);
@@ -46,7 +61,7 @@ void write_bench_json(const std::string& path,
     const BenchRecord& r = records[k];
     out << "  {\n"
         << "    \"name\": \"" << r.name << "\",\n"
-        << "    \"storage\": \"" << storage_mode_name(r.storage) << "\",\n"
+        << "    \"storage\": \"" << io::storage_mode_name(r.storage) << "\",\n"
         << "    \"dim\": [" << r.dim.x << ", " << r.dim.y << ", " << r.dim.z
         << "],\n"
         << "    \"ms_per_step\": " << r.ms_per_step << ",\n"

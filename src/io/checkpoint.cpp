@@ -12,9 +12,11 @@ namespace {
 constexpr char kMagic[4] = {'G', 'C', 'L', 'B'};
 // v2: storage-agnostic body, no storage-mode field (pre-dates the AA
 // backend reaching the header). v3: u8 StorageMode after the velocity
-// count. Both load; v2 is detected as DoubleBuffer.
+// count. v4: same layout, the storage byte may also say Sparse (v3
+// readers must reject such files, hence the bump). All load; v2 is
+// detected as DoubleBuffer.
 constexpr u32 kMinVersion = 2;
-constexpr u32 kVersion = 3;
+constexpr u32 kVersion = 4;
 constexpr char kManifestMagic[4] = {'G', 'C', 'M', 'F'};
 constexpr u32 kManifestVersion = 1;
 
@@ -184,8 +186,9 @@ lbm::StorageMode read_header_prefix(BodyReader& body, u32 version, Int3* d) {
   if (version < 3) return lbm::StorageMode::DoubleBuffer;
   u8 mode;
   body.pod(mode);
-  GC_CHECK_MSG(mode <= static_cast<u8>(lbm::StorageMode::AA),
-               "invalid storage mode in checkpoint");
+  const u8 max_mode = version >= 4 ? static_cast<u8>(lbm::StorageMode::Sparse)
+                                   : static_cast<u8>(lbm::StorageMode::AA);
+  GC_CHECK_MSG(mode <= max_mode, "invalid storage mode in checkpoint");
   return static_cast<lbm::StorageMode>(mode);
 }
 
@@ -201,9 +204,12 @@ lbm::Lattice load_checkpoint_impl(const std::string& path,
   const lbm::StorageMode recorded = read_header_prefix(body, version, &d);
   const lbm::StorageMode mode = forced_mode ? *forced_mode : recorded;
 
-  // A fresh lattice is in the natural layout in either mode (AA phase 0),
-  // so the planes can be read straight into plane_ptr.
-  lbm::Lattice lat(d, mode);
+  // A fresh DoubleBuffer/AA lattice is in the natural layout (AA phase
+  // 0), so the planes can be read straight into plane_ptr. A sparse
+  // target has no dense planes at all — load through DoubleBuffer and
+  // convert once the flags (which define the compact layout) are final.
+  const bool sparse_target = mode == lbm::StorageMode::Sparse;
+  lbm::Lattice lat(d, sparse_target ? lbm::StorageMode::DoubleBuffer : mode);
   for (int face = 0; face < 6; ++face) {
     u8 bc;
     body.pod(bc);
@@ -243,6 +249,7 @@ lbm::Lattice load_checkpoint_impl(const std::string& path,
     lat.add_curved_link(link);
   }
   GC_CHECK_MSG(body.at_end(), "checkpoint body has trailing bytes");
+  if (sparse_target) lat.convert_storage(lbm::StorageMode::Sparse);
   return lat;
 }
 

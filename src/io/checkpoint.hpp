@@ -3,7 +3,7 @@
 // restartable state: this stores the full distribution set, flags and
 // boundary configuration, and restores a bit-identical lattice.
 //
-// Integrity (format v3): every file is an envelope of
+// Integrity (format v4): every file is an envelope of
 //   [magic][u32 version][u64 body_size][u32 body_crc32][body]
 // written to a temporary sibling and committed with an atomic rename, so
 // a crash mid-write leaves either the old file or none. Loading verifies
@@ -13,9 +13,12 @@
 //
 // v3 additionally records the StorageMode the saved simulation was
 // running (the distribution planes themselves are always serialized in
-// the canonical natural order, so the payload is storage-agnostic).
-// v2 files — which predate the header field — still load, detected as
-// DoubleBuffer, the only mode that existed when they were written.
+// the canonical natural order, so the payload is storage-agnostic —
+// sparse lattices are expanded to natural planes on save and recompacted
+// on load). v4 allows that byte to say Sparse, which a v3 reader must
+// reject. v2 files — which predate the header field — still load,
+// detected as DoubleBuffer, the only mode that existed when they were
+// written.
 #pragma once
 
 #include <string>

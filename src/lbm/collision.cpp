@@ -73,6 +73,30 @@ void collide_z_range(Lattice& lat, const CellClass& cc, const BgkParams& p,
   }
 }
 
+// ---- sparse (compact fluid-index) collision -------------------------
+// Same span/slow split as the dense pass, with every storage access
+// routed through the compact planes: a bulk span's cells occupy
+// consecutive compact ids (the cell list preserves dense order), so
+// collide_span runs unchanged on a compact base offset. Solid cells
+// have no storage and no work.
+
+void sparse_collide_z_range(Lattice& lat, const CellClass& cc,
+                            const BgkParams& p, int z0, int z1) {
+  Real* planes[Q];
+  for (int i = 0; i < Q; ++i) planes[i] = lat.sparse_plane_ptr(i);
+  for (i64 s = cc.span_z[z0]; s < cc.span_z[z1]; ++s) {
+    const CellSpan sp = cc.spans[static_cast<std::size_t>(s)];
+    collide_span(planes, p, lat.sparse_index(sp.begin), sp.len);
+  }
+  Real f[Q];
+  for (i64 k = cc.fluid_slow_z[z0]; k < cc.fluid_slow_z[z1]; ++k) {
+    const i64 m = lat.sparse_index(cc.fluid_slow[static_cast<std::size_t>(k)]);
+    for (int i = 0; i < Q; ++i) f[i] = planes[i][m];
+    collide_bgk_cell(f, p.tau, p.force);
+    for (int i = 0; i < Q; ++i) planes[i][m] = f[i];
+  }
+}
+
 // ---- AA-pattern advancing collision ---------------------------------
 // In AA mode the collision pass is what moves data between the phase
 // machine's slot mappings: it reads each cell's 19 logical values
@@ -136,6 +160,10 @@ void collide_bgk(Lattice& lat, const BgkParams& p) {
     lat.aa_mark_collided();
     return;
   }
+  if (lat.storage_mode() == StorageMode::Sparse) {
+    sparse_collide_z_range(lat, lat.cell_class(), p, 0, lat.dim().z);
+    return;
+  }
   collide_z_range(lat, lat.cell_class(), p, 0, lat.dim().z);
 }
 
@@ -151,6 +179,17 @@ void collide_bgk(Lattice& lat, const BgkParams& p, ThreadPool& pool) {
         },
         ThreadPool::min_chunk_indices(i64(d.x) * d.y));
     lat.aa_mark_collided();
+    return;
+  }
+  if (lat.storage_mode() == StorageMode::Sparse) {
+    lat.sparse_active_cells();  // build on the calling thread
+    pool.parallel_for_chunks(
+        0, d.z,
+        [&lat, &cc, &p](i64 z0, i64 z1) {
+          sparse_collide_z_range(lat, cc, p, static_cast<int>(z0),
+                                 static_cast<int>(z1));
+        },
+        ThreadPool::min_chunk_indices(i64(d.x) * d.y));
     return;
   }
   pool.parallel_for_chunks(
@@ -224,6 +263,38 @@ void collide_bgk_region(Lattice& lat, const BgkParams& p, Int3 lo, Int3 hi) {
     aa_collide_region(lat, p, lo, hi);
     return;
   }
+  if (lat.storage_mode() == StorageMode::Sparse) {
+    const CellClass& cc = lat.cell_class();
+    const Int3 d = lat.dim();
+    Real* planes[Q];
+    for (int i = 0; i < Q; ++i) planes[i] = lat.sparse_plane_ptr(i);
+    for (int z = lo.z; z < hi.z; ++z) {
+      for (i64 s = cc.span_z[z]; s < cc.span_z[z + 1]; ++s) {
+        const CellSpan sp = cc.spans[static_cast<std::size_t>(s)];
+        const int y = static_cast<int>((sp.begin / d.x) % d.y);
+        if (y < lo.y || y >= hi.y) continue;
+        const int x0 = static_cast<int>(sp.begin % d.x);
+        const int xb = std::max(x0, lo.x);
+        const int xe = std::min(x0 + sp.len, hi.x);
+        if (xb >= xe) continue;
+        collide_span(planes, p, lat.sparse_index(sp.begin + (xb - x0)),
+                     static_cast<i32>(xe - xb));
+      }
+      Real f[Q];
+      for (i64 k = cc.fluid_slow_z[z]; k < cc.fluid_slow_z[z + 1]; ++k) {
+        const i64 c = cc.fluid_slow[static_cast<std::size_t>(k)];
+        const Int3 pos = lat.coords(c);
+        if (pos.x < lo.x || pos.x >= hi.x || pos.y < lo.y || pos.y >= hi.y) {
+          continue;
+        }
+        const i64 m = lat.sparse_index(c);
+        for (int i = 0; i < Q; ++i) f[i] = planes[i][m];
+        collide_bgk_cell(f, p.tau, p.force);
+        for (int i = 0; i < Q; ++i) planes[i][m] = f[i];
+      }
+    }
+    return;
+  }
   const CellClass& cc = lat.cell_class();
   const Int3 d = lat.dim();
   Real* planes[Q];
@@ -257,6 +328,31 @@ void collide_bgk_region(Lattice& lat, const BgkParams& p, Int3 lo, Int3 hi) {
 }
 
 namespace {
+
+/// Sparse per-cell-force collide: forces stay indexed by dense cell, the
+/// distributions live at the compact id.
+void sparse_collide_forced_z_range(Lattice& lat, const CellClass& cc, Real tau,
+                                   const Vec3* force, int z0, int z1) {
+  Real* planes[Q];
+  for (int i = 0; i < Q; ++i) planes[i] = lat.sparse_plane_ptr(i);
+  Real f[Q];
+  for (i64 s = cc.span_z[z0]; s < cc.span_z[z1]; ++s) {
+    const CellSpan sp = cc.spans[static_cast<std::size_t>(s)];
+    const i64 m0 = lat.sparse_index(sp.begin);
+    for (i32 k = 0; k < sp.len; ++k) {
+      for (int i = 0; i < Q; ++i) f[i] = planes[i][m0 + k];
+      collide_bgk_cell(f, tau, force[sp.begin + k]);
+      for (int i = 0; i < Q; ++i) planes[i][m0 + k] = f[i];
+    }
+  }
+  for (i64 k = cc.fluid_slow_z[z0]; k < cc.fluid_slow_z[z1]; ++k) {
+    const i64 c = cc.fluid_slow[static_cast<std::size_t>(k)];
+    const i64 m = lat.sparse_index(c);
+    for (int i = 0; i < Q; ++i) f[i] = planes[i][m];
+    collide_bgk_cell(f, tau, force[c]);
+    for (int i = 0; i < Q; ++i) planes[i][m] = f[i];
+  }
+}
 
 void collide_forced_z_range(Lattice& lat, const CellClass& cc, Real tau,
                             const Vec3* force, int z0, int z1) {
@@ -324,13 +420,19 @@ void collide_bgk_forced(Lattice& lat, Real tau, const Vec3* force,
   const CellClass& cc = lat.cell_class();  // build before dispatch
   const Int3 d = lat.dim();
   const bool aa = lat.storage_mode() == StorageMode::AA;
+  const bool sparse = lat.storage_mode() == StorageMode::Sparse;
+  if (sparse) lat.sparse_active_cells();  // build on the calling thread
   if (ctx.pool) {
     ctx.pool->parallel_for_chunks(
         0, d.z,
-        [&lat, &cc, tau, force, aa](i64 z0, i64 z1) {
+        [&lat, &cc, tau, force, aa, sparse](i64 z0, i64 z1) {
           if (aa) {
             aa_collide_forced_cells(lat, cc, tau, force, static_cast<int>(z0),
                                     static_cast<int>(z1));
+          } else if (sparse) {
+            sparse_collide_forced_z_range(lat, cc, tau, force,
+                                          static_cast<int>(z0),
+                                          static_cast<int>(z1));
           } else {
             collide_forced_z_range(lat, cc, tau, force, static_cast<int>(z0),
                                    static_cast<int>(z1));
@@ -339,6 +441,8 @@ void collide_bgk_forced(Lattice& lat, Real tau, const Vec3* force,
         ThreadPool::min_chunk_indices(i64(d.x) * d.y));
   } else if (aa) {
     aa_collide_forced_cells(lat, cc, tau, force, 0, d.z);
+  } else if (sparse) {
+    sparse_collide_forced_z_range(lat, cc, tau, force, 0, d.z);
   } else {
     collide_forced_z_range(lat, cc, tau, force, 0, d.z);
   }
@@ -400,6 +504,57 @@ void fused_z_range(Lattice& lat, const CellClass& cc, const BgkParams& p,
       equilibrium_all(lat.inlet_density(), lat.inlet_velocity_at(pos), f);
     }
     for (int i = 0; i < Q; ++i) dst[i][cell] = f[i];
+  }
+}
+
+/// Sparse fused pull+collide: the dense pass over compact planes. Span
+/// base offsets go through the index map once per span; the inner loops
+/// stay branch-free. Solid cells have no storage and no work.
+void sparse_fused_z_range(Lattice& lat, const CellClass& cc,
+                          const BgkParams& p, int z0, int z1) {
+  const Int3 d = lat.dim();
+  Real* dst[Q];
+  const Real* src[Q];
+  for (int i = 0; i < Q; ++i) {
+    dst[i] = lat.sparse_back_plane_ptr(i);
+    src[i] = lat.sparse_plane_ptr(i);
+  }
+  const i64 sx = 1, sy = d.x, sz = i64(d.x) * d.y;
+  i64 shift[Q];
+  for (int i = 0; i < Q; ++i) {
+    shift[i] = -(C[i].x * sx + C[i].y * sy + C[i].z * sz);
+  }
+  const auto& flags = lat.flags();
+
+  Real f[Q];
+  for (i64 s = cc.span_z[z0]; s < cc.span_z[z1]; ++s) {
+    const CellSpan sp = cc.spans[static_cast<std::size_t>(s)];
+    const i64 out0 = lat.sparse_index(sp.begin);
+    const Real* GC_RESTRICT in[Q];
+    Real* GC_RESTRICT out[Q];
+    for (int i = 0; i < Q; ++i) {
+      in[i] = src[i] + lat.sparse_index(sp.begin + shift[i]);
+      out[i] = dst[i] + out0;
+    }
+    for (i32 k = 0; k < sp.len; ++k) {
+      for (int i = 0; i < Q; ++i) f[i] = in[i][k];
+      collide_bgk_cell(f, p.tau, p.force);
+      for (int i = 0; i < Q; ++i) out[i][k] = f[i];
+    }
+  }
+
+  for (i64 k = cc.slow_z[z0]; k < cc.slow_z[z1]; ++k) {
+    const i64 cell = cc.slow[static_cast<std::size_t>(k)];
+    const i64 m = lat.sparse_index(cell);  // slow cells are never solid
+    const Int3 pos = lat.coords(cell);
+    const CellType t = static_cast<CellType>(flags[cell]);
+    for (int i = 0; i < Q; ++i) f[i] = detail::pull_value(lat, pos, i);
+    if (t == CellType::Fluid) {
+      collide_bgk_cell(f, p.tau, p.force);
+    } else if (t == CellType::Inlet) {
+      equilibrium_all(lat.inlet_density(), lat.inlet_velocity_at(pos), f);
+    }
+    for (int i = 0; i < Q; ++i) dst[i][m] = f[i];
   }
 }
 
@@ -507,14 +662,23 @@ void fused_stream_collide(Lattice& lat, const BgkParams& p,
   }
   const CellClass& cc = lat.cell_class();  // build before dispatch
   const Int3 d = lat.dim();
+  const bool sparse = lat.storage_mode() == StorageMode::Sparse;
+  if (sparse) lat.sparse_active_cells();  // build on the calling thread
   if (ctx.pool) {
     ctx.pool->parallel_for_chunks(
         0, d.z,
-        [&lat, &cc, &p](i64 z0, i64 z1) {
-          fused_z_range(lat, cc, p, static_cast<int>(z0),
-                        static_cast<int>(z1));
+        [&lat, &cc, &p, sparse](i64 z0, i64 z1) {
+          if (sparse) {
+            sparse_fused_z_range(lat, cc, p, static_cast<int>(z0),
+                                 static_cast<int>(z1));
+          } else {
+            fused_z_range(lat, cc, p, static_cast<int>(z0),
+                          static_cast<int>(z1));
+          }
         },
         ThreadPool::min_chunk_indices(i64(d.x) * d.y));
+  } else if (sparse) {
+    sparse_fused_z_range(lat, cc, p, 0, d.z);
   } else {
     fused_z_range(lat, cc, p, 0, d.z);
   }

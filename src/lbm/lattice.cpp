@@ -9,9 +9,13 @@ Lattice::Lattice(Int3 dim, StorageMode mode)
     : dim_(dim), n_(dim.volume()), mode_(mode) {
   GC_CHECK_MSG(dim.x > 0 && dim.y > 0 && dim.z > 0,
                "lattice dimensions must be positive, got " << dim);
-  buf_[0].assign(static_cast<std::size_t>(Q * n_), Real(0));
-  if (mode_ == StorageMode::DoubleBuffer)
-    buf_[1].assign(static_cast<std::size_t>(Q * n_), Real(0));
+  // Sparse storage is sized lazily by rebuild_sparse_layout() once the
+  // flags are known; dense modes allocate their full planes up front.
+  if (mode_ != StorageMode::Sparse) {
+    buf_[0].assign(static_cast<std::size_t>(Q * n_), Real(0));
+    if (mode_ == StorageMode::DoubleBuffer)
+      buf_[1].assign(static_cast<std::size_t>(Q * n_), Real(0));
+  }
   flags_.assign(static_cast<std::size_t>(n_), static_cast<u8>(CellType::Fluid));
   face_bc_.fill(FaceBc::Periodic);
 }
@@ -96,32 +100,119 @@ void Lattice::aa_adopt_collided_layout() {
   phase_ = 1;
 }
 
+void Lattice::rebuild_sparse_layout() {
+  GC_CHECK(mode_ == StorageMode::Sparse);
+  // Expand the current compact buffer through the OLD map into a natural
+  // scratch (zeros at previously pruned cells), so cells that survive a
+  // flag change keep their values and newly active cells start at 0 —
+  // exactly what a dense lattice holds for a never-streamed cell.
+  std::vector<Real> natural(static_cast<std::size_t>(Q * n_), Real(0));
+  if (!sparse_cells_.empty()) {
+    for (int i = 0; i < Q; ++i) {
+      const Real* src = buf_[cur_].data() + sparse_slot(i, 0);
+      Real* dst = natural.data() + plane(i);
+      for (i64 m = 0; m < sparse_n_; ++m) dst[sparse_cells_[m]] = src[m];
+    }
+  }
+  // Rebuild the map in ascending dense order (the span-contiguity
+  // invariant the sparse kernels rely on).
+  sparse_map_.assign(static_cast<std::size_t>(n_), i64(-1));
+  sparse_cells_.clear();
+  for (i64 c = 0; c < n_; ++c) {
+    if (flags_[static_cast<std::size_t>(c)] ==
+        static_cast<u8>(CellType::Solid)) {
+      continue;
+    }
+    sparse_map_[static_cast<std::size_t>(c)] =
+        static_cast<i64>(sparse_cells_.size());
+    sparse_cells_.push_back(c);
+  }
+  sparse_n_ = static_cast<i64>(sparse_cells_.size());
+  // Recompact: dropping solid cells' values is unobservable (no compute
+  // path reads them; dense comparisons skip Solid).
+  buf_[cur_].assign(static_cast<std::size_t>(Q * sparse_n_), Real(0));
+  for (int i = 0; i < Q; ++i) {
+    const Real* src = natural.data() + plane(i);
+    Real* dst = buf_[cur_].data() + sparse_slot(i, 0);
+    for (i64 m = 0; m < sparse_n_; ++m) dst[m] = src[sparse_cells_[m]];
+  }
+  buf_[1 - cur_].assign(static_cast<std::size_t>(Q * sparse_n_), Real(0));
+  sparse_dirty_ = false;
+}
+
 void Lattice::convert_storage(StorageMode mode) {
   if (mode == mode_) return;
-  if (mode == StorageMode::AA) {
-    GC_CHECK_MSG(curved_links_.empty(),
-                 "AA storage does not support curved boundary links");
-    // The current buffer is already the natural layout (DB keeps phase 0).
-    if (cur_ == 1) std::swap(buf_[0], buf_[1]);
-    cur_ = 0;
-    buf_[1].clear();
-    buf_[1].shrink_to_fit();
-    mode_ = StorageMode::AA;
-    phase_ = 0;
-    return;
-  }
-  // AA -> DoubleBuffer: materialize the natural plane order.
-  if (phase_ != 0) {
+  // Every conversion funnels through the natural double-buffered layout
+  // in buf_[0]: normalize the source, then relabel/compact into the
+  // target mode.
+  if (mode_ == StorageMode::AA && phase_ != 0) {
     std::vector<Real> natural(static_cast<std::size_t>(Q * n_));
     for (int i = 0; i < Q; ++i)
       for (i64 c = 0; c < n_; ++c)
         natural[plane(i) + c] = buf_[cur_][slot(i, c)];
     buf_[0] = std::move(natural);
+  } else if (mode_ == StorageMode::Sparse) {
+    // Expand compact planes; pruned (solid) cells read as 0, matching a
+    // dense post-stream lattice.
+    ensure_sparse();
+    std::vector<Real> natural(static_cast<std::size_t>(Q * n_), Real(0));
+    for (int i = 0; i < Q; ++i) {
+      const Real* src = buf_[cur_].data() + sparse_slot(i, 0);
+      Real* dst = natural.data() + plane(i);
+      for (i64 m = 0; m < sparse_n_; ++m) dst[sparse_cells_[m]] = src[m];
+    }
+    buf_[0] = std::move(natural);
+    sparse_map_.clear();
+    sparse_map_.shrink_to_fit();
+    sparse_cells_.clear();
+    sparse_cells_.shrink_to_fit();
+    sparse_n_ = 0;
+    sparse_dirty_ = true;
+  } else if (cur_ == 1) {
+    std::swap(buf_[0], buf_[1]);
   }
   cur_ = 0;
   phase_ = 0;
-  buf_[1].assign(static_cast<std::size_t>(Q * n_), Real(0));
-  mode_ = StorageMode::DoubleBuffer;
+  switch (mode) {
+    case StorageMode::AA:
+      GC_CHECK_MSG(curved_links_.empty(),
+                   "AA storage does not support curved boundary links");
+      buf_[1].clear();
+      buf_[1].shrink_to_fit();
+      break;
+    case StorageMode::Sparse: {
+      GC_CHECK_MSG(curved_links_.empty(),
+                   "sparse storage does not support curved boundary links");
+      mode_ = StorageMode::Sparse;
+      // Compact straight from the natural planes now in buf_[0].
+      std::vector<Real> natural = std::move(buf_[0]);
+      sparse_map_.assign(static_cast<std::size_t>(n_), i64(-1));
+      sparse_cells_.clear();
+      for (i64 c = 0; c < n_; ++c) {
+        if (flags_[static_cast<std::size_t>(c)] ==
+            static_cast<u8>(CellType::Solid)) {
+          continue;
+        }
+        sparse_map_[static_cast<std::size_t>(c)] =
+            static_cast<i64>(sparse_cells_.size());
+        sparse_cells_.push_back(c);
+      }
+      sparse_n_ = static_cast<i64>(sparse_cells_.size());
+      buf_[0].assign(static_cast<std::size_t>(Q * sparse_n_), Real(0));
+      for (int i = 0; i < Q; ++i) {
+        const Real* src = natural.data() + plane(i);
+        Real* dst = buf_[0].data() + sparse_slot(i, 0);
+        for (i64 m = 0; m < sparse_n_; ++m) dst[m] = src[sparse_cells_[m]];
+      }
+      buf_[1].assign(static_cast<std::size_t>(Q * sparse_n_), Real(0));
+      sparse_dirty_ = false;
+      return;
+    }
+    case StorageMode::DoubleBuffer:
+      buf_[1].assign(static_cast<std::size_t>(Q * n_), Real(0));
+      break;
+  }
+  mode_ = mode;
 }
 
 void Lattice::add_curved_link(CurvedLink link) {
@@ -137,6 +228,16 @@ void Lattice::add_curved_link(CurvedLink link) {
 void Lattice::init_equilibrium(Real rho, Vec3 u) {
   Real feq[Q];
   equilibrium_all(rho, u, feq);
+  if (mode_ == StorageMode::Sparse) {
+    ensure_sparse();
+    for (int i = 0; i < Q; ++i) {
+      for (int b = 0; b < 2; ++b) {
+        Real* p = buf_[b].data() + sparse_slot(i, 0);
+        std::fill(p, p + sparse_n_, feq[i]);
+      }
+    }
+    return;
+  }
   phase_ = 0;  // canonical post-stream state in AA mode; no-op in DB mode
   for (int i = 0; i < Q; ++i) {
     Real* p = plane_ptr(i);
@@ -218,8 +319,7 @@ void Lattice::copy_distributions_from(const Lattice& src) {
   if (src.mode_ != mode_) {
     std::ostringstream os;
     os << "copy_distributions_from: storage modes differ (src "
-       << (src.mode_ == StorageMode::AA ? "AA" : "DoubleBuffer") << ", dst "
-       << (mode_ == StorageMode::AA ? "AA" : "DoubleBuffer")
+       << storage_mode_name(src.mode_) << ", dst " << storage_mode_name(mode_)
        << ") — convert_storage first";
     throw StorageMismatchError(os.str());
   }
@@ -227,6 +327,19 @@ void Lattice::copy_distributions_from(const Lattice& src) {
     // Same mode: adopt the source's buffer and phase wholesale.
     buf_[cur_] = src.buf_[src.cur_];
     phase_ = src.phase_;
+    return;
+  }
+  if (mode_ == StorageMode::Sparse) {
+    // Compact ids only line up when the two lattices prune the same
+    // cells; a geometry mismatch is a layout mismatch, not a copy.
+    if (src.flags_ != flags_) {
+      throw StorageMismatchError(
+          "copy_distributions_from: sparse layouts differ (cell flags do "
+          "not match) — convert_storage through DoubleBuffer first");
+    }
+    ensure_sparse();
+    src.ensure_sparse();
+    buf_[cur_] = src.buf_[src.cur_];
     return;
   }
   for (int i = 0; i < Q; ++i) {

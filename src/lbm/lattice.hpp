@@ -1,6 +1,6 @@
 // The LBM lattice container: a structured 3D grid of D3Q19 distribution
 // values stored as 19 contiguous planes (structure-of-arrays), in one of
-// two storage modes:
+// three storage modes:
 //
 //   DoubleBuffer — the classic A/B pattern: streaming pulls from the
 //     current buffer into the back buffer and swaps. Mirrors the
@@ -27,6 +27,19 @@
 //     streamed value; only boundary cells need explicit fixups).
 //     `wrap` is a per-axis periodic index wrap — an internal address
 //     bijection, independent of the face boundary conditions.
+//
+//   Sparse — indirect fluid-index addressing (Tomczak & Szafran's
+//     sparse-geometry GPU LBM): two compact buffers hold only the
+//     non-solid cells, plus a dense->compact index map. Because the
+//     compact cell list is built in ascending dense order, consecutive
+//     dense fluid cells stay consecutive compact cells, so the
+//     CellClass bulk spans remain contiguous copies in compact storage
+//     and the kernels keep their branch-free shape. Solid cells have no
+//     storage at all: reads return 0 (exactly what a dense post-stream
+//     solid cell holds) and writes are dropped — both unobservable,
+//     since no compute path ever reads solid-cell storage. The layout
+//     is rebuilt lazily after flag changes, remapping the surviving
+//     cells' values in place.
 //
 // All observation (f()/set_f, pack/unpack, gather, checkpoints) goes
 // through the phase-transparent accessors, so the two modes are
@@ -82,7 +95,18 @@ struct CurvedLink {
 enum class StorageMode : u8 {
   DoubleBuffer = 0,  ///< two buffers, stream A->B then swap
   AA = 1,            ///< one buffer, in-place AA-pattern phase machine
+  Sparse = 2,        ///< two compact buffers over non-solid cells only
 };
+
+/// Human-readable storage-mode name (error messages, logs).
+inline const char* storage_mode_name(StorageMode m) {
+  switch (m) {
+    case StorageMode::DoubleBuffer: return "DoubleBuffer";
+    case StorageMode::AA: return "AA";
+    case StorageMode::Sparse: return "Sparse";
+  }
+  return "?";
+}
 
 /// Thrown when distribution state is copied wholesale between lattices of
 /// different storage modes — the layouts are not interchangeable; convert
@@ -118,9 +142,12 @@ class Lattice {
   int aa_phase() const { return phase_; }
   bool aa_collided() const { return (phase_ & 1) != 0; }
   /// True when slot (i, cell) is simply plane(i) + cell — double-buffered
-  /// mode, or AA at phase 0. Kernels with layout-dependent fast paths
-  /// branch on this; everything else uses f()/set_f and never needs to.
-  bool plane_layout_natural() const { return phase_ == 0; }
+  /// mode, or AA at phase 0 (never sparse: compact storage has no dense
+  /// planes). Kernels with layout-dependent fast paths branch on this;
+  /// everything else uses f()/set_f and never needs to.
+  bool plane_layout_natural() const {
+    return mode_ != StorageMode::Sparse && phase_ == 0;
+  }
 
   /// Marks the AA lattice collided (phase 0->1 or 2->3) after an
   /// advancing collision pass has rewritten every cell through
@@ -140,15 +167,43 @@ class Lattice {
   /// plane pairs (the logical field is unchanged).
   void aa_adopt_collided_layout();
 
-  // --- distribution access (phase-transparent) ---
-  Real f(int i, i64 cell) const { return buf_[cur_][slot(i, cell)]; }
-  void set_f(int i, i64 cell, Real v) { buf_[cur_][slot(i, cell)] = v; }
+  // --- distribution access (phase- and layout-transparent) ---
+  Real f(int i, i64 cell) const {
+    if (mode_ == StorageMode::Sparse) {
+      const i64 m = sparse_index(cell);
+      return m < 0 ? Real(0) : buf_[cur_][sparse_slot(i, m)];
+    }
+    return buf_[cur_][slot(i, cell)];
+  }
+  void set_f(int i, i64 cell, Real v) {
+    if (mode_ == StorageMode::Sparse) {
+      const i64 m = sparse_index(cell);
+      if (m >= 0) buf_[cur_][sparse_slot(i, m)] = v;
+      return;
+    }
+    buf_[cur_][slot(i, cell)] = v;
+  }
 
   /// All 19 logical values of one cell, via the current mapping.
   void gather_cell(i64 cell, Real* out) const {
+    if (mode_ == StorageMode::Sparse) {
+      const i64 m = sparse_index(cell);
+      if (m < 0) {
+        for (int i = 0; i < Q; ++i) out[i] = Real(0);
+      } else {
+        for (int i = 0; i < Q; ++i) out[i] = buf_[cur_][sparse_slot(i, m)];
+      }
+      return;
+    }
     for (int i = 0; i < Q; ++i) out[i] = buf_[cur_][slot(i, cell)];
   }
   void scatter_cell(i64 cell, const Real* in) {
+    if (mode_ == StorageMode::Sparse) {
+      const i64 m = sparse_index(cell);
+      if (m < 0) return;
+      for (int i = 0; i < Q; ++i) buf_[cur_][sparse_slot(i, m)] = in[i];
+      return;
+    }
     for (int i = 0; i < Q; ++i) buf_[cur_][slot(i, cell)] = in[i];
   }
   /// Writes one cell's 19 values into the slots the post-collide mapping
@@ -176,6 +231,49 @@ class Lattice {
     return buf_[1 - cur_].data() + plane(i);
   }
 
+  // --- sparse compact layout (Sparse mode only) ---
+  // Compact storage is addressed by compact ids from sparse_index(), never
+  // by dense cell indices — gc_lint rule GCL009 bans dense-index
+  // arithmetic on these pointers outside lattice.{hpp,cpp}.
+
+  /// Number of cells with compact storage (the non-solid cells).
+  i64 sparse_active_cells() const {
+    GC_CHECK(mode_ == StorageMode::Sparse);
+    ensure_sparse();
+    return sparse_n_;
+  }
+  /// Compact id of a dense cell, or -1 for a pruned (solid) cell. Dense
+  /// order is preserved: consecutive active dense cells have consecutive
+  /// compact ids, so CellClass spans stay contiguous in compact storage.
+  i64 sparse_index(i64 cell) const {
+    GC_CHECK(mode_ == StorageMode::Sparse);
+    ensure_sparse();
+    return sparse_map_[static_cast<std::size_t>(cell)];
+  }
+  /// Dense cell index of each compact id, ascending.
+  const std::vector<i64>& sparse_cell_list() const {
+    GC_CHECK(mode_ == StorageMode::Sparse);
+    ensure_sparse();
+    return sparse_cells_;
+  }
+  /// Compact plane base pointers: base[m] is f_i of the cell with compact
+  /// id m, in the current (read) or back (write) buffer.
+  Real* sparse_plane_ptr(int i) {
+    GC_CHECK(mode_ == StorageMode::Sparse);
+    ensure_sparse();
+    return buf_[cur_].data() + sparse_slot(i, 0);
+  }
+  const Real* sparse_plane_ptr(int i) const {
+    GC_CHECK(mode_ == StorageMode::Sparse);
+    ensure_sparse();
+    return buf_[cur_].data() + sparse_slot(i, 0);
+  }
+  Real* sparse_back_plane_ptr(int i) {
+    GC_CHECK(mode_ == StorageMode::Sparse);
+    ensure_sparse();
+    return buf_[1 - cur_].data() + sparse_slot(i, 0);
+  }
+
   /// AA bulk base pointers: base[cell] is logical f_i(cell) under the
   /// current mapping (read) or the slot the advancing collide writes for
   /// f_i(cell) (write). The affine form only holds where the mapping
@@ -184,11 +282,11 @@ class Lattice {
   const Real* aa_bulk_read_ptr(int i) const;
   Real* aa_bulk_write_ptr(int i);
 
-  /// DoubleBuffer: swap current and back buffers (after a streaming
-  /// pass). AA: flip parity (phase 1->2 or 3->0) — the zero-copy bulk
-  /// stream; requires a collided lattice.
+  /// DoubleBuffer/Sparse: swap current and back buffers (after a
+  /// streaming pass). AA: flip parity (phase 1->2 or 3->0) — the
+  /// zero-copy bulk stream; requires a collided lattice.
   void swap_buffers() {
-    if (mode_ == StorageMode::DoubleBuffer) {
+    if (mode_ != StorageMode::AA) {
       cur_ = 1 - cur_;
       return;
     }
@@ -214,8 +312,10 @@ class Lattice {
   CellType flag(i64 cell) const { return static_cast<CellType>(flags_[cell]); }
   CellType flag(Int3 p) const { return flag(idx(p)); }
   void set_flag(i64 cell, CellType t) {
+    if (flags_[cell] == static_cast<u8>(t)) return;  // no mutation, no rebuild
     flags_[cell] = static_cast<u8>(t);
     class_dirty_ = true;
+    sparse_dirty_ = true;
   }
   void set_flag(Int3 p, CellType t) { set_flag(idx(p), t); }
   const std::vector<u8>& flags() const { return flags_; }
@@ -288,9 +388,15 @@ class Lattice {
   i64 count(CellType t) const;
 
   /// Bytes of distribution storage (both buffers in double-buffered
-  /// mode, one buffer plus fixup scratch in AA mode), as the
-  /// texture-memory footprint of Section 2 would account for them.
+  /// mode, one buffer plus fixup scratch in AA mode, two compact buffers
+  /// plus the index map in sparse mode), as the texture-memory footprint
+  /// of Section 2 would account for them.
   i64 storage_bytes() const {
+    if (mode_ == StorageMode::Sparse) {
+      ensure_sparse();
+      return 2 * Q * sparse_n_ * static_cast<i64>(sizeof(Real)) +
+             (n_ + sparse_n_) * static_cast<i64>(sizeof(i64));
+    }
     const i64 nbufs = mode_ == StorageMode::AA ? 1 : 2;
     return nbufs * Q * n_ * static_cast<i64>(sizeof(Real)) +
            static_cast<i64>((aa_fix_.capacity() + aa_pending_.capacity()) *
@@ -305,6 +411,15 @@ class Lattice {
     return phase_ == 0 ? plane(i) + cell : mapped_slot(i, cell);
   }
   i64 mapped_slot(int i, i64 cell) const;  // phases 1-3 (AA only)
+  /// Compact-storage slot of f_i at compact id m (Sparse mode).
+  i64 sparse_slot(int i, i64 m) const { return i64(i) * sparse_n_ + m; }
+  /// Rebuilds the compact layout lazily after a flag change. Logically
+  /// const: the logical field at non-solid cells is preserved exactly
+  /// and solid-cell storage is unobservable.
+  void ensure_sparse() const {
+    if (sparse_dirty_) const_cast<Lattice*>(this)->rebuild_sparse_layout();
+  }
+  void rebuild_sparse_layout();
   /// Linear offset of one hop along C[i] (no wrap).
   i64 dir_offset(int i) const;
   /// Cell index one hop along sign*C[i] with per-axis periodic wrap.
@@ -318,6 +433,10 @@ class Lattice {
   int cur_ = 0;
   std::vector<Real> aa_fix_;
   std::vector<Real> aa_pending_;
+  std::vector<i64> sparse_map_;    ///< dense cell -> compact id, -1 pruned
+  std::vector<i64> sparse_cells_;  ///< compact id -> dense cell, ascending
+  i64 sparse_n_ = 0;               ///< active (non-solid) cell count
+  mutable bool sparse_dirty_ = true;
   std::vector<u8> flags_;
   std::array<FaceBc, 6> face_bc_;
   Real inlet_density_ = Real(1);

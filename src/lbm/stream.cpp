@@ -156,6 +156,57 @@ void stream_z_range(Lattice& lat, const CellClass& cc, int z0, int z1) {
                cc.solid_z[z1] - cc.solid_z[z0]);
 }
 
+// ---- sparse (compact fluid-index) streaming --------------------------
+// Identical pull pattern over the compact planes. Because the compact
+// cell list preserves ascending dense order, a bulk span's cells — and
+// each direction's pull sources, which form another contiguous all-
+// active dense run — map to contiguous compact ids, so the span loop
+// stays a plain shifted copy: only the two base offsets go through the
+// index map. Solid cells have no storage, so there is nothing to zero.
+
+void sparse_stream_cells(Lattice& lat, const CellSpan* spans, i64 nspans,
+                         const i64* slow, i64 nslow) {
+  const Int3 d = lat.dim();
+  const i64 sx = 1, sy = d.x, sz = i64(d.x) * d.y;
+  i64 shift[Q];
+  for (int i = 0; i < Q; ++i) {
+    shift[i] = -(C[i].x * sx + C[i].y * sy + C[i].z * sz);
+  }
+
+  const Real* src[Q];
+  Real* dst[Q];
+  for (int i = 0; i < Q; ++i) {
+    src[i] = lat.sparse_plane_ptr(i);
+    dst[i] = lat.sparse_back_plane_ptr(i);
+  }
+
+  for (i64 s = 0; s < nspans; ++s) {
+    const CellSpan sp = spans[s];
+    const i64 out0 = lat.sparse_index(sp.begin);
+    for (int i = 0; i < Q; ++i) {
+      Real* GC_RESTRICT out = dst[i] + out0;
+      const Real* GC_RESTRICT in = src[i] + lat.sparse_index(sp.begin + shift[i]);
+      for (i32 k = 0; k < sp.len; ++k) out[k] = in[k];
+    }
+  }
+
+  for (i64 k = 0; k < nslow; ++k) {
+    const i64 cell = slow[k];
+    const i64 m = lat.sparse_index(cell);  // slow cells are never solid
+    const Int3 p = lat.coords(cell);
+    for (int i = 0; i < Q; ++i) {
+      dst[i][m] = detail::pull_value(lat, p, i);
+    }
+  }
+}
+
+void sparse_stream_z_range(Lattice& lat, const CellClass& cc, int z0, int z1) {
+  sparse_stream_cells(lat, cc.spans.data() + cc.span_z[z0],
+                      cc.span_z[z1] - cc.span_z[z0],
+                      cc.slow.data() + cc.slow_z[z0],
+                      cc.slow_z[z1] - cc.slow_z[z0]);
+}
+
 /// Re-imposes the inlet equilibrium on inlet-flagged cells (the tail of
 /// every streaming pass, both storage modes). The uniform-inlet
 /// equilibrium is computed once outside the loop, and a profiled inlet
@@ -269,7 +320,12 @@ void stream(Lattice& lat) {
     return;
   }
   const CellClass& cc = lat.cell_class();
-  stream_z_range(lat, cc, 0, lat.dim().z);
+  if (lat.storage_mode() == StorageMode::Sparse) {
+    lat.sparse_active_cells();  // build the compact layout before streaming
+    sparse_stream_z_range(lat, cc, 0, lat.dim().z);
+  } else {
+    stream_z_range(lat, cc, 0, lat.dim().z);
+  }
   finish_stream(lat);
 }
 
@@ -280,16 +336,35 @@ void stream(Lattice& lat, ThreadPool& pool) {
   }
   const CellClass& cc = lat.cell_class();  // build before dispatch
   const Int3 d = lat.dim();
-  pool.parallel_for_chunks(
-      0, d.z,
-      [&lat, &cc](i64 z0, i64 z1) {
-        stream_z_range(lat, cc, static_cast<int>(z0), static_cast<int>(z1));
-      },
-      ThreadPool::min_chunk_indices(i64(d.x) * d.y));
+  if (lat.storage_mode() == StorageMode::Sparse) {
+    lat.sparse_active_cells();  // build on the calling thread
+    pool.parallel_for_chunks(
+        0, d.z,
+        [&lat, &cc](i64 z0, i64 z1) {
+          sparse_stream_z_range(lat, cc, static_cast<int>(z0),
+                                static_cast<int>(z1));
+        },
+        ThreadPool::min_chunk_indices(i64(d.x) * d.y));
+  } else {
+    pool.parallel_for_chunks(
+        0, d.z,
+        [&lat, &cc](i64 z0, i64 z1) {
+          stream_z_range(lat, cc, static_cast<int>(z0), static_cast<int>(z1));
+        },
+        ThreadPool::min_chunk_indices(i64(d.x) * d.y));
+  }
   finish_stream(lat);
 }
 
 void stream_inner(Lattice& lat, const InnerOuterClass& split) {
+  if (lat.storage_mode() == StorageMode::Sparse) {
+    lat.sparse_active_cells();  // build before streaming
+    sparse_stream_cells(lat, split.inner_spans.data(),
+                        static_cast<i64>(split.inner_spans.size()),
+                        split.inner_slow.data(),
+                        static_cast<i64>(split.inner_slow.size()));
+    return;
+  }
   if (lat.storage_mode() == StorageMode::AA) {
     // Collect the inner fixups only — no flip, no writes. Inner cells
     // never pull from ghost layers, so this is safe to run while border
@@ -309,6 +384,14 @@ void stream_inner(Lattice& lat, const InnerOuterClass& split) {
 }
 
 void stream_outer(Lattice& lat, const InnerOuterClass& split) {
+  if (lat.storage_mode() == StorageMode::Sparse) {
+    sparse_stream_cells(lat, split.outer_spans.data(),
+                        static_cast<i64>(split.outer_spans.size()),
+                        split.outer_slow.data(),
+                        static_cast<i64>(split.outer_slow.size()));
+    finish_stream(lat);
+    return;
+  }
   if (lat.storage_mode() == StorageMode::AA) {
     GC_CHECK_MSG(lat.curved_links().empty(),
                  "AA storage does not support curved boundary links");
@@ -347,16 +430,25 @@ void stream(Lattice& lat, const StepContext& ctx) {
   }
   const CellClass& cc = lat.cell_class();  // build before dispatch
   const Int3 d = lat.dim();
+  const bool sparse = lat.storage_mode() == StorageMode::Sparse;
+  if (sparse) lat.sparse_active_cells();  // build on the calling thread
   {
     obs::ScopedSpan span(ctx.trace, "stream", ctx.rank, "lbm");
     if (ctx.pool) {
       ctx.pool->parallel_for_chunks(
           0, d.z,
-          [&lat, &cc](i64 z0, i64 z1) {
-            stream_z_range(lat, cc, static_cast<int>(z0),
-                           static_cast<int>(z1));
+          [&lat, &cc, sparse](i64 z0, i64 z1) {
+            if (sparse) {
+              sparse_stream_z_range(lat, cc, static_cast<int>(z0),
+                                    static_cast<int>(z1));
+            } else {
+              stream_z_range(lat, cc, static_cast<int>(z0),
+                             static_cast<int>(z1));
+            }
           },
           ThreadPool::min_chunk_indices(i64(d.x) * d.y));
+    } else if (sparse) {
+      sparse_stream_z_range(lat, cc, 0, d.z);
     } else {
       stream_z_range(lat, cc, 0, d.z);
     }

@@ -57,6 +57,10 @@ u64 geometry_hash(const lbm::Lattice& lat) {
   // The profile callback itself is opaque; record only its presence and
   // let the key's profile_exponent distinguish parameterized profiles.
   d.pod(static_cast<u8>(lat.has_inlet_profile() ? 1 : 0));
+  // Storage layout is part of the geometry identity: a flow checkpointed
+  // from a sparse run must never be served to a dense request (and vice
+  // versa) even when every physical field matches.
+  d.pod(static_cast<u8>(lat.storage_mode()));
   for (const lbm::CurvedLink& link : lat.curved_links()) {
     d.pod(link.cell);
     d.pod(link.dir);

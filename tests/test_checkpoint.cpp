@@ -193,8 +193,9 @@ TEST(CheckpointV2, ManifestRoundTrips) {
 }
 
 // ---------------------------------------------------------------------------
-// Format v3: the header records the StorageMode; loads auto-detect it,
-// and v2 files (no mode field) still load as DoubleBuffer.
+// Format v3+: the header records the StorageMode; loads auto-detect it,
+// and v2 files (no mode field) still load as DoubleBuffer. The writer
+// emits v4 (same layout; the storage byte may additionally say Sparse).
 
 namespace {
 /// Rewrites a saved v3 checkpoint into the v2 wire format: drops the
@@ -225,7 +226,7 @@ TEST(CheckpointV3, RecordsAndDetectsStorageMode) {
     lat.init_equilibrium(Real(1), Vec3{0.02f, 0, 0});
     save_checkpoint(f.path(), lat);
     const CheckpointInfo info = read_checkpoint_info(f.path());
-    EXPECT_EQ(info.version, 3u);
+    EXPECT_EQ(info.version, 4u);
     EXPECT_EQ(info.storage, mode);
     EXPECT_EQ(info.dim, lat.dim());
     // The mode-less load materializes the recorded backend.

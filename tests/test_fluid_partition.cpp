@@ -1,0 +1,242 @@
+// Property/fuzz tests for the fluid-cell-balanced decomposition: over
+// random solid geometries the balanced cuts must still tile the domain
+// (every fluid cell owned exactly once), keep each interior cut within
+// one slab of its ideal prefix target, preserve the halo-face geometry
+// BorderExchange depends on, and actually reduce the worst per-node
+// fluid load on concentrated-solid scenes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "core/border_exchange.hpp"
+#include "core/decomposition.hpp"
+#include "lbm/lattice.hpp"
+#include "util/rng.hpp"
+
+namespace gc::core {
+namespace {
+
+/// Random geometry: a lattice of the given dimensions with 0..4 random
+/// solid boxes (occasionally spanning a full slab, so zero-weight slabs
+/// are exercised too).
+std::vector<u8> random_flags(Int3 dim, u64 seed) {
+  Rng rng(seed * 2654435761u + 7);
+  lbm::Lattice lat(dim);
+  const int boxes = static_cast<int>(rng.uniform_int(0, 4));
+  for (int b = 0; b < boxes; ++b) {
+    Int3 lo{static_cast<int>(rng.uniform_int(0, dim.x - 1)),
+            static_cast<int>(rng.uniform_int(0, dim.y - 1)),
+            static_cast<int>(rng.uniform_int(0, dim.z - 1))};
+    Int3 hi{static_cast<int>(rng.uniform_int(lo.x + 1, dim.x)),
+            static_cast<int>(rng.uniform_int(lo.y + 1, dim.y)),
+            static_cast<int>(rng.uniform_int(lo.z + 1, dim.z))};
+    if (rng.chance(0.25)) {  // full-slab box: whole yz extent
+      lo.y = 0;
+      hi.y = dim.y;
+      lo.z = 0;
+      hi.z = dim.z;
+    }
+    lat.fill_solid_box(lo, hi);
+  }
+  return lat.flags();
+}
+
+i64 fluid_cells_in(const std::vector<u8>& flags, Int3 dim,
+                   const SubDomain& b) {
+  constexpr u8 kSolid = static_cast<u8>(lbm::CellType::Solid);
+  i64 count = 0;
+  for (int z = b.lo.z; z < b.hi.z; ++z) {
+    for (int y = b.lo.y; y < b.hi.y; ++y) {
+      for (int x = b.lo.x; x < b.hi.x; ++x) {
+        if (flags[static_cast<std::size_t>(
+                x + i64(dim.x) * (y + i64(dim.y) * z))] != kSolid) {
+          ++count;
+        }
+      }
+    }
+  }
+  return count;
+}
+
+i64 total_fluid(const std::vector<u8>& flags) {
+  constexpr u8 kSolid = static_cast<u8>(lbm::CellType::Solid);
+  return std::count_if(flags.begin(), flags.end(),
+                       [](u8 f) { return f != kSolid; });
+}
+
+/// Marginal non-solid histogram along one axis.
+std::vector<i64> marginal(const std::vector<u8>& flags, Int3 dim, int axis) {
+  constexpr u8 kSolid = static_cast<u8>(lbm::CellType::Solid);
+  std::vector<i64> w(static_cast<std::size_t>(dim[axis]), 0);
+  std::size_t c = 0;
+  for (int z = 0; z < dim.z; ++z) {
+    for (int y = 0; y < dim.y; ++y) {
+      for (int x = 0; x < dim.x; ++x, ++c) {
+        if (flags[c] == kSolid) continue;
+        const int p = axis == 0 ? x : axis == 1 ? y : z;
+        ++w[static_cast<std::size_t>(p)];
+      }
+    }
+  }
+  return w;
+}
+
+class FluidPartition : public ::testing::TestWithParam<int> {};
+
+TEST_P(FluidPartition, CoversEveryFluidCellExactlyOnceAndBoundsCuts) {
+  const u64 seed = static_cast<u64>(GetParam());
+  Rng rng(seed * 7919 + 5);
+  static const Int3 kGrids[] = {Int3{2, 1, 1}, Int3{1, 3, 1}, Int3{4, 1, 1},
+                                Int3{2, 2, 1}, Int3{2, 1, 2}, Int3{3, 2, 1},
+                                Int3{2, 2, 2}, Int3{1, 1, 4}};
+  const Int3 grid_dims = kGrids[rng.uniform_int(0, 7)];
+  auto axis_len = [&rng](int nodes) {
+    return nodes * static_cast<int>(rng.uniform_int(4, 9)) +
+           static_cast<int>(rng.uniform_int(0, 3));
+  };
+  const Int3 dim{axis_len(grid_dims.x), axis_len(grid_dims.y),
+                 axis_len(grid_dims.z)};
+  const std::vector<u8> flags = random_flags(dim, seed);
+  const netsim::NodeGrid grid{grid_dims};
+  const Decomposition3 d(dim, grid, flags);
+
+  // Exact tiling: the blocks cover the domain, so summing per-block
+  // fluid counts must reproduce the global count — each fluid cell is
+  // owned exactly once.
+  ASSERT_TRUE(d.tiles_domain());
+  i64 owned = 0;
+  for (const SubDomain& b : d.blocks()) {
+    EXPECT_GT(b.num_cells(), 0);
+    owned += fluid_cells_in(flags, dim, b);
+  }
+  EXPECT_EQ(owned, total_fluid(flags));
+
+  // Cut-placement bound, per axis: every interior cut's prefix weight is
+  // within one slab of its ideal target, unless the one-slab-per-part
+  // clamp pinned it to the edge of its feasible window.
+  for (int a = 0; a < 3; ++a) {
+    const std::vector<i64> w = marginal(flags, dim, a);
+    const i64 max_slab = *std::max_element(w.begin(), w.end());
+    std::vector<i64> pref(w.size() + 1, 0);
+    for (std::size_t i = 0; i < w.size(); ++i) pref[i + 1] = pref[i] + w[i];
+    const int parts = grid_dims[a];
+    // Recover the cut positions from the blocks along this axis.
+    std::vector<int> cuts{0};
+    for (int k = 0; k < parts; ++k) {
+      Int3 gpos{0, 0, 0};
+      gpos[a] = k;
+      cuts.push_back(d.block(grid.id(gpos)).hi[a]);
+    }
+    for (int k = 1; k < parts; ++k) {
+      EXPECT_LT(cuts[static_cast<std::size_t>(k) - 1],
+                cuts[static_cast<std::size_t>(k)])
+          << "axis " << a;
+      const double target =
+          static_cast<double>(pref.back()) * k / parts;
+      const int cut = cuts[static_cast<std::size_t>(k)];
+      const double dev = std::abs(
+          static_cast<double>(pref[static_cast<std::size_t>(cut)]) - target);
+      // The one-slab-per-part clamp can pin a cut to the edge of its
+      // feasible window (possibly on a plateau of zero-weight slabs,
+      // where any tied position is equivalent).
+      const int lo_pos = cuts[static_cast<std::size_t>(k) - 1] + 1;
+      const int hi_pos = dim[a] - (parts - k);
+      const bool clamped =
+          pref[static_cast<std::size_t>(cut)] ==
+              pref[static_cast<std::size_t>(lo_pos)] ||
+          pref[static_cast<std::size_t>(cut)] ==
+              pref[static_cast<std::size_t>(hi_pos)];
+      EXPECT_TRUE(dev <= static_cast<double>(max_slab) || clamped)
+          << "axis " << a << " cut " << k << " dev=" << dev
+          << " max_slab=" << max_slab;
+    }
+  }
+
+  // Halo-face geometry: axial neighbors must agree on the shared plane
+  // position and span — the contract BorderExchange's pack/unpack
+  // rectangles are derived from. Topology itself is untouched: the same
+  // node grid drives both constructors.
+  for (const SubDomain& b : d.blocks()) {
+    for (const auto& [face, nb] : d.axial_neighbors(b.node)) {
+      const int axis = face / 2;
+      const SubDomain& nbb = d.block(nb);
+      if (face % 2 == 0) {
+        EXPECT_EQ(b.lo[axis], nbb.hi[axis]);
+      } else {
+        EXPECT_EQ(b.hi[axis], nbb.lo[axis]);
+      }
+      for (int o = 0; o < 3; ++o) {
+        if (o == axis) continue;
+        EXPECT_EQ(b.lo[o], nbb.lo[o]) << "face " << face;
+        EXPECT_EQ(b.hi[o], nbb.hi[o]) << "face " << face;
+      }
+      const int opposite = (face % 2 == 0) ? face + 1 : face - 1;
+      EXPECT_EQ(d.face_area(b.node, face), d.face_area(nb, opposite));
+    }
+  }
+
+  // A solid-free geometry degenerates to near-uniform splitting: same
+  // uniform-tiling property, blocks within one slab of the uniform size.
+  const Decomposition3 uniform(dim, grid);
+  EXPECT_TRUE(uniform.tiles_domain());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGeometries, FluidPartition,
+                         ::testing::Range(0, 16));
+
+TEST(FluidPartition, BalancesConcentratedSolidScene) {
+  // An "urban canyon" profile: the low-x half of the domain is almost
+  // entirely building (solid), the high-x half is open air. Uniform
+  // splitting hands one rank nearly all the fluid; balanced cuts must
+  // strictly reduce the worst per-node fluid load.
+  const Int3 dim{64, 16, 16};
+  lbm::Lattice lat(dim);
+  lat.fill_solid_box(Int3{0, 0, 0}, Int3{32, 16, 14});
+  const std::vector<u8> flags = lat.flags();
+  const netsim::NodeGrid grid{Int3{4, 1, 1}};
+
+  auto max_load = [&](const Decomposition3& d) {
+    i64 worst = 0;
+    for (const SubDomain& b : d.blocks()) {
+      worst = std::max(worst, fluid_cells_in(flags, dim, b));
+    }
+    return worst;
+  };
+  const Decomposition3 uniform(dim, grid);
+  const Decomposition3 balanced(dim, grid, flags);
+  ASSERT_TRUE(balanced.tiles_domain());
+  EXPECT_LT(max_load(balanced), max_load(uniform));
+  // The ideal split gives each of the 4 ranks 1/4 of the fluid; balanced
+  // placement must land within 40% of that, where uniform is ~2x off.
+  const i64 ideal = total_fluid(flags) / grid.num_nodes();
+  EXPECT_LE(max_load(balanced), ideal + ideal * 2 / 5);
+  EXPECT_GT(max_load(uniform), ideal + ideal * 2 / 5);
+}
+
+TEST(FluidPartition, AllFluidGeometryMatchesUniformWithinOneSlab) {
+  // With no solids every slab weighs the same, so the balanced cuts must
+  // reproduce the uniform block sizes to within one slab per axis.
+  const Int3 dim{30, 20, 12};
+  const lbm::Lattice lat(dim);
+  const netsim::NodeGrid grid{Int3{3, 2, 2}};
+  const Decomposition3 balanced(dim, grid, lat.flags());
+  ASSERT_TRUE(balanced.tiles_domain());
+  for (const SubDomain& b : balanced.blocks()) {
+    for (int a = 0; a < 3; ++a) {
+      const int uniform_size = dim[a] / grid.dims[a];
+      EXPECT_NEAR(b.size()[a], uniform_size, 1) << "axis " << a;
+    }
+  }
+}
+
+TEST(FluidPartition, RejectsMismatchedFlagArray) {
+  const std::vector<u8> flags(10, 0);
+  EXPECT_THROW(
+      Decomposition3(Int3{8, 8, 8}, netsim::NodeGrid{Int3{2, 1, 1}}, flags),
+      Error);
+}
+
+}  // namespace
+}  // namespace gc::core

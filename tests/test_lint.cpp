@@ -31,9 +31,9 @@ bool has_rule(const std::vector<Finding>& fs, const std::string& id) {
 
 TEST(Lint, RuleCatalogIsComplete) {
   const std::vector<Rule>& rs = rules();
-  ASSERT_EQ(rs.size(), 8u);
-  const char* expected[] = {"GCL001", "GCL002", "GCL003", "GCL004",
-                            "GCL005", "GCL006", "GCL007", "GCL008"};
+  ASSERT_EQ(rs.size(), 9u);
+  const char* expected[] = {"GCL001", "GCL002", "GCL003", "GCL004", "GCL005",
+                            "GCL006", "GCL007", "GCL008", "GCL009"};
   for (std::size_t i = 0; i < rs.size(); ++i) {
     EXPECT_STREQ(rs[i].id, expected[i]);
     EXPECT_NE(std::string(rs[i].summary), "");
@@ -336,6 +336,61 @@ TEST(Lint, TypedCatchesInServiceAreClean) {
                       "  } catch (const std::exception& e) { h(e); }\n"
                       "}\n");
   EXPECT_TRUE(fs.empty());
+}
+
+// --- GCL009 ---------------------------------------------------------------
+
+TEST(Lint, SparsePlanePtrIndexArithmeticIsFlaggedOutsideLattice) {
+  // Subscripting or offsetting the call result inline is the dense-index
+  // bug shape: compact planes only have sparse_active_cells() entries.
+  const auto fs = run("src/lbm/stream.cpp",
+                      "void f() {\n"
+                      "  Real v = lat.sparse_plane_ptr(i)[cell];\n"
+                      "  const Real* p = lat.sparse_back_plane_ptr(i) + c;\n"
+                      "}\n");
+  ASSERT_EQ(fs.size(), 2u);
+  EXPECT_STREQ(fs[0].rule->id, "GCL009");
+  EXPECT_EQ(fs[0].line, 2);
+  EXPECT_STREQ(fs[1].rule->id, "GCL009");
+  EXPECT_EQ(fs[1].line, 3);
+  EXPECT_EQ(fs[0].rule->severity, Severity::kError);
+}
+
+TEST(Lint, SparseMapMembersAreFlaggedOutsideLattice) {
+  const auto fs = run("src/core/x.cpp",
+                      "void f() {\n"
+                      "  i64 m = sparse_map_[cell];\n"
+                      "  i64 c = lat.sparse_cells_[k];\n"
+                      "}\n");
+  ASSERT_EQ(fs.size(), 2u);
+  EXPECT_STREQ(fs[0].rule->id, "GCL009");
+  EXPECT_EQ(fs[0].line, 2);
+  EXPECT_STREQ(fs[1].rule->id, "GCL009");
+  EXPECT_EQ(fs[1].line, 3);
+}
+
+TEST(Lint, HoistedSparsePointerWithSparseIndexIsClean) {
+  // The kernel idiom: hoist the plane pointer into a local, offset the
+  // LOCAL with sparse_index(cell). The rule only fires on arithmetic
+  // applied directly to the accessor's result.
+  const auto fs = run("src/lbm/collision.cpp",
+                      "void f() {\n"
+                      "  Real* p = lat.sparse_plane_ptr(i);\n"
+                      "  const Real* in = src[i] + lat.sparse_index(c);\n"
+                      "  body.bytes(lat.sparse_plane_ptr(i), n);\n"
+                      "}\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(Lint, LatticeHomeFilesMayTouchSparseStorage) {
+  const std::string body =
+      "void f() {\n"
+      "  i64 m = sparse_map_[cell];\n"
+      "  Real v = sparse_plane_ptr(i)[m];\n"
+      "}\n";
+  EXPECT_TRUE(run("src/lbm/lattice.cpp", body).empty());
+  EXPECT_TRUE(run("src/lbm/lattice.hpp", body).empty());
+  EXPECT_TRUE(has_rule(run("src/lbm/stream.cpp", body), "GCL009"));
 }
 
 // --- engine semantics -----------------------------------------------------

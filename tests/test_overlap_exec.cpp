@@ -6,7 +6,10 @@
 // diagonal routing — the overlapped step must be bit-identical to the
 // synchronous path and the serial reference, wire-compatible (same
 // payload volume), and deterministic for a fixed seed even under an
-// adversarial FaultSpec.
+// adversarial FaultSpec. Every configuration is additionally swept
+// across the storage backends (AA in-place, sparse fluid-index) and the
+// fluid-balanced decomposition, all of which must reproduce the
+// double-buffered uniform reference bit-for-bit.
 #include <gtest/gtest.h>
 
 #include <sstream>
@@ -271,6 +274,68 @@ TEST_P(OverlapExec, OverlapMatchesSyncAndSerialBitExact) {
           << "AA T at " << serial.lattice().coords(c);
     }
   }
+
+  // Sparse sweep: the fluid-index backend prunes the solid cells out of
+  // storage entirely, yet must still be bit-identical on every path —
+  // solid storage is unobservable (reads come back 0, exactly the dense
+  // post-stream value; bounce-back never consults the solid cell) — and
+  // wire-compatible, since pack/unpack go through the same accessors.
+  lbm::Solver sp_serial(s.dim, scfg);
+  sp_serial.lattice() = make_global(s);
+  sp_serial.lattice().convert_storage(lbm::StorageMode::Sparse);
+  if (s.thermal) {
+    seed_temperature(s, [&sp_serial](int x, int y, int z, Real v) {
+      sp_serial.thermal()->set_t(sp_serial.lattice().idx(x, y, z), v);
+    });
+  }
+  sp_serial.run(s.steps);
+  expect_lattices_equal(serial.lattice(), sp_serial.lattice(),
+                        "sparse serial vs DB serial");
+
+  const ParResult sync_sp = run_parallel(s, false, lbm::StorageMode::Sparse);
+  const ParResult ovl_sp = run_parallel(s, true, lbm::StorageMode::Sparse);
+  expect_lattices_equal(serial.lattice(), sync_sp.gathered,
+                        "sparse sync vs serial");
+  expect_lattices_equal(serial.lattice(), ovl_sp.gathered,
+                        "sparse overlap vs serial");
+  EXPECT_EQ(sync.payload_values, sync_sp.payload_values);
+  EXPECT_EQ(ovl.payload_values, ovl_sp.payload_values);
+  if (s.thermal) {
+    for (i64 c = 0; c < serial.lattice().num_cells(); ++c) {
+      ASSERT_EQ(ovl_sp.temperature[static_cast<std::size_t>(c)],
+                serial.thermal()->t(c))
+          << "sparse T at " << serial.lattice().coords(c);
+    }
+  }
+
+  // Fluid-balanced cut placement composes with the sparse backend: moving
+  // the cut planes onto the marginal fluid histograms changes who computes
+  // a cell, never its value.
+  ParallelConfig fb_cfg;
+  fb_cfg.tau = Real(0.8);
+  fb_cfg.grid = netsim::NodeGrid{s.grid};
+  fb_cfg.collision = s.kind;
+  fb_cfg.indirect_diagonals = s.indirect;
+  fb_cfg.overlap = true;
+  fb_cfg.fluid_balanced = true;
+  fb_cfg.storage = lbm::StorageMode::Sparse;
+  std::vector<Real> fbT0;
+  if (s.thermal) {
+    fb_cfg.thermal = thermal_params(s);
+    fbT0.resize(static_cast<std::size_t>(s.dim.volume()));
+    Lattice probe(s.dim);
+    seed_temperature(s, [&fbT0, &probe](int x, int y, int z, Real v) {
+      fbT0[static_cast<std::size_t>(probe.idx(x, y, z))] = v;
+    });
+    fb_cfg.initial_temperature = &fbT0;
+  }
+  ParallelLbm fb(make_global(s), fb_cfg);
+  EXPECT_TRUE(fb.decomposition().tiles_domain());
+  fb.run(s.steps);
+  Lattice fb_out(s.dim);
+  fb.gather(fb_out);
+  expect_lattices_equal(serial.lattice(), fb_out,
+                        "fluid-balanced sparse overlap vs serial");
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomConfigs, OverlapExec, ::testing::Range(0, 20));
@@ -309,35 +374,44 @@ TEST(OverlapExec, SameSeedScheduleIsDeterministicUnderFaults) {
     }
   };
 
-  Lattice a(s.dim), b(s.dim), c(s.dim);
-  netsim::FaultCounters fa, fb, fc2;
-  netsim::ReliabilityStats ra, rb, rc;
-  std::vector<netsim::RankTraffic> ta, tb, tc;
+  Lattice a(s.dim), b(s.dim), c(s.dim), d(s.dim);
+  netsim::FaultCounters fa, fb, fc2, fd;
+  netsim::ReliabilityStats ra, rb, rc, rd;
+  std::vector<netsim::RankTraffic> ta, tb, tc, td;
   run_once(a, fa, ra, ta);
   run_once(b, fb, rb, tb);
-  // The AA backend sends byte-identical payloads, so the fault schedule,
-  // CRC detections and retransmits replay exactly.
+  // The AA and sparse backends send byte-identical payloads, so the fault
+  // schedule, CRC detections and retransmits replay exactly.
   run_once(c, fc2, rc, tc, lbm::StorageMode::AA);
+  run_once(d, fd, rd, td, lbm::StorageMode::Sparse);
 
   expect_lattices_equal(a, b, "run 1 vs run 2");
   expect_lattices_equal(a, c, "AA vs double-buffered under faults");
+  expect_lattices_equal(a, d, "sparse vs double-buffered under faults");
   EXPECT_GT(fa.corruptions, 0);
   EXPECT_EQ(fa.corruptions, fb.corruptions);
   EXPECT_EQ(fa.corruptions, fc2.corruptions);
+  EXPECT_EQ(fa.corruptions, fd.corruptions);
   EXPECT_EQ(fa.drops, fb.drops);
   EXPECT_GT(ra.retransmits, 0);
   EXPECT_EQ(ra.retransmits, rb.retransmits);
   EXPECT_EQ(ra.retransmits, rc.retransmits);
+  EXPECT_EQ(ra.retransmits, rd.retransmits);
   EXPECT_EQ(ra.corrupt_detected, rb.corrupt_detected);
   EXPECT_EQ(ra.corrupt_detected, rc.corrupt_detected);
+  EXPECT_EQ(ra.corrupt_detected, rd.corrupt_detected);
   EXPECT_EQ(ra.duplicates_dropped, rb.duplicates_dropped);
   ASSERT_EQ(ta.size(), tb.size());
   ASSERT_EQ(ta.size(), tc.size());
+  ASSERT_EQ(ta.size(), td.size());
   for (std::size_t r = 0; r < ta.size(); ++r) {
     EXPECT_EQ(ta[r].messages, tb[r].messages) << "rank " << r;
     EXPECT_EQ(ta[r].payload_values, tb[r].payload_values) << "rank " << r;
     EXPECT_EQ(ta[r].messages, tc[r].messages) << "AA rank " << r;
     EXPECT_EQ(ta[r].payload_values, tc[r].payload_values) << "AA rank " << r;
+    EXPECT_EQ(ta[r].messages, td[r].messages) << "sparse rank " << r;
+    EXPECT_EQ(ta[r].payload_values, td[r].payload_values)
+        << "sparse rank " << r;
   }
 }
 

@@ -107,6 +107,23 @@ TEST(FlowKeyTest, GeometryHashSeesObstaclesAndBoundaries) {
   EXPECT_NE(geometry_hash(a), geometry_hash(d));
 }
 
+TEST(FlowKeyTest, StorageLayoutIsPartOfTheGeometryIdentity) {
+  // A sparse-built lattice stores a different layout than a dense one,
+  // so its geometry hash — and with it the cache stem — must differ even
+  // when every physical field matches: a checkpoint written by a dense
+  // run can never satisfy a sparse request, or vice versa.
+  const ScenarioRequest dense_req = small_request();
+  ScenarioRequest sparse_req = dense_req;
+  sparse_req.params.storage = lbm::StorageMode::Sparse;
+
+  const lbm::Lattice dense = build_scenario_lattice(dense_req);
+  const lbm::Lattice sparse = build_scenario_lattice(sparse_req);
+  ASSERT_EQ(sparse.storage_mode(), lbm::StorageMode::Sparse);
+  EXPECT_NE(geometry_hash(dense), geometry_hash(sparse));
+  EXPECT_NE(flow_key_stem(scenario_flow_key(dense_req, dense)),
+            flow_key_stem(scenario_flow_key(sparse_req, sparse)));
+}
+
 TEST(PartitionPoolTest, LeasesAreExclusiveAndReleasedOnDestruction) {
   core::PartitionSpec spec;
   spec.grid.dims = Int3{2, 1, 1};
@@ -206,6 +223,35 @@ TEST(ScenarioServiceTest, GeometryChangeInvalidatesTheCacheEntry) {
   // Each variant is independently cached.
   EXPECT_TRUE(svc.submit(req).get().cache_hit);
   EXPECT_TRUE(svc.submit(variant).get().cache_hit);
+  EXPECT_EQ(svc.cache().stats().computes, 2);
+}
+
+TEST(ScenarioServiceTest, SparseRequestNeverServedFromDenseCacheEntry) {
+  TempDir dir("svc_sparse_invalidate");
+  ScenarioService svc(small_config(dir.path()));
+
+  const ScenarioRequest dense_req = small_request();
+  const ScenarioResult cold = svc.submit(dense_req).get();
+  EXPECT_FALSE(cold.cache_hit);
+
+  // Same city, wind and physics on the sparse backend: a distinct cache
+  // entry (geometry hash + key storage field both differ), so this must
+  // recompute rather than replay the dense checkpoint...
+  ScenarioRequest sparse_req = dense_req;
+  sparse_req.params.storage = lbm::StorageMode::Sparse;
+  const ScenarioResult sparse_cold = svc.submit(sparse_req).get();
+  EXPECT_FALSE(sparse_cold.cache_hit);
+  EXPECT_EQ(svc.cache().stats().computes, 2);
+
+  // ...while producing the exact same physics: the sparse backend is
+  // bit-exact, and the tracer walk is seeded.
+  EXPECT_EQ(sparse_cold.particles_escaped, cold.particles_escaped);
+  EXPECT_EQ(sparse_cold.particles_alive, cold.particles_alive);
+  EXPECT_EQ(sparse_cold.concentration, cold.concentration);
+
+  // Both layouts are cached independently afterwards.
+  EXPECT_TRUE(svc.submit(dense_req).get().cache_hit);
+  EXPECT_TRUE(svc.submit(sparse_req).get().cache_hit);
   EXPECT_EQ(svc.cache().stats().computes, 2);
 }
 

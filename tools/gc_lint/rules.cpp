@@ -44,6 +44,13 @@ const std::vector<Rule> kRules = {
      "catch a concrete type from service/errors.hpp (or std::exception) "
      "so callers can tell ServiceStopped from DeadlineExceeded from "
      "ScenarioFailed"},
+    {"GCL009", "dense-index-on-sparse", Severity::kError,
+     "dense-index arithmetic on sparse lattice storage outside the "
+     "lattice implementation",
+     "compact planes are indexed by sparse_index() compact ids, not dense "
+     "cell ids: hoist sparse_plane_ptr into a local and offset it with "
+     "sparse_index(cell); sparse_map_/sparse_cells_ are private to "
+     "src/lbm/lattice.{hpp,cpp}"},
 };
 
 const Rule* rule_by_id(const char* id) {
@@ -593,6 +600,50 @@ void check_raw_distribution_access(Ctx& ctx) {
   }
 }
 
+// --- GCL009: dense-index arithmetic on sparse storage ---------------------
+
+void check_sparse_storage_access(Ctx& ctx) {
+  if (ctx.pc.is_lattice_home) return;  // owns the compact map by definition
+  for (std::size_t l = 0; l < ctx.v.code.size(); ++l) {
+    const std::string& code = ctx.v.code[l];
+
+    // The dense->compact map members are lattice-private: any other use
+    // of them re-implements the mapping and breaks on the next remap.
+    for (const char* name : {"sparse_map_", "sparse_cells_"}) {
+      for (std::size_t p = find_ident(code, name); p != std::string::npos;
+           p = find_ident(code, name, p + 1)) {
+        ctx.report("GCL009", l, p,
+                   std::string("direct ") + name +
+                       " access outside the lattice implementation");
+      }
+    }
+
+    // Indexing or offsetting the call result inline — `sparse_plane_ptr(i)
+    // [cell]` or `sparse_plane_ptr(i) + cell` — is almost always a dense
+    // cell id applied to compact storage. Kernels hoist the pointer into
+    // a local and offset it with sparse_index(cell), which the linter
+    // cannot misread.
+    for (const char* fn : {"sparse_plane_ptr", "sparse_back_plane_ptr"}) {
+      for (std::size_t p = find_ident(code, fn); p != std::string::npos;
+           p = find_ident(code, fn, p + 1)) {
+        const std::size_t open = skip_spaces(code, p + std::strlen(fn));
+        if (open >= code.size() || code[open] != '(') continue;
+        const std::size_t close = matching_close(code, open);
+        if (close == std::string::npos) continue;
+        const std::size_t next = skip_spaces(code, close + 1);
+        if (next >= code.size()) continue;
+        const char c = code[next];
+        const char c2 = next + 1 < code.size() ? code[next + 1] : '\0';
+        if (c == '[' || c == '+' || (c == '-' && c2 != '>')) {
+          ctx.report("GCL009", l, p,
+                     std::string("index arithmetic on ") + fn +
+                         "(...) outside the lattice implementation");
+        }
+      }
+    }
+  }
+}
+
 // --- GCL008: catch (...) in the service layer -----------------------------
 
 void check_untyped_catch(Ctx& ctx) {
@@ -628,6 +679,7 @@ std::vector<Finding> lint_source(const std::string& path,
   check_lattice_memcpy(ctx);
   check_unbounded_waits(ctx);
   check_raw_distribution_access(ctx);
+  check_sparse_storage_access(ctx);
   check_untyped_catch(ctx);
   std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
     if (a.line != b.line) return a.line < b.line;
