@@ -5,7 +5,7 @@
 #
 #   scripts/check.sh              # full matrix: plain, asan, ubsan, tsan,
 #                                 # equiv, sparse, service, chaos, gc_lint,
-#                                 # clang-tidy (if available)
+#                                 # gc_analyze, clang-tidy (if available)
 #   scripts/check.sh plain lint   # just those stages
 #   JOBS=8 scripts/check.sh       # override build parallelism
 #
@@ -18,7 +18,7 @@ cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
 STAGES=("$@")
 if [ ${#STAGES[@]} -eq 0 ]; then
-  STAGES=(plain asan ubsan tsan equiv sparse service chaos lint tidy)
+  STAGES=(plain asan ubsan tsan equiv sparse service chaos lint analyze tidy)
 fi
 
 declare -A RESULT
@@ -149,6 +149,17 @@ for stage in "${STAGES[@]}"; do
       else
         RESULT[lint]="FAIL"; FAILED=1
       fi ;;
+    analyze)
+      note "analyze: gc_analyze thread-safety self-scan"
+      bdir=build-check/analyze
+      if cmake -B "$bdir" -S . > "$bdir.cfg.log" 2>&1 \
+          && cmake --build "$bdir" -j "$JOBS" --target gc_analyze \
+              > "$bdir.build.log" 2>&1 \
+          && "$bdir/tools/gc_analyze/gc_analyze" --root .; then
+        RESULT[analyze]="ok"
+      else
+        RESULT[analyze]="FAIL"; FAILED=1
+      fi ;;
     tidy)
       if ! command -v clang-tidy > /dev/null 2>&1; then
         RESULT[tidy]="skipped (clang-tidy not installed)"
@@ -169,7 +180,7 @@ for stage in "${STAGES[@]}"; do
       fi ;;
     *)
       echo "check.sh: unknown stage '$stage'" >&2
-      echo "stages: plain asan ubsan tsan equiv sparse service chaos lint tidy" >&2
+      echo "stages: plain asan ubsan tsan equiv sparse service chaos lint analyze tidy" >&2
       exit 2 ;;
   esac
 done

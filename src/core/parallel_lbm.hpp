@@ -18,6 +18,7 @@
 #include "netsim/mpilite.hpp"
 #include "netsim/schedule.hpp"
 #include "obs/trace.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace gc::core {
 
@@ -110,7 +111,7 @@ class ParallelLbm {
   /// blocked in recv/barrier wakes with CommAborted and the run() call
   /// fails promptly. The cancellation hook for deadline watchdogs; pair
   /// with reset_comm() before running again.
-  void abort_comm() { world_.abort(); }
+  void abort_comm() GC_EXCLUDES(netsim::MpiLite::mu_) { world_.abort(); }
 
   /// Reassembles the owned regions into a global lattice.
   void gather(lbm::Lattice& out) const;

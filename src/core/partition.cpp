@@ -9,7 +9,9 @@
 namespace gc::core {
 
 PartitionPool::PartitionPool(int partitions, PartitionSpec spec)
-    : spec_(spec), slots_(static_cast<std::size_t>(partitions)) {
+    : spec_(spec),
+      n_slots_(partitions),
+      slots_(static_cast<std::size_t>(partitions)) {
   GC_CHECK_MSG(partitions >= 1, "a partition pool needs at least one slot");
   GC_CHECK_MSG(spec_.grid.num_nodes() >= 1, "empty partition node grid");
   GC_CHECK_MSG(spec_.failure_threshold >= 1,

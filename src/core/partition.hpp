@@ -35,6 +35,7 @@
 #include "netsim/mpilite.hpp"
 #include "netsim/schedule.hpp"
 #include "obs/trace.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/timer.hpp"
 
 namespace gc::core {
@@ -141,7 +142,7 @@ class PartitionPool {
 
   /// Blocks until an eligible (non-quarantined) slot is free. Throws
   /// LeaseAbortedError once abort_all() has been called.
-  Lease acquire();
+  Lease acquire() GC_EXCLUDES(mu_);
 
   /// Bounded acquire: waits in short slices, re-evaluating probation
   /// promotions and invoking `give_up` between slices; returns nullopt
@@ -150,41 +151,43 @@ class PartitionPool {
   /// slot is quarantined, the excluded slot beats hanging forever.
   /// Throws LeaseAbortedError once abort_all() has been called.
   std::optional<Lease> acquire_until(int exclude,
-                                     const std::function<bool()>& give_up);
+                                     const std::function<bool()>& give_up)
+      GC_EXCLUDES(mu_);
 
   /// Attaches a fault specification to one slot (host backend only; not
   /// owned, must outlive the pool's runs). Requires spec.recovery_dir.
   /// Null detaches.
-  void set_faults(int slot, netsim::FaultSpec* faults);
+  void set_faults(int slot, netsim::FaultSpec* faults) GC_EXCLUDES(mu_);
 
   /// Health reports from the lease's user (the pool cannot tell a
   /// request-level failure from a partition-level one; the caller can).
   /// Failure increments the slot's consecutive-failure count and trips
   /// the quarantine breaker at spec.failure_threshold; success resets
   /// the count and re-admits a probing slot.
-  void report_success(int slot);
-  void report_failure(int slot);
+  void report_success(int slot) GC_EXCLUDES(mu_);
+  void report_failure(int slot) GC_EXCLUDES(mu_);
 
   /// Current breaker state of one slot (promotes an elapsed probation
   /// timer first, so the answer reflects what acquire would see).
-  Health health(int slot);
+  Health health(int slot) GC_EXCLUDES(mu_);
   /// Slots currently quarantined (the service.degraded gauge's value).
-  int quarantined() const;
+  int quarantined() const GC_EXCLUDES(mu_);
 
   /// Aborts whatever run is active on `slot` (now and until the lease is
   /// released): the run fails with LeaseAbortedError instead of running
   /// to completion. No-op on an idle slot. A non-zero `lease` restricts
   /// the abort to that exact lease_id(), so a decision made against a
   /// snapshot of the pool cannot kill a later tenant of the slot.
-  void abort_lease(int slot, u64 lease = 0);
+  void abort_lease(int slot, u64 lease = 0) GC_EXCLUDES(mu_);
 
   /// Shuts the pool down: every active run is aborted and every blocked
   /// or future acquire throws LeaseAbortedError.
-  void abort_all();
+  void abort_all() GC_EXCLUDES(mu_);
 
-  int size() const { return static_cast<int>(slots_.size()); }
+  /// Fixed at construction, so readable without the lock.
+  int size() const { return n_slots_; }
   /// Slots currently free (snapshot; racy by nature).
-  int idle() const;
+  int idle() const GC_EXCLUDES(mu_);
   const PartitionSpec& spec() const { return spec_; }
 
  private:
@@ -203,29 +206,33 @@ class PartitionPool {
     ParallelLbm* active = nullptr;
   };
 
-  void release(int slot);
+  void release(int slot) GC_EXCLUDES(mu_);
   /// Registers/unregisters the active simulation; applies a pending
   /// kill to a just-registered one.
-  void register_active(int slot, ParallelLbm* sim);
-  bool kill_requested(int slot) const;
-  netsim::FaultSpec* slot_faults(int slot) const;
+  void register_active(int slot, ParallelLbm* sim) GC_EXCLUDES(mu_);
+  bool kill_requested(int slot) const GC_EXCLUDES(mu_);
+  netsim::FaultSpec* slot_faults(int slot) const GC_EXCLUDES(mu_);
   std::string slot_recovery_dir(int slot) const;
   /// Promotes quarantined slots whose probation elapsed. Caller holds mu_.
-  void promote_probations_locked();
+  void promote_probations_locked() GC_REQUIRES(mu_);
   /// Best eligible free slot (-1 if none): healthy first, then probation,
   /// then the excluded slot as a last resort. Caller holds mu_.
-  int find_slot_locked(int exclude);
+  int find_slot_locked(int exclude) GC_REQUIRES(mu_);
   /// Quarantine transitions + health metrics. Caller holds mu_.
-  void quarantine_locked(int slot);
-  void publish_degraded_locked();
+  void quarantine_locked(int slot) GC_REQUIRES(mu_);
+  void publish_degraded_locked() GC_REQUIRES(mu_);
 
   PartitionSpec spec_;
   Timer clock_;  ///< probation timestamps
-  mutable std::mutex mu_;
+  int n_slots_ = 0;
+  /// Canonical lock order: abort_lease / abort_all reach into the active
+  /// run's MpiLite world (to wake blocked ranks) while holding mu_, so
+  /// the pool lock always precedes the communicator lock.
+  mutable std::mutex mu_ GC_ACQUIRED_BEFORE(netsim::MpiLite::mu_);
   std::condition_variable cv_;
-  std::vector<Slot> slots_;
-  u64 lease_counter_ = 0;
-  bool stopped_ = false;
+  std::vector<Slot> slots_ GC_GUARDED_BY(mu_);
+  u64 lease_counter_ GC_GUARDED_BY(mu_) = 0;
+  bool stopped_ GC_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace gc::core

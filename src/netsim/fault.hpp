@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "util/common.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace gc::netsim {
 
@@ -107,7 +108,8 @@ class FaultSpec {
 
   /// Deterministic Bernoulli draw for one fault kind on one message;
   /// increments the matching counter when it fires.
-  bool roll(FaultKind kind, int src, int dst, int tag, u64 seq);
+  bool roll(FaultKind kind, int src, int dst, int tag, u64 seq)
+      GC_EXCLUDES(mu_);
 
   /// True when (src, dst, tag) matches a blackhole entry.
   bool blackholed(int src, int dst, int tag) const;
@@ -116,21 +118,22 @@ class FaultSpec {
   u64 corrupt_bit(int src, int dst, int tag, u64 seq, u64 num_bits) const;
 
   /// One-shot crash check, called by the solver layer at each step.
-  bool should_crash(int rank, i64 step);
+  bool should_crash(int rank, i64 step) GC_EXCLUDES(mu_);
 
   /// Milliseconds rank `rank` must stall before its `ordinal`-th barrier
   /// (0 when no stall fault matches).
-  double stall_ms(int rank, i64 ordinal);
+  double stall_ms(int rank, i64 ordinal) GC_EXCLUDES(mu_);
 
-  FaultCounters counters() const;
+  FaultCounters counters() const GC_EXCLUDES(mu_);
 
  private:
   u64 draw(FaultKind kind, int src, int dst, int tag, u64 seq) const;
 
   u64 seed_;
   mutable std::mutex mu_;
-  std::vector<u8> crash_fired_;  // parallel to crashes (lazily sized)
-  FaultCounters counts_;
+  /// Parallel to crashes (lazily sized).
+  std::vector<u8> crash_fired_ GC_GUARDED_BY(mu_);
+  FaultCounters counts_ GC_GUARDED_BY(mu_);
 };
 
 }  // namespace gc::netsim

@@ -31,6 +31,7 @@
 #include "netsim/fault.hpp"
 #include "netsim/tags.hpp"
 #include "util/common.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/timer.hpp"
 
 namespace gc::netsim {
@@ -219,16 +220,22 @@ class MpiLite {
   /// Total messages and bytes that passed through the mailboxes (for
   /// traffic accounting and tests). Application sends only; protocol
   /// retransmits are tallied in ReliabilityStats instead.
-  i64 total_messages() const { return total_messages_; }
-  i64 total_payload_values() const { return total_values_; }
+  i64 total_messages() const GC_EXCLUDES(mu_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_messages_;
+  }
+  i64 total_payload_values() const GC_EXCLUDES(mu_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_values_;
+  }
 
   /// Cumulative per-rank traffic (snapshot; copy to diff across runs).
-  RankTraffic rank_traffic(int rank) const;
+  RankTraffic rank_traffic(int rank) const GC_EXCLUDES(mu_);
 
   /// Cumulative reliable-exchange tallies for one receiving rank / the
   /// whole world.
-  ReliabilityStats reliability_stats(int rank) const;
-  ReliabilityStats reliability_totals() const;
+  ReliabilityStats reliability_stats(int rank) const GC_EXCLUDES(mu_);
+  ReliabilityStats reliability_totals() const GC_EXCLUDES(mu_);
 
   /// Monotonic world clock (µs since construction). Message enqueue
   /// stamps and Request::complete_time_us share this timebase.
@@ -256,10 +263,11 @@ class MpiLite {
     Payload data;
   };
 
-  void do_send(int src, int dst, int tag, Payload data);
-  Payload do_recv(int src, int dst, int tag, double* enqueue_us = nullptr);
+  void do_send(int src, int dst, int tag, Payload data) GC_EXCLUDES(mu_);
+  Payload do_recv(int src, int dst, int tag, double* enqueue_us = nullptr)
+      GC_EXCLUDES(mu_);
   Payload recv_reliable(const Key& key, std::unique_lock<std::mutex>& lock,
-                        double* enqueue_us);
+                        double* enqueue_us) GC_REQUIRES(mu_);
   /// Nonblocking receive: delivers the channel's next message if one is
   /// immediately available (under a FaultSpec this drains whatever
   /// envelopes are present, handling duplicates / CRC NACKs / reordering
@@ -267,55 +275,73 @@ class MpiLite {
   /// timeout). Returns nullopt when nothing is deliverable; throws
   /// CommAborted when the world aborted and nothing is deliverable.
   std::optional<Payload> try_recv(int src, int dst, int tag,
-                                  double* enqueue_us = nullptr);
+                                  double* enqueue_us = nullptr)
+      GC_EXCLUDES(mu_);
   /// Drains immediately-available envelopes on `key` until the expected
   /// sequence number is deliverable or the mailbox runs dry (handling
   /// duplicates, CRC-failure NACKs and out-of-order arrivals). Does not
   /// advance recv_next_. Caller holds mu_.
-  std::optional<Msg> poll_reliable(const Key& key);
+  std::optional<Msg> poll_reliable(const Key& key) GC_REQUIRES(mu_);
   /// Commits a message poll_reliable matched: advances recv_next_ and
   /// purges acked retained copies. Caller holds mu_.
-  Payload deliver_reliable(const Key& key, Msg m, double* enqueue_us);
-  void do_barrier(int rank);
+  Payload deliver_reliable(const Key& key, Msg m, double* enqueue_us)
+      GC_REQUIRES(mu_);
+  void do_barrier(int rank) GC_EXCLUDES(mu_, barrier_mu_);
 
   /// Delivers one first-transmission envelope through the fault filter
   /// (drop/duplicate/delay/corrupt). Caller holds mu_.
-  void inject(const Key& key, u64 seq, const Payload& data);
+  void inject(const Key& key, u64 seq, const Payload& data)
+      GC_REQUIRES(mu_);
   /// Re-injects the retained copy of (key, seq) verbatim (blackholes
   /// still swallow it). Caller holds mu_.
-  void retransmit(const Key& key, u64 seq);
-  void push_msg(const Key& key, Msg m);
+  void retransmit(const Key& key, u64 seq) GC_REQUIRES(mu_);
+  void push_msg(const Key& key, Msg m) GC_REQUIRES(mu_);
 
   /// Sets the abort flag and wakes every blocked rank.
-  void abort_world();
+  void abort_world() GC_EXCLUDES(mu_, barrier_mu_);
 
   int ranks_;
   Timer clock_;
+  /// Set between runs only (set_fault_spec contract); read by both the
+  /// send path (under mu_) and the barrier path (under barrier_mu_), so
+  /// it cannot be pinned to a single guard.
   FaultSpec* faults_ = nullptr;
+  /// Same contract as faults_: written between runs, read everywhere.
   ReliabilityConfig rel_;
   std::atomic<bool> abort_{false};
 
-  mutable std::mutex mu_;
+  /// Canonical lock order: the mailbox lock precedes the barrier lock
+  /// (do_barrier tallies traffic under mu_ before blocking on
+  /// barrier_mu_; nothing under barrier_mu_ ever takes mu_).
+  mutable std::mutex mu_ GC_ACQUIRED_BEFORE(barrier_mu_);
   std::condition_variable cv_;
-  std::map<Key, std::queue<Msg>> mailboxes_;
+  std::map<Key, std::queue<Msg>> mailboxes_ GC_GUARDED_BY(mu_);
+  /// Dual-lock tally: the send path writes it under mu_, the barrier
+  /// path under barrier_mu_ (disjoint fields), so neither guard alone
+  /// covers it — deliberately left out of the GC_GUARDED_BY contract.
   std::vector<RankTraffic> rank_traffic_;
-  std::vector<ReliabilityStats> rel_stats_;
+  std::vector<ReliabilityStats> rel_stats_ GC_GUARDED_BY(mu_);
 
   // Reliable-exchange state (all empty in the legacy path).
-  std::map<Key, u64> send_seq_;                    ///< next seq to assign
-  std::map<Key, u64> recv_next_;                   ///< next seq expected
-  std::map<Key, std::map<u64, Payload>> send_log_; ///< unacked retained copies
-  std::map<Key, std::map<u64, Msg>> ooo_;          ///< received out of order
-  std::map<Key, Msg> delayed_;                     ///< held-back envelopes
+  /// Next seq to assign.
+  std::map<Key, u64> send_seq_ GC_GUARDED_BY(mu_);
+  /// Next seq expected.
+  std::map<Key, u64> recv_next_ GC_GUARDED_BY(mu_);
+  /// Unacked retained copies.
+  std::map<Key, std::map<u64, Payload>> send_log_ GC_GUARDED_BY(mu_);
+  /// Received out of order.
+  std::map<Key, std::map<u64, Msg>> ooo_ GC_GUARDED_BY(mu_);
+  /// Held-back envelopes.
+  std::map<Key, Msg> delayed_ GC_GUARDED_BY(mu_);
 
   // Generation-counting barrier.
   mutable std::mutex barrier_mu_;
   std::condition_variable barrier_cv_;
-  int barrier_waiting_ = 0;
-  u64 barrier_generation_ = 0;
+  int barrier_waiting_ GC_GUARDED_BY(barrier_mu_) = 0;
+  u64 barrier_generation_ GC_GUARDED_BY(barrier_mu_) = 0;
 
-  i64 total_messages_ = 0;
-  i64 total_values_ = 0;
+  i64 total_messages_ GC_GUARDED_BY(mu_) = 0;
+  i64 total_values_ GC_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace gc::netsim

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "util/common.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/timer.hpp"
 
 namespace gc::obs {
@@ -90,35 +91,43 @@ class TraceRecorder {
   double now_us() const { return timer_.seconds() * 1e6; }
 
   void record_span(std::string name, std::string cat, int rank, double t0_us,
-                   double t1_us);
+                   double t1_us) GC_EXCLUDES(mu_);
 
   /// Adds `delta` to the monotonic counter (name, rank).
-  void add_counter(const std::string& name, int rank, i64 delta);
+  void add_counter(const std::string& name, int rank, i64 delta)
+      GC_EXCLUDES(mu_);
   /// Sets the gauge (name, rank); the last value wins.
-  void set_gauge(const std::string& name, int rank, double value);
+  void set_gauge(const std::string& name, int rank, double value)
+      GC_EXCLUDES(mu_);
 
-  std::vector<TraceEvent> events() const;
-  std::size_t num_events() const;
+  std::vector<TraceEvent> events() const GC_EXCLUDES(mu_);
+  std::size_t num_events() const GC_EXCLUDES(mu_);
 
   /// Cumulative counter value; rank < 0 sums across all ranks.
-  i64 counter(const std::string& name, int rank = -1) const;
-  std::vector<CounterSample> counters() const;
-  std::vector<GaugeSample> gauges() const;
+  i64 counter(const std::string& name, int rank = -1) const GC_EXCLUDES(mu_);
+  std::vector<CounterSample> counters() const GC_EXCLUDES(mu_);
+  std::vector<GaugeSample> gauges() const GC_EXCLUDES(mu_);
 
   /// Aggregates span durations by name over events [from, num_events()).
   /// Pass the num_events() snapshot taken before a run to summarize just
   /// that run. Results are sorted by name.
-  std::vector<PhaseTotal> phase_totals(std::size_t from = 0) const;
+  std::vector<PhaseTotal> phase_totals(std::size_t from = 0) const
+      GC_EXCLUDES(mu_);
 
-  void clear();
+  void clear() GC_EXCLUDES(mu_);
 
  private:
+  /// Flipped between runs (set_enabled contract); instrumentation sites
+  /// read it lock-free on purpose, so it stays outside the mu_ contract.
   bool enabled_ = true;
   Timer timer_;
+  /// Innermost lock of the whole repo: every subsystem may publish
+  /// metrics while holding its own locks, and nothing under mu_ calls
+  /// back out.
   mutable std::mutex mu_;
-  std::vector<TraceEvent> events_;
-  std::map<std::pair<std::string, int>, i64> counters_;
-  std::map<std::pair<std::string, int>, double> gauges_;
+  std::vector<TraceEvent> events_ GC_GUARDED_BY(mu_);
+  std::map<std::pair<std::string, int>, i64> counters_ GC_GUARDED_BY(mu_);
+  std::map<std::pair<std::string, int>, double> gauges_ GC_GUARDED_BY(mu_);
 };
 
 /// RAII span: reads the clock on entry and records on exit. With a null

@@ -92,6 +92,9 @@ std::string flow_key_stem(const FlowKey& key) {
 FlowCache::FlowCache(std::string dir, FlowCacheConfig cfg)
     : dir_(std::move(dir)), cfg_(cfg) {
   std::filesystem::create_directories(dir_);
+  // No other thread can hold a reference yet, but scavenging mutates the
+  // guarded index, so take the lock and honor GC_REQUIRES(mu_) anyway.
+  std::lock_guard<std::mutex> lock(mu_);
   scavenge_and_index();
 }
 

@@ -40,6 +40,7 @@
 #include "lbm/lattice.hpp"
 #include "lbm/run_params.hpp"
 #include "obs/trace.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace gc::service {
 
@@ -108,16 +109,17 @@ class FlowCache {
   /// propagate to the computing caller; waiting callers then retry (one
   /// of them becomes the new computer).
   Entry get_or_compute(const FlowKey& key,
-                       const std::function<lbm::Lattice()>& compute);
+                       const std::function<lbm::Lattice()>& compute)
+      GC_EXCLUDES(mu_);
 
   /// True when a committed entry for `key` is on disk (no validation
   /// beyond manifest presence — load still CRC-checks).
-  bool contains(const FlowKey& key) const;
+  bool contains(const FlowKey& key) const GC_EXCLUDES(mu_);
 
-  Stats stats() const;
+  Stats stats() const GC_EXCLUDES(mu_);
   /// Bytes of committed entry files on disk right now (always <=
   /// max_bytes after a commit when a budget is configured).
-  i64 bytes() const;
+  i64 bytes() const GC_EXCLUDES(mu_);
   const std::string& dir() const { return dir_; }
   const FlowCacheConfig& config() const { return cfg_; }
   std::string checkpoint_path(const FlowKey& key) const;
@@ -131,27 +133,34 @@ class FlowCache {
   };
 
   /// Removes crash debris and indexes committed entries. Ctor only.
-  void scavenge_and_index();
+  void scavenge_and_index() GC_REQUIRES(mu_);
   /// Records a commit / refreshes LRU. Caller holds mu_.
-  void note_entry_locked(const std::string& stem, i64 bytes);
+  void note_entry_locked(const std::string& stem, i64 bytes)
+      GC_REQUIRES(mu_);
   /// Forgets a removed/corrupted entry. Caller holds mu_.
-  void drop_entry_locked(const std::string& stem);
+  void drop_entry_locked(const std::string& stem) GC_REQUIRES(mu_);
   /// Evicts LRU entries (manifest first, then checkpoint) until the
   /// budget holds, skipping in-flight and restoring stems. Caller
   /// holds mu_.
-  void enforce_budget_locked();
-  void publish_bytes_locked();
+  void enforce_budget_locked() GC_REQUIRES(mu_);
+  void publish_bytes_locked() GC_REQUIRES(mu_);
 
   std::string dir_;
   FlowCacheConfig cfg_;
-  mutable std::mutex mu_;
+  /// GC_ALLOWS_BLOCKING: the index must mirror the directory atomically
+  /// — scavenging, eviction and commit bookkeeping do filesystem work
+  /// under mu_ by design (innermost lock, bounded IO, no cv waits held).
+  mutable std::mutex mu_ GC_ALLOWS_BLOCKING;
   std::condition_variable cv_;
-  std::set<std::string> in_flight_;   ///< stems being computed right now
-  std::set<std::string> restoring_;   ///< stems being loaded right now
-  std::map<std::string, DiskEntry> entries_;  ///< committed, on disk
-  u64 use_seq_ = 0;
-  i64 total_bytes_ = 0;
-  Stats stats_;
+  /// Stems being computed right now.
+  std::set<std::string> in_flight_ GC_GUARDED_BY(mu_);
+  /// Stems being loaded right now.
+  std::set<std::string> restoring_ GC_GUARDED_BY(mu_);
+  /// Committed, on disk.
+  std::map<std::string, DiskEntry> entries_ GC_GUARDED_BY(mu_);
+  u64 use_seq_ GC_GUARDED_BY(mu_) = 0;
+  i64 total_bytes_ GC_GUARDED_BY(mu_) = 0;
+  Stats stats_ GC_GUARDED_BY(mu_);
 };
 
 }  // namespace gc::service

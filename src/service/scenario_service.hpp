@@ -46,6 +46,7 @@
 #include "service/errors.hpp"
 #include "service/flow_cache.hpp"
 #include "service/scenario.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/timer.hpp"
 
 namespace gc::service {
@@ -105,17 +106,18 @@ class ScenarioService {
   /// Enqueues a request; blocks while the queue is full. The returned
   /// future yields the result or rethrows the scenario's typed failure
   /// (service/errors.hpp). Throws ServiceStopped once stop() has begun.
-  std::future<ScenarioResult> submit(ScenarioRequest req);
+  std::future<ScenarioResult> submit(ScenarioRequest req) GC_EXCLUDES(mu_);
 
   /// Non-blocking submit: false (and no future) when the queue is full
   /// or the service is stopping.
-  bool try_submit(ScenarioRequest req, std::future<ScenarioResult>* out);
+  bool try_submit(ScenarioRequest req, std::future<ScenarioResult>* out)
+      GC_EXCLUDES(mu_);
 
   /// Releases workers parked by start_paused (no-op otherwise).
-  void start();
+  void start() GC_EXCLUDES(mu_);
 
   /// Blocks until the queue is empty and no scenario is in flight.
-  void drain();
+  void drain() GC_EXCLUDES(mu_);
 
   /// Graceful shutdown: stops accepting work immediately, drains queued
   /// and in-flight scenarios for up to `deadline_ms`, then fails the
@@ -124,10 +126,10 @@ class ScenarioService {
   /// waits for a full drain; 0 fails everything not already done.
   /// Returns true when everything drained inside the deadline.
   /// Idempotent; called by the destructor with deadline 0.
-  bool stop(double deadline_ms = -1);
+  bool stop(double deadline_ms = -1) GC_EXCLUDES(mu_);
 
   /// Requests waiting in the queue right now (excludes in-flight).
-  int queue_depth() const;
+  int queue_depth() const GC_EXCLUDES(mu_);
 
   FlowCache& cache() { return cache_; }
   core::PartitionPool& partitions() { return pool_; }
@@ -148,17 +150,17 @@ class ScenarioService {
     bool killed = false;     ///< watchdog already aborted this lease
   };
 
-  void worker_loop(int worker);
-  void watchdog_loop();
+  void worker_loop(int worker) GC_EXCLUDES(mu_);
+  void watchdog_loop() GC_EXCLUDES(mu_);
   ScenarioResult run_scenario(const ScenarioRequest& req, int worker,
-                              double deadline_at);
+                              double deadline_at) GC_EXCLUDES(mu_);
   /// The cold-flow path: retry loop over partition leases under the
   /// recovery driver. Returns the steady lattice; fills stats/partition.
   lbm::Lattice compute_flow(const ScenarioRequest& req, int worker,
                             double deadline_at, obs::RunStats* stats,
-                            int* partition_out);
+                            int* partition_out) GC_EXCLUDES(mu_);
   void set_queue_gauge(int depth);
-  void set_worker_slot(int worker, int slot, u64 lease);
+  void set_worker_slot(int worker, int slot, u64 lease) GC_EXCLUDES(mu_);
   bool expired(double deadline_at) const;
   /// True once stop() decided to abort rather than drain.
   bool aborting() const { return aborting_.load(std::memory_order_acquire); }
@@ -169,20 +171,28 @@ class ScenarioService {
   FlowCache cache_;
   core::PartitionPool pool_;
 
-  mutable std::mutex mu_;
+  /// Canonical lock order: a worker resolving a scenario may lease a
+  /// partition and touch the cache while bookkeeping under mu_ is
+  /// re-taken in between, but never the other way around — nothing in
+  /// core/ or the cache ever calls back into the service.
+  mutable std::mutex mu_
+      GC_ACQUIRED_BEFORE(core::PartitionPool::mu_, FlowCache::mu_);
   std::condition_variable cv_work_;   ///< queue became non-empty / unpaused
   std::condition_variable cv_space_;  ///< queue has room again
   std::condition_variable cv_idle_;   ///< queue empty and nothing in flight
   std::condition_variable cv_watchdog_;  ///< watchdog shutdown signal
-  std::deque<Job> queue_;
-  std::vector<WorkerState> wstate_;
-  int in_flight_ = 0;
-  bool paused_ = false;
-  bool stop_ = false;       ///< workers exit (set at the end of stop())
-  bool accepting_ = true;   ///< submit()/try_submit() gate
-  bool stop_begun_ = false; ///< stop() entered (idempotence)
-  bool stop_drained_ = false;
-  bool watchdog_stop_ = false;
+  std::deque<Job> queue_ GC_GUARDED_BY(mu_);
+  std::vector<WorkerState> wstate_ GC_GUARDED_BY(mu_);
+  int in_flight_ GC_GUARDED_BY(mu_) = 0;
+  bool paused_ GC_GUARDED_BY(mu_) = false;
+  /// Workers exit (set at the end of stop()).
+  bool stop_ GC_GUARDED_BY(mu_) = false;
+  /// submit()/try_submit() gate.
+  bool accepting_ GC_GUARDED_BY(mu_) = true;
+  /// stop() entered (idempotence).
+  bool stop_begun_ GC_GUARDED_BY(mu_) = false;
+  bool stop_drained_ GC_GUARDED_BY(mu_) = false;
+  bool watchdog_stop_ GC_GUARDED_BY(mu_) = false;
   std::atomic<bool> aborting_{false};
   std::vector<std::thread> workers_;
   std::thread watchdog_;

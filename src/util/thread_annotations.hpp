@@ -1,0 +1,43 @@
+// Thread-safety annotation macros, consumed by tools/gc_analyze.
+//
+// The macros expand to nothing: they are a declaration-level vocabulary
+// that the repo's static concurrency analyzer (tools/gc_analyze) parses
+// textually, the way clang's -Wthread-safety reads its attribute set.
+// Keeping them compiler-inert means they work with any toolchain and
+// cost nothing at runtime; the `gc_analyze_clean` ctest is what gives
+// them teeth.
+//
+//   GC_GUARDED_BY(mu)        on a data member: every read/write must
+//                            happen while `mu` is held (GCA101/GCA104).
+//                            Place it directly after the member name:
+//                              std::deque<Job> queue_ GC_GUARDED_BY(mu_);
+//   GC_REQUIRES(mu, ...)     on a member function: callers must already
+//                            hold every listed mutex (the `_locked`
+//                            helper convention, now checkable).
+//   GC_EXCLUDES(mu, ...)     on a member function: it acquires the
+//                            listed mutexes itself, so callers must NOT
+//                            hold them. Calling it with one held is a
+//                            self-deadlock (GCA102); calling it while
+//                            holding any other lock records a lock-order
+//                            edge into the repo-wide acquisition graph.
+//   GC_ACQUIRED_BEFORE(mu, ...)
+//                            on a mutex member: declares the canonical
+//                            acquisition order. GCA102 folds these edges
+//                            into the graph, so a code path that nests
+//                            the other way round becomes a cycle even if
+//                            no single run exercises both orders.
+//   GC_ALLOWS_BLOCKING       on a mutex member: blocking calls (IO,
+//                            waits) under this mutex are a deliberate
+//                            design choice; GCA103 skips it. Use
+//                            sparingly and say why in a comment.
+//
+// Mutex arguments may be bare member names (`mu_`, resolved against the
+// enclosing class) or qualified (`netsim::MpiLite::mu_`); the analyzer
+// normalizes both to a `Class::member` graph node.
+#pragma once
+
+#define GC_GUARDED_BY(mu)
+#define GC_REQUIRES(...)
+#define GC_EXCLUDES(...)
+#define GC_ACQUIRED_BEFORE(...)
+#define GC_ALLOWS_BLOCKING

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "util/common.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace gc {
 
@@ -27,15 +28,16 @@ class ThreadPool {
   std::size_t size() const { return workers_.size(); }
 
   /// Enqueue an arbitrary task (fire and forget; use wait() to drain).
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) GC_EXCLUDES(mu_);
 
   /// Block until every submitted task has finished.
-  void wait();
+  void wait() GC_EXCLUDES(mu_);
 
   /// Static-partition parallel loop over [begin, end). Blocks until done.
   /// The body receives (index). Chunks are contiguous so kernels stay
   /// cache-friendly; with a single worker it degenerates to a serial loop.
-  void parallel_for(i64 begin, i64 end, const std::function<void(i64)>& body);
+  void parallel_for(i64 begin, i64 end, const std::function<void(i64)>& body)
+      GC_EXCLUDES(mu_);
 
   /// Chunked variant: body receives a [chunk_begin, chunk_end) range.
   /// Preferred for kernels — avoids a std::function call per element.
@@ -45,7 +47,7 @@ class ThreadPool {
   /// chunk the body runs inline on the calling thread.
   void parallel_for_chunks(i64 begin, i64 end,
                            const std::function<void(i64, i64)>& body,
-                           i64 min_chunk = 1);
+                           i64 min_chunk = 1) GC_EXCLUDES(mu_);
 
   /// Process-wide pool sized to the hardware. Lazily constructed.
   static ThreadPool& global();
@@ -60,15 +62,15 @@ class ThreadPool {
   }
 
  private:
-  void worker_loop();
+  void worker_loop() GC_EXCLUDES(mu_);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<std::function<void()>> queue_ GC_GUARDED_BY(mu_);
   std::mutex mu_;
   std::condition_variable cv_task_;
   std::condition_variable cv_done_;
-  std::size_t in_flight_ = 0;
-  bool stop_ = false;
+  std::size_t in_flight_ GC_GUARDED_BY(mu_) = 0;
+  bool stop_ GC_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace gc

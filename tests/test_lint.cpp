@@ -31,9 +31,9 @@ bool has_rule(const std::vector<Finding>& fs, const std::string& id) {
 
 TEST(Lint, RuleCatalogIsComplete) {
   const std::vector<Rule>& rs = rules();
-  ASSERT_EQ(rs.size(), 9u);
+  ASSERT_EQ(rs.size(), 10u);
   const char* expected[] = {"GCL001", "GCL002", "GCL003", "GCL004", "GCL005",
-                            "GCL006", "GCL007", "GCL008", "GCL009"};
+                            "GCL006", "GCL007", "GCL008", "GCL009", "GCL010"};
   for (std::size_t i = 0; i < rs.size(); ++i) {
     EXPECT_STREQ(rs[i].id, expected[i]);
     EXPECT_NE(std::string(rs[i].summary), "");
@@ -424,6 +424,56 @@ TEST(Lint, InlineAllowCommentSuppresses) {
   EXPECT_TRUE(fs.empty());
 }
 
+// --- GCL010 ---------------------------------------------------------------
+
+TEST(Lint, StaleSuppressionIsFlagged) {
+  const auto fs =
+      run("src/core/x.cpp",
+          "void f() {\n"
+          "  int tag = 7;  // gc_lint: allow(GCL003) nothing fires here\n"
+          "}\n");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_STREQ(fs[0].rule->id, "GCL010");
+  EXPECT_EQ(fs[0].line, 2);
+}
+
+TEST(Lint, SuppressionForUnknownRuleIsFlagged) {
+  const auto fs = run("src/core/x.cpp",
+                      "int x = 0;  // gc_lint: allow(GCL999)\n");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_STREQ(fs[0].rule->id, "GCL010");
+}
+
+TEST(Lint, LiveSuppressionIsNotStale) {
+  // The allow-comment absorbs a real GCL003 on its line, so GCL010 stays
+  // silent — this is the InlineAllowCommentSuppresses snippet re-checked
+  // from the audit's side.
+  const auto fs =
+      run("src/core/x.cpp",
+          "void f() {\n"
+          "  comm.send(1, 7, p);  // gc_lint: allow(GCL003) handshake probe\n"
+          "}\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(Lint, MarkerInsideStringLiteralIsNotAudited) {
+  // Test sources embed allow-markers in snippet strings; only markers in
+  // comments are suppressions, so the audit must ignore these.
+  const auto fs = run(
+      "tests/x.cpp",
+      "const char* s = \"int x;  // gc_lint: allow(GCL003) in string\";\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(Lint, StaleSuppressionCanItselfBeSuppressed) {
+  const auto fs =
+      run("src/core/x.cpp",
+          "int t = 7;  // gc_lint: allow(GCL003) gc_lint: allow(GCL010)\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+// --- output formats -------------------------------------------------------
+
 TEST(Lint, FormatIsGccStyle) {
   const auto fs = run("src/core/x.cpp", "void f() { comm.send(1, 7, p); }\n");
   ASSERT_EQ(fs.size(), 1u);
@@ -432,6 +482,24 @@ TEST(Lint, FormatIsGccStyle) {
   EXPECT_NE(s.find("error:"), std::string::npos);
   EXPECT_NE(s.find("[GCL003"), std::string::npos);
   EXPECT_NE(s.find("fix:"), std::string::npos);
+}
+
+TEST(Lint, FormatJsonCarriesTheRecordFields) {
+  const auto fs = run("src/core/x.cpp", "void f() { comm.send(1, 7, p); }\n");
+  ASSERT_EQ(fs.size(), 1u);
+  const std::string one = format_json(fs[0]);
+  EXPECT_NE(one.find("\"file\":\"src/core/x.cpp\""), std::string::npos);
+  EXPECT_NE(one.find("\"line\":1"), std::string::npos);
+  EXPECT_NE(one.find("\"rule\":\"GCL003\""), std::string::npos);
+  EXPECT_NE(one.find("\"severity\":\"error\""), std::string::npos);
+  const std::string all = format_json(fs);
+  EXPECT_EQ(all.front(), '[');
+  EXPECT_EQ(all.back(), ']');
+  EXPECT_NE(all.find(one), std::string::npos);
+  // Quotes inside messages must be escaped, or the records are garbage.
+  Finding f = fs[0];
+  f.message = "say \"hi\"";
+  EXPECT_NE(format_json(f).find("say \\\"hi\\\""), std::string::npos);
 }
 
 // --- the repo itself ------------------------------------------------------

@@ -1,0 +1,88 @@
+// gc_analyze: declaration-aware thread-safety and lock-order analysis.
+// Builds the declaration model (model.hpp) from the annotation macros in
+// src/util/thread_annotations.hpp, then walks every function body with
+// brace-scoped lock-region tracking and checks four rules:
+//
+//   GCA101 guarded-member-access   a member declared GC_GUARDED_BY(mu) is
+//                                  touched in a region where mu is not
+//                                  held (no enclosing guard on mu and no
+//                                  GC_REQUIRES(mu) on the method)
+//   GCA102 lock-order-cycle        the repo-wide mutex acquisition graph
+//                                  (declared GC_ACQUIRED_BEFORE edges +
+//                                  observed nesting + calls into
+//                                  GC_EXCLUDES methods under a lock) has a
+//                                  cycle, or a mutex is re-acquired while
+//                                  already held
+//   GCA103 blocking-under-lock     a blocking call (cv wait, future get,
+//                                  MpiLite recv/barrier, thread join,
+//                                  file/filesystem IO, sleeps, checkpoint
+//                                  IO) runs while holding a mutex not
+//                                  annotated GC_ALLOWS_BLOCKING; waiting
+//                                  on the region's own condition-variable
+//                                  lock is exempt (the wait releases it)
+//   GCA104 unlocked-public-method  a public method of an annotated class
+//                                  acquires nothing, declares nothing, and
+//                                  still touches guarded state
+//
+// GCA101/GCA104 apply only to classes that opted into the contract by
+// annotating at least one member; GCA102/GCA103 apply everywhere a lock
+// region is visible. A finding on a raw line carrying the comment
+// `gc_analyze: allow(GCAnnn)` is suppressed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gc_common/diag.hpp"
+
+namespace gc::analyze {
+
+using tool::Severity;
+using tool::Rule;
+using tool::Finding;
+using tool::format_gcc;
+using tool::format_json;
+
+/// The rule catalog, in id order.
+const std::vector<Rule>& rules();
+
+/// One file handed to the analyzer. `path` must be repo-relative with
+/// forward slashes (it appears verbatim in findings).
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+/// One edge of the mutex acquisition graph, with provenance.
+struct LockEdge {
+  std::string from;  ///< normalized "Class::mu" node
+  std::string to;
+  std::string why;  ///< "declared" | "nested" | "call"
+  std::string file;
+  int line = 0;
+};
+
+struct Analysis {
+  std::vector<Finding> findings;
+  std::vector<LockEdge> edges;
+};
+
+/// Analyzes a closed set of sources as one program: declarations are
+/// collected across all files first, then every body is checked. This is
+/// the test entry point — feed synthetic file sets directly.
+Analysis analyze_sources_full(const std::vector<SourceFile>& sources);
+
+/// Findings only.
+std::vector<Finding> analyze_sources(const std::vector<SourceFile>& sources);
+
+/// Walks `root` and analyzes every .cpp/.hpp under the given
+/// repo-relative directories (default: src — tests deliberately contain
+/// synthetic lock patterns). Findings sorted by file/line.
+Analysis analyze_tree(const std::string& root,
+                      const std::vector<std::string>& dirs,
+                      std::size_t* files_scanned = nullptr);
+
+/// Default directory set for analyze_tree.
+const std::vector<std::string>& default_dirs();
+
+}  // namespace gc::analyze

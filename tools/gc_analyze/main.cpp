@@ -1,0 +1,86 @@
+// gc_analyze CLI: builds the declaration model over the repo and reports
+// thread-safety and lock-order findings in GCC diagnostic format (or
+// --json records). Exit status mirrors gc_lint: 0 clean, 1 when any
+// error-severity finding exists, 2 on usage errors.
+//
+//   gc_analyze --root /path/to/repo         # default dirs: src
+//   gc_analyze --root . src                 # restrict to some dirs
+//   gc_analyze --root . --json              # machine-readable records
+//   gc_analyze --root . --graph             # dump the acquisition graph
+//   gc_analyze --list-rules                 # print the rule catalog
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analyze.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gc::analyze;
+  std::string root = ".";
+  std::vector<std::string> dirs;
+  bool list_rules = false;
+  bool json = false;
+  bool graph = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--root") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "gc_analyze: --root needs a path\n");
+        return 2;
+      }
+      root = argv[++i];
+    } else if (a == "--list-rules") {
+      list_rules = true;
+    } else if (a == "--json") {
+      json = true;
+    } else if (a == "--graph") {
+      graph = true;
+    } else if (a == "--help" || a == "-h") {
+      std::printf(
+          "usage: gc_analyze [--root DIR] [--json] [--graph] "
+          "[--list-rules] [dirs...]\n");
+      return 0;
+    } else if (a.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "gc_analyze: unknown option %s\n", a.c_str());
+      return 2;
+    } else {
+      dirs.push_back(a);
+    }
+  }
+
+  if (list_rules) {
+    for (const Rule& r : rules()) {
+      std::printf("%s %-24s %-7s %s\n", r.id, r.name,
+                  r.severity == Severity::kError ? "error" : "warning",
+                  r.summary);
+    }
+    return 0;
+  }
+
+  if (dirs.empty()) dirs = default_dirs();
+  std::size_t files = 0;
+  const Analysis analysis = analyze_tree(root, dirs, &files);
+
+  if (graph) {
+    for (const LockEdge& e : analysis.edges) {
+      std::printf("%s -> %s  [%s %s:%d]\n", e.from.c_str(), e.to.c_str(),
+                  e.why.c_str(), e.file.c_str(), e.line);
+    }
+  }
+
+  bool any_error = false;
+  for (const Finding& f : analysis.findings) {
+    if (f.rule->severity == Severity::kError) any_error = true;
+  }
+  if (json) {
+    std::printf("%s\n", format_json(analysis.findings).c_str());
+  } else {
+    for (const Finding& f : analysis.findings) {
+      std::fprintf(stderr, "%s\n", format_gcc(f).c_str());
+    }
+    std::printf("gc_analyze: %zu files scanned, %zu finding%s\n", files,
+                analysis.findings.size(),
+                analysis.findings.size() == 1 ? "" : "s");
+  }
+  return any_error ? 1 : 0;
+}

@@ -1,0 +1,655 @@
+#include "model.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+
+namespace gc::analyze {
+
+namespace {
+
+using tool::find_ident;
+using tool::ident_char;
+using tool::trim;
+
+constexpr std::size_t npos = std::string::npos;
+
+/// The scanners track template-argument nesting so `std::function<void()>`
+/// never looks like a call. Heuristic: '<' opens a template list only when
+/// it follows an identifier character; '>' closes one unless it is the
+/// tail of '->'.
+struct DepthScan {
+  int paren = 0;
+  int angle = 0;
+  char prev = '\0';
+
+  void step(char c) {
+    if (c == '(') {
+      ++paren;
+    } else if (c == ')') {
+      if (paren > 0) --paren;
+    } else if (c == '<') {
+      if (ident_char(prev)) ++angle;
+    } else if (c == '>') {
+      if (angle > 0 && prev != '-') --angle;
+    }
+    if (!std::isspace(static_cast<unsigned char>(c))) prev = c;
+  }
+  bool top() const { return paren == 0 && angle == 0; }
+};
+
+/// Whole-identifier occurrence of `name` within s[from, to) at top
+/// nesting depth (outside parens and template lists).
+std::size_t find_top_ident(const std::string& s, std::size_t from,
+                           std::size_t to, const std::string& name) {
+  DepthScan d;
+  std::size_t hit = npos;
+  for (std::size_t p = from; p < to; ++p) {
+    if (d.top() && s.compare(p, name.size(), name) == 0 &&
+        (p == 0 || !ident_char(s[p - 1])) &&
+        (p + name.size() >= s.size() || !ident_char(s[p + name.size()]))) {
+      hit = p;
+      break;
+    }
+    d.step(s[p]);
+  }
+  return hit;
+}
+
+/// The identifier ending just before `pos` (skipping whitespace
+/// backwards); returns npos when there is none.
+std::size_t ident_before(const std::string& s, std::size_t pos,
+                         std::size_t floor, std::string* out) {
+  std::size_t e = pos;
+  while (e > floor && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  std::size_t b = e;
+  while (b > floor && ident_char(s[b - 1])) --b;
+  if (b == e) return npos;
+  *out = s.substr(b, e - b);
+  return b;
+}
+
+/// Offset one past the matching ')' for the '(' at `open`, scanning only
+/// [open, to); npos when it does not close in the window.
+std::size_t skip_parens(const std::string& s, std::size_t open,
+                        std::size_t to) {
+  int depth = 0;
+  for (std::size_t p = open; p < to; ++p) {
+    if (s[p] == '(') ++depth;
+    if (s[p] == ')' && --depth == 0) return p + 1;
+  }
+  return npos;
+}
+
+std::size_t skip_braces(const std::string& s, std::size_t open,
+                        std::size_t to) {
+  int depth = 0;
+  for (std::size_t p = open; p < to; ++p) {
+    if (s[p] == '{') ++depth;
+    if (s[p] == '}' && --depth == 0) return p + 1;
+  }
+  return npos;
+}
+
+std::size_t skip_ws(const std::string& s, std::size_t p, std::size_t to) {
+  while (p < to && std::isspace(static_cast<unsigned char>(s[p]))) ++p;
+  return p;
+}
+
+bool tok_at(const std::string& s, std::size_t p, const char* tok) {
+  const std::size_t n = std::strlen(tok);
+  return s.compare(p, n, tok) == 0 &&
+         (p + n >= s.size() || !ident_char(s[p + n]));
+}
+
+struct HeadInfo {
+  ScopeKind kind = ScopeKind::kBlock;
+  bool init_brace = false;  ///< the '{' belongs to an unfinished head
+  std::string name;
+  std::string cls;
+  bool is_struct = false;
+  bool ctor_dtor = false;
+  std::size_t name_pos = 0;
+  std::size_t param_open = 0;
+  std::size_t param_close = 0;
+};
+
+/// Classifies the text in code[begin, brace) — the "head" of a '{' at
+/// class or namespace level — as a namespace, class, function body, or
+/// plain block (brace init, enum body, ctor init-list brace).
+HeadInfo classify_head(const std::string& code, std::size_t begin,
+                       std::size_t brace, const std::string& enclosing_class) {
+  HeadInfo h;
+  // Strip access labels riding in front of a member declaration.
+  std::size_t b = skip_ws(code, begin, brace);
+  for (;;) {
+    bool stripped = false;
+    for (const char* label : {"public", "private", "protected"}) {
+      if (tok_at(code, b, label)) {
+        std::size_t q = skip_ws(code, b + std::strlen(label), brace);
+        if (q < brace && code[q] == ':' &&
+            (q + 1 >= brace || code[q + 1] != ':')) {
+          b = skip_ws(code, q + 1, brace);
+          stripped = true;
+        }
+      }
+    }
+    if (!stripped) break;
+  }
+  if (b >= brace) return h;  // empty head: plain block
+
+  // Single token-level sweep: keywords and the first top-level call-ish
+  // paren decide everything.
+  DepthScan d;
+  std::size_t first_paren = npos;
+  std::size_t class_kw = npos, class_kw_end = 0;
+  bool saw_namespace = false, saw_enum = false, saw_paren_any = false;
+  bool struct_kw = false;
+  char prev_sig = '\0';  // last non-ws char before current position
+  for (std::size_t p = b; p < brace; ++p) {
+    const char c = code[p];
+    if (d.top() && ident_char(c) && (p == b || !ident_char(code[p - 1]))) {
+      if (tok_at(code, p, "namespace")) saw_namespace = true;
+      if (tok_at(code, p, "enum")) saw_enum = true;
+      if (!saw_enum && first_paren == npos &&
+          (tok_at(code, p, "class") || tok_at(code, p, "struct") ||
+           tok_at(code, p, "union"))) {
+        class_kw = p;
+        struct_kw = !tok_at(code, p, "class");
+        class_kw_end = p + (tok_at(code, p, "class") ? 5 : 6);
+      }
+    }
+    if (c == '(' && d.top()) {
+      saw_paren_any = true;
+      if (first_paren == npos && ident_char(prev_sig)) first_paren = p;
+    }
+    if (!std::isspace(static_cast<unsigned char>(c))) prev_sig = c;
+    d.step(c);
+  }
+
+  if (saw_namespace) {
+    h.kind = ScopeKind::kNamespace;
+    return h;
+  }
+  if (saw_enum) return h;  // enum body: plain block
+  // `= {...}` / `{1, 2}` initializers at this level are not scopes.
+  if (prev_sig == '=' || prev_sig == ',') return h;
+
+  if (class_kw != npos && first_paren == npos) {
+    std::size_t q = skip_ws(code, class_kw_end, brace);
+    std::string name;
+    if (ident_before(code, [&] {
+          std::size_t e = q;
+          while (e < brace && ident_char(code[e])) ++e;
+          return e;
+        }(), q, &name) != npos && !name.empty()) {
+      h.kind = ScopeKind::kClass;
+      h.name = name;
+      h.is_struct = struct_kw;
+    }
+    return h;  // anonymous class/struct: plain block
+  }
+
+  if (!saw_paren_any) return h;
+
+  // Function-shaped head. If no name is recoverable (operator overloads),
+  // still treat the brace as a body so its statements are never parsed as
+  // declarations.
+  h.kind = ScopeKind::kFunction;
+  h.cls = enclosing_class;
+  if (first_paren == npos) return h;
+  std::string name;
+  const std::size_t nb = ident_before(code, first_paren, b, &name);
+  if (nb == npos) return h;
+  h.name = name;
+  h.name_pos = nb;
+  h.param_open = first_paren;
+  // Qualified `Class::name` / `Class::~Class` heads.
+  std::size_t q = nb;
+  if (q > b && code[q - 1] == '~') {
+    h.ctor_dtor = true;
+    --q;
+  }
+  if (q >= b + 2 && code[q - 1] == ':' && code[q - 2] == ':') {
+    std::string cls;
+    if (ident_before(code, q - 2, b, &cls) != npos) h.cls = cls;
+  }
+  if (!h.cls.empty() && h.name == h.cls) h.ctor_dtor = true;
+
+  const std::size_t after = skip_parens(code, first_paren, brace);
+  if (after == npos) {
+    // The '{' sits inside the parameter list (brace-init default arg):
+    // keep accumulating the head.
+    h.init_brace = true;
+    return h;
+  }
+  h.param_close = after - 1;
+
+  // Walk the tail: qualifiers, then an optional ctor init list. If the
+  // current '{' turns out to start an init-list item, the head continues.
+  std::size_t p = after;
+  for (;;) {
+    p = skip_ws(code, p, brace);
+    if (p >= brace) return h;  // the '{' is the body
+    bool ate = false;
+    for (const char* kw : {"const", "noexcept", "override", "final"}) {
+      if (tok_at(code, p, kw)) {
+        p += std::strlen(kw);
+        ate = true;
+        break;
+      }
+    }
+    if (ate) {
+      p = skip_ws(code, p, brace);
+      if (p < brace && code[p] == '(') {  // noexcept(...)
+        p = skip_parens(code, p, brace);
+        if (p == npos) {
+          h.init_brace = true;
+          return h;
+        }
+      }
+      continue;
+    }
+    if (code[p] == ':' && (p + 1 >= brace || code[p + 1] != ':')) {
+      // Constructor init list.
+      p = p + 1;
+      for (;;) {
+        p = skip_ws(code, p, brace);
+        if (p >= brace) {
+          h.init_brace = true;  // `..., member` then the '{' of its init
+          return h;
+        }
+        // qualified item name
+        while (p < brace && (ident_char(code[p]) || code[p] == ':')) ++p;
+        p = skip_ws(code, p, brace);
+        if (p >= brace) {
+          h.init_brace = true;
+          return h;
+        }
+        if (code[p] == '(') {
+          const std::size_t e = skip_parens(code, p, brace);
+          if (e == npos) {
+            h.init_brace = true;
+            return h;
+          }
+          p = e;
+        } else if (code[p] == '{') {
+          const std::size_t e = skip_braces(code, p, brace);
+          if (e == npos) {
+            h.init_brace = true;  // the current '{' is this item's init
+            return h;
+          }
+          p = e;
+        }
+        p = skip_ws(code, p, brace);
+        if (p < brace && code[p] == ',') {
+          ++p;
+          continue;
+        }
+        return h;  // init list done; the '{' is the body
+      }
+    }
+    // Trailing return or anything else: accept as a body head.
+    return h;
+  }
+}
+
+}  // namespace
+
+void FlatFile::locate(std::size_t pos, int* line, int* col) const {
+  const std::size_t l = line_of(pos);
+  *line = static_cast<int>(l + 1);
+  *col = static_cast<int>(pos - line_start[l] + 1);
+}
+
+std::size_t FlatFile::line_of(std::size_t pos) const {
+  auto it = std::upper_bound(line_start.begin(), line_start.end(), pos);
+  return static_cast<std::size_t>(it - line_start.begin()) - 1;
+}
+
+std::string normalize_node(const std::string& ref, const std::string& cls) {
+  std::string r = trim(ref);
+  if (r.rfind("this->", 0) == 0) r = r.substr(6);
+  while (!r.empty() && (r.back() == '&' || r.back() == '*' ||
+                        std::isspace(static_cast<unsigned char>(r.back())))) {
+    r.pop_back();
+  }
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  for (std::size_t p = r.find("::"); p != npos; p = r.find("::", start)) {
+    parts.push_back(trim(r.substr(start, p - start)));
+    start = p + 2;
+  }
+  parts.push_back(trim(r.substr(start)));
+  if (parts.size() >= 2) {
+    return parts[parts.size() - 2] + "::" + parts.back();
+  }
+  return cls.empty() ? parts.back() : cls + "::" + parts.back();
+}
+
+ParsedFile parse_file(const std::string& path, const std::string& content) {
+  ParsedFile pf;
+  pf.flat.path = path;
+  pf.flat.view = tool::preprocess(content);
+
+  // Flatten the code view; preprocessor lines are blanked so includes and
+  // macro definitions never feed the scope scanner.
+  std::string& code = pf.flat.code;
+  for (const std::string& line : pf.flat.view.code) {
+    pf.flat.line_start.push_back(code.size());
+    const std::size_t h = tool::skip_spaces(line, 0);
+    if (h < line.size() && line[h] == '#') {
+      code.append(line.size(), ' ');
+    } else {
+      code += line;
+    }
+    code += '\n';
+  }
+
+  struct Open {
+    int idx;
+    std::size_t resume_head;  // npos unless the head continues past '}'
+  };
+  std::vector<Open> stack;
+  std::size_t head_begin = 0;
+
+  auto enclosing_class_name = [&]() -> std::string {
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+      const Scope& s = pf.scopes[static_cast<std::size_t>(it->idx)];
+      if (s.kind == ScopeKind::kClass) return s.name;
+      if (s.kind == ScopeKind::kFunction) return "";
+    }
+    return "";
+  };
+
+  for (std::size_t pos = 0; pos < code.size(); ++pos) {
+    const char c = code[pos];
+    if (c == '{') {
+      const int parent = stack.empty() ? -1 : stack.back().idx;
+      const ScopeKind parent_kind =
+          parent < 0 ? ScopeKind::kNamespace
+                     : pf.scopes[static_cast<std::size_t>(parent)].kind;
+      Scope s;
+      s.parent = parent;
+      s.head_begin = head_begin;
+      s.open = pos;
+      s.close = code.size();
+      std::size_t resume = npos;
+      if (parent_kind == ScopeKind::kNamespace ||
+          parent_kind == ScopeKind::kClass) {
+        const HeadInfo h =
+            classify_head(code, head_begin, pos, enclosing_class_name());
+        if (h.init_brace) {
+          resume = head_begin;
+        } else {
+          s.kind = h.kind;
+          s.name = h.name;
+          s.cls = h.cls;
+          s.is_struct = h.is_struct;
+          s.ctor_dtor = h.ctor_dtor;
+          s.name_pos = h.name_pos;
+          s.param_open = h.param_open;
+          s.param_close = h.param_close;
+        }
+      }
+      pf.scopes.push_back(s);
+      stack.push_back({static_cast<int>(pf.scopes.size()) - 1, resume});
+      head_begin = pos + 1;
+    } else if (c == '}') {
+      if (!stack.empty()) {
+        const Open o = stack.back();
+        stack.pop_back();
+        pf.scopes[static_cast<std::size_t>(o.idx)].close = pos;
+        head_begin = o.resume_head != npos ? o.resume_head : pos + 1;
+      } else {
+        head_begin = pos + 1;
+      }
+    } else if (c == ';') {
+      head_begin = pos + 1;
+    }
+  }
+  return pf;
+}
+
+namespace {
+
+/// Blanks every `GC_XXX(...)` annotation (and bare GC_ALLOWS_BLOCKING)
+/// from a statement so the remaining text classifies cleanly as a mutex,
+/// method, or plain member declaration.
+std::string strip_annotations(const std::string& stmt) {
+  std::string s = stmt;
+  for (const char* m : {"GC_GUARDED_BY", "GC_REQUIRES", "GC_EXCLUDES",
+                        "GC_ACQUIRED_BEFORE"}) {
+    for (std::size_t p = find_ident(s, m); p != npos;
+         p = find_ident(s, m, p)) {
+      std::size_t open = skip_ws(s, p + std::strlen(m), s.size());
+      std::size_t end =
+          open < s.size() && s[open] == '(' ? skip_parens(s, open, s.size())
+                                            : npos;
+      if (end == npos) end = p + std::strlen(m);
+      for (std::size_t q = p; q < end; ++q) s[q] = ' ';
+    }
+  }
+  for (std::size_t p = find_ident(s, "GC_ALLOWS_BLOCKING"); p != npos;
+       p = find_ident(s, "GC_ALLOWS_BLOCKING", p)) {
+    for (std::size_t q = p; q < p + 18; ++q) s[q] = ' ';
+  }
+  return s;
+}
+
+/// Comma-split of the annotation argument list following the macro name
+/// at `p`; empty when there is no argument list.
+std::vector<std::string> annotation_args(const std::string& stmt,
+                                         std::size_t p, std::size_t name_len) {
+  std::vector<std::string> args;
+  const std::size_t open = skip_ws(stmt, p + name_len, stmt.size());
+  if (open >= stmt.size() || stmt[open] != '(') return args;
+  const std::size_t end = skip_parens(stmt, open, stmt.size());
+  if (end == npos) return args;
+  std::string cur;
+  int depth = 0;
+  for (std::size_t q = open + 1; q < end - 1; ++q) {
+    const char c = stmt[q];
+    if (c == '(') ++depth;
+    if (c == ')') --depth;
+    if (c == ',' && depth == 0) {
+      if (!trim(cur).empty()) args.push_back(trim(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!trim(cur).empty()) args.push_back(trim(cur));
+  return args;
+}
+
+}  // namespace
+
+void collect_declarations(const ParsedFile& pf, int file_index, Model* model) {
+  const std::string& code = pf.flat.code;
+  for (std::size_t si = 0; si < pf.scopes.size(); ++si) {
+    const Scope& cs = pf.scopes[si];
+    if (cs.kind != ScopeKind::kClass || cs.name.empty()) continue;
+    ClassInfo& ci = model->classes[cs.name];
+
+    // Member-level text: direct children blanked, with a statement break
+    // where each child body sat (method definitions end without ';').
+    std::string body = code.substr(cs.open + 1, cs.close - cs.open - 1);
+    const std::size_t base = cs.open + 1;
+    for (std::size_t cj = 0; cj < pf.scopes.size(); ++cj) {
+      const Scope& child = pf.scopes[cj];
+      if (child.parent != static_cast<int>(si)) continue;
+      body[child.open - base] = '\x01';
+      for (std::size_t q = child.open - base + 1;
+           q <= child.close - base && q < body.size(); ++q) {
+        body[q] = ' ';
+      }
+    }
+
+    // Access map at member level.
+    std::vector<std::pair<std::size_t, bool>> access;  // (pos, is_public)
+    access.emplace_back(0, cs.is_struct);
+    for (const char* label : {"public", "private", "protected"}) {
+      for (std::size_t p = find_ident(body, label); p != npos;
+           p = find_ident(body, label, p + 1)) {
+        const std::size_t q = skip_ws(body, p + std::strlen(label),
+                                      body.size());
+        if (q < body.size() && body[q] == ':' &&
+            (q + 1 >= body.size() || body[q + 1] != ':')) {
+          access.emplace_back(p, std::string(label) == "public");
+        }
+      }
+    }
+    std::sort(access.begin(), access.end());
+    auto access_at = [&](std::size_t pos) {
+      bool pub = cs.is_struct;
+      for (const auto& [p, is_pub] : access) {
+        if (p <= pos) pub = is_pub;
+      }
+      return pub;
+    };
+
+    // Statements at member level.
+    std::size_t stmt_begin = 0;
+    for (std::size_t p = 0; p <= body.size(); ++p) {
+      if (p < body.size() && body[p] != ';' && body[p] != '\x01') continue;
+      const std::string stmt = body.substr(stmt_begin, p - stmt_begin);
+      const std::size_t stmt_abs = base + stmt_begin;
+      stmt_begin = p + 1;
+      if (trim(stmt).empty()) continue;
+      if (find_ident(stmt, "friend") == 0) continue;
+
+      // Annotations first (they anchor to the original text), then
+      // classify the stripped remainder.
+      const std::size_t gb = find_ident(stmt, "GC_GUARDED_BY");
+      if (gb != npos) {
+        std::string member;
+        if (ident_before(stmt, gb, 0, &member) != npos) {
+          const auto args = annotation_args(stmt, gb, 13);
+          if (!args.empty()) {
+            ci.guarded[member] = normalize_node(args[0], cs.name);
+          }
+        }
+      }
+
+      const std::string clean = strip_annotations(stmt);
+
+      // Mutex member?  `std::mutex name` at top nesting depth.
+      const std::size_t mx = find_top_ident(clean, 0, clean.size(), "mutex");
+      if (mx != npos) {
+        std::size_t q = skip_ws(clean, mx + 5, clean.size());
+        std::string mname;
+        if (q < clean.size() && ident_char(clean[q])) {
+          std::size_t e = q;
+          while (e < clean.size() && ident_char(clean[e])) ++e;
+          mname = clean.substr(q, e - q);
+        }
+        if (!mname.empty()) {
+          MutexInfo& mi = ci.mutexes[mname];
+          mi.file = file_index;
+          mi.pos = stmt_abs + mx;
+          const std::size_t ab = find_ident(stmt, "GC_ACQUIRED_BEFORE");
+          if (ab != npos) {
+            for (const std::string& a : annotation_args(stmt, ab, 18)) {
+              mi.acquired_before.push_back(normalize_node(a, cs.name));
+            }
+          }
+          if (find_ident(stmt, "GC_ALLOWS_BLOCKING") != npos) {
+            mi.allows_blocking = true;
+          }
+          continue;
+        }
+      }
+
+      // Method declaration?  First top-level '(' preceded by an ident.
+      std::size_t first_paren = npos;
+      {
+        DepthScan d;
+        char prev_sig = '\0';
+        for (std::size_t q = 0; q < clean.size(); ++q) {
+          if (clean[q] == '(' && d.top() && ident_char(prev_sig)) {
+            first_paren = q;
+            break;
+          }
+          if (!std::isspace(static_cast<unsigned char>(clean[q]))) {
+            prev_sig = clean[q];
+          }
+          d.step(clean[q]);
+        }
+      }
+      if (first_paren != npos) {
+        std::string mname;
+        if (ident_before(clean, first_paren, 0, &mname) != npos &&
+            find_ident(clean, "using") != 0) {
+          MethodInfo& mi = ci.methods[mname];
+          mi.declared = true;
+          mi.is_public = mi.is_public || access_at(stmt_begin - 1);
+          const std::size_t rq = find_ident(stmt, "GC_REQUIRES");
+          if (rq != npos) {
+            for (const std::string& a : annotation_args(stmt, rq, 11)) {
+              mi.requires_held.push_back(normalize_node(a, cs.name));
+            }
+          }
+          const std::size_t ex = find_ident(stmt, "GC_EXCLUDES");
+          if (ex != npos) {
+            for (const std::string& a : annotation_args(stmt, ex, 11)) {
+              mi.excludes.push_back(normalize_node(a, cs.name));
+            }
+          }
+        }
+        continue;
+      }
+
+      // Plain member: last top-level ident (before any '=') names it.
+      std::string decl = clean;
+      const std::size_t eq = [&] {
+        DepthScan d;
+        for (std::size_t q = 0; q < decl.size(); ++q) {
+          if (decl[q] == '=' && d.top() &&
+              (q + 1 >= decl.size() || decl[q + 1] != '=') &&
+              (q == 0 || (decl[q - 1] != '=' && decl[q - 1] != '!' &&
+                          decl[q - 1] != '<' && decl[q - 1] != '>'))) {
+            return q;
+          }
+          d.step(decl[q]);
+        }
+        return decl.size();
+      }();
+      decl = decl.substr(0, eq);
+      std::string member;
+      if (ident_before(decl, decl.size(), 0, &member) != npos &&
+          !member.empty() && !std::isdigit(static_cast<unsigned char>(
+                                 member[0]))) {
+        ci.plain_members.emplace_back(member, decl);
+      }
+    }
+  }
+}
+
+void resolve_member_types(Model* model) {
+  for (auto& [cls, ci] : model->classes) {
+    for (const auto& [member, decl] : ci.plain_members) {
+      std::string best;
+      for (std::size_t p = 0; p < decl.size();) {
+        if (ident_char(decl[p]) &&
+            !std::isdigit(static_cast<unsigned char>(decl[p])) &&
+            (p == 0 || !ident_char(decl[p - 1]))) {
+          std::size_t e = p;
+          while (e < decl.size() && ident_char(decl[e])) ++e;
+          const std::string tok = decl.substr(p, e - p);
+          // The trailing ident is the member's own name, not its type.
+          if (e < decl.size() || tok != member) {
+            if (tok != member && model->classes.count(tok)) best = tok;
+          }
+          p = e;
+        } else {
+          ++p;
+        }
+      }
+      if (!best.empty()) ci.member_types[member] = best;
+    }
+    ci.plain_members.clear();
+  }
+}
+
+}  // namespace gc::analyze

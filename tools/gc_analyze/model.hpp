@@ -1,0 +1,115 @@
+// gc_analyze's declaration model: a lightweight, text-level picture of
+// the repo's classes — which members are mutexes, which data members are
+// guarded by which mutex, which member functions require/acquire which
+// locks — plus a scope tree per file (namespaces, classes, function
+// bodies) that the body analyzer walks with brace-scoped lock-region
+// tracking.
+//
+// This is deliberately NOT a C++ parser. It shares gc_lint's masking
+// substrate (tools/gc_common) and recognizes the declaration idioms this
+// repo actually uses: `std::mutex mu_;` members, `Type name_;` members,
+// in-class and `Class::method(...)` out-of-line function definitions,
+// constructor init lists, template heads, nested classes. The annotation
+// macros from src/util/thread_annotations.hpp are parsed textually from
+// the declarations they decorate.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gc_common/text.hpp"
+
+namespace gc::analyze {
+
+/// One file flattened for offset-based scanning: the per-line views plus
+/// a '\n'-joined code view with a line index, so multi-line declarations
+/// and bodies are scanned as one string while findings still anchor to
+/// (line, col).
+struct FlatFile {
+  std::string path;
+  tool::SourceView view;
+  std::string code;  ///< '\n'-joined code view; offsets index into this
+  std::vector<std::size_t> line_start;
+
+  /// 1-based line/col of an offset into `code`.
+  void locate(std::size_t pos, int* line, int* col) const;
+  /// 0-based line of an offset (for raw-line suppression lookups).
+  std::size_t line_of(std::size_t pos) const;
+};
+
+enum class ScopeKind { kNamespace, kClass, kFunction, kBlock };
+
+/// One brace-delimited scope. Scopes form a tree via `parent` indices
+/// into ParsedFile::scopes (pre-order).
+struct Scope {
+  ScopeKind kind = ScopeKind::kBlock;
+  int parent = -1;
+  std::string name;  ///< class name, or function name ("" when unknown)
+  std::string cls;   ///< kFunction: owning class ("" for free functions)
+  bool is_struct = false;   ///< kClass: struct (default public)?
+  bool ctor_dtor = false;   ///< kFunction: constructor or destructor
+  std::size_t head_begin = 0;   ///< offset where the head text starts
+  std::size_t name_pos = 0;     ///< kFunction: offset of the name ident
+  std::size_t param_open = 0;   ///< kFunction: offset of the param '('
+  std::size_t param_close = 0;  ///< kFunction: offset of the param ')'
+  std::size_t open = 0;         ///< offset of '{'
+  std::size_t close = 0;        ///< offset of matching '}' (or code size)
+};
+
+struct ParsedFile {
+  FlatFile flat;
+  std::vector<Scope> scopes;
+};
+
+/// A mutex member and its declared ordering/blocking contract.
+struct MutexInfo {
+  std::vector<std::string> acquired_before;  ///< normalized "Class::mu"
+  bool allows_blocking = false;
+  int file = -1;        ///< index into the analyzed file set
+  std::size_t pos = 0;  ///< decl offset (for GCA102 edge provenance)
+};
+
+/// Lock contract of one declared member function (merged over overloads).
+struct MethodInfo {
+  bool is_public = false;
+  bool declared = false;  ///< seen as an in-class declaration
+  std::vector<std::string> requires_held;  ///< GC_REQUIRES, normalized
+  std::vector<std::string> excludes;       ///< GC_EXCLUDES, normalized
+};
+
+struct ClassInfo {
+  std::map<std::string, MutexInfo> mutexes;
+  std::map<std::string, std::string> guarded;  ///< member -> mutex node
+  std::map<std::string, MethodInfo> methods;
+  std::map<std::string, std::string> member_types;  ///< member -> class
+  /// Pending member statements, resolved into member_types once every
+  /// class name is known (second pass of build_model).
+  std::vector<std::pair<std::string, std::string>> plain_members;
+
+  /// GCA101/GCA104 apply only to classes that opted into the contract.
+  bool annotated() const { return !guarded.empty(); }
+};
+
+struct Model {
+  std::map<std::string, ClassInfo> classes;
+};
+
+/// "Class::mu" graph-node form of a mutex reference: qualified names
+/// keep their last two components (`netsim::MpiLite::mu_` ->
+/// "MpiLite::mu_"); bare names are prefixed with the enclosing class.
+std::string normalize_node(const std::string& ref, const std::string& cls);
+
+/// Masks `content` and builds the scope tree.
+ParsedFile parse_file(const std::string& path, const std::string& content);
+
+/// Folds one parsed file's class declarations into the model
+/// (annotations, mutex members, method contracts, member statements).
+void collect_declarations(const ParsedFile& pf, int file_index, Model* model);
+
+/// Second pass: resolve recorded member statements against the complete
+/// class-name set, filling ClassInfo::member_types.
+void resolve_member_types(Model* model);
+
+}  // namespace gc::analyze

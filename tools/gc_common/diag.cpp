@@ -1,0 +1,99 @@
+#include "gc_common/diag.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace gc::tool {
+
+std::string format_gcc(const Finding& f) {
+  std::ostringstream os;
+  os << f.file << ":" << f.line << ":" << f.col << ": "
+     << (f.rule->severity == Severity::kError ? "error" : "warning")
+     << ": [" << f.rule->id << " " << f.rule->name << "] " << f.message
+     << " (fix: " << f.rule->fixit << ")";
+  return os.str();
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string format_json(const Finding& f) {
+  std::ostringstream os;
+  os << "{\"file\":\"" << json_escape(f.file) << "\",\"line\":" << f.line
+     << ",\"col\":" << f.col << ",\"rule\":\"" << f.rule->id
+     << "\",\"name\":\"" << f.rule->name << "\",\"severity\":\""
+     << (f.rule->severity == Severity::kError ? "error" : "warning")
+     << "\",\"message\":\"" << json_escape(f.message) << "\",\"fixit\":\""
+     << json_escape(f.rule->fixit) << "\"}";
+  return os.str();
+}
+
+std::string format_json(const std::vector<Finding>& findings) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << format_json(findings[i]);
+  }
+  os << "\n]";
+  return os.str();
+}
+
+std::vector<std::string> list_sources(const std::string& root,
+                                      const std::vector<std::string>& dirs) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const std::string& dir : dirs) {
+    const fs::path base = fs::path(root) / dir;
+    if (!fs::exists(base)) continue;
+    for (const auto& ent : fs::recursive_directory_iterator(base)) {
+      if (!ent.is_regular_file()) continue;
+      const std::string ext = ent.path().extension().string();
+      if (ext != ".cpp" && ext != ".hpp" && ext != ".h") continue;
+      files.push_back(ent.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+bool read_file(const std::string& path, std::string* content) {
+  std::ifstream in(path);
+  if (!in.good()) return false;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  *content = ss.str();
+  return true;
+}
+
+std::string repo_relative(const std::string& root, const std::string& path) {
+  namespace fs = std::filesystem;
+  return fs::relative(fs::path(path), fs::path(root)).generic_string();
+}
+
+}  // namespace gc::tool

@@ -1,0 +1,57 @@
+// Shared diagnostics model for gc_lint and gc_analyze: the rule/finding
+// structs, the GCC-style and JSON renderers, and the repo tree walk.
+// Both tools keep their own rule catalogs (GCLnnn vs GCAnnn) but emit
+// identical records, so editors and CI consume one format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gc::tool {
+
+enum class Severity { kWarning, kError };
+
+/// Static description of one rule.
+struct Rule {
+  const char* id;       ///< "GCL001" / "GCA101"
+  const char* name;     ///< short kebab-case name
+  Severity severity;
+  const char* summary;  ///< one-line description of the invariant
+  const char* fixit;    ///< editor hint appended to each finding
+};
+
+/// One violation, anchored to a file position (1-based line/col).
+struct Finding {
+  const Rule* rule = nullptr;
+  std::string file;
+  int line = 0;
+  int col = 0;
+  std::string message;  ///< specific detail (offending name / argument)
+};
+
+/// "file:line:col: error: [GCL003 name] message (fix: hint)" — GCC-style
+/// so editors can jump to the finding.
+std::string format_gcc(const Finding& f);
+
+/// One finding as a JSON object: {"file":...,"line":N,"col":N,
+/// "rule":"GCL003","name":...,"severity":"error","message":...,
+/// "fixit":...}. Strings are escaped.
+std::string format_json(const Finding& f);
+
+/// The whole report as a JSON array (one object per finding, one per
+/// line for greppability).
+std::string format_json(const std::vector<Finding>& findings);
+
+/// Lists every .cpp/.hpp/.h under root/<dir> for each dir, sorted, as
+/// absolute-ish paths (root-joined). Missing dirs are skipped.
+std::vector<std::string> list_sources(const std::string& root,
+                                      const std::vector<std::string>& dirs);
+
+/// Reads a whole file; returns false when it cannot be opened.
+bool read_file(const std::string& path, std::string* content);
+
+/// `path` made relative to `root` with forward slashes (the repo-relative
+/// form every checker expects).
+std::string repo_relative(const std::string& root, const std::string& path);
+
+}  // namespace gc::tool

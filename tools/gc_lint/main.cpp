@@ -6,6 +6,7 @@
 //   gc_lint --root /path/to/repo            # default dirs: src bench
 //                                           # examples tests tools
 //   gc_lint --root . src tests              # restrict to some dirs
+//   gc_lint --root . --json                 # machine-readable records
 //   gc_lint --list-rules                    # print the rule catalog
 #include <cstdio>
 #include <cstring>
@@ -19,6 +20,7 @@ int main(int argc, char** argv) {
   std::string root = ".";
   std::vector<std::string> dirs;
   bool list_rules = false;
+  bool json = false;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--root") {
@@ -29,8 +31,11 @@ int main(int argc, char** argv) {
       root = argv[++i];
     } else if (a == "--list-rules") {
       list_rules = true;
+    } else if (a == "--json") {
+      json = true;
     } else if (a == "--help" || a == "-h") {
-      std::printf("usage: gc_lint [--root DIR] [--list-rules] [dirs...]\n");
+      std::printf(
+          "usage: gc_lint [--root DIR] [--json] [--list-rules] [dirs...]\n");
       return 0;
     } else if (a.rfind("--", 0) == 0) {
       std::fprintf(stderr, "gc_lint: unknown option %s\n", a.c_str());
@@ -54,10 +59,16 @@ int main(int argc, char** argv) {
   const std::vector<Finding> findings = lint_tree(root, dirs, &files);
   bool any_error = false;
   for (const Finding& f : findings) {
-    std::fprintf(stderr, "%s\n", format_gcc(f).c_str());
     if (f.rule->severity == Severity::kError) any_error = true;
   }
-  std::printf("gc_lint: %zu files scanned, %zu finding%s\n", files,
-              findings.size(), findings.size() == 1 ? "" : "s");
+  if (json) {
+    std::printf("%s\n", format_json(findings).c_str());
+  } else {
+    for (const Finding& f : findings) {
+      std::fprintf(stderr, "%s\n", format_gcc(f).c_str());
+    }
+    std::printf("gc_lint: %zu files scanned, %zu finding%s\n", files,
+                findings.size(), findings.size() == 1 ? "" : "s");
+  }
   return any_error ? 1 : 0;
 }

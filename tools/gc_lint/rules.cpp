@@ -3,15 +3,25 @@
 #include <algorithm>
 #include <cctype>
 #include <cstring>
-#include <filesystem>
-#include <fstream>
-#include <sstream>
 
+#include "gc_common/text.hpp"
 #include "obs/span_canon.hpp"
 
 namespace gc::lint {
 
 namespace {
+
+using tool::SourceView;
+using tool::preprocess;
+using tool::ident_char;
+using tool::find_ident;
+using tool::skip_spaces;
+using tool::trim;
+using tool::extract_call_args;
+using tool::string_literal;
+using tool::bare_identifier;
+using tool::contains_ci;
+using tool::matching_close;
 
 const std::vector<Rule> kRules = {
     {"GCL001", "deprecated-shim-call", Severity::kError,
@@ -51,6 +61,10 @@ const std::vector<Rule> kRules = {
      "cell ids: hoist sparse_plane_ptr into a local and offset it with "
      "sparse_index(cell); sparse_map_/sparse_cells_ are private to "
      "src/lbm/lattice.{hpp,cpp}"},
+    {"GCL010", "stale-suppression", Severity::kError,
+     "suppression comment no longer suppresses any diagnostic",
+     "delete the stale 'gc_lint: allow(...)' comment — or fix the rule "
+     "id if a real diagnostic on this line was meant to be suppressed"},
 };
 
 const Rule* rule_by_id(const char* id) {
@@ -58,206 +72,6 @@ const Rule* rule_by_id(const char* id) {
     if (std::string_view(r.id) == id) return &r;
   }
   return nullptr;
-}
-
-// --- source preprocessing -------------------------------------------------
-
-/// Per-line views of a file with comments and literals neutralized.
-/// Column positions are preserved (stripped characters become spaces):
-///   raw   exactly as read (used for allow-comment suppression)
-///   lit   comments blanked; string/char literals intact
-///   code  comments blanked; literal *contents* blanked, quotes kept
-struct SourceView {
-  std::vector<std::string> raw;
-  std::vector<std::string> lit;
-  std::vector<std::string> code;
-};
-
-SourceView preprocess(const std::string& content) {
-  SourceView v;
-  enum State { kNormal, kString, kChar, kLineComment, kBlockComment };
-  State st = kNormal;
-  std::string raw, lit, code;
-  auto flush = [&] {
-    v.raw.push_back(raw);
-    v.lit.push_back(lit);
-    v.code.push_back(code);
-    raw.clear();
-    lit.clear();
-    code.clear();
-  };
-  for (std::size_t i = 0; i < content.size(); ++i) {
-    const char c = content[i];
-    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
-    if (c == '\n') {
-      if (st == kLineComment) st = kNormal;
-      flush();
-      continue;
-    }
-    raw.push_back(c);
-    switch (st) {
-      case kNormal:
-        if (c == '/' && next == '/') {
-          st = kLineComment;
-          lit.push_back(' ');
-          code.push_back(' ');
-        } else if (c == '/' && next == '*') {
-          st = kBlockComment;
-          lit.push_back(' ');
-          code.push_back(' ');
-          raw.push_back(next);
-          lit.push_back(' ');
-          code.push_back(' ');
-          ++i;
-        } else if (c == '"') {
-          st = kString;
-          lit.push_back(c);
-          code.push_back(c);
-        } else if (c == '\'') {
-          st = kChar;
-          lit.push_back(c);
-          code.push_back(c);
-        } else {
-          lit.push_back(c);
-          code.push_back(c);
-        }
-        break;
-      case kString:
-      case kChar:
-        lit.push_back(c);
-        code.push_back(' ');
-        if (c == '\\' && next != '\0' && next != '\n') {
-          raw.push_back(next);
-          lit.push_back(next);
-          code.push_back(' ');
-          ++i;
-        } else if ((st == kString && c == '"') ||
-                   (st == kChar && c == '\'')) {
-          code.back() = c;  // keep the closing quote in the code view
-          st = kNormal;
-        }
-        break;
-      case kLineComment:
-        lit.push_back(' ');
-        code.push_back(' ');
-        break;
-      case kBlockComment:
-        lit.push_back(' ');
-        code.push_back(' ');
-        if (c == '*' && next == '/') {
-          raw.push_back(next);
-          lit.push_back(' ');
-          code.push_back(' ');
-          ++i;
-          st = kNormal;
-        }
-        break;
-    }
-  }
-  flush();
-  return v;
-}
-
-bool ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-/// Finds `name` as a whole identifier in `s` at or after `from`; returns
-/// the match position or npos.
-std::size_t find_ident(const std::string& s, const std::string& name,
-                       std::size_t from = 0) {
-  for (std::size_t p = s.find(name, from); p != std::string::npos;
-       p = s.find(name, p + 1)) {
-    const bool left_ok = p == 0 || !ident_char(s[p - 1]);
-    const std::size_t end = p + name.size();
-    const bool right_ok = end >= s.size() || !ident_char(s[end]);
-    if (left_ok && right_ok) return p;
-  }
-  return std::string::npos;
-}
-
-std::size_t skip_spaces(const std::string& s, std::size_t p) {
-  while (p < s.size() && (s[p] == ' ' || s[p] == '\t')) ++p;
-  return p;
-}
-
-std::string trim(const std::string& s) {
-  std::size_t a = 0, b = s.size();
-  while (a < b && std::isspace(static_cast<unsigned char>(s[a]))) ++a;
-  while (b > a && std::isspace(static_cast<unsigned char>(s[b - 1]))) --b;
-  return s.substr(a, b - a);
-}
-
-/// Extracts the top-level argument list of a call whose opening paren is
-/// at (line, col) in the code view. Arguments are read from the
-/// literal-preserving view so string contents survive. Returns false when
-/// the call does not close within a reasonable window.
-bool extract_call_args(const SourceView& v, std::size_t line, std::size_t col,
-                       std::vector<std::string>* args) {
-  args->clear();
-  std::string cur;
-  int paren = 0, brace = 0, bracket = 0;
-  const std::size_t max_lines = 24;
-  for (std::size_t l = line; l < v.code.size() && l < line + max_lines; ++l) {
-    const std::string& code = v.code[l];
-    const std::string& lit = v.lit[l];
-    for (std::size_t p = (l == line ? col : 0); p < code.size(); ++p) {
-      const char c = code[p];
-      if (c == '(') {
-        ++paren;
-        if (paren == 1) continue;  // the call's own opening paren
-      } else if (c == ')') {
-        --paren;
-        if (paren == 0) {
-          if (!trim(cur).empty() || !args->empty()) {
-            args->push_back(trim(cur));
-          }
-          return true;
-        }
-      } else if (c == '{') {
-        ++brace;
-      } else if (c == '}') {
-        --brace;
-      } else if (c == '[') {
-        ++bracket;
-      } else if (c == ']') {
-        --bracket;
-      } else if (c == ',' && paren == 1 && brace == 0 && bracket == 0) {
-        args->push_back(trim(cur));
-        cur.clear();
-        continue;
-      }
-      if (paren >= 1) cur.push_back(lit[p]);
-    }
-    cur.push_back(' ');  // line break inside the call
-  }
-  return false;
-}
-
-/// If `arg` is a plain string literal ("..."), returns its contents.
-bool string_literal(const std::string& arg, std::string* out) {
-  const std::string t = trim(arg);
-  if (t.size() < 2 || t.front() != '"' || t.back() != '"') return false;
-  *out = t.substr(1, t.size() - 2);
-  return true;
-}
-
-bool bare_identifier(const std::string& arg) {
-  const std::string t = trim(arg);
-  if (t.empty() || !ident_char(t[0]) ||
-      std::isdigit(static_cast<unsigned char>(t[0]))) {
-    return false;
-  }
-  return std::all_of(t.begin(), t.end(), ident_char);
-}
-
-bool contains_ci(const std::string& hay, const std::string& needle) {
-  auto it = std::search(hay.begin(), hay.end(), needle.begin(), needle.end(),
-                        [](char a, char b) {
-                          return std::tolower(static_cast<unsigned char>(a)) ==
-                                 std::tolower(static_cast<unsigned char>(b));
-                        });
-  return it != hay.end();
 }
 
 /// Path classification driving per-rule scoping.
@@ -294,11 +108,17 @@ struct Ctx {
   PathClass pc;
   const SourceView& v;
   std::vector<Finding>* out;
+  /// (line, rule id) of findings an allow-comment actually suppressed —
+  /// the evidence GCL010 checks suppressions against.
+  std::vector<std::pair<std::size_t, std::string>> used;
 
   void report(const char* rule_id, std::size_t line, std::size_t col,
               std::string message) {
     const Rule* r = rule_by_id(rule_id);
-    if (suppressed(v, line, r)) return;
+    if (suppressed(v, line, r)) {
+      used.emplace_back(line, rule_id);
+      return;
+    }
     out->push_back(Finding{r, path, static_cast<int>(line + 1),
                            static_cast<int>(col + 1), std::move(message)});
   }
@@ -546,18 +366,6 @@ void check_unbounded_waits(Ctx& ctx) {
 
 // --- GCL007: raw distribution storage access ------------------------------
 
-/// Position of the ')' closing the paren at `open` on the same line, or
-/// npos if it does not close there (multi-line index expressions are
-/// rare enough that same-line matching keeps the rule simple).
-std::size_t matching_close(const std::string& code, std::size_t open) {
-  int depth = 0;
-  for (std::size_t p = open; p < code.size(); ++p) {
-    if (code[p] == '(') ++depth;
-    if (code[p] == ')' && --depth == 0) return p;
-  }
-  return std::string::npos;
-}
-
 void check_raw_distribution_access(Ctx& ctx) {
   if (ctx.pc.is_lattice_home) return;  // owns the slot mapping by definition
   for (std::size_t l = 0; l < ctx.v.code.size(); ++l) {
@@ -663,6 +471,57 @@ void check_untyped_catch(Ctx& ctx) {
   }
 }
 
+// --- GCL010: stale suppressions -------------------------------------------
+
+// Runs after every other checker, so ctx.used holds the complete set of
+// (line, rule) pairs an allow-comment actually absorbed. A marker must
+// live in a comment to count: markers inside string literals (the linter
+// tests embed them in snippet strings) still appear in the lit view at
+// the same column, which is how we tell the two apart without parsing.
+void check_stale_suppressions(Ctx& ctx) {
+  const std::string marker = std::string("gc_lint: ") + "allow(";
+  for (std::size_t l = 0; l < ctx.v.raw.size(); ++l) {
+    const std::string& raw = ctx.v.raw[l];
+    for (std::size_t p = raw.find(marker); p != std::string::npos;
+         p = raw.find(marker, p + 1)) {
+      const bool in_comment =
+          ctx.v.lit[l].compare(p, marker.size(), marker) != 0;
+      if (!in_comment) continue;
+      // Well-formed rule id: GCL + exactly three digits + ')'. Anything
+      // else (the documentation's "GCLnnn" placeholder form) is prose,
+      // not a suppression, and never matched the suppression check
+      // either.
+      const std::size_t id_at = p + marker.size();
+      if (id_at + 7 > raw.size() || raw.compare(id_at, 3, "GCL") != 0 ||
+          raw[id_at + 6] != ')') {
+        continue;
+      }
+      bool digits = true;
+      for (std::size_t d = 3; d < 6; ++d) {
+        digits = digits &&
+                 std::isdigit(static_cast<unsigned char>(raw[id_at + d]));
+      }
+      if (!digits) continue;
+      const std::string id = raw.substr(id_at, 6);
+      if (rule_by_id(id.c_str()) == nullptr) {
+        ctx.report("GCL010", l, p,
+                   "suppression names unknown rule " + id);
+        continue;
+      }
+      const bool used = std::any_of(
+          ctx.used.begin(), ctx.used.end(),
+          [&](const std::pair<std::size_t, std::string>& u) {
+            return u.first == l && u.second == id;
+          });
+      if (!used) {
+        ctx.report("GCL010", l, p,
+                   "suppression for " + id +
+                       " no longer matches any diagnostic on this line");
+      }
+    }
+  }
+}
+
 }  // namespace
 
 const std::vector<Rule>& rules() { return kRules; }
@@ -671,7 +530,7 @@ std::vector<Finding> lint_source(const std::string& path,
                                  const std::string& content) {
   std::vector<Finding> out;
   const SourceView v = preprocess(content);
-  Ctx ctx{path, classify(path), v, &out};
+  Ctx ctx{path, classify(path), v, &out, {}};
   check_deprecated_shims(ctx);
   check_trace_names(ctx);
   check_raw_tags(ctx);
@@ -681,6 +540,7 @@ std::vector<Finding> lint_source(const std::string& path,
   check_raw_distribution_access(ctx);
   check_sparse_storage_access(ctx);
   check_untyped_catch(ctx);
+  check_stale_suppressions(ctx);  // must run last: audits ctx.used
   std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
     if (a.line != b.line) return a.line < b.line;
     return a.col < b.col;
@@ -697,43 +557,18 @@ const std::vector<std::string>& default_dirs() {
 std::vector<Finding> lint_tree(const std::string& root,
                                const std::vector<std::string>& dirs,
                                std::size_t* files_scanned) {
-  namespace fs = std::filesystem;
   std::vector<Finding> all;
   std::size_t n = 0;
-  std::vector<std::string> files;
-  for (const std::string& dir : dirs) {
-    const fs::path base = fs::path(root) / dir;
-    if (!fs::exists(base)) continue;
-    for (const auto& ent : fs::recursive_directory_iterator(base)) {
-      if (!ent.is_regular_file()) continue;
-      const std::string ext = ent.path().extension().string();
-      if (ext != ".cpp" && ext != ".hpp" && ext != ".h") continue;
-      files.push_back(ent.path().string());
-    }
-  }
-  std::sort(files.begin(), files.end());
-  for (const std::string& f : files) {
-    std::ifstream in(f);
-    if (!in.good()) continue;
-    std::stringstream ss;
-    ss << in.rdbuf();
-    const std::string rel =
-        fs::relative(fs::path(f), fs::path(root)).generic_string();
-    std::vector<Finding> fnd = lint_source(rel, ss.str());
+  for (const std::string& f : tool::list_sources(root, dirs)) {
+    std::string content;
+    if (!tool::read_file(f, &content)) continue;
+    const std::string rel = tool::repo_relative(root, f);
+    std::vector<Finding> fnd = lint_source(rel, content);
     all.insert(all.end(), fnd.begin(), fnd.end());
     ++n;
   }
   if (files_scanned) *files_scanned = n;
   return all;
-}
-
-std::string format_gcc(const Finding& f) {
-  std::ostringstream os;
-  os << f.file << ":" << f.line << ":" << f.col << ": "
-     << (f.rule->severity == Severity::kError ? "error" : "warning")
-     << ": [" << f.rule->id << " " << f.rule->name << "] " << f.message
-     << " (fix: " << f.rule->fixit << ")";
-  return os.str();
 }
 
 }  // namespace gc::lint

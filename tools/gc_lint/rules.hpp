@@ -25,38 +25,36 @@
 //                                  slot mapping depends on the storage mode
 //                                  (AA parity), so only the accessors know
 //                                  where a distribution lives
+//   GCL008 untyped-catch-in-service no catch (...) in src/service — the
+//                                  typed failure taxonomy is load-bearing
+//   GCL009 dense-index-on-sparse   no dense-index arithmetic on compact
+//                                  sparse-lattice storage outside the
+//                                  lattice implementation
+//   GCL010 stale-suppression       an allow-comment that no longer
+//                                  suppresses any diagnostic (or names an
+//                                  unknown rule) must be deleted — dead
+//                                  suppressions hide future regressions
 //
 // The engine is a small library so tests can feed synthetic sources
 // through it; the gc_lint binary (main.cpp) adds file walking and the
 // GCC-style report. A finding on a line carrying the comment
 // `gc_lint: allow(GCLnnn)` is suppressed — used to document intentional
-// exceptions inline.
+// exceptions inline. The shared preprocessing/diagnostics substrate
+// lives in tools/gc_common (gc_analyze builds on the same one).
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "gc_common/diag.hpp"
+
 namespace gc::lint {
 
-enum class Severity { kWarning, kError };
-
-/// Static description of one rule.
-struct Rule {
-  const char* id;       ///< "GCL001"
-  const char* name;     ///< short kebab-case name
-  Severity severity;
-  const char* summary;  ///< one-line description of the invariant
-  const char* fixit;    ///< editor hint appended to each finding
-};
-
-/// One violation, anchored to a file position (1-based line/col).
-struct Finding {
-  const Rule* rule = nullptr;
-  std::string file;
-  int line = 0;
-  int col = 0;
-  std::string message;  ///< specific detail (offending name / argument)
-};
+using tool::Severity;
+using tool::Rule;
+using tool::Finding;
+using tool::format_gcc;
+using tool::format_json;
 
 /// The rule catalog, in id order.
 const std::vector<Rule>& rules();
@@ -77,9 +75,5 @@ std::vector<Finding> lint_tree(const std::string& root,
 
 /// Default directory set for lint_tree.
 const std::vector<std::string>& default_dirs();
-
-/// "file:line:col: error: [GCL003] message (fix: hint)" — GCC-style so
-/// editors can jump to the finding.
-std::string format_gcc(const Finding& f);
 
 }  // namespace gc::lint
