@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_gather.dir/bench_ablation_gather.cpp.o"
+  "CMakeFiles/bench_ablation_gather.dir/bench_ablation_gather.cpp.o.d"
+  "bench_ablation_gather"
+  "bench_ablation_gather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_gather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_shape.dir/bench_ablation_shape.cpp.o"
+  "CMakeFiles/bench_ablation_shape.dir/bench_ablation_shape.cpp.o.d"
+  "bench_ablation_shape"
+  "bench_ablation_shape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_shape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fixed_size.dir/bench_fixed_size.cpp.o"
+  "CMakeFiles/bench_fixed_size.dir/bench_fixed_size.cpp.o.d"
+  "bench_fixed_size"
+  "bench_fixed_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fixed_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_overlap_timeline.dir/bench_overlap_timeline.cpp.o"
+  "CMakeFiles/bench_overlap_timeline.dir/bench_overlap_timeline.cpp.o.d"
+  "bench_overlap_timeline"
+  "bench_overlap_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_overlap_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_projections.dir/bench_projections.cpp.o"
+  "CMakeFiles/bench_projections.dir/bench_projections.cpp.o.d"
+  "bench_projections"
+  "bench_projections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_projections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

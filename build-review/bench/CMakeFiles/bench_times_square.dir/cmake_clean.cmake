@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_times_square.dir/bench_times_square.cpp.o"
+  "CMakeFiles/bench_times_square.dir/bench_times_square.cpp.o.d"
+  "bench_times_square"
+  "bench_times_square.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_times_square.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_validate.dir/trace_validate.cpp.o"
+  "CMakeFiles/trace_validate.dir/trace_validate.cpp.o.d"
+  "trace_validate"
+  "trace_validate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_validate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build-review/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_scenarios_smoke "/root/repo/build-review/bench/bench_scenarios" "--spin-up" "20" "--tracer-steps" "10" "--particles" "500" "--queries" "4" "--cache" "/root/repo/build-review/bench/bench_scenarios_cache")
+set_tests_properties(bench_scenarios_smoke PROPERTIES  LABELS "bench" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;27;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke "/root/repo/build-review/bench/bench_kernels" "--benchmark_min_time=0.01")
+set_tests_properties(bench_smoke PROPERTIES  LABELS "bench" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;39;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_sparse_smoke "/root/repo/build-review/bench/bench_kernels" "--benchmark_filter=Sparse" "--benchmark_min_time=0.01" "--json" "/root/repo/build-review/bench/bench_sparse_smoke.json")
+set_tests_properties(bench_sparse_smoke PROPERTIES  LABELS "bench" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;45;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(trace_smoke_overlap "/root/repo/build-review/bench/bench_overlap_timeline" "--trace" "/root/repo/build-review/bench/trace_overlap.json")
+set_tests_properties(trace_smoke_overlap PROPERTIES  FIXTURES_SETUP "trace_artifacts" LABELS "bench" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;55;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(trace_smoke_urban "/root/repo/build-review/examples/urban_dispersion" "--spin-up" "5" "--tracer-steps" "5" "--out" "/root/repo/build-review/bench" "--trace" "/root/repo/build-review/bench/trace_urban.json")
+set_tests_properties(trace_smoke_urban PROPERTIES  FIXTURES_SETUP "trace_artifacts" LABELS "bench" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;58;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(trace_smoke "/root/repo/build-review/bench/trace_validate" "/root/repo/build-review/bench/trace_overlap.json" "/root/repo/build-review/bench/trace_urban.json")
+set_tests_properties(trace_smoke PROPERTIES  FIXTURES_REQUIRED "trace_artifacts" LABELS "bench" TIMEOUT "120" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;65;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellular_automata.dir/cellular_automata.cpp.o"
+  "CMakeFiles/cellular_automata.dir/cellular_automata.cpp.o.d"
+  "cellular_automata"
+  "cellular_automata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellular_automata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/implicit_heat.cpp" "examples/CMakeFiles/implicit_heat.dir/implicit_heat.cpp.o" "gcc" "examples/CMakeFiles/implicit_heat.dir/implicit_heat.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/gc_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_service.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_city.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_tracer.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_viz.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_netsim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_gpulbm.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_io.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_lbm.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/implicit_heat.dir/implicit_heat.cpp.o"
+  "CMakeFiles/implicit_heat.dir/implicit_heat.cpp.o.d"
+  "implicit_heat"
+  "implicit_heat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/implicit_heat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

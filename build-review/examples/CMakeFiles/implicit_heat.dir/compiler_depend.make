@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for implicit_heat.
+# This may be replaced when dependencies are built.

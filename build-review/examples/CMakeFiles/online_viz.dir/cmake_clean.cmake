@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_viz.dir/online_viz.cpp.o"
+  "CMakeFiles/online_viz.dir/online_viz.cpp.o.d"
+  "online_viz"
+  "online_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/porous_media.dir/porous_media.cpp.o"
+  "CMakeFiles/porous_media.dir/porous_media.cpp.o.d"
+  "porous_media"
+  "porous_media.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/porous_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thermal_convection.dir/thermal_convection.cpp.o"
+  "CMakeFiles/thermal_convection.dir/thermal_convection.cpp.o.d"
+  "thermal_convection"
+  "thermal_convection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thermal_convection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for thermal_convection.
+# This may be replaced when dependencies are built.

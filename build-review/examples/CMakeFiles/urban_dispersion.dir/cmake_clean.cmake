@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/urban_dispersion.dir/urban_dispersion.cpp.o"
+  "CMakeFiles/urban_dispersion.dir/urban_dispersion.cpp.o.d"
+  "urban_dispersion"
+  "urban_dispersion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/urban_dispersion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/city/city_model.cpp" "src/CMakeFiles/gc_city.dir/city/city_model.cpp.o" "gcc" "src/CMakeFiles/gc_city.dir/city/city_model.cpp.o.d"
+  "/root/repo/src/city/voxelize.cpp" "src/CMakeFiles/gc_city.dir/city/voxelize.cpp.o" "gcc" "src/CMakeFiles/gc_city.dir/city/voxelize.cpp.o.d"
+  "/root/repo/src/city/wind.cpp" "src/CMakeFiles/gc_city.dir/city/wind.cpp.o" "gcc" "src/CMakeFiles/gc_city.dir/city/wind.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/gc_lbm.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_city.dir/city/city_model.cpp.o"
+  "CMakeFiles/gc_city.dir/city/city_model.cpp.o.d"
+  "CMakeFiles/gc_city.dir/city/voxelize.cpp.o"
+  "CMakeFiles/gc_city.dir/city/voxelize.cpp.o.d"
+  "CMakeFiles/gc_city.dir/city/wind.cpp.o"
+  "CMakeFiles/gc_city.dir/city/wind.cpp.o.d"
+  "libgc_city.a"
+  "libgc_city.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_city.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/border_exchange.cpp" "src/CMakeFiles/gc_core.dir/core/border_exchange.cpp.o" "gcc" "src/CMakeFiles/gc_core.dir/core/border_exchange.cpp.o.d"
+  "/root/repo/src/core/cluster_sim.cpp" "src/CMakeFiles/gc_core.dir/core/cluster_sim.cpp.o" "gcc" "src/CMakeFiles/gc_core.dir/core/cluster_sim.cpp.o.d"
+  "/root/repo/src/core/cost_model.cpp" "src/CMakeFiles/gc_core.dir/core/cost_model.cpp.o" "gcc" "src/CMakeFiles/gc_core.dir/core/cost_model.cpp.o.d"
+  "/root/repo/src/core/decomposition.cpp" "src/CMakeFiles/gc_core.dir/core/decomposition.cpp.o" "gcc" "src/CMakeFiles/gc_core.dir/core/decomposition.cpp.o.d"
+  "/root/repo/src/core/gpu_cluster.cpp" "src/CMakeFiles/gc_core.dir/core/gpu_cluster.cpp.o" "gcc" "src/CMakeFiles/gc_core.dir/core/gpu_cluster.cpp.o.d"
+  "/root/repo/src/core/overlap.cpp" "src/CMakeFiles/gc_core.dir/core/overlap.cpp.o" "gcc" "src/CMakeFiles/gc_core.dir/core/overlap.cpp.o.d"
+  "/root/repo/src/core/parallel_lbm.cpp" "src/CMakeFiles/gc_core.dir/core/parallel_lbm.cpp.o" "gcc" "src/CMakeFiles/gc_core.dir/core/parallel_lbm.cpp.o.d"
+  "/root/repo/src/core/partition.cpp" "src/CMakeFiles/gc_core.dir/core/partition.cpp.o" "gcc" "src/CMakeFiles/gc_core.dir/core/partition.cpp.o.d"
+  "/root/repo/src/core/recovery.cpp" "src/CMakeFiles/gc_core.dir/core/recovery.cpp.o" "gcc" "src/CMakeFiles/gc_core.dir/core/recovery.cpp.o.d"
+  "/root/repo/src/core/scaling_study.cpp" "src/CMakeFiles/gc_core.dir/core/scaling_study.cpp.o" "gcc" "src/CMakeFiles/gc_core.dir/core/scaling_study.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/gc_lbm.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_netsim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_gpulbm.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_io.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_core.dir/core/border_exchange.cpp.o"
+  "CMakeFiles/gc_core.dir/core/border_exchange.cpp.o.d"
+  "CMakeFiles/gc_core.dir/core/cluster_sim.cpp.o"
+  "CMakeFiles/gc_core.dir/core/cluster_sim.cpp.o.d"
+  "CMakeFiles/gc_core.dir/core/cost_model.cpp.o"
+  "CMakeFiles/gc_core.dir/core/cost_model.cpp.o.d"
+  "CMakeFiles/gc_core.dir/core/decomposition.cpp.o"
+  "CMakeFiles/gc_core.dir/core/decomposition.cpp.o.d"
+  "CMakeFiles/gc_core.dir/core/gpu_cluster.cpp.o"
+  "CMakeFiles/gc_core.dir/core/gpu_cluster.cpp.o.d"
+  "CMakeFiles/gc_core.dir/core/overlap.cpp.o"
+  "CMakeFiles/gc_core.dir/core/overlap.cpp.o.d"
+  "CMakeFiles/gc_core.dir/core/parallel_lbm.cpp.o"
+  "CMakeFiles/gc_core.dir/core/parallel_lbm.cpp.o.d"
+  "CMakeFiles/gc_core.dir/core/partition.cpp.o"
+  "CMakeFiles/gc_core.dir/core/partition.cpp.o.d"
+  "CMakeFiles/gc_core.dir/core/recovery.cpp.o"
+  "CMakeFiles/gc_core.dir/core/recovery.cpp.o.d"
+  "CMakeFiles/gc_core.dir/core/scaling_study.cpp.o"
+  "CMakeFiles/gc_core.dir/core/scaling_study.cpp.o.d"
+  "libgc_core.a"
+  "libgc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpulbm/boundary_rects.cpp" "src/CMakeFiles/gc_gpulbm.dir/gpulbm/boundary_rects.cpp.o" "gcc" "src/CMakeFiles/gc_gpulbm.dir/gpulbm/boundary_rects.cpp.o.d"
+  "/root/repo/src/gpulbm/gpu_solver.cpp" "src/CMakeFiles/gc_gpulbm.dir/gpulbm/gpu_solver.cpp.o" "gcc" "src/CMakeFiles/gc_gpulbm.dir/gpulbm/gpu_solver.cpp.o.d"
+  "/root/repo/src/gpulbm/packing.cpp" "src/CMakeFiles/gc_gpulbm.dir/gpulbm/packing.cpp.o" "gcc" "src/CMakeFiles/gc_gpulbm.dir/gpulbm/packing.cpp.o.d"
+  "/root/repo/src/gpulbm/programs.cpp" "src/CMakeFiles/gc_gpulbm.dir/gpulbm/programs.cpp.o" "gcc" "src/CMakeFiles/gc_gpulbm.dir/gpulbm/programs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/gc_lbm.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

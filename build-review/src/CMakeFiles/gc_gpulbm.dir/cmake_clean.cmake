@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_gpulbm.dir/gpulbm/boundary_rects.cpp.o"
+  "CMakeFiles/gc_gpulbm.dir/gpulbm/boundary_rects.cpp.o.d"
+  "CMakeFiles/gc_gpulbm.dir/gpulbm/gpu_solver.cpp.o"
+  "CMakeFiles/gc_gpulbm.dir/gpulbm/gpu_solver.cpp.o.d"
+  "CMakeFiles/gc_gpulbm.dir/gpulbm/packing.cpp.o"
+  "CMakeFiles/gc_gpulbm.dir/gpulbm/packing.cpp.o.d"
+  "CMakeFiles/gc_gpulbm.dir/gpulbm/programs.cpp.o"
+  "CMakeFiles/gc_gpulbm.dir/gpulbm/programs.cpp.o.d"
+  "libgc_gpulbm.a"
+  "libgc_gpulbm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_gpulbm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/bus.cpp" "src/CMakeFiles/gc_gpusim.dir/gpusim/bus.cpp.o" "gcc" "src/CMakeFiles/gc_gpusim.dir/gpusim/bus.cpp.o.d"
+  "/root/repo/src/gpusim/device.cpp" "src/CMakeFiles/gc_gpusim.dir/gpusim/device.cpp.o" "gcc" "src/CMakeFiles/gc_gpusim.dir/gpusim/device.cpp.o.d"
+  "/root/repo/src/gpusim/fragment.cpp" "src/CMakeFiles/gc_gpusim.dir/gpusim/fragment.cpp.o" "gcc" "src/CMakeFiles/gc_gpusim.dir/gpusim/fragment.cpp.o.d"
+  "/root/repo/src/gpusim/perf_model.cpp" "src/CMakeFiles/gc_gpusim.dir/gpusim/perf_model.cpp.o" "gcc" "src/CMakeFiles/gc_gpusim.dir/gpusim/perf_model.cpp.o.d"
+  "/root/repo/src/gpusim/texture.cpp" "src/CMakeFiles/gc_gpusim.dir/gpusim/texture.cpp.o" "gcc" "src/CMakeFiles/gc_gpusim.dir/gpusim/texture.cpp.o.d"
+  "/root/repo/src/gpusim/texture_memory.cpp" "src/CMakeFiles/gc_gpusim.dir/gpusim/texture_memory.cpp.o" "gcc" "src/CMakeFiles/gc_gpusim.dir/gpusim/texture_memory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/gc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

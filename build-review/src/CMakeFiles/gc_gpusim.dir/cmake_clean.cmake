@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_gpusim.dir/gpusim/bus.cpp.o"
+  "CMakeFiles/gc_gpusim.dir/gpusim/bus.cpp.o.d"
+  "CMakeFiles/gc_gpusim.dir/gpusim/device.cpp.o"
+  "CMakeFiles/gc_gpusim.dir/gpusim/device.cpp.o.d"
+  "CMakeFiles/gc_gpusim.dir/gpusim/fragment.cpp.o"
+  "CMakeFiles/gc_gpusim.dir/gpusim/fragment.cpp.o.d"
+  "CMakeFiles/gc_gpusim.dir/gpusim/perf_model.cpp.o"
+  "CMakeFiles/gc_gpusim.dir/gpusim/perf_model.cpp.o.d"
+  "CMakeFiles/gc_gpusim.dir/gpusim/texture.cpp.o"
+  "CMakeFiles/gc_gpusim.dir/gpusim/texture.cpp.o.d"
+  "CMakeFiles/gc_gpusim.dir/gpusim/texture_memory.cpp.o"
+  "CMakeFiles/gc_gpusim.dir/gpusim/texture_memory.cpp.o.d"
+  "libgc_gpusim.a"
+  "libgc_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/bench_json.cpp" "src/CMakeFiles/gc_io.dir/io/bench_json.cpp.o" "gcc" "src/CMakeFiles/gc_io.dir/io/bench_json.cpp.o.d"
+  "/root/repo/src/io/checkpoint.cpp" "src/CMakeFiles/gc_io.dir/io/checkpoint.cpp.o" "gcc" "src/CMakeFiles/gc_io.dir/io/checkpoint.cpp.o.d"
+  "/root/repo/src/io/csv.cpp" "src/CMakeFiles/gc_io.dir/io/csv.cpp.o" "gcc" "src/CMakeFiles/gc_io.dir/io/csv.cpp.o.d"
+  "/root/repo/src/io/ppm_writer.cpp" "src/CMakeFiles/gc_io.dir/io/ppm_writer.cpp.o" "gcc" "src/CMakeFiles/gc_io.dir/io/ppm_writer.cpp.o.d"
+  "/root/repo/src/io/vtk_writer.cpp" "src/CMakeFiles/gc_io.dir/io/vtk_writer.cpp.o" "gcc" "src/CMakeFiles/gc_io.dir/io/vtk_writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/gc_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_lbm.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_io.dir/io/bench_json.cpp.o"
+  "CMakeFiles/gc_io.dir/io/bench_json.cpp.o.d"
+  "CMakeFiles/gc_io.dir/io/checkpoint.cpp.o"
+  "CMakeFiles/gc_io.dir/io/checkpoint.cpp.o.d"
+  "CMakeFiles/gc_io.dir/io/csv.cpp.o"
+  "CMakeFiles/gc_io.dir/io/csv.cpp.o.d"
+  "CMakeFiles/gc_io.dir/io/ppm_writer.cpp.o"
+  "CMakeFiles/gc_io.dir/io/ppm_writer.cpp.o.d"
+  "CMakeFiles/gc_io.dir/io/vtk_writer.cpp.o"
+  "CMakeFiles/gc_io.dir/io/vtk_writer.cpp.o.d"
+  "libgc_io.a"
+  "libgc_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

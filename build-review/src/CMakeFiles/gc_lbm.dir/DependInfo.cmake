@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lbm/boundary.cpp" "src/CMakeFiles/gc_lbm.dir/lbm/boundary.cpp.o" "gcc" "src/CMakeFiles/gc_lbm.dir/lbm/boundary.cpp.o.d"
+  "/root/repo/src/lbm/cell_class.cpp" "src/CMakeFiles/gc_lbm.dir/lbm/cell_class.cpp.o" "gcc" "src/CMakeFiles/gc_lbm.dir/lbm/cell_class.cpp.o.d"
+  "/root/repo/src/lbm/collision.cpp" "src/CMakeFiles/gc_lbm.dir/lbm/collision.cpp.o" "gcc" "src/CMakeFiles/gc_lbm.dir/lbm/collision.cpp.o.d"
+  "/root/repo/src/lbm/lattice.cpp" "src/CMakeFiles/gc_lbm.dir/lbm/lattice.cpp.o" "gcc" "src/CMakeFiles/gc_lbm.dir/lbm/lattice.cpp.o.d"
+  "/root/repo/src/lbm/les.cpp" "src/CMakeFiles/gc_lbm.dir/lbm/les.cpp.o" "gcc" "src/CMakeFiles/gc_lbm.dir/lbm/les.cpp.o.d"
+  "/root/repo/src/lbm/macroscopic.cpp" "src/CMakeFiles/gc_lbm.dir/lbm/macroscopic.cpp.o" "gcc" "src/CMakeFiles/gc_lbm.dir/lbm/macroscopic.cpp.o.d"
+  "/root/repo/src/lbm/model.cpp" "src/CMakeFiles/gc_lbm.dir/lbm/model.cpp.o" "gcc" "src/CMakeFiles/gc_lbm.dir/lbm/model.cpp.o.d"
+  "/root/repo/src/lbm/mrt.cpp" "src/CMakeFiles/gc_lbm.dir/lbm/mrt.cpp.o" "gcc" "src/CMakeFiles/gc_lbm.dir/lbm/mrt.cpp.o.d"
+  "/root/repo/src/lbm/sentinel.cpp" "src/CMakeFiles/gc_lbm.dir/lbm/sentinel.cpp.o" "gcc" "src/CMakeFiles/gc_lbm.dir/lbm/sentinel.cpp.o.d"
+  "/root/repo/src/lbm/solver.cpp" "src/CMakeFiles/gc_lbm.dir/lbm/solver.cpp.o" "gcc" "src/CMakeFiles/gc_lbm.dir/lbm/solver.cpp.o.d"
+  "/root/repo/src/lbm/stream.cpp" "src/CMakeFiles/gc_lbm.dir/lbm/stream.cpp.o" "gcc" "src/CMakeFiles/gc_lbm.dir/lbm/stream.cpp.o.d"
+  "/root/repo/src/lbm/thermal.cpp" "src/CMakeFiles/gc_lbm.dir/lbm/thermal.cpp.o" "gcc" "src/CMakeFiles/gc_lbm.dir/lbm/thermal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/gc_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_lbm.dir/lbm/boundary.cpp.o"
+  "CMakeFiles/gc_lbm.dir/lbm/boundary.cpp.o.d"
+  "CMakeFiles/gc_lbm.dir/lbm/cell_class.cpp.o"
+  "CMakeFiles/gc_lbm.dir/lbm/cell_class.cpp.o.d"
+  "CMakeFiles/gc_lbm.dir/lbm/collision.cpp.o"
+  "CMakeFiles/gc_lbm.dir/lbm/collision.cpp.o.d"
+  "CMakeFiles/gc_lbm.dir/lbm/lattice.cpp.o"
+  "CMakeFiles/gc_lbm.dir/lbm/lattice.cpp.o.d"
+  "CMakeFiles/gc_lbm.dir/lbm/les.cpp.o"
+  "CMakeFiles/gc_lbm.dir/lbm/les.cpp.o.d"
+  "CMakeFiles/gc_lbm.dir/lbm/macroscopic.cpp.o"
+  "CMakeFiles/gc_lbm.dir/lbm/macroscopic.cpp.o.d"
+  "CMakeFiles/gc_lbm.dir/lbm/model.cpp.o"
+  "CMakeFiles/gc_lbm.dir/lbm/model.cpp.o.d"
+  "CMakeFiles/gc_lbm.dir/lbm/mrt.cpp.o"
+  "CMakeFiles/gc_lbm.dir/lbm/mrt.cpp.o.d"
+  "CMakeFiles/gc_lbm.dir/lbm/sentinel.cpp.o"
+  "CMakeFiles/gc_lbm.dir/lbm/sentinel.cpp.o.d"
+  "CMakeFiles/gc_lbm.dir/lbm/solver.cpp.o"
+  "CMakeFiles/gc_lbm.dir/lbm/solver.cpp.o.d"
+  "CMakeFiles/gc_lbm.dir/lbm/stream.cpp.o"
+  "CMakeFiles/gc_lbm.dir/lbm/stream.cpp.o.d"
+  "CMakeFiles/gc_lbm.dir/lbm/thermal.cpp.o"
+  "CMakeFiles/gc_lbm.dir/lbm/thermal.cpp.o.d"
+  "libgc_lbm.a"
+  "libgc_lbm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_lbm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

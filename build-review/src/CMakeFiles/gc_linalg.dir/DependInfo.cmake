@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/cg.cpp" "src/CMakeFiles/gc_linalg.dir/linalg/cg.cpp.o" "gcc" "src/CMakeFiles/gc_linalg.dir/linalg/cg.cpp.o.d"
+  "/root/repo/src/linalg/csr.cpp" "src/CMakeFiles/gc_linalg.dir/linalg/csr.cpp.o" "gcc" "src/CMakeFiles/gc_linalg.dir/linalg/csr.cpp.o.d"
+  "/root/repo/src/linalg/distributed_cg.cpp" "src/CMakeFiles/gc_linalg.dir/linalg/distributed_cg.cpp.o" "gcc" "src/CMakeFiles/gc_linalg.dir/linalg/distributed_cg.cpp.o.d"
+  "/root/repo/src/linalg/gpu_matvec.cpp" "src/CMakeFiles/gc_linalg.dir/linalg/gpu_matvec.cpp.o" "gcc" "src/CMakeFiles/gc_linalg.dir/linalg/gpu_matvec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/gc_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_netsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

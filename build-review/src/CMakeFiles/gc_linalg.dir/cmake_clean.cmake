@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_linalg.dir/linalg/cg.cpp.o"
+  "CMakeFiles/gc_linalg.dir/linalg/cg.cpp.o.d"
+  "CMakeFiles/gc_linalg.dir/linalg/csr.cpp.o"
+  "CMakeFiles/gc_linalg.dir/linalg/csr.cpp.o.d"
+  "CMakeFiles/gc_linalg.dir/linalg/distributed_cg.cpp.o"
+  "CMakeFiles/gc_linalg.dir/linalg/distributed_cg.cpp.o.d"
+  "CMakeFiles/gc_linalg.dir/linalg/gpu_matvec.cpp.o"
+  "CMakeFiles/gc_linalg.dir/linalg/gpu_matvec.cpp.o.d"
+  "libgc_linalg.a"
+  "libgc_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/event_queue.cpp" "src/CMakeFiles/gc_netsim.dir/netsim/event_queue.cpp.o" "gcc" "src/CMakeFiles/gc_netsim.dir/netsim/event_queue.cpp.o.d"
+  "/root/repo/src/netsim/fault.cpp" "src/CMakeFiles/gc_netsim.dir/netsim/fault.cpp.o" "gcc" "src/CMakeFiles/gc_netsim.dir/netsim/fault.cpp.o.d"
+  "/root/repo/src/netsim/mpilite.cpp" "src/CMakeFiles/gc_netsim.dir/netsim/mpilite.cpp.o" "gcc" "src/CMakeFiles/gc_netsim.dir/netsim/mpilite.cpp.o.d"
+  "/root/repo/src/netsim/schedule.cpp" "src/CMakeFiles/gc_netsim.dir/netsim/schedule.cpp.o" "gcc" "src/CMakeFiles/gc_netsim.dir/netsim/schedule.cpp.o.d"
+  "/root/repo/src/netsim/switch_model.cpp" "src/CMakeFiles/gc_netsim.dir/netsim/switch_model.cpp.o" "gcc" "src/CMakeFiles/gc_netsim.dir/netsim/switch_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/gc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_netsim.dir/netsim/event_queue.cpp.o"
+  "CMakeFiles/gc_netsim.dir/netsim/event_queue.cpp.o.d"
+  "CMakeFiles/gc_netsim.dir/netsim/fault.cpp.o"
+  "CMakeFiles/gc_netsim.dir/netsim/fault.cpp.o.d"
+  "CMakeFiles/gc_netsim.dir/netsim/mpilite.cpp.o"
+  "CMakeFiles/gc_netsim.dir/netsim/mpilite.cpp.o.d"
+  "CMakeFiles/gc_netsim.dir/netsim/schedule.cpp.o"
+  "CMakeFiles/gc_netsim.dir/netsim/schedule.cpp.o.d"
+  "CMakeFiles/gc_netsim.dir/netsim/switch_model.cpp.o"
+  "CMakeFiles/gc_netsim.dir/netsim/switch_model.cpp.o.d"
+  "libgc_netsim.a"
+  "libgc_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/obs/export.cpp" "src/CMakeFiles/gc_obs.dir/obs/export.cpp.o" "gcc" "src/CMakeFiles/gc_obs.dir/obs/export.cpp.o.d"
+  "/root/repo/src/obs/span_canon.cpp" "src/CMakeFiles/gc_obs.dir/obs/span_canon.cpp.o" "gcc" "src/CMakeFiles/gc_obs.dir/obs/span_canon.cpp.o.d"
+  "/root/repo/src/obs/trace.cpp" "src/CMakeFiles/gc_obs.dir/obs/trace.cpp.o" "gcc" "src/CMakeFiles/gc_obs.dir/obs/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/gc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_obs.dir/obs/export.cpp.o"
+  "CMakeFiles/gc_obs.dir/obs/export.cpp.o.d"
+  "CMakeFiles/gc_obs.dir/obs/span_canon.cpp.o"
+  "CMakeFiles/gc_obs.dir/obs/span_canon.cpp.o.d"
+  "CMakeFiles/gc_obs.dir/obs/trace.cpp.o"
+  "CMakeFiles/gc_obs.dir/obs/trace.cpp.o.d"
+  "libgc_obs.a"
+  "libgc_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_service.dir/service/flow_cache.cpp.o"
+  "CMakeFiles/gc_service.dir/service/flow_cache.cpp.o.d"
+  "CMakeFiles/gc_service.dir/service/scenario.cpp.o"
+  "CMakeFiles/gc_service.dir/service/scenario.cpp.o.d"
+  "CMakeFiles/gc_service.dir/service/scenario_service.cpp.o"
+  "CMakeFiles/gc_service.dir/service/scenario_service.cpp.o.d"
+  "libgc_service.a"
+  "libgc_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_tracer.dir/tracer/tracer.cpp.o"
+  "CMakeFiles/gc_tracer.dir/tracer/tracer.cpp.o.d"
+  "libgc_tracer.a"
+  "libgc_tracer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_tracer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_util.dir/util/args.cpp.o"
+  "CMakeFiles/gc_util.dir/util/args.cpp.o.d"
+  "CMakeFiles/gc_util.dir/util/checksum.cpp.o"
+  "CMakeFiles/gc_util.dir/util/checksum.cpp.o.d"
+  "CMakeFiles/gc_util.dir/util/rng.cpp.o"
+  "CMakeFiles/gc_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/gc_util.dir/util/table.cpp.o"
+  "CMakeFiles/gc_util.dir/util/table.cpp.o.d"
+  "CMakeFiles/gc_util.dir/util/thread_pool.cpp.o"
+  "CMakeFiles/gc_util.dir/util/thread_pool.cpp.o.d"
+  "CMakeFiles/gc_util.dir/util/timer.cpp.o"
+  "CMakeFiles/gc_util.dir/util/timer.cpp.o.d"
+  "libgc_util.a"
+  "libgc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

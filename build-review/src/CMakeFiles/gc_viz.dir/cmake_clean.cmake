@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_viz.dir/viz/compositor.cpp.o"
+  "CMakeFiles/gc_viz.dir/viz/compositor.cpp.o.d"
+  "CMakeFiles/gc_viz.dir/viz/streamline.cpp.o"
+  "CMakeFiles/gc_viz.dir/viz/streamline.cpp.o.d"
+  "libgc_viz.a"
+  "libgc_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

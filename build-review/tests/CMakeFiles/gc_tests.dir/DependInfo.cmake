@@ -1,0 +1,78 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analyze.cpp" "tests/CMakeFiles/gc_tests.dir/test_analyze.cpp.o" "gcc" "tests/CMakeFiles/gc_tests.dir/test_analyze.cpp.o.d"
+  "/root/repo/tests/test_args.cpp" "tests/CMakeFiles/gc_tests.dir/test_args.cpp.o" "gcc" "tests/CMakeFiles/gc_tests.dir/test_args.cpp.o.d"
+  "/root/repo/tests/test_boundary.cpp" "tests/CMakeFiles/gc_tests.dir/test_boundary.cpp.o" "gcc" "tests/CMakeFiles/gc_tests.dir/test_boundary.cpp.o.d"
+  "/root/repo/tests/test_boundary_rects.cpp" "tests/CMakeFiles/gc_tests.dir/test_boundary_rects.cpp.o" "gcc" "tests/CMakeFiles/gc_tests.dir/test_boundary_rects.cpp.o.d"
+  "/root/repo/tests/test_cell_class.cpp" "tests/CMakeFiles/gc_tests.dir/test_cell_class.cpp.o" "gcc" "tests/CMakeFiles/gc_tests.dir/test_cell_class.cpp.o.d"
+  "/root/repo/tests/test_chaos.cpp" "tests/CMakeFiles/gc_tests.dir/test_chaos.cpp.o" "gcc" "tests/CMakeFiles/gc_tests.dir/test_chaos.cpp.o.d"
+  "/root/repo/tests/test_checkpoint.cpp" "tests/CMakeFiles/gc_tests.dir/test_checkpoint.cpp.o" "gcc" "tests/CMakeFiles/gc_tests.dir/test_checkpoint.cpp.o.d"
+  "/root/repo/tests/test_city.cpp" "tests/CMakeFiles/gc_tests.dir/test_city.cpp.o" "gcc" "tests/CMakeFiles/gc_tests.dir/test_city.cpp.o.d"
+  "/root/repo/tests/test_cluster_sim.cpp" "tests/CMakeFiles/gc_tests.dir/test_cluster_sim.cpp.o" "gcc" "tests/CMakeFiles/gc_tests.dir/test_cluster_sim.cpp.o.d"
+  "/root/repo/tests/test_collision.cpp" "tests/CMakeFiles/gc_tests.dir/test_collision.cpp.o" "gcc" "tests/CMakeFiles/gc_tests.dir/test_collision.cpp.o.d"
+  "/root/repo/tests/test_compositor.cpp" "tests/CMakeFiles/gc_tests.dir/test_compositor.cpp.o" "gcc" "tests/CMakeFiles/gc_tests.dir/test_compositor.cpp.o.d"
+  "/root/repo/tests/test_decomposition.cpp" "tests/CMakeFiles/gc_tests.dir/test_decomposition.cpp.o" "gcc" "tests/CMakeFiles/gc_tests.dir/test_decomposition.cpp.o.d"
+  "/root/repo/tests/test_fault_tolerance.cpp" "tests/CMakeFiles/gc_tests.dir/test_fault_tolerance.cpp.o" "gcc" "tests/CMakeFiles/gc_tests.dir/test_fault_tolerance.cpp.o.d"
+  "/root/repo/tests/test_fluid_partition.cpp" "tests/CMakeFiles/gc_tests.dir/test_fluid_partition.cpp.o" "gcc" "tests/CMakeFiles/gc_tests.dir/test_fluid_partition.cpp.o.d"
+  "/root/repo/tests/test_gpu_cluster.cpp" "tests/CMakeFiles/gc_tests.dir/test_gpu_cluster.cpp.o" "gcc" "tests/CMakeFiles/gc_tests.dir/test_gpu_cluster.cpp.o.d"
+  "/root/repo/tests/test_gpulbm.cpp" "tests/CMakeFiles/gc_tests.dir/test_gpulbm.cpp.o" "gcc" "tests/CMakeFiles/gc_tests.dir/test_gpulbm.cpp.o.d"
+  "/root/repo/tests/test_gpusim.cpp" "tests/CMakeFiles/gc_tests.dir/test_gpusim.cpp.o" "gcc" "tests/CMakeFiles/gc_tests.dir/test_gpusim.cpp.o.d"
+  "/root/repo/tests/test_inlet_profile.cpp" "tests/CMakeFiles/gc_tests.dir/test_inlet_profile.cpp.o" "gcc" "tests/CMakeFiles/gc_tests.dir/test_inlet_profile.cpp.o.d"
+  "/root/repo/tests/test_io.cpp" "tests/CMakeFiles/gc_tests.dir/test_io.cpp.o" "gcc" "tests/CMakeFiles/gc_tests.dir/test_io.cpp.o.d"
+  "/root/repo/tests/test_lattice.cpp" "tests/CMakeFiles/gc_tests.dir/test_lattice.cpp.o" "gcc" "tests/CMakeFiles/gc_tests.dir/test_lattice.cpp.o.d"
+  "/root/repo/tests/test_les.cpp" "tests/CMakeFiles/gc_tests.dir/test_les.cpp.o" "gcc" "tests/CMakeFiles/gc_tests.dir/test_les.cpp.o.d"
+  "/root/repo/tests/test_linalg.cpp" "tests/CMakeFiles/gc_tests.dir/test_linalg.cpp.o" "gcc" "tests/CMakeFiles/gc_tests.dir/test_linalg.cpp.o.d"
+  "/root/repo/tests/test_lint.cpp" "tests/CMakeFiles/gc_tests.dir/test_lint.cpp.o" "gcc" "tests/CMakeFiles/gc_tests.dir/test_lint.cpp.o.d"
+  "/root/repo/tests/test_model.cpp" "tests/CMakeFiles/gc_tests.dir/test_model.cpp.o" "gcc" "tests/CMakeFiles/gc_tests.dir/test_model.cpp.o.d"
+  "/root/repo/tests/test_mpilite.cpp" "tests/CMakeFiles/gc_tests.dir/test_mpilite.cpp.o" "gcc" "tests/CMakeFiles/gc_tests.dir/test_mpilite.cpp.o.d"
+  "/root/repo/tests/test_mrt.cpp" "tests/CMakeFiles/gc_tests.dir/test_mrt.cpp.o" "gcc" "tests/CMakeFiles/gc_tests.dir/test_mrt.cpp.o.d"
+  "/root/repo/tests/test_netsim.cpp" "tests/CMakeFiles/gc_tests.dir/test_netsim.cpp.o" "gcc" "tests/CMakeFiles/gc_tests.dir/test_netsim.cpp.o.d"
+  "/root/repo/tests/test_obs.cpp" "tests/CMakeFiles/gc_tests.dir/test_obs.cpp.o" "gcc" "tests/CMakeFiles/gc_tests.dir/test_obs.cpp.o.d"
+  "/root/repo/tests/test_overlap.cpp" "tests/CMakeFiles/gc_tests.dir/test_overlap.cpp.o" "gcc" "tests/CMakeFiles/gc_tests.dir/test_overlap.cpp.o.d"
+  "/root/repo/tests/test_overlap_exec.cpp" "tests/CMakeFiles/gc_tests.dir/test_overlap_exec.cpp.o" "gcc" "tests/CMakeFiles/gc_tests.dir/test_overlap_exec.cpp.o.d"
+  "/root/repo/tests/test_parallel.cpp" "tests/CMakeFiles/gc_tests.dir/test_parallel.cpp.o" "gcc" "tests/CMakeFiles/gc_tests.dir/test_parallel.cpp.o.d"
+  "/root/repo/tests/test_physics.cpp" "tests/CMakeFiles/gc_tests.dir/test_physics.cpp.o" "gcc" "tests/CMakeFiles/gc_tests.dir/test_physics.cpp.o.d"
+  "/root/repo/tests/test_pooled_kernels.cpp" "tests/CMakeFiles/gc_tests.dir/test_pooled_kernels.cpp.o" "gcc" "tests/CMakeFiles/gc_tests.dir/test_pooled_kernels.cpp.o.d"
+  "/root/repo/tests/test_property_sweeps.cpp" "tests/CMakeFiles/gc_tests.dir/test_property_sweeps.cpp.o" "gcc" "tests/CMakeFiles/gc_tests.dir/test_property_sweeps.cpp.o.d"
+  "/root/repo/tests/test_resilience.cpp" "tests/CMakeFiles/gc_tests.dir/test_resilience.cpp.o" "gcc" "tests/CMakeFiles/gc_tests.dir/test_resilience.cpp.o.d"
+  "/root/repo/tests/test_scaling_study.cpp" "tests/CMakeFiles/gc_tests.dir/test_scaling_study.cpp.o" "gcc" "tests/CMakeFiles/gc_tests.dir/test_scaling_study.cpp.o.d"
+  "/root/repo/tests/test_service.cpp" "tests/CMakeFiles/gc_tests.dir/test_service.cpp.o" "gcc" "tests/CMakeFiles/gc_tests.dir/test_service.cpp.o.d"
+  "/root/repo/tests/test_sparse_lattice.cpp" "tests/CMakeFiles/gc_tests.dir/test_sparse_lattice.cpp.o" "gcc" "tests/CMakeFiles/gc_tests.dir/test_sparse_lattice.cpp.o.d"
+  "/root/repo/tests/test_storage_aa.cpp" "tests/CMakeFiles/gc_tests.dir/test_storage_aa.cpp.o" "gcc" "tests/CMakeFiles/gc_tests.dir/test_storage_aa.cpp.o.d"
+  "/root/repo/tests/test_stream.cpp" "tests/CMakeFiles/gc_tests.dir/test_stream.cpp.o" "gcc" "tests/CMakeFiles/gc_tests.dir/test_stream.cpp.o.d"
+  "/root/repo/tests/test_thermal.cpp" "tests/CMakeFiles/gc_tests.dir/test_thermal.cpp.o" "gcc" "tests/CMakeFiles/gc_tests.dir/test_thermal.cpp.o.d"
+  "/root/repo/tests/test_tracer.cpp" "tests/CMakeFiles/gc_tests.dir/test_tracer.cpp.o" "gcc" "tests/CMakeFiles/gc_tests.dir/test_tracer.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/gc_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/gc_tests.dir/test_util.cpp.o.d"
+  "/root/repo/tests/test_viz.cpp" "tests/CMakeFiles/gc_tests.dir/test_viz.cpp.o" "gcc" "tests/CMakeFiles/gc_tests.dir/test_viz.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/tools/gc_lint/CMakeFiles/gc_lint_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/tools/gc_analyze/CMakeFiles/gc_analyze_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_service.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_city.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_tracer.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_viz.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_netsim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_gpulbm.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_io.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_lbm.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/tools/gc_common/CMakeFiles/gc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

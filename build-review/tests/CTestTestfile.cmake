@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/gc_tests[1]_include.cmake")
+add_test(tsan_ft_suite "/root/repo/build-review/tests/gc_tests" "--gtest_filter=MpiLite.*:MpiLiteRequest.*:FaultSpec.*:ReliableExchange.*:Sentinel.*:Recovery.*:Parallel.*:*/ParallelVsSerial.*:CheckpointV2.*:OverlapExec.*:*/OverlapExec.*:StorageAA.*:SparseLattice.*:PartitionPoolTest.*:ScenarioServiceTest.*:QuarantineTest.*:ResilienceTest.*:ChaosTest.*")
+set_tests_properties(tsan_ft_suite PROPERTIES  LABELS "tsan" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;59;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(asan_mem_suite "/root/repo/build-review/tests/gc_tests" "--gtest_filter=Lattice.*:StorageAA.*:SparseLattice.*:SparseCheckpoint.*:CellClass.*:Collision.*:CollisionTau.*:Stream.*:BoundaryRects.*:*/BouzidiQ.*:CurvedBoundary.*:MomentumExchange.*:PooledSolver.*:*/PooledThreads.*:Csv.*:Ppm.*:Vtk.*:Checkpoint.*:CheckpointV2.*:CheckpointV3.*:Compositor.*:Tracer.*:FlowKeyTest.*:ScenarioServiceTest.*:FlowCacheBoundTest.*:Lint.*")
+set_tests_properties(asan_mem_suite PROPERTIES  LABELS "asan" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;67;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(ubsan_arith_suite "/root/repo/build-review/tests/gc_tests" "--gtest_filter=Rng.*:Timer.*:Table.*:SectionTimer.*:Check.*:ThreadPool.*:Model.*:Mrt.*:MrtTau.*:MrtRegion.*:MomentBasis.*:EquilibriumMoments.*:Physics.*:Macroscopic.*:Thermal.*:Les.*:Device.*:Bus.*:Texture.*:TextureMemory.*:TextureStack.*:EventQueue.*:Schedule.*:*/ScheduleGrid.*:SwitchModel.*:PerfModel.*:Decomposition.*:*/DecompCase.*:FluidPartition.*:*/FluidPartition.*:ScalingStudy.*:Cg.*:Csr.*:Allreduce.*:DistributedCg.*:*/DistributedCgRanks.*")
+set_tests_properties(ubsan_arith_suite PROPERTIES  LABELS "ubsan" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;75;add_test;/root/repo/tests/CMakeLists.txt;0;")

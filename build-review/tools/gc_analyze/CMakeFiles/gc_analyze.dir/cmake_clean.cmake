@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_analyze.dir/main.cpp.o"
+  "CMakeFiles/gc_analyze.dir/main.cpp.o.d"
+  "gc_analyze"
+  "gc_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_analyze_core.dir/analyze.cpp.o"
+  "CMakeFiles/gc_analyze_core.dir/analyze.cpp.o.d"
+  "CMakeFiles/gc_analyze_core.dir/model.cpp.o"
+  "CMakeFiles/gc_analyze_core.dir/model.cpp.o.d"
+  "libgc_analyze_core.a"
+  "libgc_analyze_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_analyze_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

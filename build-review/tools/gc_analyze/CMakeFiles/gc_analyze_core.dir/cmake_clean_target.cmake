@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgc_analyze_core.a"
+)

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools/gc_analyze
+# Build directory: /root/repo/build-review/tools/gc_analyze
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(gc_analyze_clean "/root/repo/build-review/tools/gc_analyze/gc_analyze" "--root" "/root/repo")
+set_tests_properties(gc_analyze_clean PROPERTIES  LABELS "lint" _BACKTRACE_TRIPLES "/root/repo/tools/gc_analyze/CMakeLists.txt;13;add_test;/root/repo/tools/gc_analyze/CMakeLists.txt;0;")

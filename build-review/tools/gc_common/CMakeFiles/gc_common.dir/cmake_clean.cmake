@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_common.dir/diag.cpp.o"
+  "CMakeFiles/gc_common.dir/diag.cpp.o.d"
+  "CMakeFiles/gc_common.dir/text.cpp.o"
+  "CMakeFiles/gc_common.dir/text.cpp.o.d"
+  "libgc_common.a"
+  "libgc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_lint.dir/main.cpp.o"
+  "CMakeFiles/gc_lint.dir/main.cpp.o.d"
+  "gc_lint"
+  "gc_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

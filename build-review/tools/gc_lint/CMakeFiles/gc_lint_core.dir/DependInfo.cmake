@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/gc_lint/rules.cpp" "tools/gc_lint/CMakeFiles/gc_lint_core.dir/rules.cpp.o" "gcc" "tools/gc_lint/CMakeFiles/gc_lint_core.dir/rules.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/gc_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/tools/gc_common/CMakeFiles/gc_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/gc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_lint_core.dir/rules.cpp.o"
+  "CMakeFiles/gc_lint_core.dir/rules.cpp.o.d"
+  "libgc_lint_core.a"
+  "libgc_lint_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_lint_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools/gc_lint
+# Build directory: /root/repo/build-review/tools/gc_lint
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(gc_lint_clean "/root/repo/build-review/tools/gc_lint/gc_lint" "--root" "/root/repo")
+set_tests_properties(gc_lint_clean PROPERTIES  LABELS "lint" _BACKTRACE_TRIPLES "/root/repo/tools/gc_lint/CMakeLists.txt;16;add_test;/root/repo/tools/gc_lint/CMakeLists.txt;0;")
